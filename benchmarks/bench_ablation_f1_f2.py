@@ -1,0 +1,47 @@
+"""Ablation — F1 (Eq. 6) vs F2 (Eq. 7) pattern priority.
+
+§4.2 argues F2 (priority-weighted coverage) over F1 (plain coverage); the
+worked Table 2 example shows the cycle-2 tie that F2 breaks correctly.
+This benchmark quantifies the choice across pattern libraries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import record
+
+from repro.analysis.experiments import f1_vs_f2
+from repro.analysis.tables import render_table
+from repro.patterns.library import PatternLibrary
+from repro.patterns.random_gen import random_pattern_set
+
+
+def _libraries(dfg):
+    libs = [PatternLibrary(["aabcc", "aaacc"], capacity=5)]
+    rng = random.Random(13)
+    for _ in range(6):
+        libs.append(random_pattern_set(rng, 5, list(dfg.colors()), 3))
+    return libs
+
+
+def test_ablation_f1_vs_f2(benchmark, dfg_3dft, dfg_5dft):
+    def run():
+        rows = []
+        for dfg in (dfg_3dft, dfg_5dft):
+            for strings, l1, l2 in f1_vs_f2(dfg, _libraries(dfg)):
+                rows.append((dfg.name, " ".join(strings), l1, l2))
+        return rows
+
+    rows = benchmark(run)
+
+    mean_f1 = sum(r[2] for r in rows) / len(rows)
+    mean_f2 = sum(r[3] for r in rows) / len(rows)
+    # F2 must be at least as good on average (the paper's argument).
+    assert mean_f2 <= mean_f1 + 0.25
+
+    table = render_table(
+        ["graph", "library", "F1 cycles", "F2 cycles"], rows
+    )
+    record(benchmark, "Ablation — F1 vs F2 pattern priority", table,
+           mean_f1=mean_f1, mean_f2=mean_f2)

@@ -1,0 +1,37 @@
+"""Ablation — the Eq. 8 constants α and ε.
+
+The paper fixes ε = 0.5 and α = 20 ("In our system…") and closes by saying
+future work is "just modifying the priority function".  This benchmark
+sweeps both constants around the published point.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+
+from repro.analysis.experiments import parameter_sweep
+from repro.analysis.tables import render_table
+
+ALPHAS = (0.0, 1.0, 5.0, 20.0, 100.0)
+EPSILONS = (0.1, 0.5, 1.0, 5.0)
+
+
+def test_ablation_alpha_epsilon(benchmark, dfg_3dft):
+    out = benchmark(
+        parameter_sweep, dfg_3dft, 5, 3,
+        alphas=ALPHAS, epsilons=EPSILONS, span_limit=1,
+    )
+
+    alpha_lengths = dict(out["alpha"])
+    eps_lengths = dict(out["epsilon"])
+    # The published operating point must not be dominated by either sweep.
+    assert alpha_lengths[20.0] <= min(alpha_lengths.values()) + 1
+    assert eps_lengths[0.5] <= min(eps_lengths.values()) + 1
+    assert all(v >= 5 for v in alpha_lengths.values())
+
+    table = render_table(
+        ["parameter", "value", "cycles (3DFT, Pdef=3)"],
+        [("alpha", a, l) for a, l in out["alpha"]]
+        + [("epsilon", e, l) for e, l in out["epsilon"]],
+    )
+    record(benchmark, "Ablation — α/ε around the paper's (20, 0.5)", table)

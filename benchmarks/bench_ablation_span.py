@@ -1,0 +1,59 @@
+"""Ablation — the antichain span limit.
+
+The paper motivates bounding antichain span (§5.1, Table 5) but never
+publishes the limit used for Table 7.  This benchmark sweeps it and shows
+both effects: catalog size (enumeration cost) and selected-schedule quality.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+
+from repro.analysis.experiments import span_limit_sweep
+from repro.analysis.tables import render_table
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+
+SPANS = (0, 1, 2, 3, None)
+PDEFS = (1, 2, 3, 4, 5)
+
+
+def test_ablation_span_limit_quality(benchmark, dfg_3dft):
+    sweep = benchmark(span_limit_sweep, dfg_3dft, 5, PDEFS, SPANS)
+
+    # The library default (span ≤ 1) must be on the Pareto front of the
+    # sweep: no other limit strictly dominates it across all Pdef.
+    default = sweep[1]
+    for limit in SPANS:
+        if limit == 1:
+            continue
+        assert any(a <= b for a, b in zip(default, sweep[limit]))
+
+    table = render_table(
+        ["span limit"] + [f"Pdef={p}" for p in PDEFS],
+        [[str(limit), *sweep[limit]] for limit in SPANS],
+    )
+    record(benchmark, "Ablation — span limit vs schedule length (3DFT)",
+           table)
+
+
+def test_ablation_span_limit_catalog_cost(benchmark, dfg_5dft):
+    def build_all():
+        sizes = {}
+        for limit in SPANS:
+            cfg = SelectionConfig(span_limit=limit)
+            catalog = PatternSelector(5, cfg).build_catalog(dfg_5dft)
+            sizes[limit] = catalog.total_antichains()
+        return sizes
+
+    sizes = benchmark.pedantic(build_all, rounds=2, iterations=1)
+    ordered = [sizes[s] for s in (0, 1, 2, 3)]
+    assert ordered == sorted(ordered)
+    assert sizes[None] >= sizes[3]
+
+    table = render_table(
+        ["span limit", "antichains enumerated (5DFT)"],
+        [(str(s), sizes[s]) for s in SPANS],
+    )
+    record(benchmark, "Ablation — span limit vs enumeration size (5DFT)",
+           table)

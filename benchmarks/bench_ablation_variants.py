@@ -1,0 +1,54 @@
+"""Ablation — selection priority variants (the paper's future work).
+
+The paper's conclusion: improvement is "very simple: by just modifying the
+priority function".  This benchmark runs every registered variant
+(:mod:`repro.core.variants`) across both evaluation graphs and the Pdef
+sweep, asking whether any alternative dominates Eq. 8.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+
+from repro.analysis.tables import render_table
+from repro.core.config import SelectionConfig
+from repro.core.variants import VARIANTS, select_with_variant
+from repro.scheduling.scheduler import MultiPatternScheduler
+
+PDEFS = (1, 2, 3, 4, 5)
+
+
+def test_ablation_priority_variants(benchmark, dfg_3dft, dfg_5dft):
+    cfg = SelectionConfig(span_limit=1)
+
+    def run():
+        out = {}
+        for dfg in (dfg_3dft, dfg_5dft):
+            for name in sorted(VARIANTS):
+                lengths = []
+                for pdef in PDEFS:
+                    lib = select_with_variant(
+                        dfg, pdef, 5, name, config=cfg
+                    ).library
+                    lengths.append(
+                        MultiPatternScheduler(lib).schedule(dfg).length
+                    )
+                out[(dfg.name, name)] = lengths
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Eq. 8 must not be strictly dominated by any variant on either graph.
+    for graph in ("3dft", "5dft"):
+        base = out[(graph, "paper")]
+        for name in VARIANTS:
+            if name == "paper":
+                continue
+            alt = out[(graph, name)]
+            assert any(b <= a for b, a in zip(base, alt)), (graph, name)
+
+    table = render_table(
+        ["graph", "variant"] + [f"Pdef={p}" for p in PDEFS],
+        [[g, n, *lengths] for (g, n), lengths in sorted(out.items())],
+    )
+    record(benchmark, "Ablation — priority-function variants", table)

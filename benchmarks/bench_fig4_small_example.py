@@ -1,0 +1,45 @@
+"""Figure 4 — the small pattern-selection example, end to end.
+
+Benchmarks the full §5.2 walkthrough: catalog (Table 4), frequencies
+(Table 6), round-1 priorities (26 / 24 / 88 / 84), the {aa} → {bb}
+selection and the Pdef = 1 fallback to {ab}.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+
+from repro.analysis.tables import render_table
+from repro.core.selection import PatternSelector
+
+
+def _walkthrough(dfg):
+    selector = PatternSelector(capacity=2)
+    two = selector.select(dfg, pdef=2)
+    one = selector.select(dfg, pdef=1)
+    return two, one
+
+
+def test_fig4_selection_walkthrough(benchmark, dfg_fig4):
+    two, one = benchmark(_walkthrough, dfg_fig4)
+
+    prios = {p.as_string(): v for p, v in two.rounds[0].priorities.items()}
+    assert prios == {"a": 26.0, "b": 24.0, "aa": 88.0, "bb": 84.0}
+    assert two.library.as_strings() == ("aa", "bb")
+    assert [q.as_string() for q in two.rounds[0].deleted] == ["a"]
+    assert one.library.as_strings() == ("ab",)
+    assert one.rounds[0].fallback
+
+    table = render_table(
+        ["quantity", "paper", "measured"],
+        [
+            ("f(p̄1={a})", 26, prios["a"]),
+            ("f(p̄2={b})", 24, prios["b"]),
+            ("f(p̄3={aa})", 88, prios["aa"]),
+            ("f(p̄4={bb})", 84, prios["bb"]),
+            ("Pdef=2 selection", "{aa}, {bb}",
+             ", ".join("{" + s + "}" for s in two.library.as_strings())),
+            ("Pdef=1 fallback", "{ab}", "{" + one.library.as_strings()[0] + "}"),
+        ],
+    )
+    record(benchmark, "Figure 4 walkthrough (exact reproduction)", table)

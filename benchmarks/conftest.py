@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_table*.py`` / ``bench_fig*.py`` file regenerates one table or
+figure of the paper: it *asserts* whatever the published data pins down
+exactly, attaches the paper-vs-measured comparison to the benchmark record
+(``benchmark.extra_info``), and prints it (visible with ``pytest -s``).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.levels import LevelAnalysis
+from repro.workloads import (
+    five_point_dft,
+    small_example,
+    three_point_dft_paper,
+)
+
+
+@pytest.fixture(scope="session")
+def dfg_3dft():
+    return three_point_dft_paper()
+
+
+@pytest.fixture(scope="session")
+def dfg_5dft():
+    return five_point_dft()
+
+
+@pytest.fixture(scope="session")
+def dfg_fig4():
+    return small_example()
+
+
+@pytest.fixture(scope="session")
+def levels_3dft(dfg_3dft):
+    return LevelAnalysis.of(dfg_3dft)
+
+
+def record(benchmark, title: str, text: str, **extra) -> None:
+    """Attach a paper-vs-measured report to a benchmark and print it."""
+    benchmark.extra_info["report"] = text
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    print(f"\n=== {title} ===\n{text}\n")

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Architecture exploration — vary the tile, watch the schedule.
+
+The paper fixes ``C = 5`` ALUs and up to 32 patterns; the library makes
+both parameters first-class, so a designer can ask "what if the tile had
+3 or 8 ALUs?" or "how small can the pattern budget go?".  This example
+sweeps both axes on the 5-point DFT workload and prints the landscape,
+including the dependence lower bound to show how close each point gets.
+
+Usage::
+
+    python examples/architecture_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.dfg.levels import LevelAnalysis
+from repro.montium.allocation import allocate
+from repro.montium.architecture import MontiumTile
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads.fft import five_point_dft
+
+
+def main() -> None:
+    dfg = five_point_dft()
+    levels = LevelAnalysis.of(dfg)
+    print(
+        f"workload: {dfg.name} — {dfg.n_nodes} ops, "
+        f"dependence bound {levels.critical_path_length} cycles\n"
+    )
+
+    rows = []
+    for alus in (3, 5, 8):
+        tile = MontiumTile(alu_count=alus)
+        selector = PatternSelector(
+            capacity=alus, config=SelectionConfig(span_limit=1)
+        )
+        catalog = selector.build_catalog(dfg)
+        for pdef in (2, 4, 8):
+            library = selector.select(dfg, pdef, catalog=catalog).library
+            schedule = MultiPatternScheduler(library).schedule(dfg)
+            report = allocate(dfg, schedule.assignment, tile)
+            # Work lower bound: busiest color over per-cycle slots of it.
+            work_bound = max(
+                -(-count // alus) for count in dfg.color_census().values()
+            )
+            rows.append(
+                (
+                    alus,
+                    pdef,
+                    len(library),
+                    schedule.length,
+                    max(levels.critical_path_length, work_bound),
+                    f"{schedule.utilization():.2f}",
+                    report.max_live,
+                    "yes" if report.ok else "NO",
+                )
+            )
+
+    print(render_table(
+        ["ALUs (C)", "Pdef", "patterns", "cycles", "lower bound",
+         "util", "max live", "fits tile"],
+        rows,
+        title="5DFT across tile geometries and pattern budgets",
+    ))
+    print(
+        "\nReading guide: more ALUs shrink the work bound; more patterns "
+        "close the gap to it — the paper's Table 7 effect, generalised."
+    )
+
+
+if __name__ == "__main__":
+    main()

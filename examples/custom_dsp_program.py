@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Custom DSP program — from source code to a scheduled Montium tile.
+
+Shows the complete 4-phase compiler (paper §1) on a hand-written program:
+
+1. **Transformation** — the expression frontend lowers a complex-multiply
+   + accumulate kernel to a colored DFG,
+2. **Clustering** — multiply-accumulate fusion shrinks the graph,
+3. **Scheduling** — pattern selection (§5) + multi-pattern scheduling (§4),
+4. **Allocation** — per-cycle operand/bus/storage accounting.
+
+The same program is compiled with and without MAC fusion.  On this kernel
+fusion trades a cycle or two of schedule length (the fused ``m`` clusters
+compete for fewer pattern slots) for markedly lower live-value pressure —
+exactly the kind of decision the clustering phase has to weigh.
+
+Usage::
+
+    python examples/custom_dsp_program.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.montium.compiler import MontiumCompiler
+
+# A complex multiply-accumulate kernel: two complex MACs and a magnitude
+# proxy — the inner loop of a beamformer or correlator.
+PROGRAM = """
+# complex product (ar + i ai) * (br + i bi)
+pr = ar*br - ai*bi
+pi = ar*bi + ai*br
+
+# accumulate into running sums
+sr = accr + pr
+si = acci + pi
+
+# second tap
+qr = cr*dr - ci*di
+qi = cr*di + ci*dr
+tr = sr + qr
+ti = si + qi
+
+# power proxy of the result
+power = tr*tr + ti*ti
+"""
+
+
+def main() -> None:
+    rows = []
+    for fuse in (False, True):
+        compiler = MontiumCompiler(fuse_mac=fuse)
+        result = compiler.compile(PROGRAM, pdef=4)
+        rows.append(
+            (
+                "MAC fusion" if fuse else "no fusion",
+                result.source_dfg.n_nodes,
+                result.clustered_dfg.n_nodes,
+                " ".join(
+                    p.as_string(result.tile.alu_count)
+                    for p in result.schedule.library
+                ),
+                result.cycles,
+                f"{result.schedule.utilization():.2f}",
+                result.allocation.max_live,
+                "yes" if result.ok else "NO",
+            )
+        )
+        if fuse:
+            print("=== schedule trace (with MAC fusion) ===")
+            print(result.schedule.as_table())
+            print()
+
+    print(render_table(
+        ["clustering", "ops", "clusters", "selected patterns",
+         "cycles", "util", "max live", "fits"],
+        rows,
+        title="4-phase compilation of a complex-MAC kernel (Pdef = 4)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

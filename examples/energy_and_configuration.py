@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Energy & configuration — what the pattern budget buys on silicon.
+
+The Montium's 32-entry pattern decoder is an energy feature: the sequencer
+issues a tiny index per cycle instead of a full ALU-array configuration.
+This example makes that concrete on the 5DFT:
+
+* schedule under the Eq. 8-selected patterns vs a pattern-oblivious list
+  schedule,
+* derive each schedule's **configuration plan** (decoder table + sequencer
+  program),
+* estimate **relative energy** with the first-order model, separating
+  compute (fixed by the graph) from transport, control and
+  reconfiguration (fixed by the schedule).
+
+Usage::
+
+    python examples/energy_and_configuration.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.config import SelectionConfig
+from repro.core.selection import select_patterns
+from repro.montium.architecture import MONTIUM_TILE
+from repro.montium.configuration import ConfigurationPlan
+from repro.montium.energy import estimate_energy
+from repro.scheduling.baselines import resource_list_schedule
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads import five_point_dft
+
+
+def main() -> None:
+    dfg = five_point_dft()
+    tile = MONTIUM_TILE
+
+    # Pattern-bounded flow: Eq. 8 selection + multi-pattern scheduling.
+    library = select_patterns(
+        dfg, pdef=4, capacity=tile.alu_count,
+        config=SelectionConfig(span_limit=1),
+    )
+    bounded = MultiPatternScheduler(library).schedule(dfg)
+    bounded_plan = ConfigurationPlan.from_schedule(bounded, tile)
+    bounded_energy = estimate_energy(bounded, tile)
+
+    # Pattern-oblivious flow: classic list scheduling, then count what it
+    # implicitly demands from the decoder.
+    oblivious = resource_list_schedule(
+        dfg, {c: tile.alu_count for c in dfg.colors()}
+    )
+    oblivious_plan = ConfigurationPlan.from_assignment(dfg, oblivious, tile)
+
+    print("=== pattern-bounded configuration plan (Pdef = 4) ===")
+    print(bounded_plan.as_text())
+    print()
+    print(render_table(
+        ["flow", "cycles", "decoder entries", "switches"],
+        [
+            ("multi-pattern (Pdef=4)", bounded.length,
+             bounded_plan.decoder_entries, bounded_plan.switches),
+            ("pattern-oblivious list sched.", max(oblivious.values()),
+             oblivious_plan.decoder_entries, oblivious_plan.switches),
+        ],
+        title="Decoder pressure: bounded vs oblivious scheduling",
+    ))
+    print()
+    print("energy estimate (bounded flow):", bounded_energy.summary())
+    print(
+        "\nThe oblivious schedule is a bit shorter but demands "
+        f"{oblivious_plan.decoder_entries} decoder entries vs "
+        f"{bounded_plan.decoder_entries} — the budgeted flow is what makes "
+        "the tiny per-cycle configuration index possible."
+    )
+
+
+if __name__ == "__main__":
+    main()

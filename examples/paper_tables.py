@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate every table of the paper in one run.
+
+Thin wrapper over the CLI's table machinery — the same code the benchmark
+suite asserts against.  See EXPERIMENTS.md for the paper-vs-measured
+discussion of each table.
+
+Usage::
+
+    python examples/paper_tables.py [--trials 10] [--seed 2006]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.cli import main as cli_main
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trials", type=int, default=10,
+                        help="random trials per Table 7 cell")
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args()
+    cli_main([
+        "tables",
+        "--trials", str(args.trials),
+        "--seed", str(args.seed),
+    ])
+
+
+if __name__ == "__main__":
+    main()

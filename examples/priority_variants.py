@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Priority-function variants — the paper's future work, runnable.
+
+The paper ends with: *"The proposed approach makes the further improvement
+very simple: by just modifying the priority function.  In our future work
+we will go on working on the priority function."*  The library makes the
+priority pluggable (`repro.core.variants`); this example runs every
+registered variant across the two evaluation graphs and the `Pdef` sweep
+and prints the resulting schedule lengths side by side, plus each
+variant's round-1 pick on the 3DFT to show *why* they diverge.
+
+Usage::
+
+    python examples/priority_variants.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.core.config import SelectionConfig
+from repro.core.variants import VARIANTS, select_with_variant
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads import five_point_dft, three_point_dft_paper
+
+PDEFS = (1, 2, 3, 4, 5)
+CFG = SelectionConfig(span_limit=1)
+
+
+def main() -> None:
+    rows = []
+    first_picks = []
+    for dfg in (three_point_dft_paper(), five_point_dft()):
+        for name in sorted(VARIANTS):
+            lengths = []
+            for pdef in PDEFS:
+                result = select_with_variant(dfg, pdef, 5, name, config=CFG)
+                schedule = MultiPatternScheduler(result.library).schedule(dfg)
+                lengths.append(schedule.length)
+                if dfg.name == "3dft" and pdef == 4:
+                    first_picks.append(
+                        (name, " ".join(result.library.as_strings()))
+                    )
+            rows.append([dfg.name, name, *lengths])
+
+    print(render_table(
+        ["graph", "variant"] + [f"Pdef={p}" for p in PDEFS],
+        rows,
+        title="Schedule length under each selection-priority variant",
+    ))
+    print()
+    print(render_table(
+        ["variant", "library selected for 3DFT, Pdef=4"],
+        first_picks,
+        title="What each variant actually picks",
+    ))
+    print(
+        "\n'paper' is Eq. 8 (ε = 0.5, α = 20).  On these graphs no variant"
+        "\ndominates it — evidence for the published design; 'unbalanced'"
+        "\nshows why the coverage term matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

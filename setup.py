@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build an editable wheel) are unavailable.
+This shim plus the absence of a ``[build-system]`` table in pyproject.toml
+lets ``pip install -e .`` take the legacy ``setup.py develop`` path, which
+works offline.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

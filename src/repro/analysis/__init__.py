@@ -1,0 +1,37 @@
+"""Experiment harnesses, metrics and reporting.
+
+* :mod:`~repro.analysis.metrics` — schedule statistics,
+* :mod:`~repro.analysis.stats` — seeded multi-trial summaries,
+* :mod:`~repro.analysis.tables` — plain-text table rendering in the
+  paper's layout,
+* :mod:`~repro.analysis.experiments` — one harness per paper table/figure
+  plus the ablations (these are what the benchmarks call).
+"""
+
+from repro.analysis.metrics import schedule_stats
+from repro.analysis.reporting import assignment_csv, gantt, selection_report
+from repro.analysis.stats import TrialSummary, summarize
+from repro.analysis.tables import render_matrix, render_table
+from repro.analysis.experiments import (
+    antichain_census,
+    pattern_set_sensitivity,
+    random_vs_selected,
+    selection_walkthrough,
+    span_theorem_check,
+)
+
+__all__ = [
+    "schedule_stats",
+    "gantt",
+    "assignment_csv",
+    "selection_report",
+    "TrialSummary",
+    "summarize",
+    "render_table",
+    "render_matrix",
+    "antichain_census",
+    "pattern_set_sensitivity",
+    "random_vs_selected",
+    "selection_walkthrough",
+    "span_theorem_check",
+]

@@ -1,0 +1,50 @@
+"""Schedule metrics beyond raw length."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.dfg.levels import LevelAnalysis
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["schedule_stats"]
+
+
+def schedule_stats(schedule: Schedule) -> dict[str, Any]:
+    """A dictionary of summary statistics for one schedule.
+
+    Keys
+    ----
+    ``length``
+        Clock cycles.
+    ``lower_bound``
+        The dependence lower bound ``ASAPmax + 1``.
+    ``optimality_gap``
+        ``length - lower_bound`` (0 means provably optimal w.r.t. the
+        dependence bound; resource bounds may be higher).
+    ``utilization``
+        Mean fraction of chosen-pattern slots filled.
+    ``nodes_per_cycle``
+        Mean scheduled nodes per cycle.
+    ``pattern_usage``
+        Cycles per pattern index.
+    ``patterns_used``
+        Number of distinct patterns actually chosen.
+    ``color_histogram``
+        Scheduled node count per color.
+    """
+    dfg = schedule.dfg
+    levels = LevelAnalysis.of(dfg)
+    lower = levels.critical_path_length
+    usage = schedule.pattern_usage()
+    return {
+        "length": schedule.length,
+        "lower_bound": lower,
+        "optimality_gap": schedule.length - lower,
+        "utilization": schedule.utilization(),
+        "nodes_per_cycle": dfg.n_nodes / schedule.length if schedule.length else 0.0,
+        "pattern_usage": dict(usage),
+        "patterns_used": len(usage),
+        "color_histogram": dict(Counter(dfg.color(n) for n in dfg.nodes)),
+    }

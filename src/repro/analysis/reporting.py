@@ -1,0 +1,97 @@
+"""Schedule and selection reporting: Gantt views, CSV export, round logs.
+
+Text-mode visualisation suited to terminals and logs; the benchmarks and
+examples embed these renderings in their output so a reviewer can *see*
+a schedule, not only its length.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TYPE_CHECKING
+
+from repro.core.selection import SelectionResult
+from repro.scheduling.schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["gantt", "assignment_csv", "selection_report"]
+
+
+def gantt(schedule: Schedule, *, slot_width: int | None = None) -> str:
+    """Render a schedule as an ALU-slot × cycle Gantt chart.
+
+    Each row is one of the ``C`` ALU slots; each column one clock cycle.
+    Nodes are placed into slots per cycle in commit order (slot assignment
+    is arbitrary on the real tile — the crossbar routes operands — so this
+    is a visualisation, not an allocation).  Idle slots show ``·``.
+
+    >>> # doctest-style sketch:
+    >>> # slot1 | a2   a7   ...
+    >>> # slot2 | a4   a24  ...
+    """
+    capacity = schedule.library.capacity
+    cycles = schedule.length
+    cells: list[list[str]] = [["·"] * cycles for _ in range(capacity)]
+    for rec in schedule.cycles:
+        for slot, node in enumerate(rec.scheduled):
+            cells[slot][rec.cycle - 1] = node
+    width = (
+        slot_width
+        if slot_width is not None
+        else max(3, max((len(n) for n in schedule.assignment), default=3))
+    )
+    out = io.StringIO()
+    header = "cycle   " + " ".join(
+        f"{c:<{width}}" for c in range(1, cycles + 1)
+    )
+    out.write(header.rstrip() + "\n")
+    for slot in range(capacity):
+        row = " ".join(f"{cells[slot][c]:<{width}}" for c in range(cycles))
+        out.write(f"slot {slot + 1:>2} {row.rstrip()}\n")
+    pats = " ".join(
+        f"{schedule.library[rec.chosen].as_string(capacity):<{width}}"
+        for rec in schedule.cycles
+    )
+    out.write(f"pattern {pats.rstrip()}\n")
+    return out.getvalue().rstrip("\n")
+
+
+def assignment_csv(schedule: Schedule) -> str:
+    """CSV export: ``node,color,cycle,pattern`` per scheduled node."""
+    dfg = schedule.dfg
+    lines = ["node,color,cycle,pattern"]
+    for n in dfg.nodes:
+        cycle = schedule.assignment[n]
+        pattern = schedule.pattern_of_cycle(cycle).as_string()
+        lines.append(f"{n},{dfg.color(n)},{cycle},{pattern}")
+    return "\n".join(lines) + "\n"
+
+
+def selection_report(result: SelectionResult) -> str:
+    """Round-by-round log of a Fig. 7 selection run."""
+    lines = [
+        f"pattern selection on {result.catalog.dfg.name!r} "
+        f"(C={result.library.capacity}, span≤{result.catalog.span_limit}, "
+        f"ε={result.config.epsilon}, α={result.config.alpha})",
+        f"catalog: {len(result.catalog)} patterns / "
+        f"{result.catalog.total_antichains()} antichains",
+    ]
+    for rnd in result.rounds:
+        top = sorted(
+            rnd.priorities.items(), key=lambda kv: -kv[1]
+        )[:3]
+        ranked = ", ".join(
+            f"{p.as_string()}={v:.1f}" for p, v in top if v > 0
+        )
+        tag = "fallback from uncovered colors" if rnd.fallback else ranked
+        lines.append(
+            f"round {rnd.index + 1}: chose {rnd.chosen.as_string()!r}"
+            f" ({tag});"
+            f" deleted {len(rnd.deleted)} sub-pattern(s)"
+        )
+    lines.append(
+        "library: " + " ".join(result.library.as_strings(padded=True))
+    )
+    return "\n".join(lines)

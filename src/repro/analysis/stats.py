@@ -1,0 +1,55 @@
+"""Seeded multi-trial statistics for the random baselines.
+
+The paper averages ten random-pattern trials per cell of Table 7.  This
+module provides the summary container used by the harnesses, including a
+normal-approximation 95% confidence interval so near-ties between Random
+and Selected can be reported honestly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = ["TrialSummary", "summarize"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Summary of one batch of trials."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_half_width(self) -> float:
+        """Half-width of the normal-approximation 95% CI of the mean."""
+        if self.n < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.n)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f}±{self.ci95_half_width:.1f} (n={self.n})"
+
+
+def summarize(values: Sequence[float]) -> TrialSummary:
+    """Compute a :class:`TrialSummary` (sample standard deviation)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ReproError("cannot summarize zero trials")
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1) if n > 1 else 0.0
+    return TrialSummary(
+        n=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=min(vals),
+        maximum=max(vals),
+    )

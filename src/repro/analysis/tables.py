@@ -1,0 +1,65 @@
+"""Plain-text table rendering in the paper's layout."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "render_matrix"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    align_right: bool = False,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Row cell values (stringified).
+    align_right:
+        Right-align all cells (numeric tables).
+    title:
+        Optional title line printed above the table.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {ncols}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows))
+        if str_rows
+        else len(headers[c])
+        for c in range(ncols)
+    ]
+    mark = ">" if align_right else "<"
+    fmt = "  ".join(f"{{:{mark}{w}}}" for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt.format(*r) for r in str_rows)
+    return "\n".join(lines)
+
+
+def render_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[object]],
+    *,
+    corner: str = "",
+    title: str | None = None,
+) -> str:
+    """Render a labelled matrix (e.g. the paper's Table 5)."""
+    headers = [corner] + list(col_labels)
+    rows = [[lbl] + list(row) for lbl, row in zip(row_labels, cells)]
+    return render_table(headers, rows, align_right=True, title=title)

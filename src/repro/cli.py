@@ -1,0 +1,261 @@
+"""Command-line interface.
+
+::
+
+    repro tables                 # regenerate every paper table
+    repro table 7 --trials 10    # one specific table
+    repro select 3dft --pdef 4   # run pattern selection on a workload
+    repro schedule 3dft --patterns aabcc,aaacc
+    repro compile examples.prog --pdef 3
+    repro workloads              # list built-in workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro._version import __version__
+from repro.analysis.experiments import (
+    antichain_census,
+    pattern_set_sensitivity,
+    random_vs_selected,
+    selection_walkthrough,
+)
+from repro.analysis.tables import render_matrix, render_table
+from repro.core.config import SelectionConfig
+from repro.core.frequency import frequency_table
+from repro.core.selection import PatternSelector
+from repro.dfg.levels import LevelAnalysis
+from repro.exceptions import ReproError
+from repro.montium.compiler import MontiumCompiler
+from repro.scheduling.scheduler import schedule_dfg
+from repro.workloads import WORKLOADS, small_example, three_point_dft_paper
+
+__all__ = ["main"]
+
+#: The paper's Table 3 pattern sets.
+TABLE3_SETS = (
+    ("abcbc", "bbbab", "bbbcb", "babaa"),
+    ("abcbc", "bcbca", "cbaba", "bbccb"),
+    ("abccc", "aabac", "cccaa", "ababb"),
+)
+
+
+def _workload(name: str):
+    try:
+        return WORKLOADS[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# table commands
+# --------------------------------------------------------------------------- #
+def _table1(args: argparse.Namespace) -> None:
+    dfg = three_point_dft_paper()
+    lv = LevelAnalysis.of(dfg)
+    rows = [(n, lv.asap[n], lv.alap[n], lv.height[n]) for n in dfg.nodes]
+    print(render_table(["node", "asap", "alap", "height"], rows,
+                       title="Table 1 — ASAP/ALAP/Height of the 3DFT graph"))
+
+
+def _table2(args: argparse.Namespace) -> None:
+    dfg = three_point_dft_paper()
+    schedule = schedule_dfg(dfg, ["aabcc", "aaacc"], capacity=5)
+    print("Table 2 — multi-pattern scheduling trace of the 3DFT graph")
+    print(schedule.as_table())
+
+
+def _table3(args: argparse.Namespace) -> None:
+    dfg = three_point_dft_paper()
+    rows = [
+        (" ".join(pats), length)
+        for pats, length in pattern_set_sensitivity(dfg, TABLE3_SETS, 5)
+    ]
+    print(render_table(["patterns", "clock cycles"], rows,
+                       title="Table 3 — sensitivity to the chosen pattern set"))
+
+
+def _table4(args: argparse.Namespace) -> None:
+    catalog, _ = selection_walkthrough(small_example(), capacity=2, pdef=2)
+    rows = [
+        (p.as_string(), "  ".join("{" + ",".join(a) + "}" for a in
+                                  catalog.antichains.get(p, [])))
+        for p in catalog.patterns
+    ]
+    print(render_table(["pattern", "antichains"], rows,
+                       title="Table 4 — patterns and antichains of the Fig. 4 graph"))
+
+
+def _table5(args: argparse.Namespace) -> None:
+    dfg = three_point_dft_paper()
+    census = antichain_census(dfg, 5, [4, 3, 2, 1, 0])
+    print(render_matrix(
+        [f"Span(A)<={s}" for s in (4, 3, 2, 1, 0)],
+        [str(k) for k in range(1, 6)],
+        [census[s] for s in (4, 3, 2, 1, 0)],
+        corner="|A| =",
+        title="Table 5 — antichains of the 3DFT satisfying the span limit",
+    ))
+
+
+def _table6(args: argparse.Namespace) -> None:
+    catalog, _ = selection_walkthrough(small_example(), capacity=2, pdef=2)
+    print("Table 6 — node frequencies of the Fig. 4 graph")
+    print(frequency_table(catalog))
+
+
+def _table7(args: argparse.Namespace) -> None:
+    cfg = SelectionConfig(span_limit=args.span_limit)
+    headers = ["Pdef", "Random", "Selected", "selected library"]
+    for name in ("3dft", "5dft"):
+        dfg = _workload(name)
+        rows = []
+        for row in random_vs_selected(
+            dfg, range(1, 6), 5, trials=args.trials, seed=args.seed, config=cfg
+        ):
+            rows.append(
+                (row.pdef, f"{row.random.mean:.1f}", row.selected,
+                 " ".join(row.library))
+            )
+        print(render_table(
+            headers, rows,
+            title=f"Table 7 ({name}) — random vs selected patterns",
+        ))
+        print()
+
+
+def _tables(args: argparse.Namespace) -> None:
+    for fn in (_table1, _table2, _table3, _table4, _table5, _table6, _table7):
+        fn(args)
+        print()
+
+
+_TABLE_DISPATCH: dict[int, Callable[[argparse.Namespace], None]] = {
+    1: _table1, 2: _table2, 3: _table3, 4: _table4,
+    5: _table5, 6: _table6, 7: _table7,
+}
+
+
+# --------------------------------------------------------------------------- #
+# other commands
+# --------------------------------------------------------------------------- #
+def _cmd_table(args: argparse.Namespace) -> None:
+    _TABLE_DISPATCH[args.number](args)
+
+
+def _cmd_select(args: argparse.Namespace) -> None:
+    from repro.core.variants import get_variant
+
+    dfg = _workload(args.workload)
+    cfg = SelectionConfig(span_limit=args.span_limit)
+    selector = PatternSelector(
+        args.capacity, config=cfg, priority_fn=get_variant(args.variant)
+    )
+    result = selector.select(dfg, args.pdef)
+    print(
+        f"selected patterns for {dfg.name!r} "
+        f"(Pdef={args.pdef}, variant={args.variant}):"
+    )
+    for i, (p, rnd) in enumerate(zip(result.patterns, result.rounds), 1):
+        tag = " (fallback)" if rnd.fallback else ""
+        print(f"  {i}. {p.as_string(args.capacity)}{tag}")
+
+
+def _cmd_schedule(args: argparse.Namespace) -> None:
+    dfg = _workload(args.workload)
+    patterns = args.patterns.split(",")
+    schedule = schedule_dfg(dfg, patterns, capacity=args.capacity)
+    print(schedule.as_table())
+    print(f"\ntotal clock cycles: {schedule.length}")
+
+
+def _cmd_compile(args: argparse.Namespace) -> None:
+    with open(args.source, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    compiler = MontiumCompiler(fuse_mac=args.fuse_mac)
+    result = compiler.compile(source, pdef=args.pdef)
+    print(result.report())
+
+
+def _cmd_workloads(args: argparse.Namespace) -> None:
+    rows = []
+    for name in sorted(WORKLOADS):
+        dfg = WORKLOADS[name]()
+        census = dfg.color_census()
+        rows.append(
+            (name, dfg.n_nodes, dfg.n_edges,
+             " ".join(f"{c}:{k}" for c, k in sorted(census.items())))
+        )
+    print(render_table(["name", "nodes", "edges", "colors"], rows))
+
+
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'A Pattern Selection Algorithm for "
+        "Multi-Pattern Scheduling' (IPPS 2006).",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tables", help="regenerate every paper table")
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--span-limit", type=int, default=1)
+    p.set_defaults(fn=_tables)
+
+    p = sub.add_parser("table", help="regenerate one paper table")
+    p.add_argument("number", type=int, choices=sorted(_TABLE_DISPATCH))
+    p.add_argument("--trials", type=int, default=10)
+    p.add_argument("--seed", type=int, default=2006)
+    p.add_argument("--span-limit", type=int, default=1)
+    p.set_defaults(fn=_cmd_table)
+
+    p = sub.add_parser("select", help="run pattern selection on a workload")
+    p.add_argument("workload")
+    p.add_argument("--pdef", type=int, default=4)
+    p.add_argument("--capacity", type=int, default=5)
+    p.add_argument("--span-limit", type=int, default=1)
+    p.add_argument("--variant", default="paper",
+                   help="priority variant (see repro.core.variants)")
+    p.set_defaults(fn=_cmd_select)
+
+    p = sub.add_parser("schedule", help="schedule a workload with patterns")
+    p.add_argument("workload")
+    p.add_argument("--patterns", required=True,
+                   help="comma-separated, e.g. aabcc,aaacc")
+    p.add_argument("--capacity", type=int, default=5)
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("compile", help="compile an expression program")
+    p.add_argument("source", help="path to a program file")
+    p.add_argument("--pdef", type=int, default=4)
+    p.add_argument("--fuse-mac", action="store_true")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("workloads", help="list built-in workloads")
+    p.set_defaults(fn=_cmd_workloads)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

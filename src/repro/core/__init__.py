@@ -1,0 +1,46 @@
+"""The paper's primary contribution: the pattern selection algorithm (§5).
+
+Given a DFG and a pattern budget ``Pdef``, select the patterns that make the
+multi-pattern schedule short:
+
+1. generate candidate patterns by classifying bounded-span antichains
+   (:mod:`repro.patterns.enumeration`),
+2. greedily pick ``Pdef`` patterns by the balanced node-frequency priority
+   (Eq. 8), subject to the color number condition (Eq. 9), deleting
+   sub-patterns of every selected pattern, and synthesizing a pattern from
+   uncovered colors when no candidate scores non-zero (Fig. 7).
+
+Public entry points: :class:`~repro.core.selection.PatternSelector` and the
+:func:`~repro.core.selection.select_patterns` convenience function.
+"""
+
+from repro.core.config import SelectionConfig
+from repro.core.frequency import coverage_vector, frequency_table
+from repro.core.priority import color_number_condition, selection_priority
+from repro.core.selection import (
+    PatternSelector,
+    PriorityFn,
+    SelectionResult,
+    SelectionRound,
+    select_patterns,
+)
+from repro.core.variants import VARIANTS, get_variant, select_with_variant
+from repro.core.local_search import LocalSearchResult, optimize_pattern_set
+
+__all__ = [
+    "LocalSearchResult",
+    "optimize_pattern_set",
+    "SelectionConfig",
+    "frequency_table",
+    "coverage_vector",
+    "selection_priority",
+    "color_number_condition",
+    "PatternSelector",
+    "PriorityFn",
+    "SelectionResult",
+    "SelectionRound",
+    "select_patterns",
+    "VARIANTS",
+    "get_variant",
+    "select_with_variant",
+]

@@ -1,0 +1,58 @@
+"""Node-frequency utilities (paper §5.2, Table 6).
+
+The frequency ``h(p̄, n)`` — how many antichains of pattern ``p̄`` contain
+node ``n`` — is computed during catalog construction
+(:func:`repro.patterns.enumeration.classify_antichains`).  This module adds
+the aggregations the selection priority needs and a Table 6-style renderer.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from repro.patterns.enumeration import PatternCatalog
+from repro.patterns.pattern import Pattern
+
+__all__ = ["coverage_vector", "frequency_table"]
+
+
+def coverage_vector(
+    catalog: PatternCatalog, selected: Iterable[Pattern]
+) -> Counter[str]:
+    """``Σ_{p̄i ∈ Ps} h(p̄i, n)`` for every node ``n`` (Eq. 8 denominator).
+
+    Patterns absent from the catalog (e.g. fallback-synthesized ones)
+    contribute nothing — they have no antichains by definition.
+    """
+    total: Counter[str] = Counter()
+    for p in selected:
+        counter = catalog.frequencies.get(p)
+        if counter:
+            total.update(counter)
+    return total
+
+
+def frequency_table(catalog: PatternCatalog) -> str:
+    """Render all ``h(p̄, n)`` values as the paper's Table 6.
+
+    Rows are patterns in deterministic order, columns the graph's nodes in
+    insertion order.
+    """
+    nodes = catalog.dfg.nodes
+    patterns = catalog.patterns
+    header = [""] + list(nodes)
+    rows: list[list[str]] = []
+    for p in patterns:
+        rows.append(
+            [p.as_string()]
+            + [str(catalog.node_frequency(p, n)) for n in nodes]
+        )
+    widths = [
+        max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+        for c in range(len(header))
+    ]
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines = [fmt.format(*header)]
+    lines.extend(fmt.format(*r) for r in rows)
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Selection priority (Eq. 8) and the color number condition (Eq. 9).
+
+Eq. 8 (with the Eq. 9 gate folded in, paper §5.2):
+
+.. math::
+
+    f(\\bar p_j) = \\begin{cases}
+        \\sum_{n \\in N} \\dfrac{h(\\bar p_j, n)}
+            {\\sum_{\\bar p_i \\in P_s} h(\\bar p_i, n) + \\varepsilon}
+        \\; + \\; \\alpha \\cdot |\\bar p_j|^2
+            & \\text{if } \\bar p_j \\text{ satisfies Eq. 9} \\\\
+        0   & \\text{otherwise}
+    \\end{cases}
+
+Eq. 9 — the color number condition:
+
+.. math::
+
+    |L_n(\\bar p)| \\;\\ge\\; |L| - |L_s| - C \\cdot (P_{def} - |P_s| - 1)
+
+where ``L`` is the DFG's color set, ``Ls`` the colors already covered by
+selected patterns and ``Ln(p̄)`` the *new* colors the candidate would add.
+The right-hand side is the minimum number of new colors this pick must
+contribute so the remaining picks can still cover everything.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import AbstractSet, Mapping
+
+from repro.core.config import SelectionConfig
+from repro.patterns.pattern import Pattern
+
+__all__ = ["color_number_condition", "selection_priority", "raw_priority"]
+
+
+def color_number_condition(
+    pattern: Pattern,
+    all_colors: AbstractSet[str],
+    selected_colors: AbstractSet[str],
+    capacity: int,
+    pdef: int,
+    n_selected: int,
+) -> bool:
+    """Eq. 9: can the remaining picks still cover every color if we take this?
+
+    Parameters
+    ----------
+    pattern:
+        Candidate ``p̄``.
+    all_colors:
+        ``L`` — every color in the DFG.
+    selected_colors:
+        ``Ls`` — colors of already selected patterns.
+    capacity:
+        ``C``.
+    pdef:
+        ``Pdef``.
+    n_selected:
+        ``|Ps|`` — number of patterns already selected.
+    """
+    new_colors = pattern.color_set() - selected_colors
+    rhs = len(all_colors) - len(selected_colors) - capacity * (pdef - n_selected - 1)
+    return len(new_colors) >= rhs
+
+
+def raw_priority(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter[str]],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+) -> float:
+    """Eq. 8 without the Eq. 9 gate.
+
+    ``coverage`` is ``Σ_{p̄i∈Ps} h(p̄i, n)`` (see
+    :func:`repro.core.frequency.coverage_vector`).  The sum formally runs
+    over all nodes; ``h(p̄j, n)`` is zero outside the pattern's antichains so
+    only its own counter is iterated.
+    """
+    counter = frequencies.get(pattern)
+    total = 0.0
+    if counter:
+        eps = config.epsilon
+        for node, h in counter.items():
+            total += h / (coverage.get(node, 0) + eps)
+    return total + config.alpha * pattern.size**2
+
+
+def selection_priority(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter[str]],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+    *,
+    all_colors: AbstractSet[str],
+    selected_colors: AbstractSet[str],
+    capacity: int,
+    pdef: int,
+    n_selected: int,
+) -> float:
+    """Eq. 8 with the Eq. 9 gate: zero when the condition fails."""
+    if not color_number_condition(
+        pattern, all_colors, selected_colors, capacity, pdef, n_selected
+    ):
+        return 0.0
+    return raw_priority(pattern, frequencies, coverage, config)

@@ -1,0 +1,352 @@
+"""The pattern selection procedure (paper §5.2, Figs. 6-7).
+
+Pseudo-code reproduced from Fig. 7::
+
+    for (i = 0; i < Pdef; i++) {
+        Compute the priority function for each pattern.
+        Choose the pattern with the largest nonzero priority function.
+        If there is no pattern with nonzero priority function,
+            take C uncovered colors to make a pattern.
+        Delete the subpatterns of the selected pattern.
+    }
+
+Determinism: priority ties are broken toward the larger pattern, then the
+lexicographically smallest color bag (documented choice; the paper is
+silent and its worked examples contain no ties).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.core.config import SelectionConfig
+from repro.core.priority import color_number_condition, raw_priority
+from repro.dfg.levels import LevelAnalysis
+from repro.dfg.validate import validate_dfg
+from repro.exceptions import EnumerationLimitError, SelectionError
+from repro.patterns.enumeration import PatternCatalog, classify_antichains
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = [
+    "PatternSelector",
+    "PriorityFn",
+    "SelectionResult",
+    "SelectionRound",
+    "select_patterns",
+]
+
+#: Signature of an un-gated selection priority: maps (pattern, candidate
+#: frequencies, coverage so far, config) to a score.  Eq. 8 is the default;
+#: see :mod:`repro.core.variants` for alternatives.
+PriorityFn = Callable[
+    [Pattern, Mapping[Pattern, Counter], Mapping[str, int], SelectionConfig],
+    float,
+]
+
+
+@dataclass(frozen=True)
+class SelectionRound:
+    """Diagnostic record of one iteration of the Fig. 7 loop.
+
+    Attributes
+    ----------
+    index:
+        0-based round number (``i`` in Fig. 7).
+    priorities:
+        Eq. 8 value of every candidate still in the pool (post Eq. 9 gate).
+    chosen:
+        The pattern taken this round.
+    fallback:
+        ``True`` when ``chosen`` was synthesized from uncovered colors
+        because every candidate priority was zero.
+    deleted:
+        Candidates removed as sub-patterns of ``chosen``.
+    """
+
+    index: int
+    priorities: Mapping[Pattern, float]
+    chosen: Pattern
+    fallback: bool
+    deleted: tuple[Pattern, ...]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Everything produced by a pattern selection run."""
+
+    library: PatternLibrary
+    rounds: tuple[SelectionRound, ...]
+    catalog: PatternCatalog
+    config: SelectionConfig
+
+    @property
+    def patterns(self) -> tuple[Pattern, ...]:
+        """The selected patterns in selection order."""
+        return self.library.patterns
+
+    def covered_colors(self) -> frozenset[str]:
+        """``Ls`` after the final round."""
+        return self.library.color_set()
+
+
+class PatternSelector:
+    """Select ``Pdef`` patterns for a DFG (the paper's contribution).
+
+    Parameters
+    ----------
+    capacity:
+        The architecture's ALU count ``C``.
+    config:
+        Eq. 8 constants and enumeration bounds
+        (default: the paper's ``ε = 0.5``, ``α = 20``).
+    priority_fn:
+        The un-gated pattern priority (default: Eq. 8 via
+        :func:`repro.core.priority.raw_priority`).  The paper's conclusion
+        invites exactly this experimentation ("the further improvement
+        [is] very simple: by just modifying the priority function");
+        alternatives live in :mod:`repro.core.variants`.
+
+    Examples
+    --------
+    >>> from repro.workloads import small_example
+    >>> sel = PatternSelector(capacity=2)
+    >>> result = sel.select(small_example(), pdef=2)
+    >>> [p.as_string() for p in result.patterns]
+    ['aa', 'bb']
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        config: SelectionConfig | None = None,
+        *,
+        priority_fn: "PriorityFn | None" = None,
+    ) -> None:
+        if capacity < 1:
+            raise SelectionError(f"capacity must be ≥ 1, got {capacity}")
+        self.capacity = capacity
+        self.config = config if config is not None else SelectionConfig()
+        self.priority_fn: PriorityFn = (
+            priority_fn if priority_fn is not None else raw_priority
+        )
+
+    # ------------------------------------------------------------------ #
+    def build_catalog(
+        self, dfg: "DFG", *, levels: LevelAnalysis | None = None
+    ) -> PatternCatalog:
+        """Pattern generation (paper §5.1) with this selector's bounds.
+
+        The enumeration is capped at ``config.max_pattern_size`` (default:
+        the full ``C``) and, when ``config.adaptive_span`` is set, the span
+        limit is tightened step by step if the graph would otherwise
+        produce more than ``config.max_antichains`` antichains — wide
+        graphs grow as ``C(width, size)`` and the tightest useful bound is
+        span 0 (single-level antichains).  The catalog records the span
+        actually used.
+        """
+        config = self.config
+        size = self.capacity
+        if config.max_pattern_size is not None:
+            size = min(size, config.max_pattern_size)
+
+        spans: list[int | None] = [config.span_limit]
+        if config.adaptive_span:
+            start = 3 if config.span_limit is None else config.span_limit
+            spans.extend(range(start - 1, -1, -1))
+        last_error: EnumerationLimitError | None = None
+        for span in spans:
+            try:
+                return classify_antichains(
+                    dfg,
+                    size,
+                    span,
+                    levels=levels,
+                    store_antichains=config.store_antichains,
+                    max_count=config.max_antichains,
+                )
+            except EnumerationLimitError as exc:
+                if not config.adaptive_span:
+                    raise
+                last_error = exc
+        raise SelectionError(
+            f"pattern generation for {dfg.name!r} exceeds "
+            f"{config.max_antichains} antichains even at span 0; lower "
+            f"SelectionConfig.max_pattern_size (currently {size}) to tame "
+            f"the C(width, size) growth"
+        ) from last_error
+
+    def select(
+        self,
+        dfg: "DFG",
+        pdef: int,
+        *,
+        catalog: PatternCatalog | None = None,
+    ) -> SelectionResult:
+        """Run Fig. 7 and return the selected library plus diagnostics.
+
+        Parameters
+        ----------
+        dfg:
+            The graph to select patterns for.
+        pdef:
+            The pattern budget ``Pdef`` (the Montium caps it at 32 —
+            enforced via :class:`~repro.patterns.library.PatternLibrary`).
+        catalog:
+            Optional pre-built catalog (reused across ``pdef`` sweeps).
+        """
+        validate_dfg(dfg)
+        if pdef < 1:
+            raise SelectionError(f"pdef must be ≥ 1, got {pdef}")
+        if catalog is None:
+            catalog = self.build_catalog(dfg)
+        config = self.config
+        all_colors = frozenset(dfg.colors())
+        if pdef * self.capacity < len(all_colors):
+            raise SelectionError(
+                f"{pdef} patterns x C={self.capacity} slots cannot cover the "
+                f"{len(all_colors)} colors of {dfg.name!r}"
+            )
+
+        pool: dict[Pattern, Counter[str]] = dict(catalog.frequencies)
+        coverage: Counter[str] = Counter()
+        selected: list[Pattern] = []
+        selected_colors: set[str] = set()
+        rounds: list[SelectionRound] = []
+
+        for i in range(pdef):
+            priorities: dict[Pattern, float] = {}
+            for p in pool:
+                if color_number_condition(
+                    p, all_colors, selected_colors, self.capacity, pdef, i
+                ):
+                    priorities[p] = self.priority_fn(p, pool, coverage, config)
+                else:
+                    priorities[p] = 0.0
+
+            chosen, fallback = self._choose(priorities, all_colors, selected_colors)
+            if chosen is None:
+                # Pool exhausted and every color covered: no useful pattern
+                # remains.  Stop early; the scheduler copes with < Pdef
+                # patterns (they are an upper budget, not a requirement).
+                break
+
+            # Line 4 of Fig. 7: delete sub-patterns of the selected pattern.
+            deleted = tuple(
+                sorted(q for q in pool if q != chosen and q.is_subpattern_of(chosen))
+            )
+            for q in deleted:
+                del pool[q]
+            pool.pop(chosen, None)
+
+            # Update Ps-dependent state: Σ h(p̄i, n) and Ls.
+            counter = catalog.frequencies.get(chosen)
+            if counter:
+                coverage.update(counter)
+            selected.append(chosen)
+            selected_colors |= chosen.color_set()
+            rounds.append(
+                SelectionRound(
+                    index=i,
+                    priorities=priorities,
+                    chosen=chosen,
+                    fallback=fallback,
+                    deleted=deleted,
+                )
+            )
+
+        if not selected:
+            raise SelectionError(
+                f"no pattern could be selected for {dfg.name!r}: the graph "
+                "yielded no antichains and no colors to synthesize from"
+            )
+        if config.widen_to_capacity:
+            selected = self._widen_all(selected, dfg)
+        library = PatternLibrary(selected, self.capacity)
+        return SelectionResult(
+            library=library,
+            rounds=tuple(rounds),
+            catalog=catalog,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _choose(
+        self,
+        priorities: Mapping[Pattern, float],
+        all_colors: frozenset[str],
+        selected_colors: set[str],
+    ) -> tuple[Pattern | None, bool]:
+        """Pick the max-nonzero-priority pattern, or synthesize a fallback.
+
+        Returns ``(pattern, fallback_flag)``; ``(None, False)`` when nothing
+        remains to pick or synthesize.
+        """
+        # Ties: prefer the larger pattern, then the lexicographically smaller
+        # color bag (deterministic; see module docstring).
+        best: Pattern | None = None
+        best_val = 0.0
+        for p, v in priorities.items():
+            if v <= 0.0:
+                continue
+            if best is None:
+                best, best_val = p, v
+                continue
+            if (v, p.size) > (best_val, best.size) or (
+                (v, p.size) == (best_val, best.size) and p.key < best.key
+            ):
+                best, best_val = p, v
+        if best is not None:
+            return best, False
+
+        # Fig. 7 line 3 fallback: take C uncovered colors to make a pattern.
+        uncovered = [c for c in all_colors if c not in selected_colors]
+        if not uncovered:
+            return None, False
+        uncovered.sort()
+        return Pattern(uncovered[: self.capacity]), True
+
+    def _widen_all(self, selected: list[Pattern], dfg: "DFG") -> list[Pattern]:
+        """Pad each selected pattern to full width (``widen_to_capacity``).
+
+        Extra slots go to the pattern's own color with the largest
+        remaining demand per already-allocated slot (graph color census /
+        slots so far); ties break in sorted color order.  Duplicates
+        produced by widening are dropped (keeping selection order).
+        """
+        census = dfg.color_census()
+        widened: list[Pattern] = []
+        seen: set[Pattern] = set()
+        for pattern in selected:
+            counts = pattern.counts
+            while sum(counts.values()) < self.capacity:
+                color = max(
+                    sorted(counts),
+                    key=lambda c: census.get(c, 0) / counts[c],
+                )
+                counts[color] += 1
+            wide = Pattern.from_counts(counts)
+            if wide not in seen:
+                seen.add(wide)
+                widened.append(wide)
+        return widened
+
+
+def select_patterns(
+    dfg: "DFG",
+    pdef: int,
+    capacity: int,
+    *,
+    config: SelectionConfig | None = None,
+) -> PatternLibrary:
+    """One-shot selection: the library the paper's algorithm picks.
+
+    See :class:`PatternSelector` for knobs and diagnostics.
+    """
+    selector = PatternSelector(capacity, config=config)
+    return selector.select(dfg, pdef).library

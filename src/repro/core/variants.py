@@ -1,0 +1,166 @@
+"""Alternative selection priority functions (the paper's future work).
+
+The paper closes with: *"The proposed approach makes the further
+improvement very simple: by just modifying the priority function.  In our
+future work we will go on working on the priority function to improve the
+performance."*  This module implements that extension point: drop-in
+replacements for Eq. 8 sharing its signature
+(:data:`repro.core.selection.PriorityFn`), plus a registry and a
+convenience runner.  The variants factor Eq. 8 into its two ideas —
+balanced frequency reward and the size bonus — and perturb each:
+
+``paper``
+    Eq. 8 verbatim: ``Σ_n h/(cov_n + ε) + α·|p̄|²``.
+``linear_size``
+    Size bonus ``α·|p̄|`` instead of ``α·|p̄|²`` — weaker pull toward wide
+    patterns.
+``unbalanced``
+    ``Σ_n h + α·|p̄|²`` — drops the coverage damping, so selection ignores
+    which nodes earlier patterns already serve.
+``share``
+    Normalises each node's frequency by the pattern's total before
+    balancing: rewards patterns that *concentrate* on under-covered nodes
+    rather than patterns that are merely numerous.
+``coverage_first``
+    Rewards only nodes that no selected pattern covers yet (hard version
+    of the balancing idea), falling back to the size bonus otherwise.
+
+The ablation benchmark ``bench_ablation_variants.py`` compares them; on
+the paper's graphs Eq. 8 is never dominated, supporting the published
+design.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Mapping
+
+from repro.core.config import SelectionConfig
+from repro.core.priority import raw_priority
+from repro.core.selection import PatternSelector, SelectionResult
+from repro.dfg.graph import DFG
+from repro.exceptions import SelectionError
+from repro.patterns.pattern import Pattern
+
+__all__ = [
+    "VARIANTS",
+    "get_variant",
+    "select_with_variant",
+    "paper",
+    "linear_size",
+    "unbalanced",
+    "share",
+    "coverage_first",
+]
+
+
+def paper(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+) -> float:
+    """Eq. 8 verbatim (delegates to :func:`repro.core.priority.raw_priority`)."""
+    return raw_priority(pattern, frequencies, coverage, config)
+
+
+def linear_size(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+) -> float:
+    """Eq. 8 with a linear size bonus ``α·|p̄|``."""
+    counter = frequencies.get(pattern)
+    total = 0.0
+    if counter:
+        eps = config.epsilon
+        for node, h in counter.items():
+            total += h / (coverage.get(node, 0) + eps)
+    return total + config.alpha * pattern.size
+
+
+def unbalanced(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+) -> float:
+    """Raw frequency mass plus the size bonus — no coverage balancing."""
+    counter = frequencies.get(pattern)
+    total = float(sum(counter.values())) if counter else 0.0
+    return total + config.alpha * pattern.size**2
+
+
+def share(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+) -> float:
+    """Balanced *frequency share*: each pattern's node weights sum to 1.
+
+    Removes the bias toward patterns that simply have more antichains,
+    keeping only the distribution information of ``h(p̄)``.
+    """
+    counter = frequencies.get(pattern)
+    total = 0.0
+    if counter:
+        mass = sum(counter.values())
+        eps = config.epsilon
+        for node, h in counter.items():
+            total += (h / mass) / (coverage.get(node, 0) + eps)
+    return total + config.alpha * pattern.size**2
+
+
+def coverage_first(
+    pattern: Pattern,
+    frequencies: Mapping[Pattern, Counter],
+    coverage: Mapping[str, int],
+    config: SelectionConfig,
+) -> float:
+    """Hard balancing: only antichains over still-uncovered nodes count."""
+    counter = frequencies.get(pattern)
+    total = 0.0
+    if counter:
+        eps = config.epsilon
+        for node, h in counter.items():
+            if coverage.get(node, 0) == 0:
+                total += h / eps
+    return total + config.alpha * pattern.size**2
+
+
+#: Name → priority function registry.
+VARIANTS: dict[str, Callable] = {
+    "paper": paper,
+    "linear_size": linear_size,
+    "unbalanced": unbalanced,
+    "share": share,
+    "coverage_first": coverage_first,
+}
+
+
+def get_variant(name: str) -> Callable:
+    """Look up a registered priority variant by name."""
+    try:
+        return VARIANTS[name]
+    except KeyError:
+        raise SelectionError(
+            f"unknown priority variant {name!r}; choose from "
+            f"{sorted(VARIANTS)}"
+        ) from None
+
+
+def select_with_variant(
+    dfg: DFG,
+    pdef: int,
+    capacity: int,
+    variant: str,
+    *,
+    config: SelectionConfig | None = None,
+) -> SelectionResult:
+    """Run Fig. 7 selection under a named priority variant."""
+    selector = PatternSelector(
+        capacity, config=config, priority_fn=get_variant(variant)
+    )
+    return selector.select(dfg, pdef)

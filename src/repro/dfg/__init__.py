@@ -1,0 +1,62 @@
+"""Data-flow graph substrate.
+
+This package provides the DFG model used throughout the library:
+
+* :class:`~repro.dfg.graph.DFG` — an insertion-ordered directed acyclic graph
+  whose nodes carry an operation *color* (the paper's ``l(n)``),
+* :mod:`~repro.dfg.levels` — ASAP / ALAP / Height analysis (paper Eqs. 1-3),
+* :mod:`~repro.dfg.span` — the span of a node set (paper §5.1) and Theorem 1,
+* :mod:`~repro.dfg.traversal` — follower/reachability relations as bitsets,
+* :mod:`~repro.dfg.antichains` — bounded antichain enumeration with span
+  pruning (paper §5.1),
+* :mod:`~repro.dfg.io` — JSON / edge-list / DOT (de)serialisation,
+* :mod:`~repro.dfg.validate` — structural validation helpers.
+"""
+
+from repro.dfg.graph import DFG, Node
+from repro.dfg.levels import LevelAnalysis, alap, asap, asap_max, height, mobility
+from repro.dfg.span import span, span_lower_bound, step
+from repro.dfg.traversal import (
+    ancestor_masks,
+    comparability_masks,
+    descendant_masks,
+    followers,
+    is_follower,
+    parallelizable,
+)
+from repro.dfg.antichains import (
+    AntichainEnumerator,
+    count_antichains_by_size,
+    enumerate_antichains,
+    is_antichain,
+    is_executable,
+)
+from repro.dfg.validate import check_acyclic, check_colors, validate_dfg
+
+__all__ = [
+    "DFG",
+    "Node",
+    "LevelAnalysis",
+    "asap",
+    "alap",
+    "height",
+    "asap_max",
+    "mobility",
+    "span",
+    "step",
+    "span_lower_bound",
+    "followers",
+    "is_follower",
+    "parallelizable",
+    "descendant_masks",
+    "ancestor_masks",
+    "comparability_masks",
+    "AntichainEnumerator",
+    "enumerate_antichains",
+    "count_antichains_by_size",
+    "is_antichain",
+    "is_executable",
+    "check_acyclic",
+    "check_colors",
+    "validate_dfg",
+]

@@ -1,0 +1,231 @@
+"""Bounded antichain enumeration with span pruning (paper §5.1).
+
+An *antichain* is a set of pairwise parallelizable nodes (one-element sets
+included); it is *executable* when its size is at most the number ``C`` of
+reconfigurable resources.  The pattern generation step enumerates all
+antichains of size ``1..C`` whose :func:`~repro.dfg.span.span` does not exceed
+a limit, then classifies them by their color bag (see
+:mod:`repro.patterns.enumeration`).
+
+Algorithm
+---------
+Depth-first extension in increasing node-index order.  For the current
+antichain we carry a bitmask of nodes that (a) have a larger index than the
+last member and (b) are parallelizable with *every* member.  Extending by
+node ``j`` intersects that mask with the complement of ``j``'s comparability
+mask.  Span pruning is sound because ``Span`` is monotone non-decreasing
+under set extension (max-ASAP can only grow, min-ALAP only shrink).
+
+The number of antichains grows combinatorially (paper Table 5); a
+``max_count`` guard raises :class:`~repro.exceptions.EnumerationLimitError`
+rather than silently eating memory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.dfg.levels import LevelAnalysis
+from repro.dfg.traversal import comparability_masks
+from repro.exceptions import EnumerationLimitError, GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = [
+    "AntichainEnumerator",
+    "enumerate_antichains",
+    "count_antichains_by_size",
+    "is_antichain",
+    "is_executable",
+]
+
+#: Default hard ceiling on the number of enumerated antichains.
+DEFAULT_MAX_COUNT = 5_000_000
+
+
+def is_antichain(dfg: "DFG", nodes: Iterable[str]) -> bool:
+    """``True`` iff ``nodes`` is a set of pairwise parallelizable nodes.
+
+    Follows the paper's definition: a single node is an antichain; a set
+    containing a follower relation (or a duplicate) is not.
+    """
+    names = list(nodes)
+    if len(set(names)) != len(names):
+        return False
+    if not names:
+        return False
+    comp = comparability_masks(dfg)
+    idx = [dfg.index(n) for n in names]
+    for a in idx:
+        for b in idx:
+            if a != b and comp[a] >> b & 1:
+                return False
+    return True
+
+
+def is_executable(dfg: "DFG", nodes: Iterable[str], capacity: int) -> bool:
+    """``True`` iff ``nodes`` is an antichain of size ≤ ``capacity`` (paper §3)."""
+    names = list(nodes)
+    return len(names) <= capacity and is_antichain(dfg, names)
+
+
+class AntichainEnumerator:
+    """Reusable antichain enumerator for one DFG.
+
+    Precomputes the level analysis and comparability bitmasks once;
+    enumeration calls are then cheap to repeat with different size/span
+    bounds (the ablation benchmarks sweep both).
+
+    Parameters
+    ----------
+    dfg:
+        The graph; must be acyclic.
+    levels:
+        Optional precomputed :class:`~repro.dfg.levels.LevelAnalysis`.
+    """
+
+    def __init__(self, dfg: "DFG", levels: LevelAnalysis | None = None) -> None:
+        dfg.check_acyclic()
+        self.dfg = dfg
+        self.levels = levels if levels is not None else LevelAnalysis.of(dfg)
+        self._comp = comparability_masks(dfg)
+        n = dfg.n_nodes
+        self._asap = [self.levels.asap[dfg.name_of(i)] for i in range(n)]
+        self._alap = [self.levels.alap[dfg.name_of(i)] for i in range(n)]
+
+    # ------------------------------------------------------------------ #
+    def iter_index_antichains(
+        self,
+        max_size: int,
+        span_limit: int | None = None,
+        *,
+        min_size: int = 1,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+    ) -> Iterator[tuple[int, ...]]:
+        """Yield antichains as ascending node-index tuples.
+
+        Parameters
+        ----------
+        max_size:
+            Maximum antichain cardinality (the architecture's ``C``).
+        span_limit:
+            Maximum allowed ``Span(A)``; ``None`` disables span pruning.
+        min_size:
+            Smallest cardinality to yield (≥ 1).
+        max_count:
+            Safety ceiling; ``None`` disables it.
+        """
+        if max_size < 1:
+            raise GraphError(f"max_size must be ≥ 1, got {max_size}")
+        if min_size < 1 or min_size > max_size:
+            raise GraphError(
+                f"min_size must be in 1..max_size, got {min_size} (max {max_size})"
+            )
+        if span_limit is not None and span_limit < 0:
+            raise GraphError(f"span_limit must be ≥ 0, got {span_limit}")
+
+        n = self.dfg.n_nodes
+        comp = self._comp
+        asap = self._asap
+        alap = self._alap
+        produced = 0
+        full_mask = (1 << n) - 1
+
+        # members, allowed-extension mask, running max(ASAP), min(ALAP)
+        stack: list[tuple[tuple[int, ...], int, int, int]] = []
+        for i in range(n):
+            higher = full_mask & ~((1 << (i + 1)) - 1)
+            stack.append(((i,), higher & ~comp[i], asap[i], alap[i]))
+        # LIFO DFS would enumerate in reverse start order; reverse the seed so
+        # output is in lexicographic index order (deterministic, testable).
+        stack.reverse()
+
+        while stack:
+            members, allowed, mx_asap, mn_alap = stack.pop()
+            if len(members) >= min_size:
+                produced += 1
+                if max_count is not None and produced > max_count:
+                    raise EnumerationLimitError(
+                        f"more than {max_count} antichains in {self.dfg.name!r} "
+                        f"(size ≤ {max_size}, span ≤ {span_limit}); raise "
+                        f"max_count or tighten the span limit"
+                    )
+                yield members
+            if len(members) == max_size:
+                continue
+            ext: list[tuple[tuple[int, ...], int, int, int]] = []
+            m = allowed
+            while m:
+                low = m & -m
+                j = low.bit_length() - 1
+                m ^= low
+                new_mx = mx_asap if mx_asap >= asap[j] else asap[j]
+                new_mn = mn_alap if mn_alap <= alap[j] else alap[j]
+                if span_limit is not None and new_mx - new_mn > span_limit:
+                    continue
+                ext.append((members + (j,), allowed & ~comp[j] & ~(low - 1) & ~low,
+                            new_mx, new_mn))
+            stack.extend(reversed(ext))
+
+    def iter_antichains(
+        self,
+        max_size: int,
+        span_limit: int | None = None,
+        *,
+        min_size: int = 1,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+    ) -> Iterator[tuple[str, ...]]:
+        """Like :meth:`iter_index_antichains` but yields node-name tuples."""
+        name_of = self.dfg.name_of
+        for idx in self.iter_index_antichains(
+            max_size, span_limit, min_size=min_size, max_count=max_count
+        ):
+            yield tuple(name_of(i) for i in idx)
+
+    def count_by_size(
+        self,
+        max_size: int,
+        span_limit: int | None = None,
+        *,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+    ) -> dict[int, int]:
+        """Antichain counts keyed by cardinality — the paper's Table 5 rows."""
+        counts = {k: 0 for k in range(1, max_size + 1)}
+        for members in self.iter_index_antichains(
+            max_size, span_limit, max_count=max_count
+        ):
+            counts[len(members)] += 1
+        return counts
+
+
+def enumerate_antichains(
+    dfg: "DFG",
+    max_size: int,
+    span_limit: int | None = None,
+    *,
+    min_size: int = 1,
+    max_count: int | None = DEFAULT_MAX_COUNT,
+) -> list[tuple[str, ...]]:
+    """All antichains of ``dfg`` with ``min_size ≤ |A| ≤ max_size``.
+
+    Convenience wrapper over :class:`AntichainEnumerator`; see its
+    documentation for parameter semantics.
+    """
+    enum = AntichainEnumerator(dfg)
+    return list(
+        enum.iter_antichains(max_size, span_limit, min_size=min_size, max_count=max_count)
+    )
+
+
+def count_antichains_by_size(
+    dfg: "DFG",
+    max_size: int,
+    span_limit: int | None = None,
+    *,
+    max_count: int | None = DEFAULT_MAX_COUNT,
+) -> dict[int, int]:
+    """Antichain census by size (paper Table 5); see :class:`AntichainEnumerator`."""
+    return AntichainEnumerator(dfg).count_by_size(
+        max_size, span_limit, max_count=max_count
+    )

@@ -1,0 +1,149 @@
+"""(De)serialisation of data-flow graphs.
+
+Formats
+-------
+* **JSON** — lossless round-trip of nodes (name, color, JSON-safe attributes)
+  and edges in insertion order.
+* **edge list** — a compact text format; node colors are taken from the first
+  character of the name by default (the paper's naming convention, e.g.
+  ``a24`` is an addition).
+* **DOT** — export-only, for visual inspection with Graphviz.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from repro.dfg.graph import DFG
+from repro.exceptions import GraphError
+
+__all__ = [
+    "to_json",
+    "from_json",
+    "to_edge_list",
+    "from_edge_list",
+    "to_dot",
+    "color_from_name",
+]
+
+
+def color_from_name(name: str) -> str:
+    """The paper's convention: the first letter of a node name is its color."""
+    if not name or not name[0].isalpha():
+        raise GraphError(
+            f"cannot derive a color from node name {name!r}; "
+            "names must start with a letter"
+        )
+    return name[0]
+
+
+def to_json(dfg: DFG, *, indent: int | None = None) -> str:
+    """Serialise ``dfg`` to a JSON string (JSON-safe attributes only)."""
+    payload = {
+        "name": dfg.name,
+        "nodes": [
+            {
+                "name": n,
+                "color": dfg.color(n),
+                "attrs": {
+                    k: v
+                    for k, v in dfg.node(n).attrs.items()
+                    if k != "color" and _json_safe(v)
+                },
+            }
+            for n in dfg.nodes
+        ],
+        "edges": [[u, v] for u, v in dfg.edges()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _json_safe(value: object) -> bool:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def from_json(text: str) -> DFG:
+    """Inverse of :func:`to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid DFG JSON: {exc}") from exc
+    try:
+        dfg = DFG(name=payload.get("name", "dfg"))
+        for node in payload["nodes"]:
+            dfg.add_node(node["name"], node["color"], **node.get("attrs", {}))
+        for u, v in payload["edges"]:
+            dfg.add_edge(u, v)
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed DFG JSON payload: {exc!r}") from exc
+    return dfg
+
+
+def to_edge_list(dfg: DFG) -> str:
+    """Compact text format: one ``u v`` edge per line, isolated nodes alone.
+
+    Nodes appear implicitly in first-mention order, so round-tripping through
+    :func:`from_edge_list` preserves the reproduction-critical insertion
+    order as long as the original insertion order equals first-mention order
+    (true for all builders in :mod:`repro.workloads`).
+    """
+    lines: list[str] = []
+    mentioned: set[str] = set()
+    edges = dfg.edges()
+    for n in dfg.nodes:  # keep insertion order: declare nodes up front
+        lines.append(n)
+        mentioned.add(n)
+    for u, v in edges:
+        lines.append(f"{u} {v}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(
+    text: str,
+    *,
+    name: str = "dfg",
+    color_fn: Callable[[str], str] = color_from_name,
+) -> DFG:
+    """Parse the edge-list format produced by :func:`to_edge_list`.
+
+    ``color_fn`` maps a node name to its color (default: first letter).
+    """
+    dfg = DFG(name=name)
+    pending_edges: list[tuple[str, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) == 1:
+            if parts[0] not in dfg:
+                dfg.add_node(parts[0], color_fn(parts[0]))
+        elif len(parts) == 2:
+            for p in parts:
+                if p not in dfg:
+                    dfg.add_node(p, color_fn(p))
+            pending_edges.append((parts[0], parts[1]))
+        else:
+            raise GraphError(f"edge list line {lineno}: expected 1 or 2 tokens")
+    dfg.add_edges(pending_edges)
+    return dfg
+
+
+def to_dot(dfg: DFG, *, color_palette: dict[str, str] | None = None) -> str:
+    """Graphviz DOT export with per-color fill colors."""
+    default_palette = {"a": "lightblue", "b": "lightsalmon", "c": "palegreen"}
+    palette = color_palette if color_palette is not None else default_palette
+    lines = [f'digraph "{dfg.name}" {{', "  rankdir=TB;"]
+    for n in dfg.nodes:
+        fill = palette.get(dfg.color(n))
+        style = f', style=filled, fillcolor="{fill}"' if fill else ""
+        lines.append(f'  "{n}" [label="{n}\\n{dfg.color(n)}"{style}];')
+    for u, v in dfg.edges():
+        lines.append(f'  "{u}" -> "{v}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

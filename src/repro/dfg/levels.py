@@ -1,0 +1,124 @@
+"""Level analysis: ASAP, ALAP and Height (paper §3, Eqs. 1-3).
+
+Definitions (verbatim from the paper):
+
+.. math::
+
+    ASAP(n)   &= 0                             &\\text{if } Pred(n) = \\phi \\\\
+              &= \\max_{n_i \\in Pred(n)} (ASAP(n_i) + 1)  &\\text{otherwise}
+
+    ALAP(n)   &= ASAP_{max}                    &\\text{if } Succ(n) = \\phi \\\\
+              &= \\min_{n_i \\in Succ(n)} (ALAP(n_i) - 1)  &\\text{otherwise}
+
+    Height(n) &= 1                             &\\text{if } Succ(n) = \\phi \\\\
+              &= \\max_{n_i \\in Succ(n)} (Height(n_i) + 1) &\\text{otherwise}
+
+``ASAPmax`` is the maximum ASAP level over all nodes; the longest path in the
+graph has ``ASAPmax + 1`` nodes, which lower-bounds any schedule length.
+
+All functions accept a :class:`~repro.dfg.graph.DFG` and return dictionaries
+keyed by node name.  :class:`LevelAnalysis` bundles the three analyses (each
+computed once, in a single topological pass) because the scheduler, the span
+computation and the antichain enumerator all need them together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.dfg.graph import DFG
+
+__all__ = ["asap", "alap", "height", "asap_max", "mobility", "LevelAnalysis"]
+
+
+def asap(dfg: "DFG") -> dict[str, int]:
+    """As-Soon-As-Possible level of every node (paper Eq. 1)."""
+    out: dict[str, int] = {}
+    for n in dfg.topological_order():
+        preds = dfg.predecessors(n)
+        out[n] = 0 if not preds else max(out[p] + 1 for p in preds)
+    return out
+
+
+def asap_max(dfg: "DFG") -> int:
+    """``ASAPmax``: the maximum ASAP level (longest path length minus one)."""
+    levels = asap(dfg)
+    return max(levels.values()) if levels else 0
+
+
+def alap(dfg: "DFG", asap_levels: dict[str, int] | None = None) -> dict[str, int]:
+    """As-Late-As-Possible level of every node (paper Eq. 2).
+
+    ``asap_levels`` may be passed to avoid recomputing ASAP.
+    """
+    if asap_levels is None:
+        asap_levels = asap(dfg)
+    amax = max(asap_levels.values()) if asap_levels else 0
+    out: dict[str, int] = {}
+    for n in reversed(dfg.topological_order()):
+        succs = dfg.successors(n)
+        out[n] = amax if not succs else min(out[s] - 1 for s in succs)
+    return out
+
+
+def height(dfg: "DFG") -> dict[str, int]:
+    """Height of every node (paper Eq. 3): longest path to a sink, in nodes."""
+    out: dict[str, int] = {}
+    for n in reversed(dfg.topological_order()):
+        succs = dfg.successors(n)
+        out[n] = 1 if not succs else max(out[s] + 1 for s in succs)
+    return out
+
+
+def mobility(dfg: "DFG") -> dict[str, int]:
+    """Scheduling slack ``ALAP(n) - ASAP(n)`` (classic HLS metric).
+
+    Zero mobility identifies critical-path nodes.  Not used by the paper's
+    formulas but reported by the analysis tooling.
+    """
+    a = asap(dfg)
+    l = alap(dfg, a)
+    return {n: l[n] - a[n] for n in dfg.nodes}
+
+
+@dataclass(frozen=True)
+class LevelAnalysis:
+    """All level attributes of a DFG, computed in one pass.
+
+    Attributes
+    ----------
+    asap / alap / height:
+        Per-node dictionaries (paper Eqs. 1-3).
+    asap_max:
+        ``ASAPmax``; any schedule needs at least ``asap_max + 1`` cycles.
+    """
+
+    asap: dict[str, int]
+    alap: dict[str, int]
+    height: dict[str, int]
+    asap_max: int
+
+    @classmethod
+    def of(cls, dfg: "DFG") -> "LevelAnalysis":
+        """Compute the bundle for ``dfg``."""
+        a = asap(dfg)
+        amax = max(a.values()) if a else 0
+        return cls(asap=a, alap=alap(dfg, a), height=height(dfg), asap_max=amax)
+
+    @property
+    def critical_path_length(self) -> int:
+        """Length (in cycles) of the longest dependency chain."""
+        return self.asap_max + 1
+
+    def mobility(self, name: str) -> int:
+        """``ALAP(n) - ASAP(n)`` for one node."""
+        return self.alap[name] - self.asap[name]
+
+    def table(self) -> list[tuple[str, int, int, int]]:
+        """Rows ``(name, asap, alap, height)`` in graph insertion order.
+
+        This is exactly the content of the paper's Table 1.
+        """
+        return [(n, self.asap[n], self.alap[n], self.height[n]) for n in self.asap]

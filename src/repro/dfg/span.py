@@ -1,0 +1,47 @@
+"""Span of a node set and Theorem 1 (paper §5.1).
+
+.. math::
+
+    Span(A) = U\\bigl(\\max_{n \\in A} ASAP(n) - \\min_{n \\in A} ALAP(n)\\bigr),
+    \\qquad U(x) = \\max(x, 0)
+
+**Theorem 1** (paper): if the nodes of an antichain ``A`` are scheduled in one
+clock cycle, the final schedule has at least ``ASAPmax + Span(A) + 1`` clock
+cycles.  Consequently antichains with large span are unattractive and the
+pattern generator bounds the span of the antichains it enumerates.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+    from repro.dfg.levels import LevelAnalysis
+
+__all__ = ["step", "span", "span_lower_bound"]
+
+
+def step(x: int) -> int:
+    """The paper's ``U(x)``: 0 for negative ``x``, identity otherwise."""
+    return x if x > 0 else 0
+
+
+def span(levels: "LevelAnalysis", nodes: Iterable[str]) -> int:
+    """``Span(A)`` of a non-empty node set ``A`` under a level analysis."""
+    names = list(nodes)
+    if not names:
+        raise GraphError("span of an empty node set is undefined")
+    max_asap = max(levels.asap[n] for n in names)
+    min_alap = min(levels.alap[n] for n in names)
+    return step(max_asap - min_alap)
+
+
+def span_lower_bound(levels: "LevelAnalysis", nodes: Iterable[str]) -> int:
+    """Theorem 1's lower bound on schedule length when ``A`` shares a cycle.
+
+    Returns ``ASAPmax + Span(A) + 1`` — measured in clock cycles.
+    """
+    return levels.asap_max + span(levels, nodes) + 1

@@ -1,0 +1,42 @@
+"""Structural validation of data-flow graphs."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import ColorError, GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["check_acyclic", "check_colors", "check_nonempty", "validate_dfg"]
+
+
+def check_acyclic(dfg: "DFG") -> None:
+    """Raise :class:`~repro.exceptions.CycleError` if ``dfg`` has a cycle."""
+    dfg.check_acyclic()
+
+
+def check_nonempty(dfg: "DFG") -> None:
+    """Raise :class:`~repro.exceptions.GraphError` for an empty graph."""
+    if dfg.n_nodes == 0:
+        raise GraphError(f"graph {dfg.name!r} has no nodes")
+
+
+def check_colors(dfg: "DFG", allowed: Iterable[str] | None = None) -> None:
+    """Verify every node color is in the ``allowed`` universe (if given)."""
+    if allowed is None:
+        return
+    universe = set(allowed)
+    bad = {n: dfg.color(n) for n in dfg.nodes if dfg.color(n) not in universe}
+    if bad:
+        raise ColorError(
+            f"graph {dfg.name!r} uses colors outside {sorted(universe)}: {bad}"
+        )
+
+
+def validate_dfg(dfg: "DFG", allowed_colors: Iterable[str] | None = None) -> None:
+    """Full structural validation: non-empty, acyclic, colors in universe."""
+    check_nonempty(dfg)
+    check_acyclic(dfg)
+    check_colors(dfg, allowed_colors)

@@ -1,0 +1,95 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can catch library failures with a single
+``except`` clause while programming errors (``TypeError`` etc.) propagate
+unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "UnknownNodeError",
+    "DuplicateNodeError",
+    "ColorError",
+    "PatternError",
+    "PatternBudgetError",
+    "SchedulingError",
+    "SchedulingDeadlockError",
+    "ScheduleValidationError",
+    "SelectionError",
+    "EnumerationLimitError",
+    "FrontendError",
+    "AllocationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A data-flow graph is structurally invalid for the requested operation."""
+
+
+class CycleError(GraphError):
+    """The graph contains a directed cycle and therefore is not a DFG."""
+
+
+class UnknownNodeError(GraphError, KeyError):
+    """A node name/id was referenced that is not present in the graph."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable.
+        return Exception.__str__(self)
+
+
+class DuplicateNodeError(GraphError):
+    """A node with the same name was added to a graph twice."""
+
+
+class ColorError(ReproError):
+    """An operation color is invalid or inconsistent with the color universe."""
+
+
+class PatternError(ReproError):
+    """A pattern (color bag) is malformed, e.g. wider than the ALU array."""
+
+
+class PatternBudgetError(PatternError):
+    """A pattern library exceeded the architecture's pattern budget (32)."""
+
+
+class SchedulingError(ReproError):
+    """The multi-pattern scheduler could not produce a schedule."""
+
+
+class SchedulingDeadlockError(SchedulingError):
+    """No given pattern can execute any candidate node.
+
+    This happens exactly when the union of the pattern colors does not cover
+    every color reachable on the candidate list — e.g. a random pattern set
+    that contains no multiplier slot for a graph with multiplications.
+    """
+
+
+class ScheduleValidationError(SchedulingError):
+    """An alleged schedule violates dependencies, patterns or completeness."""
+
+
+class SelectionError(ReproError):
+    """The pattern selection algorithm was configured inconsistently."""
+
+
+class EnumerationLimitError(ReproError):
+    """Antichain enumeration exceeded the configured safety limit."""
+
+
+class FrontendError(ReproError):
+    """The expression frontend failed to parse or lower an input program."""
+
+
+class AllocationError(ReproError):
+    """The allocation phase found a schedule that exceeds tile resources."""

@@ -1,0 +1,44 @@
+"""Montium tile model and the 4-phase compiler pipeline (paper §1).
+
+The paper's compiler maps applications onto a Montium tile in four phases —
+Transformation, Clustering, Scheduling, Allocation — and concentrates on
+Scheduling.  This package supplies lightweight but honest versions of the
+other three so the library works end-to-end:
+
+* :mod:`~repro.montium.architecture` — the tile: 5 ALUs, ≤32 patterns,
+  memories and global buses (paper Fig. 1),
+* :mod:`~repro.montium.frontend` — Transformation: a small expression
+  language lowered to colored DFGs,
+* :mod:`~repro.montium.clustering` — Clustering: one-op clusters plus an
+  optional multiply-accumulate fusion pass,
+* :mod:`~repro.montium.allocation` — Allocation: per-cycle operand/bus and
+  liveness accounting against tile resources,
+* :mod:`~repro.montium.compiler` — the pipeline gluing all phases to the
+  pattern selector and the multi-pattern scheduler.
+"""
+
+from repro.montium.architecture import MontiumTile, MONTIUM_TILE
+from repro.montium.alu import ALU_FUNCTIONS, color_for_op
+from repro.montium.frontend import parse_program
+from repro.montium.clustering import cluster_dfg
+from repro.montium.allocation import AllocationReport, allocate
+from repro.montium.compiler import CompilationResult, MontiumCompiler
+from repro.montium.configuration import ConfigurationPlan
+from repro.montium.energy import EnergyModel, EnergyReport, estimate_energy
+
+__all__ = [
+    "EnergyModel",
+    "EnergyReport",
+    "estimate_energy",
+    "MontiumTile",
+    "MONTIUM_TILE",
+    "ALU_FUNCTIONS",
+    "color_for_op",
+    "parse_program",
+    "cluster_dfg",
+    "AllocationReport",
+    "allocate",
+    "CompilationResult",
+    "MontiumCompiler",
+    "ConfigurationPlan",
+]

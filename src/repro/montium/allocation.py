@@ -1,0 +1,167 @@
+"""Allocation phase: per-cycle resource accounting against the tile.
+
+The Montium compiler's final phase assigns values to registers, memories
+and buses (paper §1).  This reproduction implements the *feasibility
+accounting* that phase performs:
+
+* ALU pressure — nodes per cycle vs ``alu_count`` (guaranteed by the
+  scheduler; re-checked here because the allocator must not trust it),
+* operand pressure — register reads per cycle vs the ALUs' input ports,
+* bus pressure — distinct values transported into a cycle vs the global
+  bus count (a value consumed by several ALUs is broadcast once),
+* storage pressure — live values per cycle vs total memory words, where a
+  value lives from its producing cycle until its last consumer (sink
+  values live to the end of the schedule: they are the outputs).
+
+Violations are collected, not thrown, unless ``strict=True``: schedules
+remain inspectable even when infeasible for a given tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+from repro.exceptions import AllocationError
+from repro.montium.architecture import MontiumTile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["CycleResources", "AllocationReport", "allocate"]
+
+
+@dataclass(frozen=True)
+class CycleResources:
+    """Resource usage of one clock cycle."""
+
+    cycle: int
+    alus_used: int
+    operand_reads: int
+    bus_transfers: int
+    live_values: int
+
+
+@dataclass(frozen=True)
+class AllocationReport:
+    """Outcome of the allocation phase.
+
+    Attributes
+    ----------
+    per_cycle:
+        One :class:`CycleResources` per cycle.
+    violations:
+        Human-readable violation strings (empty when feasible).
+    """
+
+    per_cycle: tuple[CycleResources, ...]
+    violations: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the schedule fits the tile."""
+        return not self.violations
+
+    @property
+    def max_live(self) -> int:
+        """Peak simultaneous live values."""
+        return max((c.live_values for c in self.per_cycle), default=0)
+
+    @property
+    def max_bus(self) -> int:
+        """Peak per-cycle bus transfers."""
+        return max((c.bus_transfers for c in self.per_cycle), default=0)
+
+    def summary(self) -> str:
+        """One-line feasibility summary."""
+        state = "OK" if self.ok else f"{len(self.violations)} violation(s)"
+        return (
+            f"allocation {state}: {len(self.per_cycle)} cycles, "
+            f"max_live={self.max_live}, max_bus={self.max_bus}"
+        )
+
+
+def allocate(
+    dfg: "DFG",
+    assignment: Mapping[str, int],
+    tile: MontiumTile,
+    *,
+    strict: bool = False,
+) -> AllocationReport:
+    """Run the allocation accounting for a schedule on ``tile``.
+
+    Parameters
+    ----------
+    dfg:
+        The scheduled graph.
+    assignment:
+        Node → 1-based cycle (e.g. ``Schedule.assignment``).
+    tile:
+        The target tile.
+    strict:
+        Raise :class:`~repro.exceptions.AllocationError` on the first
+        violation instead of collecting it.
+    """
+    if set(assignment) != set(dfg.nodes):
+        raise AllocationError("assignment does not cover the graph exactly")
+    n_cycles = max(assignment.values(), default=0)
+    by_cycle: dict[int, list[str]] = {c: [] for c in range(1, n_cycles + 1)}
+    for n, c in assignment.items():
+        by_cycle[c].append(n)
+
+    # Value lifetime: producing cycle .. last consumer cycle (sinks: end).
+    last_use: dict[str, int] = {}
+    for n in dfg.nodes:
+        succs = dfg.successors(n)
+        last_use[n] = (
+            n_cycles if not succs else max(assignment[s] for s in succs)
+        )
+
+    per_cycle: list[CycleResources] = []
+    violations: list[str] = []
+
+    def violate(msg: str) -> None:
+        if strict:
+            raise AllocationError(msg)
+        violations.append(msg)
+
+    for c in range(1, n_cycles + 1):
+        nodes = by_cycle[c]
+        alus = len(nodes)
+        reads = sum(dfg.in_degree(n) for n in nodes)
+        transported = {p for n in nodes for p in dfg.predecessors(n)}
+        live = sum(
+            1
+            for n in dfg.nodes
+            if assignment[n] <= c <= last_use[n]
+        )
+        per_cycle.append(
+            CycleResources(
+                cycle=c,
+                alus_used=alus,
+                operand_reads=reads,
+                bus_transfers=len(transported),
+                live_values=live,
+            )
+        )
+        if alus > tile.alu_count:
+            violate(f"cycle {c}: {alus} ops exceed {tile.alu_count} ALUs")
+        if reads > tile.max_operands_per_cycle():
+            violate(
+                f"cycle {c}: {reads} operand reads exceed "
+                f"{tile.max_operands_per_cycle()} register ports"
+            )
+        if len(transported) > tile.global_buses:
+            violate(
+                f"cycle {c}: {len(transported)} bus transfers exceed "
+                f"{tile.global_buses} global buses"
+            )
+        if live > tile.storage_words():
+            violate(
+                f"cycle {c}: {live} live values exceed "
+                f"{tile.storage_words()} memory words"
+            )
+
+    return AllocationReport(
+        per_cycle=tuple(per_cycle), violations=tuple(violations)
+    )

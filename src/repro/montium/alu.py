@@ -1,0 +1,59 @@
+"""ALU function sets and the op → color mapping.
+
+A Montium ALU is reconfigured per cycle to one of its functions; the
+paper's color ``l(n)`` names the function class a node needs.  This module
+fixes the classification used by the frontend and the clustering pass.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ColorError
+
+__all__ = ["ALU_FUNCTIONS", "color_for_op", "op_for_symbol"]
+
+#: Function classes executable by a Montium ALU, keyed by color.  The
+#: ``a``/``b``/``c`` classes follow the paper's Fig. 2 convention; the
+#: remaining classes model the logic/shift functions mentioned in §1
+#: ("one addition, two subtractions and two bit-or operations").
+ALU_FUNCTIONS: dict[str, frozenset[str]] = {
+    "a": frozenset({"add"}),
+    "b": frozenset({"sub"}),
+    "c": frozenset({"mul"}),
+    "l": frozenset({"and", "or", "xor"}),
+    "s": frozenset({"shl", "shr"}),
+    "m": frozenset({"mac"}),  # fused multiply-accumulate (clustering pass)
+}
+
+_OP_TO_COLOR = {
+    op: color for color, ops in ALU_FUNCTIONS.items() for op in ops
+}
+
+_SYMBOL_TO_OP = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+}
+
+
+def color_for_op(op: str) -> str:
+    """The color (function class) of an operation mnemonic."""
+    try:
+        return _OP_TO_COLOR[op]
+    except KeyError:
+        raise ColorError(
+            f"operation {op!r} is not executable by a Montium ALU; "
+            f"known ops: {sorted(_OP_TO_COLOR)}"
+        ) from None
+
+
+def op_for_symbol(symbol: str) -> str:
+    """The operation mnemonic of an infix operator symbol."""
+    try:
+        return _SYMBOL_TO_OP[symbol]
+    except KeyError:
+        raise ColorError(f"unknown operator symbol {symbol!r}") from None

@@ -1,0 +1,87 @@
+"""The Montium processor tile (paper Fig. 1).
+
+One tile contains five reconfigurable ALUs, each with four register inputs
+(``Ra``–``Rd``) and two local memories, interconnected by global buses; a
+sequencer selects one *pattern* (ALU configuration combination) per clock
+cycle, and one application may use at most 32 distinct patterns.
+
+The scheduler and selector only consume ``alu_count`` (the ``C`` of the
+paper) and ``pattern_budget``; the remaining fields drive the allocation
+phase's resource accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import PatternError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+
+__all__ = ["MontiumTile", "MONTIUM_TILE"]
+
+
+@dataclass(frozen=True)
+class MontiumTile:
+    """Static description of one Montium tile.
+
+    Attributes
+    ----------
+    alu_count:
+        Number of reconfigurable ALUs — the paper's ``C`` (5).
+    pattern_budget:
+        Maximum distinct patterns per application (32, paper §1).
+    memories:
+        Local memories (two per ALU in Fig. 1).
+    memory_depth:
+        Words per local memory (512 in the published Montium design).
+    global_buses:
+        Global interconnect buses crossing the tile (10).
+    alu_inputs:
+        Register operand ports per ALU (``Ra``–``Rd``).
+    """
+
+    alu_count: int = 5
+    pattern_budget: int = 32
+    memories: int = 10
+    memory_depth: int = 512
+    global_buses: int = 10
+    alu_inputs: int = 4
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "alu_count",
+            "pattern_budget",
+            "memories",
+            "memory_depth",
+            "global_buses",
+            "alu_inputs",
+        ):
+            if getattr(self, field_name) < 1:
+                raise PatternError(f"{field_name} must be ≥ 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        """Alias for ``alu_count`` matching the paper's ``C``."""
+        return self.alu_count
+
+    def library(self, patterns: Iterable[Pattern | str]) -> PatternLibrary:
+        """A :class:`~repro.patterns.library.PatternLibrary` checked against
+        this tile (width ≤ ``alu_count``, count ≤ ``pattern_budget``)."""
+        return PatternLibrary(
+            patterns, capacity=self.alu_count, budget=self.pattern_budget
+        )
+
+    def max_operands_per_cycle(self) -> int:
+        """Upper bound on register operands readable in one cycle."""
+        return self.alu_count * self.alu_inputs
+
+    def storage_words(self) -> int:
+        """Total local-memory capacity in words."""
+        return self.memories * self.memory_depth
+
+
+#: The published tile configuration used throughout the benchmarks.
+MONTIUM_TILE = MontiumTile()

@@ -1,0 +1,136 @@
+"""The 4-phase Montium compiler pipeline (paper §1).
+
+``Transformation → Clustering → Scheduling → Allocation`` — with the
+paper's pattern selection feeding the scheduling phase::
+
+    compiler = MontiumCompiler()
+    result = compiler.compile("y = a*b + c*d; z = y - e", pdef=3)
+    result.schedule.length
+
+Each phase's artifact is retained on the :class:`CompilationResult` so
+tests and examples can inspect intermediate state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Union
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector, SelectionResult
+from repro.dfg.graph import DFG
+from repro.exceptions import SelectionError
+from repro.montium.allocation import AllocationReport, allocate
+from repro.montium.architecture import MONTIUM_TILE, MontiumTile
+from repro.montium.clustering import cluster_dfg
+from repro.montium.frontend import parse_program
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.scheduler import MultiPatternScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["CompilationResult", "MontiumCompiler"]
+
+
+@dataclass(frozen=True)
+class CompilationResult:
+    """All artifacts of one compilation run."""
+
+    source_dfg: DFG
+    clustered_dfg: DFG
+    selection: SelectionResult
+    schedule: Schedule
+    allocation: AllocationReport
+    tile: MontiumTile
+
+    @property
+    def cycles(self) -> int:
+        """Schedule length in clock cycles."""
+        return self.schedule.length
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the schedule also fits the tile's resources."""
+        return self.allocation.ok
+
+    def report(self) -> str:
+        """A human-readable multi-line compilation report."""
+        lib = ", ".join(
+            p.as_string(self.tile.alu_count) for p in self.schedule.library
+        )
+        lines = [
+            f"graph       : {self.source_dfg.name} "
+            f"({self.source_dfg.n_nodes} ops, "
+            f"{self.clustered_dfg.n_nodes} clusters)",
+            f"patterns    : [{lib}]",
+            f"cycles      : {self.schedule.length}",
+            f"utilization : {self.schedule.utilization():.2f}",
+            f"allocation  : {self.allocation.summary()}",
+        ]
+        return "\n".join(lines)
+
+
+class MontiumCompiler:
+    """End-to-end compilation onto one Montium tile.
+
+    Parameters
+    ----------
+    tile:
+        Target tile (default: the published 5-ALU Montium).
+    selection_config:
+        Pattern-selection tunables (default: paper constants).
+    fuse_mac:
+        Enable the multiply-accumulate clustering optimisation.
+    """
+
+    def __init__(
+        self,
+        tile: MontiumTile = MONTIUM_TILE,
+        *,
+        selection_config: SelectionConfig | None = None,
+        fuse_mac: bool = False,
+    ) -> None:
+        self.tile = tile
+        self.selection_config = (
+            selection_config if selection_config is not None else SelectionConfig()
+        )
+        self.fuse_mac = fuse_mac
+
+    def compile(
+        self, source: Union[str, DFG], pdef: int
+    ) -> CompilationResult:
+        """Compile a program or prebuilt DFG using ``pdef`` patterns.
+
+        Raises
+        ------
+        SelectionError
+            If ``pdef`` exceeds the tile's pattern budget.
+        """
+        if pdef > self.tile.pattern_budget:
+            raise SelectionError(
+                f"pdef={pdef} exceeds the tile's pattern budget of "
+                f"{self.tile.pattern_budget}"
+            )
+        # Phase 1: Transformation.
+        dfg = parse_program(source) if isinstance(source, str) else source
+        # Phase 2: Clustering.
+        clustered = cluster_dfg(dfg, fuse_mac=self.fuse_mac)
+        # Phase 3a: pattern selection (the paper's contribution).
+        selector = PatternSelector(
+            capacity=self.tile.alu_count, config=self.selection_config
+        )
+        selection = selector.select(clustered, pdef)
+        # Phase 3b: multi-pattern scheduling.
+        scheduler = MultiPatternScheduler(selection.library)
+        schedule = scheduler.schedule(clustered)
+        # Phase 4: Allocation.
+        report = allocate(clustered, schedule.assignment, self.tile)
+        return CompilationResult(
+            source_dfg=dfg,
+            clustered_dfg=clustered,
+            selection=selection,
+            schedule=schedule,
+            allocation=report,
+            tile=self.tile,
+        )

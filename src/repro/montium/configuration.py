@@ -1,0 +1,143 @@
+"""Configuration artifacts: decoder table and sequencer program.
+
+The Montium's efficiency trick (paper §1) is that the sequencer does not
+issue full ALU configurations every cycle — it issues a small index into a
+**pattern decoder** holding at most 32 entries.  This module materialises
+that artifact from a schedule:
+
+* the **decoder table** — the distinct patterns the schedule uses, in
+  first-use order,
+* the **sequencer program** — one decoder index per clock cycle,
+* derived costs: decoder pressure vs the 32-entry budget, sequencer depth
+  vs instruction memory, and the number of adjacent-cycle pattern
+  *switches* (a simple reconfiguration-activity proxy).
+
+This is the artifact the ``Pdef`` budget ultimately protects; the
+benchmarks use it to show what pattern-oblivious schedulers would demand
+from the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.exceptions import PatternBudgetError
+from repro.montium.architecture import MontiumTile
+from repro.patterns.pattern import Pattern
+from repro.scheduling.schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["ConfigurationPlan"]
+
+#: Sequencer instruction-memory depth of the published Montium design.
+DEFAULT_SEQUENCER_DEPTH = 256
+
+
+@dataclass(frozen=True)
+class ConfigurationPlan:
+    """Decoder table + sequencer program for one scheduled application."""
+
+    decoder: tuple[Pattern, ...]
+    program: tuple[int, ...]
+    tile: MontiumTile
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_schedule(
+        cls, schedule: Schedule, tile: MontiumTile
+    ) -> "ConfigurationPlan":
+        """Build the plan from a multi-pattern schedule's chosen patterns."""
+        chosen = [schedule.pattern_of_cycle(c) for c in
+                  range(1, schedule.length + 1)]
+        return cls._from_pattern_sequence(chosen, tile)
+
+    @classmethod
+    def from_assignment(
+        cls, dfg: "DFG", assignment: Mapping[str, int], tile: MontiumTile
+    ) -> "ConfigurationPlan":
+        """Build the plan a *pattern-oblivious* schedule implicitly needs.
+
+        Each cycle's color bag becomes its own decoder entry — this is how
+        the benchmarks quantify the paper's motivation.
+        """
+        from collections import Counter
+
+        by_cycle: dict[int, Counter[str]] = {}
+        for node, cycle in assignment.items():
+            by_cycle.setdefault(cycle, Counter())[dfg.color(node)] += 1
+        seq = [Pattern.from_counts(by_cycle[c]) for c in sorted(by_cycle)]
+        return cls._from_pattern_sequence(seq, tile)
+
+    @classmethod
+    def _from_pattern_sequence(
+        cls, sequence: Sequence[Pattern], tile: MontiumTile
+    ) -> "ConfigurationPlan":
+        decoder: list[Pattern] = []
+        index: dict[Pattern, int] = {}
+        program: list[int] = []
+        for pattern in sequence:
+            if pattern not in index:
+                index[pattern] = len(decoder)
+                decoder.append(pattern)
+            program.append(index[pattern])
+        return cls(decoder=tuple(decoder), program=tuple(program), tile=tile)
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def decoder_entries(self) -> int:
+        """Distinct patterns the decoder must hold."""
+        return len(self.decoder)
+
+    @property
+    def sequencer_length(self) -> int:
+        """Program length in instructions (= schedule cycles)."""
+        return len(self.program)
+
+    @property
+    def switches(self) -> int:
+        """Adjacent-cycle pattern changes (reconfiguration proxy)."""
+        return sum(
+            1 for a, b in zip(self.program, self.program[1:]) if a != b
+        )
+
+    def fits(self, *, sequencer_depth: int = DEFAULT_SEQUENCER_DEPTH) -> bool:
+        """Does the plan fit the tile's decoder and instruction memory?"""
+        return (
+            self.decoder_entries <= self.tile.pattern_budget
+            and self.sequencer_length <= sequencer_depth
+        )
+
+    def check(self, *, sequencer_depth: int = DEFAULT_SEQUENCER_DEPTH) -> None:
+        """Raise :class:`~repro.exceptions.PatternBudgetError` on misfit."""
+        if self.decoder_entries > self.tile.pattern_budget:
+            raise PatternBudgetError(
+                f"{self.decoder_entries} decoder entries exceed the tile's "
+                f"budget of {self.tile.pattern_budget}"
+            )
+        if self.sequencer_length > sequencer_depth:
+            raise PatternBudgetError(
+                f"sequencer program of {self.sequencer_length} instructions "
+                f"exceeds the instruction memory depth {sequencer_depth}"
+            )
+
+    # ------------------------------------------------------------------ #
+    def as_text(self) -> str:
+        """Human-readable decoder + program listing."""
+        width = self.tile.alu_count
+        lines = ["decoder:"]
+        for i, pattern in enumerate(self.decoder):
+            lines.append(f"  [{i}] {pattern.as_string(width)}")
+        program = " ".join(str(i) for i in self.program)
+        lines.append(f"program: {program}")
+        lines.append(
+            f"entries={self.decoder_entries}/{self.tile.pattern_budget}  "
+            f"length={self.sequencer_length}  switches={self.switches}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Relative energy estimation for scheduled applications.
+
+The Montium's design goal is energy efficiency (paper §1, citing the
+Supercomputing'03 architecture paper).  This model assigns *relative*
+per-event costs — the published absolute numbers are process-dependent —
+so schedules can be compared: a multiplication costs more than an
+addition, a global-bus transfer more than a local register read, and a
+pattern *switch* models the sequencer/decoder activity the 32-pattern
+limit keeps cheap.
+
+This is deliberately a first-order model (documented in DESIGN.md §5):
+it counts events the schedule fixes (ops, operand transports, writes,
+configuration switches, instruction fetches) and ignores placement-level
+effects (which memory a value lands in), which belong to a full
+allocation that the paper's compiler performs downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.exceptions import AllocationError
+from repro.montium.configuration import ConfigurationPlan
+from repro.scheduling.schedule import Schedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.montium.architecture import MontiumTile
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+#: Default relative event costs (add = 1 defines the unit).
+DEFAULT_OP_COST = {"a": 1.0, "b": 1.0, "c": 3.0, "l": 0.8, "s": 0.8, "m": 3.5}
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Relative event costs.
+
+    Attributes
+    ----------
+    op_cost:
+        Cost per executed operation, keyed by color (unknown colors fall
+        back to ``default_op_cost``).
+    default_op_cost:
+        Cost for colors missing from ``op_cost``.
+    bus_transfer:
+        Cost per value transported to a consuming cycle.
+    result_write:
+        Cost per produced value written back to a register/memory.
+    pattern_switch:
+        Cost per adjacent-cycle configuration change.
+    instruction_fetch:
+        Cost per sequencer instruction (one per cycle).
+    """
+
+    op_cost: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_OP_COST)
+    )
+    default_op_cost: float = 1.0
+    bus_transfer: float = 0.6
+    result_write: float = 0.4
+    pattern_switch: float = 2.0
+    instruction_fetch: float = 0.2
+
+    def cost_of_op(self, color: str) -> float:
+        """Cost of executing one operation of ``color``."""
+        return self.op_cost.get(color, self.default_op_cost)
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy estimate breakdown for one schedule."""
+
+    compute: float
+    transport: float
+    writes: float
+    reconfiguration: float
+    control: float
+    per_cycle: tuple[float, ...]
+
+    @property
+    def total(self) -> float:
+        """Total relative energy."""
+        return (
+            self.compute
+            + self.transport
+            + self.writes
+            + self.reconfiguration
+            + self.control
+        )
+
+    def summary(self) -> str:
+        """One-line cost breakdown."""
+        return (
+            f"energy≈{self.total:.1f} (compute {self.compute:.1f}, "
+            f"transport {self.transport:.1f}, writes {self.writes:.1f}, "
+            f"reconfig {self.reconfiguration:.1f}, "
+            f"control {self.control:.1f})"
+        )
+
+
+def estimate_energy(
+    schedule: Schedule,
+    tile: "MontiumTile",
+    model: EnergyModel | None = None,
+) -> EnergyReport:
+    """Estimate the relative energy of executing ``schedule`` on ``tile``."""
+    if model is None:
+        model = EnergyModel()
+    dfg = schedule.dfg
+    if set(schedule.assignment) != set(dfg.nodes):
+        raise AllocationError("schedule does not cover the graph")
+
+    plan = ConfigurationPlan.from_schedule(schedule, tile)
+    per_cycle: list[float] = []
+    compute = transport = writes = 0.0
+    for rec in schedule.cycles:
+        c_compute = sum(model.cost_of_op(dfg.color(n)) for n in rec.scheduled)
+        transported = {p for n in rec.scheduled for p in dfg.predecessors(n)}
+        c_transport = model.bus_transfer * len(transported)
+        c_writes = model.result_write * len(rec.scheduled)
+        compute += c_compute
+        transport += c_transport
+        writes += c_writes
+        per_cycle.append(
+            c_compute + c_transport + c_writes + model.instruction_fetch
+        )
+    reconfiguration = model.pattern_switch * plan.switches
+    control = model.instruction_fetch * schedule.length
+    return EnergyReport(
+        compute=compute,
+        transport=transport,
+        writes=writes,
+        reconfiguration=reconfiguration,
+        control=control,
+        per_cycle=tuple(per_cycle),
+    )

@@ -1,0 +1,222 @@
+"""Transformation phase: a small expression language lowered to DFGs.
+
+The Montium compiler's first phase turns the input program into a data-flow
+graph (paper §1, citing the authors' ACSAC'03 mapping paper).  We implement
+a compact but real frontend: straight-line programs of assignments over
+infix expressions, e.g.::
+
+    t1 = x1 + x2
+    y  = (t1 * 3.5) - x0
+
+* identifiers not assigned earlier are external inputs,
+* numeric literals become external constants (recorded in ``meta``),
+* every operator lowers to one DFG node colored via
+  :func:`repro.montium.alu.color_for_op` and named in the paper's style
+  (color letter + ordinal: ``a1``, ``c2``, …),
+* optional common-subexpression elimination merges structurally identical
+  operations.
+
+Operator precedence (loose → tight): ``|``, ``^``, ``&``, shifts,
+additive, multiplicative.  All operators left-associate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Union
+
+from repro.dfg.graph import DFG
+from repro.exceptions import FrontendError
+from repro.montium.alu import color_for_op, op_for_symbol
+
+__all__ = ["parse_program", "tokenize"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+\.\d+|\d+)|(?P<ident>[A-Za-z_]\w*)"
+    r"|(?P<op><<|>>|[+\-*&|^=()])|(?P<bad>\S))"
+)
+
+#: Precedence levels, loose to tight.
+_PRECEDENCE: dict[str, int] = {
+    "|": 1,
+    "^": 2,
+    "&": 3,
+    "<<": 4,
+    ">>": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str  # 'num' | 'ident' | 'op' | 'end'
+    text: str
+    line: int
+    col: int
+
+
+def tokenize(line: str, lineno: int) -> list[Token]:
+    """Tokenize a single source line, raising on unknown characters."""
+    out: list[Token] = []
+    pos = 0
+    while pos < len(line):
+        m = _TOKEN_RE.match(line, pos)
+        if m is None:
+            break
+        if m.group("bad"):
+            raise FrontendError(
+                f"line {lineno}, col {m.start('bad') + 1}: "
+                f"unexpected character {m.group('bad')!r}"
+            )
+        for kind in ("num", "ident", "op"):
+            text = m.group(kind)
+            if text is not None:
+                out.append(Token(kind, text, lineno, m.start(kind) + 1))
+                break
+        pos = m.end()
+    out.append(Token("end", "", lineno, len(line) + 1))
+    return out
+
+
+#: An operand during lowering: a node name or an external-input reference.
+_Ref = Union[str, tuple[str, str]]
+
+
+class _Lowering:
+    """Parses statements and emits DFG nodes."""
+
+    def __init__(self, name: str, cse: bool) -> None:
+        self.dfg = DFG(name=name)
+        self.cse = cse
+        self.env: dict[str, _Ref] = {}
+        self.literals: dict[str, float] = {}
+        self.inputs: list[str] = []
+        self._counter = 0
+        self._cse_table: dict[tuple[str, _Ref, _Ref], str] = {}
+        self.outputs: dict[str, _Ref] = {}
+
+    # -------------------------------------------------------------- #
+    def emit(self, op: str, lhs: _Ref, rhs: _Ref) -> _Ref:
+        key = (op, lhs, rhs)
+        if self.cse and key in self._cse_table:
+            return self._cse_table[key]
+        color = color_for_op(op)
+        self._counter += 1
+        name = f"{color}{self._counter}"
+        self.dfg.add_node(name, color, op=op, operands=(lhs, rhs))
+        for ref in (lhs, rhs):
+            if isinstance(ref, str):
+                self.dfg.add_edge(ref, name)
+        if self.cse:
+            self._cse_table[key] = name
+        return name
+
+    def input_ref(self, ident: str) -> _Ref:
+        if ident in self.env:
+            return self.env[ident]
+        if ident not in self.inputs:
+            self.inputs.append(ident)
+        return ("input", ident)
+
+    def literal_ref(self, text: str) -> _Ref:
+        key = f"lit:{text}"
+        self.literals[key] = float(text)
+        return ("input", key)
+
+    # -------------------------------------------------------------- #
+    # precedence-climbing parser
+    # -------------------------------------------------------------- #
+    def parse_expr(self, toks: list[Token], pos: int, min_prec: int = 1) -> tuple[_Ref, int]:
+        lhs, pos = self.parse_atom(toks, pos)
+        while True:
+            tok = toks[pos]
+            if tok.kind != "op" or tok.text not in _PRECEDENCE:
+                return lhs, pos
+            prec = _PRECEDENCE[tok.text]
+            if prec < min_prec:
+                return lhs, pos
+            pos += 1
+            rhs, pos = self.parse_expr(toks, pos, prec + 1)
+            lhs = self.emit(op_for_symbol(tok.text), lhs, rhs)
+
+    def parse_atom(self, toks: list[Token], pos: int) -> tuple[_Ref, int]:
+        tok = toks[pos]
+        if tok.kind == "num":
+            return self.literal_ref(tok.text), pos + 1
+        if tok.kind == "ident":
+            return self.input_ref(tok.text), pos + 1
+        if tok.kind == "op" and tok.text == "(":
+            inner, pos = self.parse_expr(toks, pos + 1)
+            closing = toks[pos]
+            if closing.kind != "op" or closing.text != ")":
+                raise FrontendError(
+                    f"line {tok.line}: unbalanced parenthesis opened at "
+                    f"col {tok.col}"
+                )
+            return inner, pos + 1
+        raise FrontendError(
+            f"line {tok.line}, col {tok.col}: expected an operand, got "
+            f"{tok.text!r}" if tok.text else
+            f"line {tok.line}: unexpected end of expression"
+        )
+
+    def statement(self, toks: list[Token]) -> None:
+        if len(toks) < 2 or toks[0].kind != "ident":
+            raise FrontendError(
+                f"line {toks[0].line}: a statement must start with an "
+                "identifier"
+            )
+        if toks[1].kind != "op" or toks[1].text != "=":
+            raise FrontendError(
+                f"line {toks[0].line}: expected '=' after {toks[0].text!r}"
+            )
+        target = toks[0].text
+        value, pos = self.parse_expr(toks, 2)
+        if toks[pos].kind != "end":
+            raise FrontendError(
+                f"line {toks[pos].line}, col {toks[pos].col}: trailing "
+                f"tokens starting at {toks[pos].text!r}"
+            )
+        self.env[target] = value
+        self.outputs[target] = value
+
+
+def parse_program(source: str, *, name: str = "program", cse: bool = True) -> DFG:
+    """Lower a straight-line program to a colored, evaluable DFG.
+
+    Parameters
+    ----------
+    source:
+        Newline- or ``;``-separated assignments (``#`` starts a comment).
+    name:
+        Graph name.
+    cse:
+        Merge structurally identical subexpressions (default on).
+
+    Returns
+    -------
+    DFG
+        With ``meta['inputs']`` (free identifiers in first-use order),
+        ``meta['outputs']`` (assigned identifiers → node/ref),
+        ``meta['literals']`` (constant feed values for evaluation).
+    """
+    lowering = _Lowering(name, cse)
+    lineno = 0
+    for raw_line in source.replace(";", "\n").splitlines():
+        lineno += 1
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        lowering.statement(tokenize(line, lineno))
+    if lowering.dfg.n_nodes == 0:
+        raise FrontendError("program contains no operations")
+    dfg = lowering.dfg
+    dfg.meta["inputs"] = lowering.inputs
+    dfg.meta["outputs"] = dict(lowering.outputs)
+    dfg.meta["literals"] = dict(lowering.literals)
+    return dfg

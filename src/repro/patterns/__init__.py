@@ -1,0 +1,41 @@
+"""Pattern substrate.
+
+A *pattern* is a bag (multiset) of at most ``C`` operation colors — the
+combination of concurrent functions the ``C`` reconfigurable ALUs perform in
+one clock cycle (paper §1/§3).  Undefined elements are *dummies*: idle ALUs.
+
+* :class:`~repro.patterns.pattern.Pattern` — canonical immutable color bag,
+* :mod:`~repro.patterns.multiset` — bag algebra used by sub-pattern tests,
+* :class:`~repro.patterns.library.PatternLibrary` — an ordered pattern set
+  with architecture checks (the Montium allows at most 32 per application),
+* :mod:`~repro.patterns.enumeration` — antichain classification into patterns
+  (paper §5.1) including node frequencies ``h(p̄, n)``,
+* :mod:`~repro.patterns.random_gen` — seeded random covering pattern sets
+  (the paper's "Random" baseline in Tables 3 and 7).
+"""
+
+from repro.patterns.pattern import Pattern
+from repro.patterns.multiset import (
+    bag,
+    bag_key,
+    is_subbag,
+    bag_difference,
+    bag_union,
+)
+from repro.patterns.library import PatternLibrary
+from repro.patterns.enumeration import PatternCatalog, classify_antichains
+from repro.patterns.random_gen import random_pattern, random_pattern_set
+
+__all__ = [
+    "Pattern",
+    "PatternLibrary",
+    "PatternCatalog",
+    "classify_antichains",
+    "random_pattern",
+    "random_pattern_set",
+    "bag",
+    "bag_key",
+    "is_subbag",
+    "bag_difference",
+    "bag_union",
+]

@@ -1,0 +1,124 @@
+"""Ordered pattern collections with architecture checks.
+
+The Montium restricts one application to at most 32 patterns (paper §1); the
+multi-pattern scheduler additionally needs patterns no wider than the ALU
+count ``C``.  :class:`PatternLibrary` wraps an ordered pattern list with
+those checks — order matters because the scheduler breaks pattern-priority
+ties by list position (DESIGN.md §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.exceptions import PatternBudgetError, PatternError
+from repro.patterns.pattern import Pattern
+
+__all__ = ["PatternLibrary", "MONTIUM_PATTERN_BUDGET"]
+
+#: The Montium's per-application pattern budget (paper §1).
+MONTIUM_PATTERN_BUDGET = 32
+
+
+class PatternLibrary:
+    """An ordered, validated collection of patterns.
+
+    Parameters
+    ----------
+    patterns:
+        The pattern sequence; duplicates are rejected by default (they would
+        silently skew pattern-priority tie-breaking).
+    capacity:
+        The ALU count ``C``; every pattern must have size ≤ ``capacity``.
+    budget:
+        Maximum number of patterns (default: the Montium's 32).
+    allow_duplicates:
+        Permit equal color bags.  Needed to reproduce the paper's Table 3,
+        whose second row lists ``{a,b,c,b,c}`` and ``{b,c,b,c,a}`` — the
+        same bag twice (slot order never matters to the scheduler).
+    """
+
+    def __init__(
+        self,
+        patterns: Iterable[Pattern | str],
+        capacity: int,
+        *,
+        budget: int = MONTIUM_PATTERN_BUDGET,
+        allow_duplicates: bool = False,
+    ) -> None:
+        if capacity < 1:
+            raise PatternError(f"capacity must be ≥ 1, got {capacity}")
+        items: list[Pattern] = []
+        seen: set[Pattern] = set()
+        for p in patterns:
+            pat = Pattern.from_string(p) if isinstance(p, str) else p
+            if not isinstance(pat, Pattern):
+                raise PatternError(f"not a pattern: {p!r}")
+            if pat.size > capacity:
+                raise PatternError(
+                    f"pattern {pat.as_string()!r} has {pat.size} colors, "
+                    f"exceeding capacity C={capacity}"
+                )
+            if pat in seen and not allow_duplicates:
+                raise PatternError(f"duplicate pattern {pat.as_string()!r}")
+            seen.add(pat)
+            items.append(pat)
+        if not items:
+            raise PatternError("a pattern library cannot be empty")
+        if len(items) > budget:
+            raise PatternBudgetError(
+                f"{len(items)} patterns exceed the budget of {budget}"
+            )
+        self._patterns = tuple(items)
+        self.capacity = capacity
+        self.budget = budget
+
+    # ------------------------------------------------------------------ #
+    @property
+    def patterns(self) -> tuple[Pattern, ...]:
+        """The patterns in priority-tie-break order."""
+        return self._patterns
+
+    def __iter__(self) -> Iterator[Pattern]:
+        return iter(self._patterns)
+
+    def __len__(self) -> int:
+        return len(self._patterns)
+
+    def __getitem__(self, i: int) -> Pattern:
+        return self._patterns[i]
+
+    def __contains__(self, p: object) -> bool:
+        return p in set(self._patterns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PatternLibrary):
+            return NotImplemented
+        return (
+            self._patterns == other._patterns and self.capacity == other.capacity
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._patterns, self.capacity))
+
+    def color_set(self) -> frozenset[str]:
+        """Union of all pattern colors — must cover the DFG for schedulability."""
+        out: set[str] = set()
+        for p in self._patterns:
+            out |= p.color_set()
+        return frozenset(out)
+
+    def covers(self, colors: Iterable[str]) -> bool:
+        """``True`` iff every color in ``colors`` appears in some pattern."""
+        return set(colors) <= self.color_set()
+
+    def as_strings(self, *, padded: bool = False) -> tuple[str, ...]:
+        """Human-readable pattern strings, optionally padded to ``capacity``."""
+        width = self.capacity if padded else None
+        return tuple(p.as_string(width) for p in self._patterns)
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternLibrary([{', '.join(self.as_strings())}], "
+            f"capacity={self.capacity})"
+        )

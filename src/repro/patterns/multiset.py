@@ -1,0 +1,55 @@
+"""Small multiset (bag) algebra over color strings.
+
+Patterns are bags, so sub-pattern tests, unions and differences are bag
+operations.  We use :class:`collections.Counter` as the underlying
+representation; these helpers pin down the exact semantics the paper needs
+(e.g. a *sub-pattern* is bag inclusion counting multiplicity: ``{a}`` is a
+sub-pattern of ``{aa}``, and ``{aa}`` is **not** a sub-pattern of ``{ab}``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+__all__ = ["bag", "bag_key", "is_subbag", "bag_difference", "bag_union"]
+
+
+def bag(colors: Iterable[str]) -> Counter[str]:
+    """Build a color bag from an iterable of colors."""
+    return Counter(colors)
+
+
+def bag_key(counts: Mapping[str, int]) -> tuple[str, ...]:
+    """Canonical hashable key of a bag: colors repeated, sorted.
+
+    ``bag_key({'c': 2, 'a': 1})`` → ``('a', 'c', 'c')``.
+    """
+    out: list[str] = []
+    for color in sorted(counts):
+        out.extend([color] * counts[color])
+    return tuple(out)
+
+
+def is_subbag(small: Mapping[str, int], big: Mapping[str, int]) -> bool:
+    """``True`` iff ``small ⊆ big`` counting multiplicity."""
+    return all(big.get(color, 0) >= k for color, k in small.items() if k > 0)
+
+
+def bag_difference(a: Mapping[str, int], b: Mapping[str, int]) -> Counter[str]:
+    """Multiset difference ``a − b`` (never negative)."""
+    out: Counter[str] = Counter()
+    for color, k in a.items():
+        d = k - b.get(color, 0)
+        if d > 0:
+            out[color] = d
+    return out
+
+
+def bag_union(a: Mapping[str, int], b: Mapping[str, int]) -> Counter[str]:
+    """Multiset union (pointwise max)."""
+    out: Counter[str] = Counter({c: k for c, k in a.items() if k > 0})
+    for color, k in b.items():
+        if k > out.get(color, 0):
+            out[color] = k
+    return out

@@ -1,0 +1,176 @@
+"""The :class:`Pattern` value type.
+
+A pattern is a bag of operation colors of size at most ``C`` (the ALU count);
+slots not carrying a color are *dummies* (idle ALUs).  Two patterns are equal
+iff their bags are equal — slot order never matters.  ``Pattern`` instances
+are immutable and hashable so they can key catalogs and frequency tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from functools import total_ordering
+from typing import Iterable, Iterator, Mapping
+
+from repro.exceptions import PatternError
+from repro.patterns.multiset import bag_key, is_subbag
+
+__all__ = ["Pattern", "DUMMY"]
+
+#: Rendering of a dummy (idle) slot in padded string forms.
+DUMMY = "-"
+
+
+@total_ordering
+class Pattern:
+    """An immutable bag of operation colors.
+
+    Parameters
+    ----------
+    colors:
+        Iterable of color strings; multiplicity matters, order does not.
+
+    Examples
+    --------
+    >>> p = Pattern.from_string("aabcc")
+    >>> p.size, p.count("a"), p.count("c")
+    (5, 2, 2)
+    >>> Pattern.from_string("ab").is_subpattern_of(p)
+    True
+    """
+
+    __slots__ = ("_key", "_counts")
+
+    def __init__(self, colors: Iterable[str]) -> None:
+        counts = Counter(colors)
+        for color, k in counts.items():
+            if not isinstance(color, str) or not color or color == DUMMY:
+                raise PatternError(f"invalid color {color!r} in pattern")
+            if k <= 0:
+                raise PatternError(f"non-positive multiplicity for {color!r}")
+        if not counts:
+            raise PatternError("a pattern must contain at least one color")
+        object.__setattr__(self, "_counts", dict(counts))
+        object.__setattr__(self, "_key", bag_key(counts))
+
+    def __setattr__(self, name: str, value: object) -> None:  # immutability
+        raise AttributeError("Pattern is immutable")
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_string(cls, text: str) -> "Pattern":
+        """Parse single-character-color notation, e.g. ``"aabcc"``.
+
+        Dummy markers (``-``) and whitespace are skipped, so ``"aab--"`` is
+        the 3-color pattern ``{aab}``.
+        """
+        colors = [ch for ch in text if not ch.isspace() and ch != DUMMY]
+        if not colors:
+            raise PatternError(f"pattern string {text!r} contains no colors")
+        return cls(colors)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int]) -> "Pattern":
+        """Build from a color → multiplicity mapping."""
+        colors: list[str] = []
+        for color, k in counts.items():
+            colors.extend([color] * k)
+        return cls(colors)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def key(self) -> tuple[str, ...]:
+        """Canonical sorted color tuple (the bag identity)."""
+        return self._key
+
+    @property
+    def size(self) -> int:
+        """``|p̄|`` — the number of colors counting multiplicity (paper §5.2)."""
+        return len(self._key)
+
+    @property
+    def counts(self) -> Counter[str]:
+        """A fresh Counter of the bag."""
+        return Counter(self._counts)
+
+    def count(self, color: str) -> int:
+        """Multiplicity of ``color`` — the slots available for that color."""
+        return self._counts.get(color, 0)
+
+    def colors(self) -> tuple[str, ...]:
+        """Distinct colors, sorted."""
+        return tuple(sorted(self._counts))
+
+    def color_set(self) -> frozenset[str]:
+        """Distinct colors as a set."""
+        return frozenset(self._counts)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._key)
+
+    def __len__(self) -> int:
+        return len(self._key)
+
+    def __contains__(self, color: object) -> bool:
+        return color in self._counts
+
+    # ------------------------------------------------------------------ #
+    # relations
+    # ------------------------------------------------------------------ #
+    def is_subpattern_of(self, other: "Pattern") -> bool:
+        """Bag inclusion counting multiplicity (paper §5.2, Fig. 6 line 4).
+
+        Every pattern is a sub-pattern of itself; strictness is up to the
+        caller (the selection algorithm deletes *remaining* candidates, so
+        the selected pattern itself is already gone from the pool).
+        """
+        return is_subbag(self._counts, other._counts)
+
+    def covers_bag(self, needed: Mapping[str, int]) -> bool:
+        """``True`` iff the pattern provides ≥ ``needed[color]`` slots each."""
+        return is_subbag(needed, self._counts)
+
+    # ------------------------------------------------------------------ #
+    # rendering / dunder
+    # ------------------------------------------------------------------ #
+    def as_string(self, width: int | None = None) -> str:
+        """Single-character notation, optionally padded with dummies.
+
+        >>> Pattern.from_string("ab").as_string(width=5)
+        'ab---'
+        """
+        if any(len(c) > 1 for c in self._counts):
+            body = ",".join(self._key)
+            if width is not None and self.size < width:
+                body += "," + ",".join([DUMMY] * (width - self.size))
+            return "{" + body + "}"
+        body = "".join(self._key)
+        if width is not None:
+            if self.size > width:
+                raise PatternError(
+                    f"pattern {body!r} has {self.size} colors > width {width}"
+                )
+            body += DUMMY * (width - self.size)
+        return body
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self._key == other._key
+
+    def __lt__(self, other: "Pattern") -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        # Order by size then lexicographic key: deterministic tie-breaking in
+        # catalogs and selection.
+        return (self.size, self._key) < (other.size, other._key)
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"Pattern({self.as_string()!r})"

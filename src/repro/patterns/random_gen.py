@@ -1,0 +1,93 @@
+"""Random pattern sets — the paper's baseline (Tables 3 and 7).
+
+The paper compares schedules under "randomly generated patterns" (ten trials,
+averaged).  A pattern set whose colors do not jointly cover the DFG's colors
+deadlocks any list scheduler (some node can never be issued), so the minimal
+assumption that makes the baseline well-defined is *coverage*: we sample each
+pattern as ``C`` i.i.d. uniform colors and reject whole sets until their
+union covers the requested color universe.  The rejection is cheap (for
+``|L| = 3``, ``C = 5`` a single pattern already covers with probability
+≈ 0.62) and documented in DESIGN.md §5.
+
+All sampling is driven by :class:`random.Random` seeds for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.exceptions import PatternError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+
+__all__ = ["random_pattern", "random_pattern_set"]
+
+
+def random_pattern(
+    rng: random.Random, capacity: int, colors: Sequence[str]
+) -> Pattern:
+    """One pattern of exactly ``capacity`` i.i.d. uniform colors."""
+    if not colors:
+        raise PatternError("cannot sample patterns from an empty color universe")
+    if capacity < 1:
+        raise PatternError(f"capacity must be ≥ 1, got {capacity}")
+    return Pattern(rng.choice(colors) for _ in range(capacity))
+
+
+def random_pattern_set(
+    rng: random.Random,
+    capacity: int,
+    colors: Sequence[str],
+    n_patterns: int,
+    *,
+    ensure_coverage: bool = True,
+    max_tries: int = 10_000,
+) -> PatternLibrary:
+    """A random pattern library of ``n_patterns`` patterns.
+
+    Parameters
+    ----------
+    rng:
+        Seeded random source.
+    capacity:
+        ALU count ``C``; every sampled pattern has exactly ``C`` colors.
+    colors:
+        The color universe ``L`` that must be covered.
+    n_patterns:
+        ``Pdef``.
+    ensure_coverage:
+        Resample entire sets until the union of their colors covers
+        ``colors``; requires ``n_patterns * capacity >= len(colors)``.
+    max_tries:
+        Bail out with :class:`~repro.exceptions.PatternError` if coverage is
+        not hit within this many resamples (pathological universes only).
+
+    Notes
+    -----
+    Duplicate patterns are possible in principle; they are resampled as well
+    because :class:`~repro.patterns.library.PatternLibrary` rejects
+    duplicates (a duplicate adds nothing for the scheduler).
+    """
+    if n_patterns < 1:
+        raise PatternError(f"n_patterns must be ≥ 1, got {n_patterns}")
+    universe = list(dict.fromkeys(colors))
+    if ensure_coverage and n_patterns * capacity < len(universe):
+        raise PatternError(
+            f"{n_patterns} patterns x {capacity} slots cannot cover "
+            f"{len(universe)} colors"
+        )
+    for _ in range(max_tries):
+        pats = [random_pattern(rng, capacity, universe) for _ in range(n_patterns)]
+        if len(set(pats)) != len(pats):
+            continue
+        covered: set[str] = set()
+        for p in pats:
+            covered |= p.color_set()
+        if ensure_coverage and covered != set(universe):
+            continue
+        return PatternLibrary(pats, capacity)
+    raise PatternError(
+        f"failed to sample a covering pattern set after {max_tries} tries "
+        f"(capacity={capacity}, colors={universe!r}, n={n_patterns})"
+    )

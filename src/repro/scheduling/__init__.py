@@ -1,0 +1,68 @@
+"""Multi-pattern list scheduling (paper §4) and baseline schedulers.
+
+* :mod:`~repro.scheduling.node_priority` — Eq. 4 node priority with the
+  Eq. 5 parameter constraints,
+* :mod:`~repro.scheduling.pattern_priority` — Eq. 6 (``F1``) and Eq. 7
+  (``F2``) pattern priorities,
+* :mod:`~repro.scheduling.candidate_list` — the deterministic candidate list
+  (DESIGN.md §3.4),
+* :mod:`~repro.scheduling.selected_set` — greedy ``S(p, CL)`` slot filling,
+* :mod:`~repro.scheduling.scheduler` — the Fig. 3 main loop,
+* :mod:`~repro.scheduling.schedule` — schedule records and the independent
+  verifier,
+* :mod:`~repro.scheduling.baselines` — classic resource-constrained list
+  scheduling, force-directed scheduling, ASAP/ALAP references.
+"""
+
+from repro.scheduling.node_priority import (
+    PriorityParameters,
+    node_priorities,
+    priority_rank_key,
+)
+from repro.scheduling.pattern_priority import (
+    F1,
+    F2,
+    PatternPriority,
+    pattern_priority,
+)
+from repro.scheduling.candidate_list import CandidateList
+from repro.scheduling.selected_set import selected_set
+from repro.scheduling.schedule import CycleRecord, Schedule, verify_schedule
+from repro.scheduling.scheduler import MultiPatternScheduler, schedule_dfg
+from repro.scheduling.baselines import (
+    alap_schedule,
+    asap_schedule,
+    force_directed_schedule,
+    implied_patterns,
+    resource_list_schedule,
+)
+from repro.scheduling.optimal import (
+    OptimalResult,
+    optimal_schedule,
+    optimal_schedule_length,
+)
+
+__all__ = [
+    "PriorityParameters",
+    "node_priorities",
+    "priority_rank_key",
+    "F1",
+    "F2",
+    "PatternPriority",
+    "pattern_priority",
+    "CandidateList",
+    "selected_set",
+    "CycleRecord",
+    "Schedule",
+    "verify_schedule",
+    "MultiPatternScheduler",
+    "schedule_dfg",
+    "asap_schedule",
+    "alap_schedule",
+    "resource_list_schedule",
+    "force_directed_schedule",
+    "implied_patterns",
+    "OptimalResult",
+    "optimal_schedule",
+    "optimal_schedule_length",
+]

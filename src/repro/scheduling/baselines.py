@@ -1,0 +1,246 @@
+"""Baseline schedulers for context and cross-validation.
+
+The paper's related-work section names the two standard heuristics —
+list scheduling and force-directed scheduling — and argues neither handles
+the Montium's *bounded pattern count*.  We implement both so benchmarks can
+quantify that gap:
+
+* :func:`asap_schedule` / :func:`alap_schedule` — resource-unconstrained
+  references (lower bound ``ASAPmax + 1`` on any schedule);
+* :func:`resource_list_schedule` — classic resource-constrained list
+  scheduling with per-color functional-unit counts (equivalent to
+  multi-pattern scheduling with a single pattern, a fact the test-suite
+  exploits as an oracle);
+* :func:`force_directed_schedule` — Paulin & Knight's time-constrained
+  force-directed scheduling (self forces plus direct predecessor/successor
+  forces);
+* :func:`implied_patterns` — the distinct per-cycle color bags of any
+  schedule: how many patterns a *pattern-oblivious* scheduler would demand
+  from the configuration memory, which is the paper's motivation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Mapping
+
+from repro.dfg.levels import LevelAnalysis
+from repro.dfg.validate import validate_dfg
+from repro.exceptions import SchedulingDeadlockError, SchedulingError
+from repro.patterns.pattern import Pattern
+from repro.scheduling.candidate_list import CandidateList
+from repro.scheduling.node_priority import node_priorities
+from repro.scheduling.selected_set import selected_set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = [
+    "asap_schedule",
+    "alap_schedule",
+    "resource_list_schedule",
+    "force_directed_schedule",
+    "implied_patterns",
+]
+
+
+def asap_schedule(dfg: "DFG") -> dict[str, int]:
+    """Resource-unconstrained ASAP schedule (1-based cycles)."""
+    validate_dfg(dfg)
+    levels = LevelAnalysis.of(dfg)
+    return {n: levels.asap[n] + 1 for n in dfg.nodes}
+
+
+def alap_schedule(dfg: "DFG") -> dict[str, int]:
+    """Resource-unconstrained ALAP schedule (1-based cycles)."""
+    validate_dfg(dfg)
+    levels = LevelAnalysis.of(dfg)
+    return {n: levels.alap[n] + 1 for n in dfg.nodes}
+
+
+def resource_list_schedule(
+    dfg: "DFG", resources: Mapping[str, int]
+) -> dict[str, int]:
+    """Classic resource-constrained list scheduling.
+
+    ``resources`` maps each color to its functional-unit count; a cycle may
+    execute at most that many nodes of the color.  Uses the paper's Eq. 4
+    node priority and the deterministic candidate-list semantics, so with a
+    single-pattern library it coincides with
+    :class:`~repro.scheduling.scheduler.MultiPatternScheduler`.
+    """
+    validate_dfg(dfg)
+    missing = set(dfg.colors()) - {c for c, k in resources.items() if k > 0}
+    if missing:
+        raise SchedulingDeadlockError(
+            f"no functional units for colors {sorted(missing)}"
+        )
+    bag = Pattern.from_counts({c: k for c, k in resources.items() if k > 0})
+    priorities = node_priorities(dfg)
+    cl = CandidateList(dfg)
+    assignment: dict[str, int] = {}
+    cycle = 0
+    while cl:
+        cycle += 1
+        ordered = cl.in_priority_order(priorities)
+        chosen = selected_set(bag, ordered, dfg.color)
+        if not chosen:  # pragma: no cover - guarded by the coverage check
+            raise SchedulingDeadlockError(
+                f"resources {dict(resources)} cannot schedule {ordered[:5]}"
+            )
+        for n in chosen:
+            assignment[n] = cycle
+        cl.commit_cycle(chosen)
+    return assignment
+
+
+# --------------------------------------------------------------------------- #
+# force-directed scheduling
+# --------------------------------------------------------------------------- #
+def force_directed_schedule(
+    dfg: "DFG", latency: int | None = None
+) -> dict[str, int]:
+    """Time-constrained force-directed scheduling (Paulin & Knight).
+
+    Parameters
+    ----------
+    dfg:
+        The graph.
+    latency:
+        Allowed number of cycles; defaults to the critical-path length.
+        Must be ≥ the critical-path length.
+
+    Returns
+    -------
+    dict[str, int]
+        Node → 1-based cycle, balanced so per-color concurrency is low.
+
+    Notes
+    -----
+    Forces include the self force and the standard direct
+    predecessor/successor forces.  Deterministic tie-breaking: lowest force,
+    then earliest cycle, then smallest node index.
+    """
+    validate_dfg(dfg)
+    levels = LevelAnalysis.of(dfg)
+    cp = levels.critical_path_length
+    if latency is None:
+        latency = cp
+    if latency < cp:
+        raise SchedulingError(
+            f"latency {latency} below critical path length {cp}"
+        )
+    slack = latency - cp
+
+    # Mutable frames, 0-based cycles internally.
+    frame_lo = {n: levels.asap[n] for n in dfg.nodes}
+    frame_hi = {n: levels.alap[n] + slack for n in dfg.nodes}
+    colors = dfg.colors()
+    fixed: dict[str, int] = {}
+
+    def distribution() -> dict[str, list[float]]:
+        dg: dict[str, list[float]] = {c: [0.0] * latency for c in colors}
+        for n in dfg.nodes:
+            lo, hi = frame_lo[n], frame_hi[n]
+            w = 1.0 / (hi - lo + 1)
+            row = dg[dfg.color(n)]
+            for t in range(lo, hi + 1):
+                row[t] += w
+        return dg
+
+    def self_force(dg_row: list[float], lo: int, hi: int, t: int) -> float:
+        width = hi - lo + 1
+        avg = sum(dg_row[lo : hi + 1]) / width
+        return dg_row[t] - avg
+
+    def propagate() -> None:
+        # Re-tighten all frames after a fixing (forward then backward pass).
+        for n in dfg.topological_order():
+            lo = frame_lo[n]
+            for p in dfg.predecessors(n):
+                if frame_lo[p] + 1 > lo:
+                    lo = frame_lo[p] + 1
+            frame_lo[n] = lo
+        for n in reversed(dfg.topological_order()):
+            hi = frame_hi[n]
+            for s in dfg.successors(n):
+                if frame_hi[s] - 1 < hi:
+                    hi = frame_hi[s] - 1
+            frame_hi[n] = hi
+        for n in dfg.nodes:
+            if frame_lo[n] > frame_hi[n]:  # pragma: no cover - guarded above
+                raise SchedulingError(
+                    f"infeasible frames for {n!r} at latency {latency}"
+                )
+
+    unfixed = [n for n in dfg.nodes]
+    while unfixed:
+        dg = distribution()
+        best: tuple[float, int, int] | None = None
+        best_node, best_cycle = "", -1
+        for n in unfixed:
+            row = dg[dfg.color(n)]
+            lo, hi = frame_lo[n], frame_hi[n]
+            for t in range(lo, hi + 1):
+                force = self_force(row, lo, hi, t)
+                # Direct successor forces: fixing n at t narrows succ frames
+                # to start at t+1.
+                for s in dfg.successors(n):
+                    s_lo, s_hi = frame_lo[s], frame_hi[s]
+                    new_lo = max(s_lo, t + 1)
+                    if new_lo > s_hi:
+                        force = float("inf")
+                        break
+                    if new_lo != s_lo:
+                        s_row = dg[dfg.color(s)]
+                        width = s_hi - s_lo + 1
+                        avg = sum(s_row[s_lo : s_hi + 1]) / width
+                        new_avg = sum(s_row[new_lo : s_hi + 1]) / (s_hi - new_lo + 1)
+                        force += new_avg - avg
+                if force == float("inf"):
+                    continue
+                for p in dfg.predecessors(n):
+                    p_lo, p_hi = frame_lo[p], frame_hi[p]
+                    new_hi = min(p_hi, t - 1)
+                    if new_hi < p_lo:
+                        force = float("inf")
+                        break
+                    if new_hi != p_hi:
+                        p_row = dg[dfg.color(p)]
+                        width = p_hi - p_lo + 1
+                        avg = sum(p_row[p_lo : p_hi + 1]) / width
+                        new_avg = sum(p_row[p_lo : new_hi + 1]) / (new_hi - p_lo + 1)
+                        force += new_avg - avg
+                if force == float("inf"):
+                    continue
+                key = (force, t, dfg.index(n))
+                if best is None or key < best:
+                    best = key
+                    best_node, best_cycle = n, t
+        if best is None:  # pragma: no cover - latency was validated feasible
+            raise SchedulingError("force-directed scheduling found no move")
+        fixed[best_node] = best_cycle
+        frame_lo[best_node] = frame_hi[best_node] = best_cycle
+        propagate()
+        unfixed.remove(best_node)
+
+    return {n: fixed[n] + 1 for n in dfg.nodes}
+
+
+def implied_patterns(
+    dfg: "DFG", assignment: Mapping[str, int]
+) -> tuple[list[Pattern], int]:
+    """Per-cycle color bags of a schedule and how many are distinct.
+
+    A pattern-oblivious scheduler (list/force-directed) implicitly demands
+    one configuration pattern per distinct per-cycle bag; the Montium caps
+    that number at 32 and the paper's ``Pdef`` is far smaller — this function
+    quantifies the pressure.
+    """
+    by_cycle: dict[int, Counter[str]] = {}
+    for n, c in assignment.items():
+        by_cycle.setdefault(c, Counter())[dfg.color(n)] += 1
+    seq = [
+        Pattern.from_counts(by_cycle[c]) for c in sorted(by_cycle)
+    ]
+    return seq, len(set(seq))

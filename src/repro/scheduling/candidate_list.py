@@ -1,0 +1,108 @@
+"""The candidate list ``CL`` with reproduction-grade determinism.
+
+A list scheduler keeps the set of *candidate* nodes — nodes all of whose
+predecessors are already scheduled.  The paper's Table 2 trace implicitly
+fixes how ties in the node priority are broken; DESIGN.md §3.4 derives the
+unique consistent semantics, implemented here:
+
+* candidates are held in **arrival order** (initially: source nodes in
+  ascending insertion index),
+* when a cycle commits, the just-scheduled nodes are visited in ascending
+  index and their successors in edge-insertion order; successors whose
+  predecessors are now all scheduled are appended,
+* :meth:`CandidateList.in_priority_order` stable-sorts by descending
+  priority, so equal-priority nodes keep arrival order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+
+from repro.exceptions import SchedulingError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["CandidateList"]
+
+
+class CandidateList:
+    """Arrival-ordered candidate list for one scheduling run.
+
+    Parameters
+    ----------
+    dfg:
+        The graph being scheduled (must be validated by the caller).
+    """
+
+    def __init__(self, dfg: "DFG") -> None:
+        self._dfg = dfg
+        self._scheduled: set[str] = set()
+        self._entries: list[str] = []
+        self._present: set[str] = set()
+        for n in sorted(dfg.sources(), key=dfg.index):
+            self._append(n)
+
+    def _append(self, name: str) -> None:
+        if name in self._present:
+            raise SchedulingError(f"node {name!r} became a candidate twice")
+        self._entries.append(name)
+        self._present.add(name)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._present
+
+    def __iter__(self) -> Iterator[str]:
+        """Arrival order."""
+        return iter(self._entries)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current candidates in arrival order."""
+        return tuple(self._entries)
+
+    @property
+    def scheduled(self) -> frozenset[str]:
+        """All nodes committed so far."""
+        return frozenset(self._scheduled)
+
+    def in_priority_order(self, priorities: Mapping[str, int]) -> tuple[str, ...]:
+        """Candidates stable-sorted by descending priority (ties: arrival)."""
+        return tuple(sorted(self._entries, key=lambda n: -priorities[n]))
+
+    # ------------------------------------------------------------------ #
+    def commit_cycle(self, nodes: Iterable[str]) -> tuple[str, ...]:
+        """Commit one cycle's scheduled nodes and enqueue new candidates.
+
+        Returns the newly appended candidates (in append order).  Raises
+        :class:`~repro.exceptions.SchedulingError` if a committed node was
+        not a candidate.
+        """
+        committed = list(nodes)
+        for n in committed:
+            if n not in self._present:
+                raise SchedulingError(
+                    f"cannot commit {n!r}: not on the candidate list"
+                )
+        committed_set = set(committed)
+        self._entries = [n for n in self._entries if n not in committed_set]
+        self._present -= committed_set
+        self._scheduled |= committed_set
+
+        appended: list[str] = []
+        dfg = self._dfg
+        for n in sorted(committed_set, key=dfg.index):
+            for succ in dfg.successors(n):
+                if succ in self._present or succ in self._scheduled:
+                    continue
+                if all(p in self._scheduled for p in dfg.predecessors(succ)):
+                    self._append(succ)
+                    appended.append(succ)
+        return tuple(appended)

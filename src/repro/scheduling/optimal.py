@@ -1,0 +1,266 @@
+"""Exact multi-pattern scheduling by memoized branch-and-bound.
+
+The paper's scheduler is a heuristic; this module computes the *provably
+optimal* schedule length for a DFG under a fixed pattern library, so the
+benchmarks can report the heuristic's true optimality gap — a question the
+paper leaves open.
+
+Theory
+------
+Multi-pattern scheduling has no deadlines and no inter-cycle resource
+carryover, so a standard exchange argument applies: if a cycle idles a
+slot that a ready node could fill, filling it never lengthens the optimal
+schedule (the node's successors only become ready earlier).  It therefore
+suffices to branch over **maximal** selected sets: per pattern, take
+``min(slots(color), ready(color))`` nodes of every color, in all
+combinations.  States are downsets of the precedence poset, encoded as
+scheduled-node bitmasks and memoized; the search is depth-first with two
+prunings:
+
+* dependence bound — the longest chain among unscheduled nodes,
+* work bound — ``ceil(remaining_of_color / max_slots(color))`` per color,
+
+whichever is larger.  Complexity is exponential in the worst case (the
+problem is NP-complete, paper §2); the ``max_states`` guard keeps the
+exact solver honest about its scale — it is intended for graphs of up to
+roughly 30 nodes, such as the paper's 3DFT.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import combinations
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.dfg.levels import LevelAnalysis
+from repro.dfg.validate import validate_dfg
+from repro.exceptions import SchedulingDeadlockError, SchedulingError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["OptimalResult", "optimal_schedule_length", "optimal_schedule"]
+
+#: Default cap on distinct memoized states.
+DEFAULT_MAX_STATES = 2_000_000
+
+
+class OptimalResult:
+    """Outcome of an exact scheduling run.
+
+    Attributes
+    ----------
+    length:
+        The optimal number of clock cycles.
+    assignment:
+        One optimal node → cycle assignment (1-based).
+    chosen:
+        The pattern index used by each cycle.
+    states:
+        Number of distinct memoized states explored (search effort).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        assignment: dict[str, int],
+        chosen: list[int],
+        states: int,
+    ) -> None:
+        self.length = length
+        self.assignment = assignment
+        self.chosen = chosen
+        self.states = states
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimalResult(length={self.length}, states={self.states})"
+        )
+
+
+def _maximal_fits(
+    ready_by_color: dict[str, tuple[int, ...]], pattern: Pattern
+) -> Iterator[int]:
+    """Yield bitmasks of maximal ready-node subsets fitting ``pattern``."""
+    per_color: list[list[int]] = []
+    for color, nodes in ready_by_color.items():
+        slots = pattern.count(color)
+        if slots == 0 or not nodes:
+            continue
+        take = min(slots, len(nodes))
+        masks = []
+        for combo in combinations(nodes, take):
+            m = 0
+            for idx in combo:
+                m |= 1 << idx
+            masks.append(m)
+        per_color.append(masks)
+    if not per_color:
+        return
+    # Cartesian product of per-color choices.
+    def rec(i: int, acc: int) -> Iterator[int]:
+        if i == len(per_color):
+            yield acc
+            return
+        for m in per_color[i]:
+            yield from rec(i + 1, acc | m)
+
+    yield from rec(0, 0)
+
+
+def optimal_schedule(
+    dfg: "DFG",
+    library: PatternLibrary | Sequence[Pattern | str],
+    *,
+    capacity: int | None = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> OptimalResult:
+    """Provably optimal multi-pattern schedule (see module docstring).
+
+    Raises
+    ------
+    SchedulingDeadlockError
+        If the library cannot cover the graph's colors.
+    SchedulingError
+        If the state cap is exceeded (graph too large for exact search).
+    """
+    if not isinstance(library, PatternLibrary):
+        if capacity is None:
+            raise SchedulingError("capacity is required with raw patterns")
+        library = PatternLibrary(list(library), capacity)
+    validate_dfg(dfg)
+    missing = set(dfg.colors()) - library.color_set()
+    if missing:
+        raise SchedulingDeadlockError(
+            f"library has no slot for colors {sorted(missing)}"
+        )
+
+    n = dfg.n_nodes
+    names = dfg.nodes
+    color_of = [dfg.color(x) for x in names]
+    full = (1 << n) - 1
+    preds_mask = [0] * n
+    for u, v in dfg.edges():
+        preds_mask[dfg.index(v)] |= 1 << dfg.index(u)
+
+    levels = LevelAnalysis.of(dfg)
+    height = [levels.height[x] for x in names]
+    colors = sorted(set(color_of))
+    max_slots = {
+        c: max(p.count(c) for p in library) for c in colors
+    }
+    patterns = library.patterns
+    states = 0
+
+    @lru_cache(maxsize=None)
+    def solve(mask: int) -> int:
+        nonlocal states
+        states += 1
+        if states > max_states:
+            raise SchedulingError(
+                f"exact search exceeded {max_states} states on "
+                f"{dfg.name!r}; use the heuristic scheduler instead"
+            )
+        if mask == full:
+            return 0
+        remaining = full & ~mask
+        # Lower bounds: longest chain + per-color work.
+        dep_bound = 0
+        work: dict[str, int] = {c: 0 for c in colors}
+        m = remaining
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            if height[i] > dep_bound:
+                dep_bound = height[i]
+            work[color_of[i]] += 1
+        bound = dep_bound
+        for c, count in work.items():
+            wb = -(-count // max_slots[c])
+            if wb > bound:
+                bound = wb
+
+        ready_by_color: dict[str, list[int]] = {}
+        m = remaining
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            if preds_mask[i] & ~mask == 0:
+                ready_by_color.setdefault(color_of[i], []).append(i)
+        frozen = {c: tuple(v) for c, v in ready_by_color.items()}
+
+        best = full.bit_length() + 1  # ∞ surrogate: > n cycles never needed
+        seen_fits: set[int] = set()
+        for pattern in patterns:
+            for fit in _maximal_fits(frozen, pattern):
+                if fit == 0 or fit in seen_fits:
+                    continue
+                seen_fits.add(fit)
+                sub = 1 + solve(mask | fit)
+                if sub < best:
+                    best = sub
+                    if best == bound:
+                        return best  # cannot do better than the bound
+        if best > full.bit_length():
+            raise SchedulingDeadlockError(
+                f"no pattern can schedule any ready node of {dfg.name!r}"
+            )
+        return best
+
+    length = solve(0)
+
+    # Reconstruct one optimal assignment by walking the memo greedily.
+    assignment: dict[str, int] = {}
+    chosen: list[int] = []
+    mask = 0
+    cycle = 0
+    while mask != full:
+        cycle += 1
+        target = solve(mask) - 1
+        remaining = full & ~mask
+        ready_by_color: dict[str, list[int]] = {}
+        m = remaining
+        while m:
+            low = m & -m
+            i = low.bit_length() - 1
+            m ^= low
+            if preds_mask[i] & ~mask == 0:
+                ready_by_color.setdefault(color_of[i], []).append(i)
+        frozen = {c: tuple(v) for c, v in ready_by_color.items()}
+        found = False
+        for pi, pattern in enumerate(patterns):
+            for fit in _maximal_fits(frozen, pattern):
+                if fit and solve(mask | fit) == target:
+                    for j in range(n):
+                        if fit >> j & 1:
+                            assignment[names[j]] = cycle
+                    chosen.append(pi)
+                    mask |= fit
+                    found = True
+                    break
+            if found:
+                break
+        if not found:  # pragma: no cover - memo guarantees a witness
+            raise SchedulingError("failed to reconstruct optimal schedule")
+
+    solve.cache_clear()
+    return OptimalResult(
+        length=length, assignment=assignment, chosen=chosen, states=states
+    )
+
+
+def optimal_schedule_length(
+    dfg: "DFG",
+    library: PatternLibrary | Sequence[Pattern | str],
+    *,
+    capacity: int | None = None,
+    max_states: int = DEFAULT_MAX_STATES,
+) -> int:
+    """Just the optimal length (convenience wrapper)."""
+    return optimal_schedule(
+        dfg, library, capacity=capacity, max_states=max_states
+    ).length

@@ -1,0 +1,58 @@
+"""Pattern priority functions (paper §4.2, Eqs. 6-7).
+
+``F1(p, CL) = |S(p, CL)|`` — how many candidates the pattern covers.
+
+``F2(p, CL) = Σ_{n ∈ S(p, CL)} f(n)`` — the summed node priorities, which
+prefers covering *important* nodes; the paper's worked example (Table 2,
+cycle 2) shows ``F2`` breaking an ``F1`` tie in favour of the pattern that
+covers ``b3`` (height 5) instead of ``a16`` (height 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Mapping, Sequence
+
+from repro.exceptions import SchedulingError
+
+__all__ = ["PatternPriority", "F1", "F2", "pattern_priority"]
+
+
+class PatternPriority(enum.Enum):
+    """Which pattern priority function the scheduler uses."""
+
+    F1 = "f1"
+    F2 = "f2"
+
+    @classmethod
+    def coerce(cls, value: "PatternPriority | str") -> "PatternPriority":
+        """Accept enum members or the strings ``"f1"`` / ``"f2"``."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            raise SchedulingError(
+                f"unknown pattern priority {value!r}; expected 'f1' or 'f2'"
+            ) from None
+
+
+def F1(selected: Sequence[str]) -> int:
+    """Eq. 6: the number of nodes in the selected set."""
+    return len(selected)
+
+
+def F2(selected: Sequence[str], priorities: Mapping[str, int]) -> int:
+    """Eq. 7: the summed node priority of the selected set."""
+    return sum(priorities[n] for n in selected)
+
+
+def pattern_priority(
+    kind: PatternPriority,
+    selected: Sequence[str],
+    priorities: Mapping[str, int],
+) -> int:
+    """Dispatch to :func:`F1` or :func:`F2`."""
+    if kind is PatternPriority.F1:
+        return F1(selected)
+    return F2(selected, priorities)

@@ -1,0 +1,203 @@
+"""Schedule records, rendering and independent verification.
+
+A :class:`Schedule` is the full outcome of one multi-pattern scheduling run:
+the per-cycle trace (exactly the columns of the paper's Table 2) plus the
+node → cycle assignment.  :func:`verify_schedule` re-checks a schedule from
+first principles — dependencies, pattern conformance, completeness — without
+trusting anything the scheduler recorded, so tests can use it as an oracle.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.exceptions import ScheduleValidationError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["CycleRecord", "Schedule", "verify_schedule"]
+
+
+@dataclass(frozen=True)
+class CycleRecord:
+    """One clock cycle of a multi-pattern schedule.
+
+    Attributes
+    ----------
+    cycle:
+        1-based clock cycle number (the paper's convention).
+    candidates:
+        The candidate list at the start of the cycle, in priority order.
+    selections:
+        ``S(p_i, CL)`` for every pattern ``i`` of the library, in library
+        order (the hypothetical selected sets shown in Table 2).
+    priorities:
+        The pattern priority value ``F(p_i, CL)`` for every pattern.
+    chosen:
+        Index (0-based) of the winning pattern.
+    scheduled:
+        The committed nodes — ``selections[chosen]``.
+    """
+
+    cycle: int
+    candidates: tuple[str, ...]
+    selections: tuple[tuple[str, ...], ...]
+    priorities: tuple[int, ...]
+    chosen: int
+    scheduled: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The result of scheduling a DFG against a pattern library.
+
+    Attributes
+    ----------
+    dfg:
+        The scheduled graph.
+    library:
+        The pattern library used.
+    cycles:
+        Per-cycle trace records.
+    assignment:
+        Node name → 1-based clock cycle.
+    """
+
+    dfg: "DFG"
+    library: PatternLibrary
+    cycles: tuple[CycleRecord, ...]
+    assignment: Mapping[str, int]
+
+    @property
+    def length(self) -> int:
+        """Total number of clock cycles — the paper's objective."""
+        return len(self.cycles)
+
+    def nodes_in_cycle(self, cycle: int) -> tuple[str, ...]:
+        """Nodes committed in 1-based ``cycle``."""
+        return self.cycles[cycle - 1].scheduled
+
+    def pattern_of_cycle(self, cycle: int) -> Pattern:
+        """The pattern chosen for 1-based ``cycle``."""
+        return self.library[self.cycles[cycle - 1].chosen]
+
+    def pattern_usage(self) -> Counter[int]:
+        """How many cycles used each pattern index."""
+        return Counter(rec.chosen for rec in self.cycles)
+
+    def utilization(self) -> float:
+        """Mean fraction of chosen-pattern slots actually filled per cycle."""
+        if not self.cycles:
+            return 0.0
+        fractions = [
+            len(rec.scheduled) / self.library[rec.chosen].size
+            for rec in self.cycles
+        ]
+        return sum(fractions) / len(fractions)
+
+    def verify(self) -> None:
+        """Re-check this schedule from first principles (see module docs)."""
+        verify_schedule(
+            self.dfg,
+            self.assignment,
+            self.library,
+            chosen=[rec.chosen for rec in self.cycles],
+        )
+
+    def as_table(self) -> str:
+        """Render the trace in the layout of the paper's Table 2."""
+        width = self.library.capacity
+        headers = ["cycle", "candidate list"] + [
+            f"pattern{i + 1}={p.as_string(width)!r}"
+            for i, p in enumerate(self.library)
+        ] + ["selected"]
+        rows: list[list[str]] = []
+        for rec in self.cycles:
+            rows.append(
+                [
+                    str(rec.cycle),
+                    ",".join(rec.candidates),
+                    *(",".join(sel) for sel in rec.selections),
+                    str(rec.chosen + 1),
+                ]
+            )
+        widths = [
+            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            for c in range(len(headers))
+        ]
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        lines = [fmt.format(*headers)]
+        lines.extend(fmt.format(*row) for row in rows)
+        return "\n".join(lines)
+
+
+def verify_schedule(
+    dfg: "DFG",
+    assignment: Mapping[str, int],
+    library: PatternLibrary,
+    *,
+    chosen: Sequence[int] | None = None,
+) -> None:
+    """Validate a node → cycle assignment against the paper's constraints.
+
+    Checks
+    ------
+    1. **completeness** — every node scheduled exactly once, cycles 1..len
+       contiguous and non-empty;
+    2. **dependencies** — every edge ``u → v`` has
+       ``assignment[u] < assignment[v]``;
+    3. **pattern conformance** — each cycle's color bag fits inside at least
+       one library pattern (or inside the recorded ``chosen`` pattern when
+       provided).
+
+    Raises
+    ------
+    ScheduleValidationError
+        On the first violated constraint, with a diagnostic message.
+    """
+    nodes = set(dfg.nodes)
+    assigned = set(assignment)
+    if assigned != nodes:
+        missing = sorted(nodes - assigned)
+        extra = sorted(assigned - nodes)
+        raise ScheduleValidationError(
+            f"assignment mismatch: missing={missing[:5]} extra={extra[:5]}"
+        )
+    if not assignment:
+        return
+    cycles_used = sorted(set(assignment.values()))
+    if cycles_used[0] != 1 or cycles_used[-1] != len(cycles_used):
+        raise ScheduleValidationError(
+            f"cycles must be contiguous 1..k; got {cycles_used[:10]}..."
+        )
+    for u, v in dfg.edges():
+        if assignment[u] >= assignment[v]:
+            raise ScheduleValidationError(
+                f"dependency violated: {u!r} (cycle {assignment[u]}) must "
+                f"precede {v!r} (cycle {assignment[v]})"
+            )
+    by_cycle: dict[int, list[str]] = {}
+    for n, c in assignment.items():
+        by_cycle.setdefault(c, []).append(n)
+    if chosen is not None and len(chosen) != len(by_cycle):
+        raise ScheduleValidationError(
+            f"{len(chosen)} chosen patterns for {len(by_cycle)} cycles"
+        )
+    for c in cycles_used:
+        need = Counter(dfg.color(n) for n in by_cycle[c])
+        if chosen is not None:
+            pattern = library[chosen[c - 1]]
+            if not pattern.covers_bag(need):
+                raise ScheduleValidationError(
+                    f"cycle {c}: colors {dict(need)} exceed chosen pattern "
+                    f"{pattern.as_string()!r}"
+                )
+        elif not any(p.covers_bag(need) for p in library):
+            raise ScheduleValidationError(
+                f"cycle {c}: colors {dict(need)} fit no library pattern"
+            )

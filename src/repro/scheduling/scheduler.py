@@ -1,0 +1,180 @@
+"""The multi-pattern list scheduling algorithm (paper §4, Fig. 3).
+
+The loop, verbatim from the paper:
+
+1. Compute the priority function for each node in the graph.
+2. Get the candidate list.
+3. Sort the nodes in the candidate list according to their priority
+   functions.
+4. Schedule the nodes in the candidate list from high priority to low
+   priority according to all given patterns.
+5. Compute the pattern priority function for each pattern and keep the
+   pattern with highest pattern priority value.
+6. Update the candidate list.
+7. If the candidate list is not empty, go back to 3; else end.
+
+Determinism follows DESIGN.md §3.4; with those tie-breaks this module
+reproduces the paper's Table 2 trace *exactly* (asserted in the test-suite).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.dfg.levels import LevelAnalysis
+from repro.dfg.validate import validate_dfg
+from repro.exceptions import SchedulingDeadlockError, SchedulingError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+from repro.scheduling.candidate_list import CandidateList
+from repro.scheduling.node_priority import PriorityParameters, node_priorities
+from repro.scheduling.pattern_priority import PatternPriority, pattern_priority
+from repro.scheduling.schedule import CycleRecord, Schedule
+from repro.scheduling.selected_set import selected_set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["MultiPatternScheduler", "schedule_dfg"]
+
+
+class MultiPatternScheduler:
+    """List scheduler for a fixed multi-pattern library.
+
+    Parameters
+    ----------
+    library:
+        The allowed patterns (order is the tie-break order).
+    priority:
+        ``"f2"`` (default, Eq. 7) or ``"f1"`` (Eq. 6).
+    params:
+        Optional explicit Eq. 4 weights; derived per-graph by default.
+    max_cycles:
+        Safety valve; ``None`` derives ``2 * n_nodes + 1`` (any correct run
+        needs at most ``n_nodes`` cycles, one node per cycle).
+
+    Notes
+    -----
+    The scheduler is stateless across calls — one instance can schedule many
+    graphs (the Table 7 harness reuses one per pattern set).
+    """
+
+    def __init__(
+        self,
+        library: PatternLibrary | Sequence[Pattern | str],
+        *,
+        capacity: int | None = None,
+        priority: PatternPriority | str = PatternPriority.F2,
+        params: PriorityParameters | None = None,
+        max_cycles: int | None = None,
+    ) -> None:
+        if isinstance(library, PatternLibrary):
+            self.library = library
+        else:
+            if capacity is None:
+                raise SchedulingError(
+                    "capacity is required when passing raw patterns"
+                )
+            self.library = PatternLibrary(library, capacity)
+        self.priority = PatternPriority.coerce(priority)
+        self.params = params
+        self.max_cycles = max_cycles
+
+    # ------------------------------------------------------------------ #
+    def schedule(
+        self, dfg: "DFG", *, levels: LevelAnalysis | None = None
+    ) -> Schedule:
+        """Schedule ``dfg``, returning the full :class:`Schedule` trace.
+
+        Raises
+        ------
+        SchedulingDeadlockError
+            When no pattern can execute any candidate (the library's colors
+            do not cover the graph's colors).
+        """
+        validate_dfg(dfg)
+        missing = set(dfg.colors()) - self.library.color_set()
+        if missing:
+            raise SchedulingDeadlockError(
+                f"library {self.library.as_strings()} has no slot for "
+                f"colors {sorted(missing)} used by {dfg.name!r}"
+            )
+
+        # Fig. 3 step 1: node priorities.
+        priorities = node_priorities(dfg, levels=levels, params=self.params)
+        # Step 2: initial candidate list.
+        cl = CandidateList(dfg)
+        color_of = dfg.color
+        patterns = self.library.patterns
+        records: list[CycleRecord] = []
+        assignment: dict[str, int] = {}
+        limit = (
+            self.max_cycles
+            if self.max_cycles is not None
+            else 2 * dfg.n_nodes + 1
+        )
+
+        while cl:
+            if len(records) >= limit:
+                raise SchedulingError(
+                    f"exceeded {limit} cycles scheduling {dfg.name!r}; "
+                    "the candidate list is not draining"
+                )
+            # Step 3: sort candidates (stable, descending priority).
+            ordered = cl.in_priority_order(priorities)
+            # Step 4: hypothetical selected set per pattern.
+            selections = tuple(
+                selected_set(p, ordered, color_of) for p in patterns
+            )
+            # Step 5: pattern priorities; keep the best (ties: first).
+            values = tuple(
+                pattern_priority(self.priority, sel, priorities)
+                for sel in selections
+            )
+            best = max(range(len(patterns)), key=lambda i: (values[i], -i))
+            scheduled = selections[best]
+            if not scheduled:
+                raise SchedulingDeadlockError(
+                    f"no pattern can schedule any of {ordered[:6]}… in "
+                    f"{dfg.name!r} (cycle {len(records) + 1})"
+                )
+            cycle_no = len(records) + 1
+            records.append(
+                CycleRecord(
+                    cycle=cycle_no,
+                    candidates=ordered,
+                    selections=selections,
+                    priorities=values,
+                    chosen=best,
+                    scheduled=scheduled,
+                )
+            )
+            for n in scheduled:
+                assignment[n] = cycle_no
+            # Step 6: update the candidate list.
+            cl.commit_cycle(scheduled)
+
+        schedule = Schedule(
+            dfg=dfg,
+            library=self.library,
+            cycles=tuple(records),
+            assignment=assignment,
+        )
+        schedule.verify()
+        return schedule
+
+
+def schedule_dfg(
+    dfg: "DFG",
+    patterns: PatternLibrary | Iterable[Pattern | str],
+    *,
+    capacity: int | None = None,
+    priority: PatternPriority | str = PatternPriority.F2,
+) -> Schedule:
+    """One-shot convenience wrapper around :class:`MultiPatternScheduler`."""
+    if not isinstance(patterns, PatternLibrary):
+        patterns = list(patterns)  # type: ignore[assignment]
+    scheduler = MultiPatternScheduler(
+        patterns, capacity=capacity, priority=priority
+    )
+    return scheduler.schedule(dfg)

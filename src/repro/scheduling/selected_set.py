@@ -1,0 +1,56 @@
+"""Greedy selected-set computation ``S(p, CL)`` (paper §4).
+
+Given a candidate list sorted by descending node priority and a pattern,
+``S(p, CL)`` is the set of candidates that would be scheduled if the cycle's
+resources were the pattern's slots: walk the candidates from high to low
+priority and take each node whose color still has a free slot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.patterns.pattern import Pattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+
+__all__ = ["selected_set"]
+
+
+def selected_set(
+    pattern: Pattern,
+    candidates_by_priority: Sequence[str],
+    color_of: Callable[[str], str],
+) -> tuple[str, ...]:
+    """The nodes scheduled from ``candidates_by_priority`` under ``pattern``.
+
+    Parameters
+    ----------
+    pattern:
+        The resource bag for this hypothetical cycle.
+    candidates_by_priority:
+        Candidates already sorted from high to low priority
+        (see :meth:`~repro.scheduling.candidate_list.CandidateList.in_priority_order`).
+    color_of:
+        Maps node name to color, e.g. ``dfg.color``.
+
+    Returns
+    -------
+    tuple[str, ...]
+        Selected nodes in priority order (a subset of the input sequence).
+    """
+    free = dict(pattern.counts)
+    out: list[str] = []
+    taken = 0
+    total = pattern.size
+    for n in candidates_by_priority:
+        if taken == total:
+            break
+        c = color_of(n)
+        slots = free.get(c, 0)
+        if slots > 0:
+            free[c] = slots - 1
+            out.append(n)
+            taken += 1
+    return tuple(out)

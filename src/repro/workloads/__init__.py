@@ -1,0 +1,62 @@
+"""Workload DFG builders.
+
+* :mod:`~repro.workloads.fft` — the paper's graphs: the exact Fig. 2 3DFT
+  reconstruction, Winograd 3/5-point DFTs (numerically verified against
+  ``numpy.fft``), radix-2 FFTs and direct DFTs of any size,
+* :mod:`~repro.workloads.examples` — the Fig. 4 small example,
+* :mod:`~repro.workloads.dsp` — FIR / IIR / moving-average kernels,
+* :mod:`~repro.workloads.linear_algebra` — dot products, mat-vec, mat-mul,
+* :mod:`~repro.workloads.synthetic` — seeded random layered / Erdős-Rényi
+  DAGs for scaling studies.
+
+:data:`WORKLOADS` maps CLI-friendly names to zero-argument builders.
+"""
+
+from repro.workloads.examples import small_example
+from repro.workloads.fft import (
+    direct_dft,
+    five_point_dft,
+    radix2_fft,
+    three_point_dft_paper,
+    three_point_dft_winograd,
+)
+from repro.workloads.dsp import fir_filter, iir_cascade, moving_average
+from repro.workloads.linear_algebra import dot_product, matmul, matvec
+from repro.workloads.synthetic import layered_dag, random_dag
+from repro.workloads.transforms import dct2
+
+__all__ = [
+    "three_point_dft_paper",
+    "three_point_dft_winograd",
+    "five_point_dft",
+    "radix2_fft",
+    "direct_dft",
+    "small_example",
+    "fir_filter",
+    "iir_cascade",
+    "moving_average",
+    "dot_product",
+    "matvec",
+    "matmul",
+    "dct2",
+    "layered_dag",
+    "random_dag",
+    "WORKLOADS",
+]
+
+#: Named zero-argument builders for the CLI and the experiment harnesses.
+WORKLOADS = {
+    "3dft": three_point_dft_paper,
+    "3dft-winograd": three_point_dft_winograd,
+    "5dft": five_point_dft,
+    "fft8": lambda: radix2_fft(8),
+    "fft16": lambda: radix2_fft(16),
+    "small-example": small_example,
+    "fir8": lambda: fir_filter(8),
+    "iir2": lambda: iir_cascade(2),
+    "dot8": lambda: dot_product(8),
+    "matvec4": lambda: matvec(4, 4),
+    # dct4 (not 8): 2^k-point DCTs are maximally wide at level 0 and the
+    # default full-size catalog is meant for laptop-quick registry runs.
+    "dct4": lambda: dct2(4),
+}

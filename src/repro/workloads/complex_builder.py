@@ -1,0 +1,169 @@
+"""Helper for building *evaluable* real-operation DFGs from complex math.
+
+FFT/DFT workloads are specified over complex numbers but the Montium ALUs
+execute real scalar operations, so every builder expands complex arithmetic
+into real adds (color ``a``), subtracts (``b``) and constant multiplies
+(``c``) — the same color convention as the paper's Fig. 2.
+
+Every generated node carries evaluable semantics (``op`` / ``operands`` /
+``factor`` attributes, see :meth:`repro.dfg.graph.DFG.evaluate`) so the
+builders can be verified numerically against ``numpy.fft`` — the strongest
+available evidence that a generated graph really computes its transform.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.dfg.graph import DFG
+from repro.exceptions import GraphError
+
+__all__ = ["ComplexGraphBuilder", "Ref", "CRef"]
+
+#: A scalar signal: either a node name or an external-input reference.
+Ref = Union[str, tuple[str, str]]
+#: A complex signal: (real part, imaginary part).
+CRef = tuple[Ref, Ref]
+
+#: Tolerance under which a twiddle-factor component counts as 0 / ±1.
+_EPS = 1e-12
+
+
+class ComplexGraphBuilder:
+    """Builds a DFG of real scalar ops from complex-valued formulas.
+
+    Parameters
+    ----------
+    name:
+        Graph name.
+    colors:
+        Mapping from op kind (``add`` / ``sub`` / ``mul``) to node color;
+        defaults to the paper's ``a`` / ``b`` / ``c``.
+    """
+
+    def __init__(self, name: str, colors: dict[str, str] | None = None) -> None:
+        self.dfg = DFG(name=name)
+        self._colors = colors or {"add": "a", "sub": "b", "mul": "c"}
+        self._n = 0
+
+    # ------------------------------------------------------------------ #
+    # scalar ops
+    # ------------------------------------------------------------------ #
+    def _fresh(self, hint: str) -> str:
+        self._n += 1
+        return f"{hint}{self._n}"
+
+    def input(self, key: str) -> Ref:
+        """An external scalar input reference."""
+        return ("input", key)
+
+    def add(self, x: Ref, y: Ref, name: str | None = None) -> Ref:
+        """Scalar addition node (color ``a``)."""
+        n = name or self._fresh(self._colors["add"])
+        self.dfg.add_node(n, self._colors["add"], op="add", operands=(x, y))
+        self._wire(n, x, y)
+        return n
+
+    def sub(self, x: Ref, y: Ref, name: str | None = None) -> Ref:
+        """Scalar subtraction node (color ``b``)."""
+        n = name or self._fresh(self._colors["sub"])
+        self.dfg.add_node(n, self._colors["sub"], op="sub", operands=(x, y))
+        self._wire(n, x, y)
+        return n
+
+    def mulc(self, factor: float, x: Ref, name: str | None = None) -> Ref:
+        """Multiplication by a real constant (color ``c``)."""
+        n = name or self._fresh(self._colors["mul"])
+        self.dfg.add_node(
+            n, self._colors["mul"], op="mul", operands=(x,), factor=factor
+        )
+        self._wire(n, x)
+        return n
+
+    def _wire(self, node: str, *operands: Ref) -> None:
+        for ref in operands:
+            if isinstance(ref, str):
+                self.dfg.add_edge(ref, node)
+            elif not (
+                isinstance(ref, tuple) and len(ref) == 2 and ref[0] == "input"
+            ):
+                raise GraphError(f"malformed operand reference {ref!r}")
+
+    # ------------------------------------------------------------------ #
+    # complex ops over (re, im) pairs
+    # ------------------------------------------------------------------ #
+    def cinput(self, key: str) -> CRef:
+        """A complex external input: references ``{key}r`` and ``{key}i``."""
+        return (self.input(f"{key}r"), self.input(f"{key}i"))
+
+    def cadd(self, u: CRef, v: CRef) -> CRef:
+        """Complex addition: two real adds."""
+        return (self.add(u[0], v[0]), self.add(u[1], v[1]))
+
+    def csub(self, u: CRef, v: CRef) -> CRef:
+        """Complex subtraction: two real subtracts."""
+        return (self.sub(u[0], v[0]), self.sub(u[1], v[1]))
+
+    def cmul_real(self, k: float, u: CRef) -> CRef:
+        """Multiplication by a real constant: two real multiplies."""
+        return (self.mulc(k, u[0]), self.mulc(k, u[1]))
+
+    def cmul_const(self, w: complex, u: CRef) -> CRef:
+        """Multiplication by a complex constant ``w``.
+
+        Exact special cases (``±1``, ``±i``, purely real/imaginary) avoid
+        degenerate multiply-by-zero nodes; the general case uses the
+        4-multiply expansion
+        ``(wr·ur − wi·ui) + i(wr·ui + wi·ur)``.
+        """
+        wr, wi = w.real, w.imag
+        if abs(wi) < _EPS:
+            if abs(wr - 1.0) < _EPS:
+                return u
+            return self.cmul_real(wr, u)
+        if abs(wr) < _EPS:
+            # w = i·wi:  w·u = (−wi·ui) + i·(wi·ur)
+            if abs(wi - 1.0) < _EPS:  # w = i
+                return (self.mulc(-1.0, u[1]), u[0])
+            if abs(wi + 1.0) < _EPS:  # w = −i
+                return (u[1], self.mulc(-1.0, u[0]))
+            return (self.mulc(-wi, u[1]), self.mulc(wi, u[0]))
+        re = self.sub(self.mulc(wr, u[0]), self.mulc(wi, u[1]))
+        im = self.add(self.mulc(wr, u[1]), self.mulc(wi, u[0]))
+        return (re, im)
+
+    def cbutterfly(self, a: CRef, b: CRef, w: complex) -> tuple[CRef, CRef]:
+        """Radix-2 DIT butterfly: returns ``(a + w·b, a − w·b)``.
+
+        The ``w = −i`` case is folded into the adds/subtracts (no multiply
+        nodes), matching how hand-written FFT datapaths avoid trivial
+        twiddles.
+        """
+        wr, wi = w.real, w.imag
+        if abs(wr) < _EPS and abs(wi + 1.0) < _EPS:
+            # w = −i: w·b = (bi, −br); fold the negation into the ± nodes.
+            ar, ai = a
+            br, bi = b
+            out1 = (self.add(ar, bi), self.sub(ai, br))
+            out2 = (self.sub(ar, bi), self.add(ai, br))
+            return out1, out2
+        t = self.cmul_const(w, b)
+        return self.cadd(a, t), self.csub(a, t)
+
+    # ------------------------------------------------------------------ #
+    def finish(
+        self,
+        outputs: dict[str, CRef],
+        inputs: list[str],
+    ) -> DFG:
+        """Record output/input metadata and return the built graph.
+
+        ``outputs`` maps logical output names (e.g. ``"X0"``) to complex
+        refs; ``inputs`` lists logical complex input names (each expands to
+        ``r``/``i`` scalar keys).
+        """
+        self.dfg.meta["outputs"] = {
+            k: (v[0], v[1]) for k, v in outputs.items()
+        }
+        self.dfg.meta["inputs"] = list(inputs)
+        return self.dfg

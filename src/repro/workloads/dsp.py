@@ -1,0 +1,121 @@
+"""DSP kernel workloads (the Montium's target domain, paper §1).
+
+All builders produce evaluable graphs over *real* scalars, verified in the
+test-suite against direct NumPy computations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.dfg.graph import DFG
+from repro.exceptions import GraphError
+from repro.workloads.complex_builder import ComplexGraphBuilder, Ref
+
+__all__ = ["fir_filter", "moving_average", "iir_cascade", "evaluate_real"]
+
+
+def _adder_tree(b: ComplexGraphBuilder, terms: list[Ref]) -> Ref:
+    """Balanced binary adder tree (log-depth) over scalar refs."""
+    layer = list(terms)
+    while len(layer) > 1:
+        nxt: list[Ref] = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(b.add(layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def fir_filter(n_taps: int, *, tree: bool = True) -> DFG:
+    """One output sample of an ``n_taps``-tap FIR filter.
+
+    ``y = Σ_k h_k · x_k`` over the current input window: ``n_taps``
+    multiplications plus an adder tree (``tree=True``, log depth) or an
+    adder chain (linear depth — a deliberately serial variant for scheduler
+    stress tests).
+
+    Tap coefficients are fixed deterministic values recorded in ``meta``.
+    """
+    if n_taps < 1:
+        raise GraphError(f"n_taps must be ≥ 1, got {n_taps}")
+    b = ComplexGraphBuilder(f"fir{n_taps}{'tree' if tree else 'chain'}")
+    taps = [round(0.5 / (k + 1), 6) for k in range(n_taps)]
+    prods: list[Ref] = [
+        b.mulc(taps[k], b.input(f"x{k}")) for k in range(n_taps)
+    ]
+    if n_taps == 1:
+        y = prods[0]
+    elif tree:
+        y = _adder_tree(b, prods)
+    else:
+        y = prods[0]
+        for p in prods[1:]:
+            y = b.add(y, p)
+    dfg = b.dfg
+    dfg.meta["inputs"] = [f"x{k}" for k in range(n_taps)]
+    dfg.meta["output"] = y
+    dfg.meta["taps"] = taps
+    return dfg
+
+
+def moving_average(window: int) -> DFG:
+    """A ``window``-wide moving average: adder tree plus one scale multiply."""
+    if window < 2:
+        raise GraphError(f"window must be ≥ 2, got {window}")
+    b = ComplexGraphBuilder(f"avg{window}")
+    total = _adder_tree(b, [b.input(f"x{k}") for k in range(window)])
+    y = b.mulc(1.0 / window, total)
+    dfg = b.dfg
+    dfg.meta["inputs"] = [f"x{k}" for k in range(window)]
+    dfg.meta["output"] = y
+    return dfg
+
+
+def iir_cascade(n_sections: int) -> DFG:
+    """One output sample of a cascade of ``n_sections`` biquad IIR sections.
+
+    Per section (direct form I, state as external inputs):
+    ``y = b0·x + b1·x1 + b2·x2 − a1·y1 − a2·y2`` — 5 multiplies, 2 adds,
+    2 subtracts; the section output feeds the next section's ``x``.
+    """
+    if n_sections < 1:
+        raise GraphError(f"n_sections must be ≥ 1, got {n_sections}")
+    b = ComplexGraphBuilder(f"iir{n_sections}")
+    coeffs = []
+    x: Ref = b.input("x")
+    inputs = ["x"]
+    for s in range(n_sections):
+        b0, b1, b2 = 0.5, 0.25, 0.125
+        a1, a2 = 0.3, 0.1
+        coeffs.append((b0, b1, b2, a1, a2))
+        x1, x2 = b.input(f"s{s}x1"), b.input(f"s{s}x2")
+        y1, y2 = b.input(f"s{s}y1"), b.input(f"s{s}y2")
+        inputs += [f"s{s}x1", f"s{s}x2", f"s{s}y1", f"s{s}y2"]
+        ff = b.add(
+            b.mulc(b0, x), b.add(b.mulc(b1, x1), b.mulc(b2, x2))
+        )
+        fb = b.add(b.mulc(a1, y1), b.mulc(a2, y2))
+        x = b.sub(ff, fb)
+    dfg = b.dfg
+    dfg.meta["inputs"] = inputs
+    dfg.meta["output"] = x
+    dfg.meta["coeffs"] = coeffs
+    return dfg
+
+
+def evaluate_real(dfg: DFG, inputs: dict[str, float]) -> float:
+    """Evaluate a real-valued kernel built by this module.
+
+    Returns the scalar value of the graph's ``meta['output']`` node.
+    """
+    out_ref = dfg.meta.get("output")
+    if out_ref is None:
+        raise GraphError(f"graph {dfg.name!r} has no scalar output")
+    values = dfg.evaluate(inputs)
+    if isinstance(out_ref, tuple):
+        return float(np.real(inputs[out_ref[1]]))
+    return float(values[out_ref].real)

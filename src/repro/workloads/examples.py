@@ -1,0 +1,31 @@
+"""The paper's Fig. 4 small example graph.
+
+Five nodes, two colors.  The structure is pinned down uniquely by Table 4's
+complete antichain inventory (DESIGN.md §2.3): the only two-node antichains
+are ``{a1,a3}``, ``{a2,a3}`` and ``{b4,b5}``, so every other pair must be
+comparable, forcing the edges below.
+"""
+
+from __future__ import annotations
+
+from repro.dfg.graph import DFG
+
+__all__ = ["small_example"]
+
+
+def small_example() -> DFG:
+    """The Fig. 4 example: ``a1→a2→{b4,b5}``, ``a3→{b4,b5}``."""
+    dfg = DFG(name="small-example")
+    for n in ("a1", "a2", "a3", "b4", "b5"):
+        dfg.add_node(n, n[0])
+    dfg.add_edges(
+        [
+            ("a1", "a2"),
+            ("a2", "b4"),
+            ("a2", "b5"),
+            ("a3", "b4"),
+            ("a3", "b5"),
+        ]
+    )
+    dfg.meta["source"] = "reconstructed from paper Table 4 (DESIGN.md §2.3)"
+    return dfg

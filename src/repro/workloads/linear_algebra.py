@@ -1,0 +1,92 @@
+"""Linear-algebra kernel workloads.
+
+Real-scalar evaluable graphs for dot products, matrix-vector and small
+matrix-matrix products.  Matrix entries are fixed deterministic constants
+(multiplication nodes are constant-multiplies, matching the Montium's
+coefficient-memory style); vectors are external inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dfg.graph import DFG
+from repro.exceptions import GraphError
+from repro.workloads.complex_builder import ComplexGraphBuilder, Ref
+
+__all__ = ["dot_product", "matvec", "matmul", "fixed_matrix"]
+
+
+def fixed_matrix(rows: int, cols: int) -> np.ndarray:
+    """The deterministic coefficient matrix used by the builders."""
+    r = np.arange(rows, dtype=float).reshape(-1, 1)
+    c = np.arange(cols, dtype=float).reshape(1, -1)
+    return np.round(np.sin(1.0 + r + 2.0 * c), 6)
+
+
+def _tree(b: ComplexGraphBuilder, terms: list[Ref]) -> Ref:
+    layer = list(terms)
+    while len(layer) > 1:
+        nxt: list[Ref] = []
+        for i in range(0, len(layer) - 1, 2):
+            nxt.append(b.add(layer[i], layer[i + 1]))
+        if len(layer) % 2:
+            nxt.append(layer[-1])
+        layer = nxt
+    return layer[0]
+
+
+def dot_product(n: int) -> DFG:
+    """``y = w · x`` with fixed weights: ``n`` multiplies + adder tree."""
+    if n < 2:
+        raise GraphError(f"n must be ≥ 2, got {n}")
+    b = ComplexGraphBuilder(f"dot{n}")
+    w = fixed_matrix(1, n)[0]
+    prods: list[Ref] = [b.mulc(float(w[k]), b.input(f"x{k}")) for k in range(n)]
+    y = _tree(b, prods)
+    dfg = b.dfg
+    dfg.meta["inputs"] = [f"x{k}" for k in range(n)]
+    dfg.meta["output"] = y
+    dfg.meta["weights"] = [float(v) for v in w]
+    return dfg
+
+
+def matvec(m: int, n: int) -> DFG:
+    """``y = A·x`` with a fixed ``m×n`` matrix; one adder tree per row."""
+    if m < 1 or n < 2:
+        raise GraphError(f"need m ≥ 1 and n ≥ 2, got {m}x{n}")
+    b = ComplexGraphBuilder(f"matvec{m}x{n}")
+    a = fixed_matrix(m, n)
+    xs = [b.input(f"x{k}") for k in range(n)]
+    outs: list[Ref] = []
+    for i in range(m):
+        prods = [b.mulc(float(a[i, k]), xs[k]) for k in range(n)]
+        outs.append(_tree(b, prods))
+    dfg = b.dfg
+    dfg.meta["inputs"] = [f"x{k}" for k in range(n)]
+    dfg.meta["outputs_real"] = outs
+    dfg.meta["matrix"] = a.tolist()
+    return dfg
+
+
+def matmul(m: int, k: int, n: int) -> DFG:
+    """``C = A·B`` with a fixed ``m×k`` matrix A; B is external input.
+
+    Produces ``m·n`` adder trees over ``m·k·n`` multiplies — a wide graph
+    for stress-testing the antichain enumerator's span pruning.
+    """
+    if min(m, k, n) < 1 or k < 2:
+        raise GraphError(f"need k ≥ 2 and positive dims, got {m}x{k}x{n}")
+    b = ComplexGraphBuilder(f"matmul{m}x{k}x{n}")
+    a = fixed_matrix(m, k)
+    bs = [[b.input(f"b{r}_{c}") for c in range(n)] for r in range(k)]
+    outs: list[Ref] = []
+    for i in range(m):
+        for j in range(n):
+            prods = [b.mulc(float(a[i, r]), bs[r][j]) for r in range(k)]
+            outs.append(_tree(b, prods))
+    dfg = b.dfg
+    dfg.meta["inputs"] = [f"b{r}_{c}" for r in range(k) for c in range(n)]
+    dfg.meta["outputs_real"] = outs
+    dfg.meta["matrix"] = a.tolist()
+    return dfg

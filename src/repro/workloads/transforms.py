@@ -1,0 +1,69 @@
+"""Real trigonometric transforms: DCT workload graphs.
+
+The Montium's domain is DSP; alongside the DFT family these builders
+generate discrete cosine transforms (the workhorse of audio/image
+codecs) as evaluable real-operation graphs.  Numerically verified in the
+test-suite against ``scipy.fft.dct``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.dfg.graph import DFG
+from repro.exceptions import GraphError
+from repro.workloads.complex_builder import ComplexGraphBuilder, Ref
+
+__all__ = ["dct2", "evaluate_real_transform"]
+
+
+def dct2(n: int, *, orthogonalize: bool = False) -> DFG:
+    """A type-II DCT graph: ``X_k = 2·Σ_j x_j·cos(π k (2j+1) / 2n)``.
+
+    Matches ``scipy.fft.dct(x, type=2, norm=None)``.  With
+    ``orthogonalize=True`` the SciPy ``norm='ortho'`` scaling is folded
+    into the constants instead of emitting extra multiply nodes.
+
+    ``n·n`` constant multiplies feeding ``n`` adder trees — a wide,
+    shallow graph (like :func:`repro.workloads.fft.direct_dft` but purely
+    real, half the node count).
+    """
+    if n < 2:
+        raise GraphError(f"DCT size must be ≥ 2, got {n}")
+    b = ComplexGraphBuilder(f"dct{n}")
+    xs = [b.input(f"x{j}") for j in range(n)]
+    outputs: list[Ref] = []
+    for k in range(n):
+        scale = 2.0
+        if orthogonalize:
+            scale *= math.sqrt(1.0 / (4.0 * n)) * math.sqrt(2.0)
+            if k == 0:
+                scale /= math.sqrt(2.0)
+        terms: list[Ref] = []
+        for j in range(n):
+            c = scale * math.cos(math.pi * k * (2 * j + 1) / (2 * n))
+            terms.append(b.mulc(c, xs[j]))
+        acc = terms[0]
+        for t in terms[1:]:
+            acc = b.add(acc, t)
+        outputs.append(acc)
+    dfg = b.dfg
+    dfg.meta["inputs"] = [f"x{j}" for j in range(n)]
+    dfg.meta["outputs_real"] = outputs
+    dfg.meta["transform"] = "dct2-ortho" if orthogonalize else "dct2"
+    return dfg
+
+
+def evaluate_real_transform(dfg: DFG, x: "np.ndarray") -> "np.ndarray":
+    """Run a real transform graph (``meta['outputs_real']``) on ``x``."""
+    inputs = dfg.meta.get("inputs")
+    outputs = dfg.meta.get("outputs_real")
+    if inputs is None or outputs is None:
+        raise GraphError(f"graph {dfg.name!r} is not a real transform")
+    if len(x) != len(inputs):
+        raise GraphError(f"expected {len(inputs)} inputs, got {len(x)}")
+    feed = {key: float(v) for key, v in zip(inputs, x)}
+    values = dfg.evaluate(feed)
+    return np.array([values[o].real for o in outputs])

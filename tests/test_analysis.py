@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.analysis` (metrics, stats, tables, harnesses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import (
+    baseline_comparison,
+    f1_vs_f2,
+    parameter_sweep,
+    span_limit_sweep,
+    span_theorem_check,
+)
+from repro.analysis.metrics import schedule_stats
+from repro.analysis.stats import TrialSummary, summarize
+from repro.analysis.tables import render_matrix, render_table
+from repro.exceptions import ReproError
+from repro.patterns.library import PatternLibrary
+from repro.scheduling.scheduler import schedule_dfg
+
+
+class TestMetrics:
+    def test_schedule_stats(self, paper_3dft):
+        schedule = schedule_dfg(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        stats = schedule_stats(schedule)
+        assert stats["length"] == 7
+        assert stats["lower_bound"] == 5
+        assert stats["optimality_gap"] == 2
+        assert stats["patterns_used"] == 2
+        assert stats["pattern_usage"] == {0: 5, 1: 2}
+        assert stats["color_histogram"] == {"a": 14, "b": 4, "c": 6}
+        assert stats["nodes_per_cycle"] == pytest.approx(24 / 7)
+        assert 0 < stats["utilization"] <= 1
+
+
+class TestStats:
+    def test_summarize(self):
+        s = summarize([8, 10, 12])
+        assert s.n == 3
+        assert s.mean == 10
+        assert s.minimum == 8 and s.maximum == 12
+        assert s.std == pytest.approx(2.0)
+
+    def test_single_value(self):
+        s = summarize([5])
+        assert s.std == 0.0
+        assert s.ci95_half_width == 0.0
+
+    def test_ci_formula(self):
+        s = TrialSummary(n=4, mean=10, std=2, minimum=8, maximum=12)
+        assert s.ci95_half_width == pytest.approx(1.96 * 2 / 2)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1, 2, 3]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(["name", "v"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert len(set(len(l) for l in lines if l.strip())) == 1
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_matrix(self):
+        text = render_matrix(["r1"], ["c1", "c2"], [[1, 2]], corner="X")
+        assert "X" in text and "r1" in text and "2" in text
+
+    def test_empty_rows(self):
+        text = render_table(["only"], [])
+        assert "only" in text
+
+
+class TestHarnesses:
+    def test_span_theorem_zero_violations(self, paper_3dft):
+        checked, violations = span_theorem_check(paper_3dft, 5, trials=5)
+        assert checked > 0
+        assert violations == 0
+
+    def test_span_limit_sweep_shape(self, paper_3dft):
+        out = span_limit_sweep(paper_3dft, 5, [2, 4], [0, 1])
+        assert set(out) == {0, 1}
+        assert all(len(v) == 2 for v in out.values())
+
+    def test_parameter_sweep_contains_paper_point(self, paper_3dft):
+        out = parameter_sweep(
+            paper_3dft, 5, 3, alphas=(0.0, 20.0), epsilons=(0.5,),
+            span_limit=1,
+        )
+        alphas = dict(out["alpha"])
+        assert 20.0 in alphas
+        assert all(l >= 5 for l in alphas.values())
+        assert dict(out["epsilon"])[0.5] >= 5
+
+    def test_f1_vs_f2(self, paper_3dft):
+        libs = [PatternLibrary(["aabcc", "aaacc"], capacity=5)]
+        rows = f1_vs_f2(paper_3dft, libs)
+        assert len(rows) == 1
+        (_, l1, l2) = rows[0]
+        assert l1 >= 5 and l2 >= 5
+
+    def test_baseline_comparison_structure(self, paper_3dft):
+        out = baseline_comparison(paper_3dft, 5, 4)
+        assert set(out) == {"multi_pattern", "list_scheduling", "force_directed"}
+        assert out["multi_pattern"]["distinct_patterns"] <= 4
+        # Pattern-oblivious schedulers are faster but demand more patterns.
+        assert out["list_scheduling"]["cycles"] <= out["multi_pattern"]["cycles"]
+        assert (
+            out["list_scheduling"]["distinct_patterns"]
+            >= out["multi_pattern"]["distinct_patterns"]
+        )

@@ -1,0 +1,83 @@
+"""Unit tests for :mod:`repro.analysis.reporting`."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.reporting import assignment_csv, gantt, selection_report
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.scheduling.scheduler import schedule_dfg
+
+
+@pytest.fixture(scope="module")
+def schedule(request):
+    from repro.workloads import three_point_dft_paper
+
+    return schedule_dfg(
+        three_point_dft_paper(), ["aabcc", "aaacc"], capacity=5
+    )
+
+
+class TestGantt:
+    def test_shape(self, schedule):
+        text = gantt(schedule)
+        lines = text.splitlines()
+        # header + 5 slots + pattern row.
+        assert len(lines) == 7
+        assert lines[0].startswith("cycle")
+        assert lines[1].startswith("slot  1")
+        assert lines[-1].startswith("pattern")
+
+    def test_every_node_appears_once(self, schedule):
+        text = gantt(schedule)
+        for n in schedule.dfg.nodes:
+            assert text.count(f"{n} ") + text.count(f"{n}\n") >= 1
+
+    def test_idle_slots_marked(self, schedule):
+        # Cycle 7 schedules a single node on 5 slots → 4 idle markers in
+        # the last column region.
+        assert "·" in gantt(schedule)
+
+    def test_pattern_row_matches_choices(self, schedule):
+        last = gantt(schedule).splitlines()[-1]
+        assert "aabcc" in last and "aaacc" in last
+
+    def test_custom_slot_width(self, schedule):
+        narrow = gantt(schedule, slot_width=4)
+        assert narrow  # rendering succeeds with forced width
+
+
+class TestCsv:
+    def test_parses_and_covers_graph(self, schedule):
+        text = assignment_csv(schedule)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == schedule.dfg.n_nodes
+        byname = {r["node"]: r for r in rows}
+        assert byname["a19"]["cycle"] == "7"
+        assert byname["a19"]["color"] == "a"
+        assert byname["b6"]["pattern"] == "aabcc"
+
+    def test_cycles_match_assignment(self, schedule):
+        text = assignment_csv(schedule)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        for r in rows:
+            assert int(r["cycle"]) == schedule.assignment[r["node"]]
+
+
+class TestSelectionReport:
+    def test_contains_rounds_and_library(self, paper_3dft):
+        selector = PatternSelector(5, SelectionConfig(span_limit=1))
+        result = selector.select(paper_3dft, 3)
+        text = selection_report(result)
+        assert "round 1:" in text and "round 3:" in text
+        assert "library:" in text
+        assert "antichains" in text
+
+    def test_fallback_mentioned(self, fig4):
+        result = PatternSelector(capacity=2).select(fig4, pdef=1)
+        text = selection_report(result)
+        assert "fallback from uncovered colors" in text

@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.cli`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestTables:
+    @pytest.mark.parametrize("number", [1, 2, 3, 4, 5, 6])
+    def test_table_commands_succeed(self, number, capsys):
+        assert main(["table", str(number)]) == 0
+        out = capsys.readouterr().out
+        assert f"Table {number}" in out
+
+    def test_table1_contains_levels(self, capsys):
+        main(["table", "1"])
+        out = capsys.readouterr().out
+        assert "b3" in out and "height" in out
+
+    def test_table2_contains_trace(self, capsys):
+        main(["table", "2"])
+        out = capsys.readouterr().out
+        assert "aabcc" in out and "a19" in out
+
+    def test_table7_fast_settings(self, capsys):
+        assert main(["table", "7", "--trials", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3dft" in out and "5dft" in out and "Selected" in out
+
+    def test_invalid_table_number(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table", "9"])
+
+
+class TestSelect:
+    def test_select_3dft(self, capsys):
+        assert main(["select", "3dft", "--pdef", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "selected patterns" in out
+        assert out.count("\n  ") >= 1
+
+    def test_unknown_workload_is_clean_error(self, capsys):
+        assert main(["select", "bogus"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown workload" in err
+
+    def test_variant_flag(self, capsys):
+        assert main(["select", "3dft", "--pdef", "2",
+                     "--variant", "linear_size"]) == 0
+        out = capsys.readouterr().out
+        assert "variant=linear_size" in out
+
+    def test_unknown_variant_is_clean_error(self, capsys):
+        assert main(["select", "3dft", "--variant", "nope"]) == 1
+        assert "unknown priority variant" in capsys.readouterr().err
+
+
+class TestSchedule:
+    def test_schedule_3dft(self, capsys):
+        rc = main(["schedule", "3dft", "--patterns", "aabcc,aaacc"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total clock cycles: 7" in out
+
+    def test_deadlock_is_clean_error(self, capsys):
+        rc = main(["schedule", "3dft", "--patterns", "aabbb"])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompile:
+    def test_compile_program(self, tmp_path, capsys):
+        src = tmp_path / "prog.txt"
+        src.write_text("t = a*b + c\ny = t - d\n")
+        assert main(["compile", str(src), "--pdef", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_compile_with_mac_fusion(self, tmp_path, capsys):
+        src = tmp_path / "prog.txt"
+        src.write_text("y = a*b + c\n")
+        assert main(["compile", str(src), "--pdef", "1", "--fuse-mac"]) == 0
+
+
+class TestMisc:
+    def test_workloads_listing(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "3dft" in out and "5dft" in out
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_full_tables_command(self, capsys):
+        assert main(["tables", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        for n in range(1, 8):
+            assert f"Table {n}" in out

@@ -1,0 +1,49 @@
+"""Unit tests for :mod:`repro.core.frequency`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.frequency import coverage_vector, frequency_table
+from repro.patterns.enumeration import classify_antichains
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture(scope="module")
+def catalog(request):
+    from repro.workloads import small_example
+
+    return classify_antichains(small_example(), capacity=2)
+
+
+class TestCoverageVector:
+    def test_empty_selection(self, catalog):
+        assert coverage_vector(catalog, []) == Counter()
+
+    def test_single_selected(self, catalog):
+        cov = coverage_vector(catalog, [Pattern.from_string("aa")])
+        assert cov == Counter({"a1": 1, "a2": 1, "a3": 2})
+
+    def test_accumulates(self, catalog):
+        cov = coverage_vector(
+            catalog,
+            [Pattern.from_string("aa"), Pattern.from_string("a")],
+        )
+        assert cov == Counter({"a1": 2, "a2": 2, "a3": 3})
+
+    def test_fallback_patterns_contribute_nothing(self, catalog):
+        cov = coverage_vector(catalog, [Pattern.from_string("ab")])
+        assert cov == Counter()
+
+
+class TestFrequencyTable:
+    def test_contains_all_cells(self, catalog):
+        text = frequency_table(catalog)
+        lines = text.splitlines()
+        assert len(lines) == 1 + 4  # header + 4 patterns
+        assert lines[0].split() == ["a1", "a2", "a3", "b4", "b5"]
+        by_pattern = {line.split()[0]: line.split()[1:] for line in lines[1:]}
+        assert by_pattern["aa"] == ["1", "1", "2", "0", "0"]
+        assert by_pattern["bb"] == ["0", "0", "0", "1", "1"]

@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.core.local_search`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.local_search import optimize_pattern_set
+from repro.exceptions import SelectionError
+from repro.patterns.library import PatternLibrary
+from repro.scheduling.scheduler import MultiPatternScheduler
+
+CFG = SelectionConfig(span_limit=1)
+
+
+class TestBasics:
+    def test_never_worse_than_start(self, paper_3dft):
+        r = optimize_pattern_set(paper_3dft, 3, 5, config=CFG)
+        assert r.length <= r.start_length
+        assert r.improvement >= 0
+
+    def test_result_library_schedules_to_reported_length(self, paper_3dft):
+        r = optimize_pattern_set(paper_3dft, 3, 5, config=CFG)
+        got = MultiPatternScheduler(r.library).schedule(paper_3dft).length
+        assert got == r.length
+
+    def test_3dft_selection_is_local_optimum(self, paper_3dft):
+        # Headline finding: Eq. 8's pick cannot be improved by any single
+        # move at Pdef = 2 or 4 (see EXPERIMENTS.md).
+        for pdef in (2, 4):
+            r = optimize_pattern_set(
+                paper_3dft, pdef, 5, config=CFG, max_evaluations=150
+            )
+            assert r.improvement == 0
+            assert r.steps == ()
+
+    def test_5dft_finds_improvement(self, dft5):
+        r = optimize_pattern_set(
+            dft5, 2, 5, config=CFG, max_evaluations=100
+        )
+        assert r.improvement >= 1
+        assert r.steps  # at least one accepted move recorded
+
+    def test_respects_budget(self, paper_3dft):
+        r = optimize_pattern_set(
+            paper_3dft, 3, 5, config=CFG, max_evaluations=5
+        )
+        assert r.evaluations <= 5
+
+    def test_budget_validation(self, paper_3dft):
+        with pytest.raises(SelectionError):
+            optimize_pattern_set(
+                paper_3dft, 3, 5, config=CFG, max_evaluations=0
+            )
+
+
+class TestExplicitStart:
+    def test_custom_start_library(self, paper_3dft):
+        start = PatternLibrary(["abcbc", "bbbab", "bbbcb", "babaa"],
+                               capacity=5)
+        r = optimize_pattern_set(
+            paper_3dft, 4, 5, start=start, max_evaluations=200
+        )
+        assert r.start_length == 8
+        assert r.length <= 7  # search escapes the bad Table 3 set
+
+    def test_coverage_always_maintained(self, paper_3dft):
+        r = optimize_pattern_set(paper_3dft, 2, 5, config=CFG)
+        assert set(paper_3dft.colors()) <= r.library.color_set()
+
+    def test_deterministic_given_seed(self, paper_3dft):
+        a = optimize_pattern_set(paper_3dft, 3, 5, config=CFG, seed=7)
+        b = optimize_pattern_set(paper_3dft, 3, 5, config=CFG, seed=7)
+        assert a.library == b.library
+        assert a.length == b.length

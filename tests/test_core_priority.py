@@ -1,0 +1,136 @@
+"""Unit tests for :mod:`repro.core.priority` (Eqs. 8-9)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.priority import (
+    color_number_condition,
+    raw_priority,
+    selection_priority,
+)
+from repro.patterns.enumeration import classify_antichains
+from repro.patterns.pattern import Pattern
+
+
+@pytest.fixture(scope="module")
+def fig4_freqs(request):
+    from repro.workloads import small_example
+
+    catalog = classify_antichains(small_example(), capacity=2)
+    return catalog.frequencies
+
+
+class TestRawPriority:
+    def test_paper_round1_values(self, fig4_freqs):
+        # §5.2 with Ps = ∅: f(p̄1)=26, f(p̄2)=24, f(p̄3)=88, f(p̄4)=84.
+        cfg = SelectionConfig(span_limit=None)
+        cov: Counter[str] = Counter()
+        vals = {
+            s: raw_priority(Pattern.from_string(s), fig4_freqs, cov, cfg)
+            for s in ("a", "b", "aa", "bb")
+        }
+        assert vals == {"a": 26.0, "b": 24.0, "aa": 88.0, "bb": 84.0}
+
+    def test_paper_round2_values(self, fig4_freqs):
+        # After selecting p̄3 = {aa}: coverage a1=1, a2=1, a3=2; b-patterns
+        # keep their old values.
+        cfg = SelectionConfig(span_limit=None)
+        cov = Counter({"a1": 1, "a2": 1, "a3": 2})
+        assert raw_priority(Pattern.from_string("b"), fig4_freqs, cov, cfg) == 24.0
+        assert raw_priority(Pattern.from_string("bb"), fig4_freqs, cov, cfg) == 84.0
+
+    def test_coverage_damps_priority(self, fig4_freqs):
+        cfg = SelectionConfig(span_limit=None)
+        fresh = raw_priority(
+            Pattern.from_string("aa"), fig4_freqs, Counter(), cfg
+        )
+        damped = raw_priority(
+            Pattern.from_string("aa"),
+            fig4_freqs,
+            Counter({"a1": 5, "a2": 5, "a3": 5}),
+            cfg,
+        )
+        assert damped < fresh
+
+    def test_alpha_size_bonus(self, fig4_freqs):
+        # Without α the b-patterns would tie (paper argues for α|p̄|²).
+        cfg = SelectionConfig(alpha=0.0, span_limit=None)
+        b = raw_priority(Pattern.from_string("b"), fig4_freqs, Counter(), cfg)
+        bb = raw_priority(Pattern.from_string("bb"), fig4_freqs, Counter(), cfg)
+        assert b == bb == 4.0
+
+    def test_unknown_pattern_scores_only_size_bonus(self, fig4_freqs):
+        cfg = SelectionConfig(span_limit=None)
+        v = raw_priority(Pattern.from_string("ab"), fig4_freqs, Counter(), cfg)
+        assert v == 20.0 * 4
+
+
+class TestColorNumberCondition:
+    def test_paper_pdef1_example(self):
+        # §5.2: Pdef=1, L={a,b}, Ls=∅ ⇒ RHS = 2; single-color patterns fail.
+        L = frozenset({"a", "b"})
+        for s in ("a", "b", "aa", "bb"):
+            assert not color_number_condition(
+                Pattern.from_string(s), L, set(), capacity=2, pdef=1,
+                n_selected=0,
+            )
+
+    def test_two_color_pattern_passes_pdef1(self):
+        L = frozenset({"a", "b"})
+        assert color_number_condition(
+            Pattern.from_string("ab"), L, set(), capacity=2, pdef=1,
+            n_selected=0,
+        )
+
+    def test_relaxed_with_more_budget(self):
+        # Pdef=2: RHS = 2 − 0 − 2·1 = 0 ⇒ everything passes.
+        L = frozenset({"a", "b"})
+        assert color_number_condition(
+            Pattern.from_string("a"), L, set(), capacity=2, pdef=2,
+            n_selected=0,
+        )
+
+    def test_tightens_as_rounds_pass(self):
+        # Last round with 2 uncovered colors and C=1 can never pass.
+        L = frozenset({"a", "b", "c"})
+        assert not color_number_condition(
+            Pattern.from_string("c"), L, {"a"}, capacity=1, pdef=3,
+            n_selected=2,
+        )
+
+    def test_covered_colors_do_not_count_as_new(self):
+        L = frozenset({"a", "b"})
+        # Pattern {ab} with a already covered: Ln = {b}, RHS = 1 ⇒ passes.
+        assert color_number_condition(
+            Pattern.from_string("ab"), L, {"a"}, capacity=2, pdef=1,
+            n_selected=0,
+        )
+        # Pattern {aa}: Ln = ∅, RHS = 1 ⇒ fails.
+        assert not color_number_condition(
+            Pattern.from_string("aa"), L, {"a"}, capacity=2, pdef=1,
+            n_selected=0,
+        )
+
+
+class TestGatedPriority:
+    def test_zero_when_condition_fails(self, fig4_freqs):
+        cfg = SelectionConfig(span_limit=None)
+        v = selection_priority(
+            Pattern.from_string("aa"), fig4_freqs, Counter(), cfg,
+            all_colors=frozenset({"a", "b"}), selected_colors=set(),
+            capacity=2, pdef=1, n_selected=0,
+        )
+        assert v == 0.0
+
+    def test_value_when_condition_holds(self, fig4_freqs):
+        cfg = SelectionConfig(span_limit=None)
+        v = selection_priority(
+            Pattern.from_string("aa"), fig4_freqs, Counter(), cfg,
+            all_colors=frozenset({"a", "b"}), selected_colors=set(),
+            capacity=2, pdef=2, n_selected=0,
+        )
+        assert v == 88.0

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.core.selection` (Fig. 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector, select_patterns
+from repro.exceptions import SelectionError
+from repro.patterns.pattern import Pattern
+from repro.workloads.synthetic import layered_dag, random_dag
+
+
+class TestFig4:
+    def test_pdef2(self, fig4):
+        lib = select_patterns(fig4, pdef=2, capacity=2)
+        assert lib.as_strings() == ("aa", "bb")
+
+    def test_pdef1_fallback(self, fig4):
+        lib = select_patterns(fig4, pdef=1, capacity=2)
+        assert lib.as_strings() == ("ab",)
+
+    def test_rounds_diagnostics(self, fig4):
+        result = PatternSelector(capacity=2).select(fig4, pdef=2)
+        assert len(result.rounds) == 2
+        assert result.rounds[0].index == 0
+        assert result.rounds[0].chosen == Pattern.from_string("aa")
+        assert not result.rounds[0].fallback
+        assert result.rounds[1].chosen == Pattern.from_string("bb")
+
+    def test_subpattern_deletion_recorded(self, fig4):
+        result = PatternSelector(capacity=2).select(fig4, pdef=2)
+        assert result.rounds[0].deleted == (Pattern.from_string("a"),)
+        assert result.rounds[1].deleted == (Pattern.from_string("b"),)
+
+    def test_deleted_patterns_not_selectable_later(self, fig4):
+        # After round 1 removes 'a', only b-patterns remain in round 2.
+        result = PatternSelector(capacity=2).select(fig4, pdef=2)
+        assert Pattern.from_string("a") not in result.rounds[1].priorities
+
+    def test_covered_colors(self, fig4):
+        result = PatternSelector(capacity=2).select(fig4, pdef=2)
+        assert result.covered_colors() == {"a", "b"}
+
+
+class TestValidation:
+    def test_pdef_too_small_to_cover_rejected(self, paper_3dft):
+        with pytest.raises(SelectionError, match="cannot cover"):
+            select_patterns(paper_3dft, pdef=1, capacity=2)
+
+    def test_bad_pdef_rejected(self, fig4):
+        with pytest.raises(SelectionError):
+            PatternSelector(capacity=2).select(fig4, pdef=0)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SelectionError):
+            PatternSelector(capacity=0)
+
+    def test_empty_graph_rejected(self):
+        from repro.dfg.graph import DFG
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError):
+            PatternSelector(capacity=2).select(DFG(), pdef=1)
+
+
+class TestPoolDynamics:
+    def test_catalog_reuse(self, paper_3dft):
+        selector = PatternSelector(capacity=5)
+        catalog = selector.build_catalog(paper_3dft)
+        a = selector.select(paper_3dft, 3, catalog=catalog)
+        b = selector.select(paper_3dft, 3, catalog=catalog)
+        assert a.library == b.library
+
+    def test_early_stop_when_pool_exhausted(self, fig4):
+        # The Fig. 4 graph yields 4 patterns; two rounds delete everything.
+        # Asking for 5 must stop early instead of inventing junk.
+        result = PatternSelector(capacity=2).select(fig4, pdef=5)
+        assert 2 <= len(result.library) < 5
+        assert result.covered_colors() == {"a", "b"}
+
+    def test_selected_never_duplicated(self, paper_3dft):
+        result = PatternSelector(capacity=5).select(paper_3dft, pdef=5)
+        strings = result.library.as_strings()
+        assert len(set(strings)) == len(strings)
+
+    def test_priorities_recorded_per_round(self, paper_3dft):
+        result = PatternSelector(capacity=5).select(paper_3dft, pdef=3)
+        for rnd in result.rounds:
+            assert rnd.priorities
+            if not rnd.fallback:
+                best = max(rnd.priorities.values())
+                assert rnd.priorities[rnd.chosen] == best
+
+
+class TestCoverageGuarantee:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_colors_covered_random_dags(self, seed):
+        dfg = random_dag(seed, n=14, edge_prob=0.25)
+        lib = select_patterns(dfg, pdef=3, capacity=4)
+        assert set(dfg.colors()) <= lib.color_set()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_selected_patterns_schedule_the_graph(self, seed):
+        from repro.scheduling.scheduler import MultiPatternScheduler
+
+        dfg = layered_dag(seed, layers=4, width=4)
+        lib = select_patterns(dfg, pdef=3, capacity=4)
+        schedule = MultiPatternScheduler(lib).schedule(dfg)
+        schedule.verify()
+
+    def test_many_colors_force_fallbacks(self):
+        # 6 colors, C=2, Pdef=3: selection must synthesize wide coverage.
+        dfg = layered_dag(7, layers=2, width=8,
+                          colors=("a", "b", "c", "d", "e", "f"))
+        result = PatternSelector(capacity=2).select(dfg, pdef=3)
+        assert set(dfg.colors()) <= result.covered_colors()
+
+
+class TestConfigEffects:
+    def test_alpha_zero_prefers_frequency_only(self, paper_3dft):
+        base = select_patterns(
+            paper_3dft, 2, 5, config=SelectionConfig(span_limit=1)
+        )
+        flat = select_patterns(
+            paper_3dft, 2, 5,
+            config=SelectionConfig(alpha=0.0, span_limit=1),
+        )
+        # With α = 0 nothing pushes toward wide patterns; the selections
+        # must differ in total width.
+        assert sum(p.size for p in flat) <= sum(p.size for p in base)
+
+    def test_span_limit_changes_catalog(self, paper_3dft):
+        tight = PatternSelector(
+            5, SelectionConfig(span_limit=0)
+        ).build_catalog(paper_3dft)
+        loose = PatternSelector(
+            5, SelectionConfig(span_limit=None)
+        ).build_catalog(paper_3dft)
+        assert tight.total_antichains() < loose.total_antichains()

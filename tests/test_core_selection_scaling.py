@@ -1,0 +1,126 @@
+"""Tests for the large-graph selection knobs.
+
+``max_pattern_size`` caps catalog generation, ``adaptive_span`` tightens
+the span limit on enumeration blowups, ``widen_to_capacity`` pads the
+selected patterns back to the full ALU width.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector, select_patterns
+from repro.exceptions import SelectionError
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads.fft import radix2_fft
+from repro.workloads.synthetic import layered_dag
+
+
+class TestMaxPatternSize:
+    def test_caps_catalog(self, paper_3dft):
+        capped = PatternSelector(
+            5, SelectionConfig(max_pattern_size=2)
+        ).build_catalog(paper_3dft)
+        assert max(p.size for p in capped.patterns) == 2
+
+    def test_validation(self):
+        with pytest.raises(SelectionError, match="max_pattern_size"):
+            SelectionConfig(max_pattern_size=0)
+
+    def test_never_exceeds_capacity(self, paper_3dft):
+        catalog = PatternSelector(
+            3, SelectionConfig(max_pattern_size=10)
+        ).build_catalog(paper_3dft)
+        assert max(p.size for p in catalog.patterns) <= 3
+
+
+class TestAdaptiveSpan:
+    def test_tightens_on_blowup(self):
+        # FFT-16 at size ≤ 3: 726k antichains at span ≤ 3, 612k at ≤ 2,
+        # 461k at ≤ 1 — under a 500k ceiling the adaptive path must land
+        # on span ≤ 1 instead of raising.
+        dfg = radix2_fft(16)
+        cfg = SelectionConfig(
+            span_limit=3, max_pattern_size=3, max_antichains=500_000,
+        )
+        catalog = PatternSelector(5, cfg).build_catalog(dfg)
+        assert catalog.span_limit == 1
+        assert catalog.total_antichains() <= 500_000
+
+    def test_disabled_raises_immediately(self):
+        from repro.exceptions import EnumerationLimitError
+
+        dfg = radix2_fft(16)
+        cfg = SelectionConfig(
+            span_limit=3, max_pattern_size=3, max_antichains=10_000,
+            adaptive_span=False,
+        )
+        with pytest.raises(EnumerationLimitError):
+            PatternSelector(5, cfg).build_catalog(dfg)
+
+    def test_hopeless_graph_gets_guidance(self):
+        dfg = layered_dag(0, layers=1, width=40, colors=("a",))
+        cfg = SelectionConfig(span_limit=1, max_antichains=1_000)
+        with pytest.raises(SelectionError, match="max_pattern_size"):
+            PatternSelector(5, cfg).build_catalog(dfg)
+
+    def test_small_graph_unaffected(self, paper_3dft):
+        cfg = SelectionConfig(span_limit=1)
+        catalog = PatternSelector(5, cfg).build_catalog(paper_3dft)
+        assert catalog.span_limit == 1
+
+
+class TestWidening:
+    def test_patterns_padded_to_capacity(self, paper_3dft):
+        cfg = SelectionConfig(
+            span_limit=1, max_pattern_size=2, widen_to_capacity=True
+        )
+        lib = select_patterns(paper_3dft, 4, 5, config=cfg)
+        assert all(p.size == 5 for p in lib)
+
+    def test_widened_library_schedules_better(self, paper_3dft):
+        narrow_cfg = SelectionConfig(span_limit=1, max_pattern_size=2)
+        wide_cfg = SelectionConfig(
+            span_limit=1, max_pattern_size=2, widen_to_capacity=True
+        )
+        narrow = select_patterns(paper_3dft, 4, 5, config=narrow_cfg)
+        wide = select_patterns(paper_3dft, 4, 5, config=wide_cfg)
+        n_len = MultiPatternScheduler(narrow).schedule(paper_3dft).length
+        w_len = MultiPatternScheduler(wide).schedule(paper_3dft).length
+        assert w_len <= n_len
+
+    def test_colors_preserved(self, paper_3dft):
+        cfg = SelectionConfig(
+            span_limit=1, max_pattern_size=2, widen_to_capacity=True
+        )
+        result = PatternSelector(5, cfg).select(paper_3dft, 4)
+        # Widening only adds a pattern's own colors.
+        for raw_round, wide in zip(result.rounds, result.library):
+            assert raw_round.chosen.color_set() == wide.color_set()
+
+    def test_duplicates_after_widening_dropped(self):
+        # Single-color graph: every selected pattern widens to "aaaaa".
+        dfg = layered_dag(3, layers=3, width=4, colors=("a",))
+        cfg = SelectionConfig(widen_to_capacity=True)
+        result = PatternSelector(5, cfg).select(dfg, 3)
+        strings = result.library.as_strings()
+        assert len(set(strings)) == len(strings)
+
+    def test_off_by_default(self, paper_3dft):
+        cfg = SelectionConfig(span_limit=1, max_pattern_size=2)
+        lib = select_patterns(paper_3dft, 4, 5, config=cfg)
+        assert all(p.size <= 2 for p in lib)
+
+
+class TestEndToEndLargeGraph:
+    def test_fft16_near_work_bound(self):
+        dfg = radix2_fft(16)
+        cfg = SelectionConfig(
+            span_limit=1, max_pattern_size=3, widen_to_capacity=True
+        )
+        lib = select_patterns(dfg, 5, 5, config=cfg)
+        schedule = MultiPatternScheduler(lib).schedule(dfg)
+        schedule.verify()
+        work_bound = -(-dfg.n_nodes // 5)  # 38 cycles for 188 ops
+        assert schedule.length <= work_bound + 4

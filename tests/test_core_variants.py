@@ -1,0 +1,121 @@
+"""Unit tests for :mod:`repro.core.variants`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.priority import raw_priority
+from repro.core.variants import (
+    VARIANTS,
+    coverage_first,
+    get_variant,
+    linear_size,
+    paper,
+    select_with_variant,
+    share,
+    unbalanced,
+)
+from repro.exceptions import SelectionError
+from repro.patterns.enumeration import classify_antichains
+from repro.patterns.pattern import Pattern
+from repro.scheduling.scheduler import MultiPatternScheduler
+
+
+@pytest.fixture(scope="module")
+def fig4_freqs(request):
+    from repro.workloads import small_example
+
+    return classify_antichains(small_example(), capacity=2).frequencies
+
+
+CFG = SelectionConfig(span_limit=None)
+
+
+class TestRegistry:
+    def test_all_variants_registered(self):
+        assert set(VARIANTS) == {
+            "paper", "linear_size", "unbalanced", "share", "coverage_first",
+        }
+
+    def test_get_variant(self):
+        assert get_variant("paper") is paper
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SelectionError, match="unknown priority variant"):
+            get_variant("nope")
+
+
+class TestFormulas:
+    def test_paper_is_eq8(self, fig4_freqs):
+        p = Pattern.from_string("aa")
+        assert paper(p, fig4_freqs, Counter(), CFG) == raw_priority(
+            p, fig4_freqs, Counter(), CFG
+        )
+
+    def test_linear_size_weaker_bonus(self, fig4_freqs):
+        p = Pattern.from_string("aa")
+        # 8 = (1+1+2)/0.5; bonus 40 vs 80.
+        assert linear_size(p, fig4_freqs, Counter(), CFG) == 8 + 40
+        assert paper(p, fig4_freqs, Counter(), CFG) == 8 + 80
+
+    def test_unbalanced_ignores_coverage(self, fig4_freqs):
+        p = Pattern.from_string("aa")
+        cov = Counter({"a1": 100, "a2": 100, "a3": 100})
+        assert unbalanced(p, fig4_freqs, Counter(), CFG) == unbalanced(
+            p, fig4_freqs, cov, CFG
+        )
+        assert paper(p, fig4_freqs, cov, CFG) < paper(
+            p, fig4_freqs, Counter(), CFG
+        )
+
+    def test_share_sums_to_normalized_mass(self, fig4_freqs):
+        p = Pattern.from_string("aa")
+        # shares: 1/4, 1/4, 2/4 over ε=0.5 → 2·(0.25+0.25+0.5) = 2.
+        assert share(p, fig4_freqs, Counter(), CFG) == pytest.approx(2 + 80)
+
+    def test_coverage_first_zeroes_covered_nodes(self, fig4_freqs):
+        p = Pattern.from_string("aa")
+        fresh = coverage_first(p, fig4_freqs, Counter(), CFG)
+        damped = coverage_first(
+            p, fig4_freqs, Counter({"a3": 1}), CFG
+        )
+        assert fresh == (1 + 1 + 2) / 0.5 + 80
+        assert damped == (1 + 1) / 0.5 + 80
+
+    def test_unknown_pattern_gets_size_bonus_only(self, fig4_freqs):
+        p = Pattern.from_string("ab")
+        for fn in VARIANTS.values():
+            assert fn(p, fig4_freqs, Counter(), CFG) == pytest.approx(
+                CFG.alpha * (p.size**2 if fn is not linear_size else p.size)
+            )
+
+
+class TestSelectionUnderVariants:
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_every_variant_selects_and_schedules(self, variant, paper_3dft):
+        result = select_with_variant(
+            paper_3dft, 4, 5, variant,
+            config=SelectionConfig(span_limit=1),
+        )
+        assert set(paper_3dft.colors()) <= result.covered_colors()
+        schedule = MultiPatternScheduler(result.library).schedule(paper_3dft)
+        schedule.verify()
+        assert schedule.length <= 12
+
+    def test_paper_variant_matches_default_selector(self, paper_3dft):
+        from repro.core.selection import select_patterns
+
+        cfg = SelectionConfig(span_limit=1)
+        a = select_with_variant(paper_3dft, 4, 5, "paper", config=cfg)
+        b = select_patterns(paper_3dft, 4, 5, config=cfg)
+        assert a.library == b
+
+    def test_variants_can_disagree(self, fig4):
+        # On Fig. 4 with Pdef = 2, 'paper' picks {aa},{bb}; 'share' still
+        # must cover both colors but may order/choose differently.
+        res = select_with_variant(fig4, 2, 2, "share",
+                                  config=SelectionConfig(span_limit=None))
+        assert res.covered_colors() == {"a", "b"}

@@ -1,0 +1,249 @@
+"""Unit tests for :mod:`repro.dfg.graph`."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import chain, diamond
+
+from repro.dfg.graph import DFG
+from repro.exceptions import (
+    CycleError,
+    DuplicateNodeError,
+    GraphError,
+    UnknownNodeError,
+)
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        dfg = DFG(name="empty")
+        assert len(dfg) == 0
+        assert dfg.n_nodes == 0
+        assert dfg.n_edges == 0
+        assert dfg.nodes == ()
+
+    def test_add_node_returns_record(self):
+        dfg = DFG()
+        node = dfg.add_node("a1", "a", op="add")
+        assert node.name == "a1"
+        assert node.color == "a"
+        assert node.index == 0
+        assert node.attrs["op"] == "add"
+
+    def test_duplicate_node_rejected(self):
+        dfg = DFG()
+        dfg.add_node("a1", "a")
+        with pytest.raises(DuplicateNodeError):
+            dfg.add_node("a1", "b")
+
+    def test_empty_color_rejected(self):
+        dfg = DFG()
+        with pytest.raises(GraphError):
+            dfg.add_node("a1", "")
+
+    def test_non_string_color_rejected(self):
+        dfg = DFG()
+        with pytest.raises(GraphError):
+            dfg.add_node("a1", 3)  # type: ignore[arg-type]
+
+    def test_edge_to_unknown_node_rejected(self):
+        dfg = DFG()
+        dfg.add_node("a1", "a")
+        with pytest.raises(UnknownNodeError):
+            dfg.add_edge("a1", "zz")
+        with pytest.raises(UnknownNodeError):
+            dfg.add_edge("zz", "a1")
+
+    def test_self_loop_rejected(self):
+        dfg = DFG()
+        dfg.add_node("a1", "a")
+        with pytest.raises(CycleError):
+            dfg.add_edge("a1", "a1")
+
+    def test_add_edges_bulk(self):
+        dfg = diamond()
+        assert dfg.n_edges == 4
+
+
+class TestOrdering:
+    def test_nodes_iterate_in_insertion_order(self):
+        dfg = DFG()
+        for name in ("z9", "a1", "m5"):
+            dfg.add_node(name, "a")
+        assert dfg.nodes == ("z9", "a1", "m5")
+        assert list(dfg) == ["z9", "a1", "m5"]
+
+    def test_index_is_stable(self):
+        dfg = DFG()
+        dfg.add_node("x", "a")
+        dfg.add_node("y", "b")
+        assert dfg.index("x") == 0
+        assert dfg.index("y") == 1
+        assert dfg.name_of(0) == "x"
+        assert dfg.name_of(1) == "y"
+
+    def test_name_of_out_of_range(self):
+        dfg = chain(2)
+        with pytest.raises(UnknownNodeError):
+            dfg.name_of(5)
+
+    def test_successors_in_edge_insertion_order(self):
+        dfg = DFG()
+        for n in ("s", "t3", "t1", "t2"):
+            dfg.add_node(n, "a")
+        dfg.add_edge("s", "t3")
+        dfg.add_edge("s", "t1")
+        dfg.add_edge("s", "t2")
+        assert dfg.successors("s") == ("t3", "t1", "t2")
+
+    def test_topological_order_smallest_index_first(self):
+        dfg = DFG()
+        for n in ("b", "a", "c"):
+            dfg.add_node(n, "x")
+        dfg.add_edge("b", "c")
+        dfg.add_edge("a", "c")
+        assert dfg.topological_order() == ("b", "a", "c")
+
+    def test_topological_order_detects_cycle(self):
+        dfg = DFG()
+        dfg.add_node("x", "a")
+        dfg.add_node("y", "a")
+        dfg.add_edge("x", "y")
+        dfg._g.add_edge("y", "x")  # bypass public API to force a cycle
+        with pytest.raises(CycleError):
+            dfg.topological_order()
+
+
+class TestQueries:
+    def test_color_and_attr(self):
+        dfg = DFG()
+        dfg.add_node("c1", "c", factor=2.5)
+        assert dfg.color("c1") == "c"
+        assert dfg.attr("c1", "factor") == 2.5
+        assert dfg.attr("c1", "missing", 42) == 42
+        dfg.set_attr("c1", "extra", "v")
+        assert dfg.attr("c1", "extra") == "v"
+
+    def test_unknown_node_queries(self):
+        dfg = chain(2)
+        for fn in (dfg.color, dfg.successors, dfg.predecessors,
+                   dfg.out_degree, dfg.in_degree, dfg.node, dfg.index):
+            with pytest.raises(UnknownNodeError):
+                fn("nope")
+
+    def test_degrees(self):
+        dfg = diamond()
+        assert dfg.out_degree("a0") == 2
+        assert dfg.in_degree("a3") == 2
+        assert dfg.in_degree("a0") == 0
+
+    def test_sources_sinks(self, paper_3dft):
+        assert set(paper_3dft.sources()) == {"b1", "a2", "b3", "a4", "b5", "b6"}
+        assert set(paper_3dft.sinks()) == {"a16", "a19", "a21", "a22", "a23", "a24"}
+
+    def test_colors_first_appearance_order(self):
+        dfg = DFG()
+        dfg.add_node("c1", "c")
+        dfg.add_node("a1", "a")
+        dfg.add_node("c2", "c")
+        assert dfg.colors() == ("c", "a")
+
+    def test_color_census(self, paper_3dft):
+        census = paper_3dft.color_census()
+        assert census == {"a": 14, "b": 4, "c": 6}
+
+    def test_contains(self):
+        dfg = chain(2)
+        assert "a0" in dfg
+        assert "zz" not in dfg
+
+    def test_repr_mentions_shape(self, paper_3dft):
+        text = repr(paper_3dft)
+        assert "nodes=24" in text and "edges=22" in text
+
+
+class TestAcyclicity:
+    def test_dag_passes(self, paper_3dft):
+        assert paper_3dft.is_acyclic()
+        paper_3dft.check_acyclic()
+
+    def test_cycle_detected(self):
+        dfg = DFG()
+        dfg.add_node("x", "a")
+        dfg.add_node("y", "a")
+        dfg.add_edge("x", "y")
+        dfg._g.add_edge("y", "x")
+        assert not dfg.is_acyclic()
+        with pytest.raises(CycleError):
+            dfg.check_acyclic()
+
+
+class TestCopy:
+    def test_copy_preserves_everything(self, paper_3dft):
+        cp = paper_3dft.copy()
+        assert cp.nodes == paper_3dft.nodes
+        assert cp.edges() == paper_3dft.edges()
+        assert cp.meta == paper_3dft.meta
+        assert cp.name == paper_3dft.name
+
+    def test_copy_is_independent(self):
+        dfg = chain(3)
+        cp = dfg.copy(name="clone")
+        cp.add_node("extra", "z")
+        assert "extra" not in dfg
+        assert cp.name == "clone"
+
+    def test_to_networkx_is_a_copy(self):
+        dfg = chain(3)
+        g = dfg.to_networkx()
+        g.add_node("foreign")
+        assert "foreign" not in dfg
+
+
+class TestEvaluate:
+    def test_simple_expression(self):
+        dfg = DFG()
+        dfg.add_node("a1", "a", op="add",
+                     operands=(("input", "x"), ("input", "y")))
+        dfg.add_node("c1", "c", op="mul", operands=("a1",), factor=3.0)
+        dfg.add_edge("a1", "c1")
+        values = dfg.evaluate({"x": 2, "y": 5})
+        assert values["a1"] == 7
+        assert values["c1"] == 21
+
+    def test_all_ops(self):
+        dfg = DFG()
+        dfg.add_node("k", "k", op="const", value=4.0)
+        dfg.add_node("n", "n", op="neg", operands=("k",))
+        dfg.add_node("cp", "p", op="copy", operands=("n",))
+        dfg.add_node("s", "b", op="sub", operands=("cp", "k"))
+        dfg.add_node("m", "c", op="mul", operands=("s", "k"))
+        dfg.add_edges([("k", "n"), ("n", "cp"), ("cp", "s"), ("k", "s"),
+                       ("s", "m"), ("k", "m")])
+        values = dfg.evaluate({})
+        assert values["m"] == (-4 - 4) * 4
+
+    def test_missing_semantics_raises(self):
+        dfg = chain(2)
+        with pytest.raises(GraphError, match="no evaluable semantics"):
+            dfg.evaluate({})
+
+    def test_missing_input_raises(self):
+        dfg = DFG()
+        dfg.add_node("a1", "a", op="add",
+                     operands=(("input", "x"), ("input", "y")))
+        with pytest.raises(GraphError, match="missing external input"):
+            dfg.evaluate({"x": 1})
+
+    def test_unknown_op_raises(self):
+        dfg = DFG()
+        dfg.add_node("q", "q", op="frobnicate", operands=())
+        with pytest.raises(GraphError, match="unknown op"):
+            dfg.evaluate({})
+
+    def test_malformed_operand_raises(self):
+        dfg = DFG()
+        dfg.add_node("q", "q", op="add", operands=(1, 2))
+        with pytest.raises(GraphError, match="malformed operand"):
+            dfg.evaluate({})

@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.dfg.io`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.graph import DFG
+from repro.dfg.io import (
+    color_from_name,
+    from_edge_list,
+    from_json,
+    to_dot,
+    to_edge_list,
+    to_json,
+)
+from repro.exceptions import GraphError
+
+
+class TestColorFromName:
+    def test_paper_convention(self):
+        assert color_from_name("a24") == "a"
+        assert color_from_name("c9") == "c"
+
+    def test_rejects_non_letter(self):
+        with pytest.raises(GraphError):
+            color_from_name("9a")
+        with pytest.raises(GraphError):
+            color_from_name("")
+
+
+class TestJson:
+    def test_round_trip(self, paper_3dft):
+        restored = from_json(to_json(paper_3dft))
+        assert restored.nodes == paper_3dft.nodes
+        assert restored.edges() == paper_3dft.edges()
+        assert restored.name == paper_3dft.name
+        assert [restored.color(n) for n in restored.nodes] == [
+            paper_3dft.color(n) for n in paper_3dft.nodes
+        ]
+
+    def test_attrs_survive(self):
+        dfg = DFG(name="g")
+        dfg.add_node("a1", "a", op="add", weight=2)
+        restored = from_json(to_json(dfg, indent=2))
+        assert restored.attr("a1", "op") == "add"
+        assert restored.attr("a1", "weight") == 2
+
+    def test_non_json_attrs_skipped(self):
+        dfg = DFG(name="g")
+        dfg.add_node("a1", "a", op="add", operands=(("input", "x"),))
+        # tuples are json-serialisable (as lists); sets are not.
+        dfg.set_attr("a1", "bad", {1, 2})
+        restored = from_json(to_json(dfg))
+        assert restored.attr("a1", "bad") is None
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError, match="invalid DFG JSON"):
+            from_json("{nope")
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(GraphError, match="malformed"):
+            from_json('{"nodes": [{"name": "x"}], "edges": []}')
+
+
+class TestEdgeList:
+    def test_round_trip(self, paper_3dft):
+        restored = from_edge_list(to_edge_list(paper_3dft), name="3dft")
+        assert restored.nodes == paper_3dft.nodes
+        assert restored.edges() == paper_3dft.edges()
+        assert [restored.color(n) for n in restored.nodes] == [
+            paper_3dft.color(n) for n in paper_3dft.nodes
+        ]
+
+    def test_comments_and_blanks_ignored(self):
+        text = """
+        # a comment
+        a1
+        a1 b2   # trailing comment
+
+        """
+        dfg = from_edge_list(text)
+        assert dfg.nodes == ("a1", "b2")
+        assert dfg.edges() == (("a1", "b2"),)
+
+    def test_custom_color_fn(self):
+        dfg = from_edge_list("x y\n", color_fn=lambda n: "mul")
+        assert dfg.color("x") == "mul"
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(GraphError, match="line 1"):
+            from_edge_list("a b c\n")
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, fig4):
+        dot = to_dot(fig4)
+        assert dot.startswith('digraph "small-example"')
+        for n in fig4.nodes:
+            assert f'"{n}"' in dot
+        assert '"a1" -> "a2";' in dot
+
+    def test_palette(self, fig4):
+        dot = to_dot(fig4, color_palette={"a": "red"})
+        assert 'fillcolor="red"' in dot
+        # 'b' not in custom palette → no fill for b4.
+        assert dot.count("fillcolor") == 3

@@ -1,0 +1,152 @@
+"""Unit tests for :mod:`repro.dfg.levels` (paper Eqs. 1-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import PAPER_TABLE1, chain, diamond
+
+from repro.dfg.graph import DFG
+from repro.dfg.levels import LevelAnalysis, alap, asap, asap_max, height, mobility
+
+
+class TestAsap:
+    def test_sources_are_zero(self, paper_3dft):
+        levels = asap(paper_3dft)
+        for src in paper_3dft.sources():
+            assert levels[src] == 0
+
+    def test_chain_levels(self):
+        dfg = chain(4)
+        levels = asap(dfg)
+        assert [levels[f"a{i}"] for i in range(4)] == [0, 1, 2, 3]
+
+    def test_max_over_predecessors(self):
+        # A join node takes max(pred)+1, not min.
+        dfg = DFG()
+        for n in ("s1", "s2", "mid", "join"):
+            dfg.add_node(n, "a")
+        dfg.add_edges([("s1", "mid"), ("mid", "join"), ("s2", "join")])
+        assert asap(dfg)["join"] == 2
+
+    def test_asap_max(self, paper_3dft):
+        assert asap_max(paper_3dft) == 4
+
+    def test_empty_graph(self):
+        assert asap(DFG()) == {}
+        assert asap_max(DFG()) == 0
+
+
+class TestAlap:
+    def test_sinks_get_asap_max(self, paper_3dft):
+        levels = alap(paper_3dft)
+        for sink in paper_3dft.sinks():
+            assert levels[sink] == 4
+
+    def test_min_over_successors(self):
+        # A fork node takes min(succ)-1.
+        dfg = DFG()
+        for n in ("fork", "short", "l1", "l2"):
+            dfg.add_node(n, "a")
+        dfg.add_edges([("fork", "short"), ("fork", "l1"), ("l1", "l2")])
+        levels = alap(dfg)
+        assert levels["l2"] == 2
+        assert levels["short"] == 2
+        assert levels["fork"] == 0  # min(alap(l1)-1=0, alap(short)-1=1)
+
+    def test_accepts_precomputed_asap(self, paper_3dft):
+        a = asap(paper_3dft)
+        assert alap(paper_3dft, a) == alap(paper_3dft)
+
+    def test_chain_has_zero_slack(self):
+        dfg = chain(5)
+        a, l = asap(dfg), alap(dfg)
+        assert a == l
+
+
+class TestHeight:
+    def test_sinks_have_height_one(self, paper_3dft):
+        h = height(paper_3dft)
+        for sink in paper_3dft.sinks():
+            assert h[sink] == 1
+
+    def test_chain_heights_decrease(self):
+        h = height(chain(4))
+        assert [h[f"a{i}"] for i in range(4)] == [4, 3, 2, 1]
+
+    def test_diamond(self):
+        h = height(diamond())
+        assert h == {"a0": 3, "b1": 2, "c2": 2, "a3": 1}
+
+
+class TestMobility:
+    def test_critical_path_nodes_have_zero_mobility(self, paper_3dft):
+        m = mobility(paper_3dft)
+        for n in ("b3", "a8", "c14", "a20", "a23"):
+            assert m[n] == 0
+
+    def test_slack_nodes(self, paper_3dft):
+        m = mobility(paper_3dft)
+        assert m["a24"] == 3
+        assert m["a16"] == 3
+
+    def test_never_negative(self, paper_3dft, dft5):
+        for dfg in (paper_3dft, dft5):
+            assert all(v >= 0 for v in mobility(dfg).values())
+
+
+class TestLevelAnalysis:
+    def test_bundle_matches_functions(self, paper_3dft):
+        bundle = LevelAnalysis.of(paper_3dft)
+        assert bundle.asap == asap(paper_3dft)
+        assert bundle.alap == alap(paper_3dft)
+        assert bundle.height == height(paper_3dft)
+        assert bundle.asap_max == 4
+        assert bundle.critical_path_length == 5
+
+    def test_mobility_method(self, levels_3dft):
+        assert levels_3dft.mobility("a24") == 3
+        assert levels_3dft.mobility("b3") == 0
+
+    def test_table_rows(self, paper_3dft, levels_3dft):
+        rows = levels_3dft.table()
+        assert len(rows) == 24
+        by_name = {r[0]: r[1:] for r in rows}
+        for node, expected in PAPER_TABLE1.items():
+            assert by_name[node] == expected
+
+    def test_single_node(self):
+        dfg = DFG()
+        dfg.add_node("only", "a")
+        bundle = LevelAnalysis.of(dfg)
+        assert bundle.asap == {"only": 0}
+        assert bundle.alap == {"only": 0}
+        assert bundle.height == {"only": 1}
+        assert bundle.critical_path_length == 1
+
+
+class TestInvariantRelations:
+    @pytest.mark.parametrize("fixture", ["paper_3dft", "dft5"])
+    def test_asap_le_alap(self, fixture, request):
+        dfg = request.getfixturevalue(fixture)
+        lv = LevelAnalysis.of(dfg)
+        for n in dfg.nodes:
+            assert lv.asap[n] <= lv.alap[n]
+
+    @pytest.mark.parametrize("fixture", ["paper_3dft", "dft5"])
+    def test_height_plus_asap_bounded_by_path(self, fixture, request):
+        # height(n) counts nodes from n to a sink; asap counts edges from a
+        # source, so asap + height ≤ asap_max + 1.
+        dfg = request.getfixturevalue(fixture)
+        lv = LevelAnalysis.of(dfg)
+        for n in dfg.nodes:
+            assert lv.asap[n] + lv.height[n] <= lv.asap_max + 1
+
+    @pytest.mark.parametrize("fixture", ["paper_3dft", "dft5"])
+    def test_edges_strictly_increase_asap(self, fixture, request):
+        dfg = request.getfixturevalue(fixture)
+        lv = LevelAnalysis.of(dfg)
+        for u, v in dfg.edges():
+            assert lv.asap[u] < lv.asap[v]
+            assert lv.alap[u] < lv.alap[v]
+            assert lv.height[u] > lv.height[v]

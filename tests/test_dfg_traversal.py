@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.dfg.traversal`."""
+
+from __future__ import annotations
+
+from tests.conftest import chain, diamond
+
+from repro.dfg.traversal import (
+    ancestor_masks,
+    comparability_masks,
+    descendant_masks,
+    followers,
+    is_follower,
+    parallelizable,
+)
+
+
+class TestDescendantMasks:
+    def test_chain(self):
+        dfg = chain(4)
+        masks = descendant_masks(dfg)
+        # a0's descendants: a1, a2, a3 (bits 1, 2, 3).
+        assert masks[0] == 0b1110
+        assert masks[3] == 0
+
+    def test_diamond(self):
+        dfg = diamond()
+        masks = descendant_masks(dfg)
+        assert masks[dfg.index("a0")] == 0b1110
+        assert masks[dfg.index("b1")] == 0b1000
+        assert masks[dfg.index("a3")] == 0
+
+    def test_transitive(self, paper_3dft):
+        masks = descendant_masks(paper_3dft)
+        b6 = paper_3dft.index("b6")
+        # b6 → a7 → c12 → a17 → a21 plus b6 → c13 → a18 → a22.
+        for name in ("a7", "c12", "a17", "a21", "c13", "a18", "a22"):
+            assert masks[b6] >> paper_3dft.index(name) & 1
+
+    def test_popcounts(self, paper_3dft):
+        masks = descendant_masks(paper_3dft)
+        counts = {
+            paper_3dft.name_of(i): m.bit_count() for i, m in enumerate(masks)
+        }
+        assert counts["b6"] == 7
+        assert counts["b3"] == 4
+        assert counts["a2"] == 5
+        assert counts["b5"] == 6
+        assert counts["a19"] == 0
+
+
+class TestAncestorMasks:
+    def test_mirror_of_descendants(self, paper_3dft):
+        desc = descendant_masks(paper_3dft)
+        anc = ancestor_masks(paper_3dft)
+        n = paper_3dft.n_nodes
+        for i in range(n):
+            for j in range(n):
+                assert bool(desc[i] >> j & 1) == bool(anc[j] >> i & 1)
+
+
+class TestComparability:
+    def test_union(self, paper_3dft):
+        comp = comparability_masks(paper_3dft)
+        desc = descendant_masks(paper_3dft)
+        anc = ancestor_masks(paper_3dft)
+        for c, d, a in zip(comp, desc, anc):
+            assert c == d | a
+
+    def test_symmetry(self, paper_3dft):
+        comp = comparability_masks(paper_3dft)
+        n = paper_3dft.n_nodes
+        for i in range(n):
+            for j in range(n):
+                assert bool(comp[i] >> j & 1) == bool(comp[j] >> i & 1)
+
+    def test_irreflexive(self, paper_3dft):
+        comp = comparability_masks(paper_3dft)
+        for i, m in enumerate(comp):
+            assert not m >> i & 1
+
+
+class TestFollowers:
+    def test_followers_set(self, paper_3dft):
+        assert followers(paper_3dft, "b3") == {"a8", "c14", "a20", "a23"}
+        assert followers(paper_3dft, "a19") == frozenset()
+
+    def test_is_follower_paper_claim(self, paper_3dft):
+        # §3: a17 is a follower of b6 (why A2 is not an antichain).
+        assert is_follower(paper_3dft, "a17", "b6")
+        assert not is_follower(paper_3dft, "b6", "a17")
+
+    def test_direct_edge_is_follower(self, paper_3dft):
+        assert is_follower(paper_3dft, "a8", "b3")
+
+
+class TestParallelizable:
+    def test_paper_examples(self, paper_3dft):
+        assert parallelizable(paper_3dft, "a24", "b3")
+        assert parallelizable(paper_3dft, "a19", "b3")
+        assert not parallelizable(paper_3dft, "a17", "b6")
+
+    def test_symmetric(self, paper_3dft):
+        assert parallelizable(paper_3dft, "b1", "b3")
+        assert parallelizable(paper_3dft, "b3", "b1")
+
+    def test_not_parallelizable_with_self(self, paper_3dft):
+        assert not parallelizable(paper_3dft, "b3", "b3")
+
+    def test_siblings_are_parallelizable(self):
+        dfg = diamond()
+        assert parallelizable(dfg, "b1", "c2")
+        assert not parallelizable(dfg, "a0", "a3")

@@ -1,0 +1,94 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions as exc
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in exc.__all__:
+            klass = getattr(exc, name)
+            assert issubclass(klass, exc.ReproError)
+
+    def test_unknown_node_is_also_keyerror(self):
+        assert issubclass(exc.UnknownNodeError, KeyError)
+
+    def test_unknown_node_str_is_readable(self):
+        e = exc.UnknownNodeError("unknown node 'x' in graph 'g'")
+        # Plain KeyError would quote the message; ours must not.
+        assert str(e) == "unknown node 'x' in graph 'g'"
+
+    def test_specific_parents(self):
+        assert issubclass(exc.CycleError, exc.GraphError)
+        assert issubclass(exc.SchedulingDeadlockError, exc.SchedulingError)
+        assert issubclass(exc.ScheduleValidationError, exc.SchedulingError)
+        assert issubclass(exc.PatternBudgetError, exc.PatternError)
+
+    def test_catchable_as_library_error(self, paper_3dft):
+        from repro.scheduling.scheduler import schedule_dfg
+
+        with pytest.raises(exc.ReproError):
+            schedule_dfg(paper_3dft, ["aa"], capacity=2)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_quickstart_surface(self, paper_3dft):
+        # The README quickstart, verbatim.
+        library = repro.select_patterns(paper_3dft, pdef=4, capacity=5)
+        schedule = repro.MultiPatternScheduler(library).schedule(paper_3dft)
+        schedule.verify()
+        assert schedule.length <= 8
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.dfg",
+            "repro.patterns",
+            "repro.scheduling",
+            "repro.core",
+            "repro.montium",
+            "repro.workloads",
+            "repro.analysis",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert getattr(mod, name) is not None, f"{module}.{name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.dfg.graph",
+            "repro.dfg.levels",
+            "repro.dfg.antichains",
+            "repro.patterns.pattern",
+            "repro.scheduling.scheduler",
+            "repro.core.selection",
+            "repro.core.variants",
+            "repro.montium.compiler",
+        ],
+    )
+    def test_public_items_have_docstrings(self, module):
+        import importlib
+        import inspect
+
+        mod = importlib.import_module(module)
+        assert mod.__doc__
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{module}.{name} lacks a docstring"

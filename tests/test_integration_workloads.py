@@ -1,0 +1,75 @@
+"""End-to-end integration across every registered workload.
+
+For each workload in the registry: select patterns, schedule, verify,
+allocate, and emit the configuration plan — the full user journey.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.dfg.levels import LevelAnalysis
+from repro.montium.allocation import allocate
+from repro.montium.architecture import MONTIUM_TILE
+from repro.montium.configuration import ConfigurationPlan
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads import WORKLOADS
+
+
+def _config_for(dfg) -> SelectionConfig:
+    """Mirror the large-graph guidance: size-capped catalog over ~100 nodes
+    (antichain counts grow as C(width, size); see DESIGN.md §5)."""
+    if dfg.n_nodes > 100:
+        return SelectionConfig(
+            span_limit=1, max_pattern_size=3, widen_to_capacity=True
+        )
+    return SelectionConfig(span_limit=1)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_full_pipeline_on_workload(name):
+    dfg = WORKLOADS[name]()
+    selector = PatternSelector(5, _config_for(dfg))
+    result = selector.select(dfg, pdef=4)
+    schedule = MultiPatternScheduler(result.library).schedule(dfg)
+
+    # Schedule integrity.
+    schedule.verify()
+    levels = LevelAnalysis.of(dfg)
+    assert schedule.length >= levels.critical_path_length
+    assert schedule.length <= dfg.n_nodes
+
+    # Allocation on the published tile.
+    report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+    assert report.ok, report.violations
+
+    # Configuration artifact fits the decoder budget.
+    plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+    assert plan.decoder_entries <= 4
+    plan.check()
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_single_pattern_budget_also_works(name):
+    # Pdef = 1 is the hardest case (Eq. 9 forces an all-colors pattern or
+    # the fallback); every workload must still compile.
+    dfg = WORKLOADS[name]()
+    selector = PatternSelector(5, _config_for(dfg))
+    result = selector.select(dfg, pdef=1)
+    assert set(dfg.colors()) <= result.covered_colors()
+    schedule = MultiPatternScheduler(result.library).schedule(dfg)
+    schedule.verify()
+
+
+def test_workload_registry_sane():
+    assert len(WORKLOADS) >= 10
+    for name, builder in WORKLOADS.items():
+        dfg = builder()
+        assert dfg.n_nodes >= 1, name
+        dfg.check_acyclic()
+        # Builders must be pure: two calls give equal graphs.
+        again = builder()
+        assert again.nodes == dfg.nodes
+        assert again.edges() == dfg.edges()

@@ -1,0 +1,93 @@
+"""Unit tests for :mod:`repro.montium.allocation`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import AllocationError
+from repro.montium.allocation import allocate
+from repro.montium.architecture import MONTIUM_TILE, MontiumTile
+from repro.scheduling.scheduler import schedule_dfg
+
+
+@pytest.fixture(scope="module")
+def schedule_3dft(request):
+    from repro.workloads import three_point_dft_paper
+
+    dfg = three_point_dft_paper()
+    return dfg, schedule_dfg(dfg, ["aabcc", "aaacc"], capacity=5)
+
+
+class TestAccounting:
+    def test_3dft_fits_published_tile(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+        assert report.ok
+        assert len(report.per_cycle) == 7
+
+    def test_alus_used_matches_trace(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+        for rec, cyc in zip(schedule.cycles, report.per_cycle):
+            assert cyc.alus_used == len(rec.scheduled)
+            assert cyc.alus_used <= 5
+
+    def test_operand_reads_counted(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+        # Cycle 1 schedules three sources → zero operand reads.
+        assert report.per_cycle[0].operand_reads == 0
+        # Cycle 7 schedules a19 (one predecessor) → one read.
+        assert report.per_cycle[-1].operand_reads == 1
+
+    def test_liveness_peaks(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+        assert report.max_live >= 6  # at least the six sink values
+        assert report.max_live <= dfg.n_nodes
+
+    def test_sink_values_live_to_end(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+        # All 24 values produced, none consumed after the last cycle:
+        # final cycle's live count counts every value still unread + new.
+        assert report.per_cycle[-1].live_values >= 6
+
+    def test_summary_string(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+        assert "allocation OK" in report.summary()
+
+
+class TestViolations:
+    def test_tiny_tile_flags_alus(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        tiny = MontiumTile(alu_count=2)
+        report = allocate(dfg, schedule.assignment, tiny)
+        assert not report.ok
+        assert any("ALUs" in v for v in report.violations)
+
+    def test_tiny_memory_flags_storage(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        tiny = MontiumTile(memories=1, memory_depth=4)
+        report = allocate(dfg, schedule.assignment, tiny)
+        assert any("memory words" in v for v in report.violations)
+
+    def test_strict_raises(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        tiny = MontiumTile(alu_count=1)
+        with pytest.raises(AllocationError):
+            allocate(dfg, schedule.assignment, tiny, strict=True)
+
+    def test_bus_pressure_flagged(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        starved = MontiumTile(global_buses=1)
+        report = allocate(dfg, schedule.assignment, starved)
+        assert any("buses" in v for v in report.violations)
+
+    def test_incomplete_assignment_rejected(self, schedule_3dft):
+        dfg, schedule = schedule_3dft
+        partial = dict(schedule.assignment)
+        partial.popitem()
+        with pytest.raises(AllocationError, match="cover"):
+            allocate(dfg, partial, MONTIUM_TILE)

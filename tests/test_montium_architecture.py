@@ -1,0 +1,75 @@
+"""Unit tests for :mod:`repro.montium.architecture` and :mod:`.alu`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ColorError,
+    PatternBudgetError,
+    PatternError,
+)
+from repro.montium.alu import ALU_FUNCTIONS, color_for_op, op_for_symbol
+from repro.montium.architecture import MONTIUM_TILE, MontiumTile
+
+
+class TestTile:
+    def test_published_defaults(self):
+        assert MONTIUM_TILE.alu_count == 5
+        assert MONTIUM_TILE.pattern_budget == 32
+        assert MONTIUM_TILE.memories == 10
+        assert MONTIUM_TILE.global_buses == 10
+        assert MONTIUM_TILE.alu_inputs == 4
+
+    def test_capacity_alias(self):
+        assert MONTIUM_TILE.capacity == 5
+
+    def test_derived_quantities(self):
+        assert MONTIUM_TILE.max_operands_per_cycle() == 20
+        assert MONTIUM_TILE.storage_words() == 5120
+
+    def test_validation(self):
+        with pytest.raises(PatternError):
+            MontiumTile(alu_count=0)
+        with pytest.raises(PatternError):
+            MontiumTile(global_buses=0)
+
+    def test_library_checks_width_and_budget(self):
+        tile = MontiumTile(alu_count=3, pattern_budget=2)
+        lib = tile.library(["abc", "aa"])
+        assert lib.capacity == 3
+        with pytest.raises(PatternError):
+            tile.library(["abcd"])
+        with pytest.raises(PatternBudgetError):
+            tile.library(["a", "b", "c"])
+
+    def test_custom_tile(self):
+        tile = MontiumTile(alu_count=8, alu_inputs=2)
+        assert tile.max_operands_per_cycle() == 16
+
+
+class TestAlu:
+    def test_paper_colors(self):
+        assert color_for_op("add") == "a"
+        assert color_for_op("sub") == "b"
+        assert color_for_op("mul") == "c"
+
+    def test_logic_and_shift_classes(self):
+        assert color_for_op("and") == color_for_op("or") == "l"
+        assert color_for_op("shl") == color_for_op("shr") == "s"
+        assert color_for_op("mac") == "m"
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ColorError, match="not executable"):
+            color_for_op("div")
+
+    def test_symbols(self):
+        assert op_for_symbol("+") == "add"
+        assert op_for_symbol("<<") == "shl"
+        with pytest.raises(ColorError):
+            op_for_symbol("%")
+
+    def test_every_function_reachable(self):
+        for color, ops in ALU_FUNCTIONS.items():
+            for op in ops:
+                assert color_for_op(op) == color

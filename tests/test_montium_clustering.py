@@ -1,0 +1,72 @@
+"""Unit tests for :mod:`repro.montium.clustering`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.montium.clustering import cluster_dfg
+from repro.montium.frontend import parse_program
+
+
+class TestIdentityClustering:
+    def test_copy_with_cluster_map(self, paper_3dft):
+        out = cluster_dfg(paper_3dft)
+        assert out.nodes == paper_3dft.nodes
+        assert out.edges() == paper_3dft.edges()
+        assert out.meta["clusters"] == {n: (n,) for n in paper_3dft.nodes}
+
+    def test_original_untouched(self, paper_3dft):
+        before = paper_3dft.meta.get("clusters")
+        cluster_dfg(paper_3dft)
+        assert paper_3dft.meta.get("clusters") == before
+
+
+class TestMacFusion:
+    def test_simple_mac(self):
+        dfg = parse_program("y = a*b + c")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        assert out.n_nodes == 1
+        assert out.color(out.nodes[0]) == "m"
+        members = out.meta["clusters"][out.nodes[0]]
+        assert len(members) == 2
+
+    def test_mul_with_two_consumers_not_fused(self):
+        dfg = parse_program("t = a*b\nu = t + c\nv = t + d")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        # t has two consumers → must stay a separate multiply.
+        colors = sorted(out.color(n) for n in out.nodes)
+        assert colors.count("c") == 1
+
+    def test_add_absorbs_at_most_one_mul(self):
+        dfg = parse_program("y = a*b + c*d")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        colors = sorted(out.color(n) for n in out.nodes)
+        # One mul fuses, the other survives: [c, m].
+        assert colors == ["c", "m"]
+
+    def test_fusion_preserves_dependencies(self):
+        dfg = parse_program("t = a * b\nu = t + c\nw = u - d")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        out.check_acyclic()
+        (mac,) = [n for n in out.nodes if out.color(n) == "m"]
+        (sub,) = [n for n in out.nodes if out.color(n) == "b"]
+        assert out.successors(mac) == (sub,)
+
+    def test_chain_of_macs(self):
+        dfg = parse_program("y = ((a*b + c) * d + e)")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        assert sorted(out.color(n) for n in out.nodes) == ["m", "m"]
+        out.check_acyclic()
+
+    def test_schedulable_after_fusion(self):
+        from repro.scheduling.scheduler import schedule_dfg
+
+        dfg = parse_program("y = a*b + c*d\nz = y * e\nw = z + f")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        schedule = schedule_dfg(out, ["mc", "m"], capacity=2)
+        schedule.verify()
+
+    def test_no_mul_graph_unchanged(self):
+        dfg = parse_program("y = a + b - c")
+        out = cluster_dfg(dfg, fuse_mac=True)
+        assert out.n_nodes == dfg.n_nodes

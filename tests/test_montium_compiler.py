@@ -1,0 +1,71 @@
+"""Unit tests for :mod:`repro.montium.compiler` — the 4-phase pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.exceptions import SelectionError
+from repro.montium.architecture import MontiumTile
+from repro.montium.compiler import MontiumCompiler
+
+
+SOURCE = """
+t1 = x1 + x2
+t2 = x1 - x2
+m  = t1 * 1.5
+y  = m + t2
+z  = y * t1
+"""
+
+
+class TestPipeline:
+    def test_compile_source(self):
+        result = MontiumCompiler().compile(SOURCE, pdef=2)
+        assert result.cycles >= 1
+        assert result.ok
+        result.schedule.verify()
+
+    def test_compile_prebuilt_dfg(self, paper_3dft):
+        result = MontiumCompiler().compile(paper_3dft, pdef=4)
+        assert result.source_dfg is paper_3dft
+        assert result.cycles <= 8
+        assert result.allocation.ok
+
+    def test_phases_recorded(self):
+        result = MontiumCompiler().compile(SOURCE, pdef=2)
+        assert result.source_dfg.n_nodes == 5
+        assert result.clustered_dfg.n_nodes == 5  # no fusion by default
+        assert len(result.selection.library) <= 2
+        assert len(result.allocation.per_cycle) == result.cycles
+
+    def test_mac_fusion_shrinks_graph(self):
+        plain = MontiumCompiler().compile(SOURCE, pdef=2)
+        fused = MontiumCompiler(fuse_mac=True).compile(SOURCE, pdef=2)
+        assert fused.clustered_dfg.n_nodes < plain.clustered_dfg.n_nodes
+        assert fused.cycles <= plain.cycles
+
+    def test_budget_enforced(self):
+        tile = MontiumTile(pattern_budget=3)
+        with pytest.raises(SelectionError, match="pattern budget"):
+            MontiumCompiler(tile).compile(SOURCE, pdef=4)
+
+    def test_selection_config_forwarded(self, paper_3dft):
+        cfg = SelectionConfig(span_limit=0)
+        result = MontiumCompiler(selection_config=cfg).compile(
+            paper_3dft, pdef=4
+        )
+        assert result.selection.config.span_limit == 0
+
+    def test_custom_tile_capacity(self, paper_3dft):
+        tile = MontiumTile(alu_count=3)
+        result = MontiumCompiler(tile).compile(paper_3dft, pdef=4)
+        assert all(p.size <= 3 for p in result.schedule.library)
+        result.schedule.verify()
+
+    def test_report_text(self):
+        result = MontiumCompiler().compile(SOURCE, pdef=2)
+        text = result.report()
+        assert "cycles" in text
+        assert "patterns" in text
+        assert "allocation" in text

@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.montium.configuration`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PatternBudgetError
+from repro.montium.architecture import MONTIUM_TILE, MontiumTile
+from repro.montium.configuration import ConfigurationPlan
+from repro.patterns.pattern import Pattern
+from repro.scheduling.baselines import resource_list_schedule
+from repro.scheduling.scheduler import schedule_dfg
+
+
+@pytest.fixture(scope="module")
+def table2_schedule(request):
+    from repro.workloads import three_point_dft_paper
+
+    dfg = three_point_dft_paper()
+    return dfg, schedule_dfg(dfg, ["aabcc", "aaacc"], capacity=5)
+
+
+class TestFromSchedule:
+    def test_decoder_in_first_use_order(self, table2_schedule):
+        _, schedule = table2_schedule
+        plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        assert plan.decoder == (
+            Pattern.from_string("aabcc"), Pattern.from_string("aaacc"),
+        )
+
+    def test_program_matches_trace(self, table2_schedule):
+        _, schedule = table2_schedule
+        plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        # Table 2 selects pattern 1,1,1,1,2,2,1.
+        assert plan.program == (0, 0, 0, 0, 1, 1, 0)
+        assert plan.sequencer_length == 7
+
+    def test_switch_count(self, table2_schedule):
+        _, schedule = table2_schedule
+        plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        assert plan.switches == 2  # 1→2 at cycle 5, 2→1 at cycle 7
+
+    def test_fits_published_tile(self, table2_schedule):
+        _, schedule = table2_schedule
+        plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        assert plan.fits()
+        plan.check()
+
+
+class TestFromAssignment:
+    def test_pattern_oblivious_pressure(self, table2_schedule):
+        dfg, schedule = table2_schedule
+        assignment = resource_list_schedule(dfg, {c: 5 for c in dfg.colors()})
+        implied = ConfigurationPlan.from_assignment(dfg, assignment, MONTIUM_TILE)
+        bounded = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        assert implied.decoder_entries >= bounded.decoder_entries
+
+    def test_entries_count_distinct_bags(self, table2_schedule):
+        dfg, _ = table2_schedule
+        assignment = {n: i + 1 for i, n in enumerate(dfg.topological_order())}
+        plan = ConfigurationPlan.from_assignment(dfg, assignment, MONTIUM_TILE)
+        # One node per cycle → decoder entries = distinct single colors.
+        assert plan.decoder_entries == 3
+        assert plan.sequencer_length == dfg.n_nodes
+
+
+class TestChecks:
+    def test_decoder_budget_enforced(self, table2_schedule):
+        _, schedule = table2_schedule
+        tiny = MontiumTile(pattern_budget=1)
+        plan = ConfigurationPlan.from_schedule(schedule, tiny)
+        assert not plan.fits()
+        with pytest.raises(PatternBudgetError, match="decoder entries"):
+            plan.check()
+
+    def test_sequencer_depth_enforced(self, table2_schedule):
+        _, schedule = table2_schedule
+        plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        assert not plan.fits(sequencer_depth=3)
+        with pytest.raises(PatternBudgetError, match="instruction memory"):
+            plan.check(sequencer_depth=3)
+
+    def test_as_text(self, table2_schedule):
+        _, schedule = table2_schedule
+        plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+        text = plan.as_text()
+        assert "decoder:" in text
+        assert "[0] aabcc" in text
+        assert "entries=2/32" in text

@@ -1,0 +1,100 @@
+"""Unit tests for :mod:`repro.montium.energy`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.montium.architecture import MONTIUM_TILE
+from repro.montium.energy import EnergyModel, estimate_energy
+from repro.scheduling.scheduler import schedule_dfg
+
+
+@pytest.fixture(scope="module")
+def schedule(request):
+    from repro.workloads import three_point_dft_paper
+
+    return schedule_dfg(
+        three_point_dft_paper(), ["aabcc", "aaacc"], capacity=5
+    )
+
+
+class TestModel:
+    def test_default_costs(self):
+        m = EnergyModel()
+        assert m.cost_of_op("c") > m.cost_of_op("a")
+        assert m.cost_of_op("unknown") == m.default_op_cost
+
+
+class TestEstimate:
+    def test_compute_term_exact(self, schedule):
+        report = estimate_energy(schedule, MONTIUM_TILE)
+        # 14 adds + 4 subs at 1.0 plus 6 muls at 3.0.
+        assert report.compute == pytest.approx(14 + 4 + 6 * 3.0)
+
+    def test_write_term_counts_every_node(self, schedule):
+        m = EnergyModel()
+        report = estimate_energy(schedule, MONTIUM_TILE, m)
+        assert report.writes == pytest.approx(m.result_write * 24)
+
+    def test_transport_counts_broadcasts_once(self, schedule):
+        # A value consumed by several nodes in the same cycle is broadcast
+        # once: transports = distinct (producer, consuming cycle) pairs.
+        m = EnergyModel()
+        report = estimate_energy(schedule, MONTIUM_TILE, m)
+        dfg = schedule.dfg
+        pairs = {
+            (u, schedule.assignment[v]) for u, v in dfg.edges()
+        }
+        assert report.transport == pytest.approx(m.bus_transfer * len(pairs))
+        # In this 3DFT schedule a2 feeds both a24 and c10 in cycle 2, so
+        # there is exactly one fewer transport than edges.
+        assert len(pairs) == dfg.n_edges - 1
+
+    def test_reconfiguration_counts_switches(self, schedule):
+        m = EnergyModel()
+        report = estimate_energy(schedule, MONTIUM_TILE, m)
+        assert report.reconfiguration == pytest.approx(m.pattern_switch * 2)
+
+    def test_control_scales_with_length(self, schedule):
+        m = EnergyModel()
+        report = estimate_energy(schedule, MONTIUM_TILE, m)
+        assert report.control == pytest.approx(m.instruction_fetch * 7)
+
+    def test_total_is_sum_of_parts(self, schedule):
+        r = estimate_energy(schedule, MONTIUM_TILE)
+        assert r.total == pytest.approx(
+            r.compute + r.transport + r.writes + r.reconfiguration + r.control
+        )
+
+    def test_per_cycle_totals(self, schedule):
+        r = estimate_energy(schedule, MONTIUM_TILE)
+        assert len(r.per_cycle) == 7
+        # Per-cycle entries exclude the switch cost (it sits between
+        # cycles) — their sum plus reconfiguration equals the total.
+        assert sum(r.per_cycle) + r.reconfiguration == pytest.approx(r.total)
+
+    def test_summary_mentions_breakdown(self, schedule):
+        text = estimate_energy(schedule, MONTIUM_TILE).summary()
+        for word in ("compute", "transport", "reconfig"):
+            assert word in text
+
+
+class TestComparisons:
+    def test_fewer_switches_cost_less(self, paper_3dft):
+        # A schedule forced through one pattern has zero switch cost.
+        single = schedule_dfg(paper_3dft, ["aabcc"], capacity=5)
+        double = schedule_dfg(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        e_single = estimate_energy(single, MONTIUM_TILE)
+        e_double = estimate_energy(double, MONTIUM_TILE)
+        assert e_single.reconfiguration == 0.0
+        assert e_double.reconfiguration > 0.0
+        # Compute/writes are schedule-independent totals (up to float
+        # grouping across different cycle counts).
+        assert e_single.compute == pytest.approx(e_double.compute)
+        assert e_single.writes == pytest.approx(e_double.writes)
+
+    def test_custom_model(self, schedule):
+        expensive_mul = EnergyModel(op_cost={"a": 1, "b": 1, "c": 10})
+        base = estimate_energy(schedule, MONTIUM_TILE)
+        heavy = estimate_energy(schedule, MONTIUM_TILE, expensive_mul)
+        assert heavy.compute > base.compute

@@ -1,0 +1,146 @@
+"""Unit tests for :mod:`repro.montium.frontend`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import FrontendError
+from repro.montium.frontend import parse_program, tokenize
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        toks = tokenize("y = x1 + 3.5", 1)
+        assert [(t.kind, t.text) for t in toks] == [
+            ("ident", "y"), ("op", "="), ("ident", "x1"),
+            ("op", "+"), ("num", "3.5"), ("end", ""),
+        ]
+
+    def test_shift_operators(self):
+        toks = tokenize("a << 2 >> b", 1)
+        assert [t.text for t in toks if t.kind == "op"] == ["<<", ">>"]
+
+    def test_unknown_character(self):
+        with pytest.raises(FrontendError, match="unexpected character"):
+            tokenize("a ? b", 3)
+
+    def test_positions(self):
+        toks = tokenize("ab + c", 7)
+        assert toks[0].line == 7 and toks[0].col == 1
+        assert toks[1].col == 4
+
+
+class TestParsing:
+    def test_single_op(self):
+        dfg = parse_program("y = a + b")
+        assert dfg.n_nodes == 1
+        assert dfg.color(dfg.nodes[0]) == "a"
+        assert dfg.meta["inputs"] == ["a", "b"]
+
+    def test_precedence_mul_binds_tighter(self):
+        dfg = parse_program("y = a + b * c")
+        # One mul feeding one add.
+        (mul,) = [n for n in dfg.nodes if dfg.color(n) == "c"]
+        (add,) = [n for n in dfg.nodes if dfg.color(n) == "a"]
+        assert dfg.successors(mul) == (add,)
+
+    def test_parentheses_override(self):
+        dfg = parse_program("y = (a + b) * c")
+        (mul,) = [n for n in dfg.nodes if dfg.color(n) == "c"]
+        (add,) = [n for n in dfg.nodes if dfg.color(n) == "a"]
+        assert dfg.successors(add) == (mul,)
+
+    def test_left_associativity(self):
+        dfg = parse_program("y = a - b - c")
+        subs = [n for n in dfg.nodes if dfg.color(n) == "b"]
+        assert len(subs) == 2
+        # First sub feeds second.
+        assert dfg.successors(subs[0]) == (subs[1],)
+
+    def test_assignment_chaining(self):
+        dfg = parse_program("t = a + b\ny = t * c")
+        assert dfg.n_nodes == 2
+        assert dfg.meta["inputs"] == ["a", "b", "c"]
+
+    def test_semicolon_separator(self):
+        dfg = parse_program("t = a + b; y = t - c")
+        assert dfg.n_nodes == 2
+
+    def test_comments_and_blanks(self):
+        dfg = parse_program("# leading comment\n\n t = a+b # trailing\n")
+        assert dfg.n_nodes == 1
+
+    def test_logic_and_shift_colors(self):
+        dfg = parse_program("y = (a & b) | (c << 1)")
+        colors = sorted(dfg.color(n) for n in dfg.nodes)
+        assert colors == ["l", "l", "s"]
+
+    def test_literals_recorded(self):
+        dfg = parse_program("y = x * 2.5")
+        assert dfg.meta["literals"] == {"lit:2.5": 2.5}
+
+    def test_node_names_paper_style(self):
+        dfg = parse_program("y = a + b - c")
+        assert dfg.nodes == ("a1", "b2")
+
+
+class TestCse:
+    def test_shared_subexpression_merged(self):
+        dfg = parse_program("y = (a+b) * (a+b)")
+        assert dfg.n_nodes == 2  # one add, one mul
+
+    def test_cse_disabled(self):
+        dfg = parse_program("y = (a+b) * (a+b)", cse=False)
+        assert dfg.n_nodes == 3
+
+    def test_cse_across_statements(self):
+        dfg = parse_program("u = a + b\nv = a + b")
+        assert dfg.n_nodes == 1
+
+
+class TestErrors:
+    def test_missing_equals(self):
+        with pytest.raises(FrontendError, match="expected '='"):
+            parse_program("y a + b")
+
+    def test_statement_must_start_with_identifier(self):
+        with pytest.raises(FrontendError, match="must start"):
+            parse_program("3 = a + b")
+
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(FrontendError, match="unbalanced"):
+            parse_program("y = (a + b")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(FrontendError, match="trailing"):
+            parse_program("y = a + b c")
+
+    def test_missing_operand(self):
+        with pytest.raises(FrontendError):
+            parse_program("y = a +")
+
+    def test_empty_program(self):
+        with pytest.raises(FrontendError, match="no operations"):
+            parse_program("# nothing\n")
+
+
+class TestSemantics:
+    def test_evaluation_matches_python(self):
+        dfg = parse_program("t = x1 + x2\ny = (t - x3) * 2.0\nz = y + t")
+        feed = {"x1": 3.0, "x2": 4.0, "x3": 1.0, "lit:2.0": 2.0}
+        values = dfg.evaluate(feed)
+        t = 3.0 + 4.0
+        y = (t - 1.0) * 2.0
+        out = dfg.meta["outputs"]
+        assert values[out["t"]] == t
+        assert values[out["y"]] == y
+        assert values[out["z"]] == y + t
+
+    def test_compiles_and_schedules(self):
+        from repro.scheduling.scheduler import schedule_dfg
+
+        dfg = parse_program(
+            "u = a*b + c*d\nv = a*b - c*d\nw = u * v\n"
+        )
+        schedule = schedule_dfg(dfg, ["ab", "cc"], capacity=2)
+        schedule.verify()

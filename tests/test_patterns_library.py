@@ -1,0 +1,104 @@
+"""Unit tests for :mod:`repro.patterns.library`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PatternBudgetError, PatternError
+from repro.patterns.library import MONTIUM_PATTERN_BUDGET, PatternLibrary
+from repro.patterns.pattern import Pattern
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        lib = PatternLibrary(["aabcc", "aaacc"], capacity=5)
+        assert len(lib) == 2
+        assert lib[0] == Pattern.from_string("aabcc")
+
+    def test_from_patterns(self):
+        p = Pattern.from_string("ab")
+        lib = PatternLibrary([p], capacity=2)
+        assert lib.patterns == (p,)
+
+    def test_order_preserved(self):
+        lib = PatternLibrary(["c", "a", "b"], capacity=1)
+        assert lib.as_strings() == ("c", "a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError, match="empty"):
+            PatternLibrary([], capacity=5)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(PatternError):
+            PatternLibrary(["a"], capacity=0)
+
+    def test_too_wide_pattern_rejected(self):
+        with pytest.raises(PatternError, match="exceeding capacity"):
+            PatternLibrary(["aabcc"], capacity=4)
+
+    def test_duplicates_rejected_by_default(self):
+        with pytest.raises(PatternError, match="duplicate"):
+            PatternLibrary(["abcbc", "bcbca"], capacity=5)
+
+    def test_duplicates_allowed_for_table3(self):
+        # Paper Table 3 row 2 contains the bag 'abbcc' twice.
+        lib = PatternLibrary(
+            ["abcbc", "bcbca"], capacity=5, allow_duplicates=True
+        )
+        assert len(lib) == 2
+
+    def test_non_pattern_rejected(self):
+        with pytest.raises(PatternError, match="not a pattern"):
+            PatternLibrary([3], capacity=5)  # type: ignore[list-item]
+
+
+class TestBudget:
+    def test_default_budget_is_32(self):
+        from itertools import combinations_with_replacement
+
+        assert MONTIUM_PATTERN_BUDGET == 32
+        pats = [
+            "".join(c)
+            for c in combinations_with_replacement("abcdefgh", 2)
+        ][:33]
+        with pytest.raises(PatternBudgetError):
+            PatternLibrary(pats, capacity=2)
+
+    def test_custom_budget(self):
+        with pytest.raises(PatternBudgetError):
+            PatternLibrary(["a", "b", "c"], capacity=1, budget=2)
+        lib = PatternLibrary(["a", "b"], capacity=1, budget=2)
+        assert len(lib) == 2
+
+
+class TestQueries:
+    def test_color_set_and_covers(self):
+        lib = PatternLibrary(["aab", "cc"], capacity=3)
+        assert lib.color_set() == {"a", "b", "c"}
+        assert lib.covers("abc")
+        assert not lib.covers("abcd")
+
+    def test_contains(self):
+        lib = PatternLibrary(["ab"], capacity=2)
+        assert Pattern.from_string("ba") in lib
+        assert Pattern.from_string("aa") not in lib
+
+    def test_iteration(self):
+        lib = PatternLibrary(["a", "b"], capacity=1)
+        assert [p.as_string() for p in lib] == ["a", "b"]
+
+    def test_as_strings_padded(self):
+        lib = PatternLibrary(["ab", "c"], capacity=4)
+        assert lib.as_strings(padded=True) == ("ab--", "c---")
+
+    def test_equality_and_hash(self):
+        a = PatternLibrary(["ab", "c"], capacity=3)
+        b = PatternLibrary(["ab", "c"], capacity=3)
+        c = PatternLibrary(["c", "ab"], capacity=3)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert a != "not a library"
+
+    def test_repr(self):
+        lib = PatternLibrary(["ab"], capacity=2)
+        assert "ab" in repr(lib) and "capacity=2" in repr(lib)

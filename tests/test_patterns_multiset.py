@@ -1,0 +1,80 @@
+"""Unit tests for :mod:`repro.patterns.multiset`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.patterns.multiset import (
+    bag,
+    bag_difference,
+    bag_key,
+    bag_union,
+    is_subbag,
+)
+
+
+class TestBag:
+    def test_from_iterable(self):
+        assert bag("aabcc") == Counter({"a": 2, "b": 1, "c": 2})
+
+    def test_empty(self):
+        assert bag([]) == Counter()
+
+
+class TestBagKey:
+    def test_sorted_expansion(self):
+        assert bag_key({"c": 2, "a": 1}) == ("a", "c", "c")
+
+    def test_order_insensitive(self):
+        assert bag_key(bag("cab")) == bag_key(bag("bca"))
+
+    def test_zero_counts_ignored(self):
+        assert bag_key({"a": 1, "b": 0}) == ("a",)
+
+
+class TestIsSubbag:
+    def test_multiplicity_matters(self):
+        assert is_subbag(bag("a"), bag("aa"))
+        assert not is_subbag(bag("aa"), bag("ab"))
+
+    def test_reflexive(self):
+        assert is_subbag(bag("abc"), bag("abc"))
+
+    def test_empty_is_subbag_of_all(self):
+        assert is_subbag(Counter(), bag("xyz"))
+
+    def test_missing_color(self):
+        assert not is_subbag(bag("d"), bag("abc"))
+
+    def test_antisymmetry_means_equality(self):
+        a, b = bag("aab"), bag("aab")
+        assert is_subbag(a, b) and is_subbag(b, a) and a == b
+
+    def test_zero_count_entries_ignored(self):
+        assert is_subbag({"a": 1, "z": 0}, bag("a"))
+
+
+class TestDifference:
+    def test_basic(self):
+        assert bag_difference(bag("aabc"), bag("ab")) == Counter(
+            {"a": 1, "c": 1}
+        )
+
+    def test_never_negative(self):
+        assert bag_difference(bag("a"), bag("aaa")) == Counter()
+
+    def test_disjoint(self):
+        assert bag_difference(bag("ab"), bag("cd")) == Counter({"a": 1, "b": 1})
+
+
+class TestUnion:
+    def test_pointwise_max(self):
+        assert bag_union(bag("aab"), bag("abb")) == Counter({"a": 2, "b": 2})
+
+    def test_identity(self):
+        assert bag_union(bag("ab"), Counter()) == Counter({"a": 1, "b": 1})
+
+    def test_commutative(self):
+        assert bag_union(bag("aac"), bag("bc")) == bag_union(
+            bag("bc"), bag("aac")
+        )

@@ -1,0 +1,137 @@
+"""Unit tests for :mod:`repro.patterns.pattern`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns.pattern import Pattern
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        p = Pattern(["a", "c", "a"])
+        assert p.key == ("a", "a", "c")
+        assert p.size == 3
+
+    def test_from_string(self):
+        p = Pattern.from_string("aabcc")
+        assert p.size == 5
+        assert p.count("a") == 2
+        assert p.count("b") == 1
+        assert p.count("c") == 2
+        assert p.count("z") == 0
+
+    def test_from_string_skips_dummies_and_spaces(self):
+        assert Pattern.from_string("ab--- ").key == ("a", "b")
+
+    def test_from_counts(self):
+        p = Pattern.from_counts({"b": 2, "a": 1})
+        assert p.key == ("a", "b", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern([])
+        with pytest.raises(PatternError):
+            Pattern.from_string("---")
+
+    def test_invalid_colors_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern(["a", ""])
+        with pytest.raises(PatternError):
+            Pattern(["-"])
+        with pytest.raises(PatternError):
+            Pattern.from_counts({"a": 0})
+
+    def test_immutable(self):
+        p = Pattern.from_string("ab")
+        with pytest.raises(AttributeError):
+            p.size = 9  # type: ignore[misc]
+
+
+class TestIdentity:
+    def test_order_insensitive_equality(self):
+        assert Pattern.from_string("abcbc") == Pattern.from_string("bcbca")
+
+    def test_hashable(self):
+        s = {Pattern.from_string("ab"), Pattern.from_string("ba")}
+        assert len(s) == 1
+
+    def test_not_equal_to_string(self):
+        assert Pattern.from_string("ab") != "ab"
+
+    def test_ordering_by_size_then_key(self):
+        p1 = Pattern.from_string("b")
+        p2 = Pattern.from_string("aa")
+        p3 = Pattern.from_string("ab")
+        assert sorted([p3, p1, p2]) == [p1, p2, p3]
+
+    def test_ordering_against_other_type(self):
+        with pytest.raises(TypeError):
+            _ = Pattern.from_string("a") < 3  # type: ignore[operator]
+
+
+class TestInspection:
+    def test_counts_is_fresh_copy(self):
+        p = Pattern.from_string("aab")
+        c = p.counts
+        c["a"] = 99
+        assert p.count("a") == 2
+
+    def test_colors_and_color_set(self):
+        p = Pattern.from_string("cabca")
+        assert p.colors() == ("a", "b", "c")
+        assert p.color_set() == {"a", "b", "c"}
+
+    def test_iteration_and_len(self):
+        p = Pattern.from_string("ba")
+        assert list(p) == ["a", "b"]
+        assert len(p) == 2
+
+    def test_contains(self):
+        p = Pattern.from_string("ab")
+        assert "a" in p and "z" not in p
+
+
+class TestSubpattern:
+    def test_paper_example(self):
+        # §5.2: p̄1 = {a} is deleted as a sub-pattern of p̄3 = {aa}.
+        assert Pattern.from_string("a").is_subpattern_of(
+            Pattern.from_string("aa")
+        )
+
+    def test_multiplicity(self):
+        assert not Pattern.from_string("aa").is_subpattern_of(
+            Pattern.from_string("ab")
+        )
+
+    def test_reflexive(self):
+        p = Pattern.from_string("abc")
+        assert p.is_subpattern_of(p)
+
+    def test_covers_bag(self):
+        p = Pattern.from_string("aabcc")
+        assert p.covers_bag(Counter({"a": 2, "c": 1}))
+        assert not p.covers_bag(Counter({"b": 2}))
+
+
+class TestRendering:
+    def test_plain(self):
+        assert Pattern.from_string("cba").as_string() == "abc"
+
+    def test_padded(self):
+        assert Pattern.from_string("ab").as_string(width=5) == "ab---"
+
+    def test_padding_too_narrow_rejected(self):
+        with pytest.raises(PatternError):
+            Pattern.from_string("abc").as_string(width=2)
+
+    def test_multichar_colors(self):
+        p = Pattern(["add", "mul"])
+        assert p.as_string() == "{add,mul}"
+        assert p.as_string(width=3) == "{add,mul,-}"
+
+    def test_repr(self):
+        assert repr(Pattern.from_string("ba")) == "Pattern('ab')"

@@ -1,0 +1,82 @@
+"""Unit tests for :mod:`repro.patterns.random_gen`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import PatternError
+from repro.patterns.random_gen import random_pattern, random_pattern_set
+
+
+class TestRandomPattern:
+    def test_exact_capacity(self):
+        rng = random.Random(1)
+        p = random_pattern(rng, 5, ["a", "b", "c"])
+        assert p.size == 5
+        assert p.color_set() <= {"a", "b", "c"}
+
+    def test_deterministic_given_seed(self):
+        a = random_pattern(random.Random(7), 5, ["a", "b", "c"])
+        b = random_pattern(random.Random(7), 5, ["a", "b", "c"])
+        assert a == b
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(PatternError):
+            random_pattern(random.Random(0), 3, [])
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(PatternError):
+            random_pattern(random.Random(0), 0, ["a"])
+
+
+class TestRandomPatternSet:
+    def test_coverage_guaranteed(self):
+        rng = random.Random(3)
+        for _ in range(50):
+            lib = random_pattern_set(rng, 5, ["a", "b", "c"], 1)
+            assert lib.color_set() == {"a", "b", "c"}
+
+    def test_requested_count(self):
+        lib = random_pattern_set(random.Random(0), 5, ["a", "b"], 4)
+        assert len(lib) == 4
+
+    def test_no_duplicate_patterns(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            lib = random_pattern_set(rng, 5, ["a", "b", "c"], 3)
+            assert len(set(lib.patterns)) == 3
+
+    def test_deterministic_given_seed(self):
+        a = random_pattern_set(random.Random(11), 5, ["a", "b", "c"], 2)
+        b = random_pattern_set(random.Random(11), 5, ["a", "b", "c"], 2)
+        assert a == b
+
+    def test_impossible_coverage_rejected_up_front(self):
+        with pytest.raises(PatternError, match="cannot cover"):
+            random_pattern_set(random.Random(0), 2, list("abcde"), 1)
+
+    def test_coverage_can_be_disabled(self):
+        lib = random_pattern_set(
+            random.Random(0), 2, list("abcde"), 1, ensure_coverage=False
+        )
+        assert len(lib) == 1
+
+    def test_bad_count_rejected(self):
+        with pytest.raises(PatternError):
+            random_pattern_set(random.Random(0), 5, ["a"], 0)
+
+    def test_duplicate_universe_entries_collapsed(self):
+        lib = random_pattern_set(
+            random.Random(0), 5, ["a", "a", "b", "b"], 1
+        )
+        assert lib.color_set() == {"a", "b"}
+
+    def test_max_tries_exhausted(self):
+        # One pattern of one slot can never produce two distinct patterns
+        # from a single-color universe when asked for n=2 distinct sets.
+        with pytest.raises(PatternError, match="failed to sample"):
+            random_pattern_set(
+                random.Random(0), 1, ["a"], 2, max_tries=5
+            )

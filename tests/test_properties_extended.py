@@ -1,0 +1,135 @@
+"""Extended property-based tests: allocation, configuration, selection
+variants and the frontend."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SelectionConfig
+from repro.core.variants import VARIANTS, select_with_variant
+from repro.montium.allocation import allocate
+from repro.montium.architecture import MONTIUM_TILE
+from repro.montium.configuration import ConfigurationPlan
+from repro.montium.frontend import parse_program
+from repro.patterns.random_gen import random_pattern_set
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads.synthetic import layered_dag
+
+COMMON = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+layered_params = st.tuples(
+    st.integers(0, 10_000), st.integers(1, 4), st.integers(1, 5)
+)
+
+
+def _schedule(seed: int, layers: int, width: int):
+    dfg = layered_dag(seed, layers, width)
+    lib = random_pattern_set(
+        random.Random(seed), 5, list(dfg.colors()), 1
+    )
+    return dfg, MultiPatternScheduler(lib).schedule(dfg)
+
+
+# --------------------------------------------------------------------------- #
+# allocation invariants
+# --------------------------------------------------------------------------- #
+@COMMON
+@given(layered_params)
+def test_allocation_accounting_consistent(params):
+    seed, layers, width = params
+    dfg, schedule = _schedule(seed, layers, width)
+    report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+    assert len(report.per_cycle) == schedule.length
+    total_ops = sum(c.alus_used for c in report.per_cycle)
+    assert total_ops == dfg.n_nodes
+    total_reads = sum(c.operand_reads for c in report.per_cycle)
+    assert total_reads == dfg.n_edges
+    for c in report.per_cycle:
+        assert c.bus_transfers <= c.operand_reads
+        assert 0 < c.live_values <= dfg.n_nodes
+
+
+@COMMON
+@given(layered_params)
+def test_allocation_liveness_monotone_sanity(params):
+    # Live count at the last cycle ≥ number of sinks (all outputs alive).
+    seed, layers, width = params
+    dfg, schedule = _schedule(seed, layers, width)
+    report = allocate(dfg, schedule.assignment, MONTIUM_TILE)
+    assert report.per_cycle[-1].live_values >= len(dfg.sinks())
+
+
+# --------------------------------------------------------------------------- #
+# configuration plan invariants
+# --------------------------------------------------------------------------- #
+@COMMON
+@given(layered_params)
+def test_configuration_plan_consistency(params):
+    seed, layers, width = params
+    dfg, schedule = _schedule(seed, layers, width)
+    plan = ConfigurationPlan.from_schedule(schedule, MONTIUM_TILE)
+    assert plan.sequencer_length == schedule.length
+    assert plan.decoder_entries <= len(schedule.library)
+    assert set(plan.program) == set(range(plan.decoder_entries))
+    assert 0 <= plan.switches < max(1, plan.sequencer_length)
+    # Program indices decode back to the cycle patterns.
+    for cycle, idx in enumerate(plan.program, start=1):
+        assert plan.decoder[idx] == schedule.pattern_of_cycle(cycle)
+
+
+@COMMON
+@given(layered_params)
+def test_implied_plan_never_smaller_than_bounded(params):
+    from repro.scheduling.baselines import resource_list_schedule
+
+    seed, layers, width = params
+    dfg, schedule = _schedule(seed, layers, width)
+    oblivious = resource_list_schedule(dfg, {c: 5 for c in dfg.colors()})
+    implied = ConfigurationPlan.from_assignment(dfg, oblivious, MONTIUM_TILE)
+    assert implied.decoder_entries >= 1
+    assert implied.sequencer_length == max(oblivious.values())
+
+
+# --------------------------------------------------------------------------- #
+# selection variants
+# --------------------------------------------------------------------------- #
+@COMMON
+@given(layered_params, st.sampled_from(sorted(VARIANTS)))
+def test_every_variant_covers_and_schedules(params, variant):
+    seed, layers, width = params
+    dfg = layered_dag(seed, layers, width)
+    result = select_with_variant(
+        dfg, 3, 4, variant, config=SelectionConfig(span_limit=1)
+    )
+    assert set(dfg.colors()) <= result.covered_colors()
+    MultiPatternScheduler(result.library).schedule(dfg).verify()
+
+
+# --------------------------------------------------------------------------- #
+# frontend round-trip: parse → evaluate == python eval
+# --------------------------------------------------------------------------- #
+@COMMON
+@given(
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.integers(-5, 5),
+    st.sampled_from(["+", "-", "*"]),
+    st.sampled_from(["+", "-", "*"]),
+)
+def test_frontend_matches_python_semantics(x, y, z, op1, op2):
+    source = f"r = (a {op1} b) {op2} c"
+    dfg = parse_program(source)
+    feed = {"a": float(x), "b": float(y), "c": float(z)}
+    feed.update({k: v for k, v in dfg.meta["literals"].items()})
+    values = dfg.evaluate(feed)
+    expected = eval(f"(x {op1} y) {op2} z")  # noqa: S307 - test oracle
+    out_ref = dfg.meta["outputs"]["r"]
+    got = values[out_ref] if isinstance(out_ref, str) else feed[out_ref[1]]
+    assert complex(got).real == expected

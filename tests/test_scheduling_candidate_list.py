@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.scheduling.candidate_list`."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import chain, diamond
+
+from repro.exceptions import SchedulingError
+from repro.scheduling.candidate_list import CandidateList
+
+
+class TestInitial:
+    def test_sources_in_index_order(self, paper_3dft):
+        cl = CandidateList(paper_3dft)
+        assert cl.nodes == ("b1", "a2", "b3", "a4", "b5", "b6")
+
+    def test_len_bool_contains(self, paper_3dft):
+        cl = CandidateList(paper_3dft)
+        assert len(cl) == 6
+        assert cl
+        assert "b1" in cl and "a19" not in cl
+
+    def test_iteration_is_arrival_order(self, paper_3dft):
+        cl = CandidateList(paper_3dft)
+        assert list(cl) == list(cl.nodes)
+
+
+class TestCommit:
+    def test_commit_removes_and_enqueues(self):
+        dfg = diamond()
+        cl = CandidateList(dfg)
+        assert cl.nodes == ("a0",)
+        new = cl.commit_cycle(["a0"])
+        assert new == ("b1", "c2")
+        assert cl.nodes == ("b1", "c2")
+        assert cl.scheduled == {"a0"}
+
+    def test_successor_waits_for_all_preds(self):
+        dfg = diamond()
+        cl = CandidateList(dfg)
+        cl.commit_cycle(["a0"])
+        new = cl.commit_cycle(["b1"])
+        assert new == ()  # a3 still waits for c2
+        new = cl.commit_cycle(["c2"])
+        assert new == ("a3",)
+
+    def test_commit_non_candidate_rejected(self):
+        dfg = diamond()
+        cl = CandidateList(dfg)
+        with pytest.raises(SchedulingError, match="not on the candidate"):
+            cl.commit_cycle(["a3"])
+
+    def test_partial_commit_keeps_arrival_order(self, paper_3dft):
+        cl = CandidateList(paper_3dft)
+        cl.commit_cycle(["a2", "a4", "b6"])  # Table 2 cycle 1
+        # Leftovers keep initial order, new candidates appended after.
+        assert cl.nodes[:3] == ("b1", "b3", "b5")
+        assert set(cl.nodes[3:]) == {"a24", "a16", "c10", "c11", "a7"}
+
+    def test_new_candidate_order_matches_design(self, paper_3dft):
+        # DESIGN.md §3.4: committed nodes visited ascending index, their
+        # successors in edge-insertion order.
+        cl = CandidateList(paper_3dft)
+        new = cl.commit_cycle(["a2", "a4", "b6"])
+        assert new == ("a24", "a16", "c10", "c11", "a7")
+
+    def test_chain_walk(self):
+        dfg = chain(3)
+        cl = CandidateList(dfg)
+        assert cl.commit_cycle(["a0"]) == ("a1",)
+        assert cl.commit_cycle(["a1"]) == ("a2",)
+        assert cl.commit_cycle(["a2"]) == ()
+        assert not cl
+
+
+class TestPriorityOrder:
+    def test_stable_sort_keeps_arrival_on_ties(self, paper_3dft):
+        cl = CandidateList(paper_3dft)
+        # Equal priorities for everyone → arrival order preserved.
+        flat = {n: 1 for n in paper_3dft.nodes}
+        assert cl.in_priority_order(flat) == cl.nodes
+
+    def test_descending(self, paper_3dft):
+        cl = CandidateList(paper_3dft)
+        prio = {n: i for i, n in enumerate(paper_3dft.nodes)}
+        ordered = cl.in_priority_order(prio)
+        values = [prio[n] for n in ordered]
+        assert values == sorted(values, reverse=True)

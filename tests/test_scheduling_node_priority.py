@@ -1,0 +1,92 @@
+"""Unit tests for :mod:`repro.scheduling.node_priority` (Eqs. 4-5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import chain
+
+from repro.exceptions import SchedulingError
+from repro.scheduling.node_priority import (
+    PriorityParameters,
+    node_priorities,
+    priority_rank_key,
+)
+from repro.workloads.synthetic import random_dag
+
+
+class TestDerive:
+    def test_satisfies_eq5(self, paper_3dft):
+        params = PriorityParameters.derive(paper_3dft)
+        params.validate(paper_3dft)
+
+    def test_strict_exceeds_bounds(self, paper_3dft):
+        loose = PriorityParameters.derive(paper_3dft, strict=False)
+        strict = PriorityParameters.derive(paper_3dft)
+        assert strict.t == loose.t + 1
+        assert strict.s > loose.s
+
+    def test_paper_graph_values(self, paper_3dft):
+        # max #all_succ = 7 (b6); with t = 8, max t·#ds+#as is a2's
+        # 3·8 + 5 = 29 ⇒ s = 30.
+        params = PriorityParameters.derive(paper_3dft)
+        assert params.t == 8
+        assert params.s == 30
+
+    def test_validate_rejects_too_small(self, paper_3dft):
+        with pytest.raises(SchedulingError, match="t="):
+            PriorityParameters(s=100, t=1).validate(paper_3dft)
+        with pytest.raises(SchedulingError, match="s="):
+            PriorityParameters(s=1, t=10).validate(paper_3dft)
+
+
+class TestPriorities:
+    def test_height_dominates(self, paper_3dft):
+        f = node_priorities(paper_3dft)
+        # Height 5 nodes above all height 4 nodes, etc.
+        assert f["b3"] > f["a2"] > f["c9"] > f["a15"] > f["a24"]
+
+    def test_direct_successors_break_height_ties(self, paper_3dft):
+        f = node_priorities(paper_3dft)
+        # b6 (ds=2) vs b3 (ds=1), both height 5.
+        assert f["b6"] > f["b3"]
+        # b5 (ds=2) vs b1 (ds=1), both height 4.
+        assert f["b5"] > f["b1"]
+
+    def test_all_successors_break_remaining_ties(self):
+        dfg = random_dag(17, 12, 0.3)
+        f = node_priorities(dfg)
+        rank = priority_rank_key(dfg)
+        for m in dfg.nodes:
+            for n in dfg.nodes:
+                if rank[m] > rank[n]:
+                    assert f[m] > f[n], (m, n)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_order_equals_lexicographic_rank(self, seed):
+        dfg = random_dag(seed, 15, 0.25)
+        f = node_priorities(dfg)
+        rank = priority_rank_key(dfg)
+        by_f = sorted(dfg.nodes, key=lambda n: f[n])
+        for a, b in zip(by_f, by_f[1:]):
+            assert rank[a] <= rank[b]
+
+    def test_explicit_params_validated(self, paper_3dft):
+        with pytest.raises(SchedulingError):
+            node_priorities(paper_3dft, params=PriorityParameters(1, 1))
+
+    def test_explicit_valid_params_used(self, paper_3dft):
+        params = PriorityParameters(s=1000, t=50)
+        f = node_priorities(paper_3dft, params=params)
+        assert f["b3"] == 1000 * 5 + 50 * 1 + 4
+
+    def test_sink_priority_is_s(self, paper_3dft):
+        params = PriorityParameters.derive(paper_3dft)
+        f = node_priorities(paper_3dft, params=params)
+        assert f["a24"] == params.s
+        assert f["a16"] == params.s
+
+    def test_chain(self):
+        dfg = chain(3)
+        f = node_priorities(dfg)
+        assert f["a0"] > f["a1"] > f["a2"]

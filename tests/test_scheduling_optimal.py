@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.scheduling.optimal` (exact B&B scheduler)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.conftest import chain, diamond
+
+from repro.dfg.levels import LevelAnalysis
+from repro.exceptions import SchedulingDeadlockError, SchedulingError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.random_gen import random_pattern_set
+from repro.scheduling.optimal import optimal_schedule, optimal_schedule_length
+from repro.scheduling.schedule import verify_schedule
+from repro.scheduling.scheduler import schedule_dfg
+from repro.workloads.synthetic import layered_dag, random_dag
+
+
+class TestSmallGraphs:
+    def test_chain_is_serial(self):
+        dfg = chain(5)
+        assert optimal_schedule_length(dfg, ["aaa"], capacity=3) == 5
+
+    def test_diamond(self):
+        assert optimal_schedule_length(diamond(), ["abc"], capacity=3) == 3
+
+    def test_single_node(self):
+        from repro.dfg.graph import DFG
+
+        dfg = DFG()
+        dfg.add_node("a1", "a")
+        result = optimal_schedule(dfg, ["a"], capacity=1)
+        assert result.length == 1
+        assert result.assignment == {"a1": 1}
+
+    def test_wide_layer_packs(self):
+        dfg = layered_dag(0, layers=1, width=7, colors=("a",))
+        assert optimal_schedule_length(dfg, ["aaa"], capacity=3) == 3  # ceil(7/3)
+
+
+class TestAgainstHeuristic:
+    def test_table2_library_heuristic_is_optimal(self, paper_3dft):
+        opt = optimal_schedule(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        heur = schedule_dfg(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        assert opt.length == heur.length == 7
+
+    def test_table3_set1_has_a_gap(self, paper_3dft):
+        pats = ["abcbc", "bbbab", "bbbcb", "babaa"]
+        opt = optimal_schedule_length(paper_3dft, pats, capacity=5)
+        heur = schedule_dfg(paper_3dft, pats, capacity=5).length
+        assert opt == 7
+        assert heur == 8  # the heuristic's 1-cycle optimality gap
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_never_worse_than_heuristic(self, seed):
+        dfg = layered_dag(seed, layers=3, width=4)
+        lib = random_pattern_set(
+            random.Random(seed), 4, list(dfg.colors()), 2
+        )
+        opt = optimal_schedule_length(dfg, lib)
+        heur = schedule_dfg(dfg, lib).length
+        assert opt <= heur
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_respects_lower_bounds(self, seed):
+        dfg = random_dag(seed, 12, 0.3)
+        lib = random_pattern_set(
+            random.Random(seed), 3, list(dfg.colors()), 2
+        )
+        opt = optimal_schedule_length(dfg, lib)
+        lv = LevelAnalysis.of(dfg)
+        assert opt >= lv.critical_path_length
+        for color, count in dfg.color_census().items():
+            slots = max(p.count(color) for p in lib)
+            assert opt >= -(-count // slots)
+
+
+class TestResultObject:
+    def test_assignment_is_valid_schedule(self, paper_3dft):
+        lib = PatternLibrary(["aabcc", "aaacc"], capacity=5)
+        result = optimal_schedule(paper_3dft, lib)
+        verify_schedule(
+            paper_3dft, result.assignment, lib, chosen=result.chosen
+        )
+
+    def test_chosen_length_matches(self, paper_3dft):
+        result = optimal_schedule(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        assert len(result.chosen) == result.length
+
+    def test_states_reported(self, paper_3dft):
+        result = optimal_schedule(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        assert result.states > 0
+        assert "states" in repr(result)
+
+
+class TestGuards:
+    def test_capacity_required_with_raw_patterns(self, paper_3dft):
+        with pytest.raises(SchedulingError, match="capacity"):
+            optimal_schedule(paper_3dft, ["aabcc"])
+
+    def test_color_coverage_checked(self, paper_3dft):
+        with pytest.raises(SchedulingDeadlockError):
+            optimal_schedule(paper_3dft, ["aabbb"], capacity=5)
+
+    def test_state_cap(self, paper_3dft):
+        with pytest.raises(SchedulingError, match="exceeded"):
+            optimal_schedule(
+                paper_3dft, ["abcbc", "bbbab", "bbbcb", "babaa"],
+                capacity=5, max_states=10,
+            )
+
+
+class TestBruteForceCrossCheck:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_exhaustive_on_tiny_graphs(self, seed):
+        # Exhaustive oracle: try all schedules by BFS over downsets with
+        # *every* (not only maximal) fitting subset — if maximality were
+        # unsound, this would catch it.
+        from itertools import combinations
+
+        dfg = random_dag(seed, 7, 0.3)
+        lib = random_pattern_set(
+            random.Random(seed + 50), 3, list(dfg.colors()), 2
+        )
+
+        n = dfg.n_nodes
+        full = (1 << n) - 1
+        preds = [0] * n
+        for u, v in dfg.edges():
+            preds[dfg.index(v)] |= 1 << dfg.index(u)
+
+        def all_fits(mask):
+            ready = [
+                i for i in range(n)
+                if not mask >> i & 1 and preds[i] & ~mask == 0
+            ]
+            fits = set()
+            for p in lib:
+                for k in range(1, min(len(ready), p.size) + 1):
+                    for combo in combinations(ready, k):
+                        need: dict[str, int] = {}
+                        for i in combo:
+                            c = dfg.color(dfg.name_of(i))
+                            need[c] = need.get(c, 0) + 1
+                        if all(p.count(c) >= v for c, v in need.items()):
+                            m = 0
+                            for i in combo:
+                                m |= 1 << i
+                            fits.add(m)
+            return fits
+
+        # BFS shortest path from 0 to full.
+        dist = {0: 0}
+        frontier = [0]
+        while frontier and full not in dist:
+            nxt = []
+            for mask in frontier:
+                for fit in all_fits(mask):
+                    new = mask | fit
+                    if new not in dist:
+                        dist[new] = dist[mask] + 1
+                        nxt.append(new)
+            frontier = nxt
+        exhaustive = dist[full]
+
+        assert optimal_schedule_length(dfg, lib) == exhaustive

@@ -1,0 +1,52 @@
+"""Unit tests for :mod:`repro.scheduling.pattern_priority` (Eqs. 6-7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.scheduling.pattern_priority import (
+    F1,
+    F2,
+    PatternPriority,
+    pattern_priority,
+)
+
+
+class TestF1:
+    def test_counts_nodes(self):
+        assert F1(["x", "y", "z"]) == 3
+        assert F1([]) == 0
+
+
+class TestF2:
+    def test_sums_priorities(self):
+        prio = {"x": 10, "y": 2}
+        assert F2(["x", "y"], prio) == 12
+        assert F2([], prio) == 0
+
+    def test_paper_cycle2_discrimination(self):
+        # §4.3: pattern1 covers b3 (high) where pattern2 covers a16 (low);
+        # F1 ties but F2 separates.
+        prio = {"a7": 55, "a24": 12, "b3": 68, "c10": 42, "c11": 42,
+                "a16": 12}
+        s1 = ["b3", "a7", "c10", "c11", "a24"]
+        s2 = ["a7", "c10", "c11", "a24", "a16"]
+        assert F1(s1) == F1(s2)
+        assert F2(s1, prio) > F2(s2, prio)
+
+
+class TestDispatch:
+    def test_coerce_strings(self):
+        assert PatternPriority.coerce("f1") is PatternPriority.F1
+        assert PatternPriority.coerce("F2") is PatternPriority.F2
+        assert PatternPriority.coerce(PatternPriority.F1) is PatternPriority.F1
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(SchedulingError, match="unknown pattern priority"):
+            PatternPriority.coerce("f3")
+
+    def test_dispatch(self):
+        prio = {"x": 5}
+        assert pattern_priority(PatternPriority.F1, ["x"], prio) == 1
+        assert pattern_priority(PatternPriority.F2, ["x"], prio) == 5

@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.scheduling.schedule` (records + verifier)."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import diamond
+
+from repro.exceptions import ScheduleValidationError
+from repro.patterns.library import PatternLibrary
+from repro.patterns.pattern import Pattern
+from repro.scheduling.schedule import verify_schedule
+from repro.scheduling.scheduler import schedule_dfg
+
+
+@pytest.fixture()
+def lib() -> PatternLibrary:
+    return PatternLibrary(["abc", "aa"], capacity=3)
+
+
+class TestVerifier:
+    def test_valid_assignment_passes(self, lib):
+        dfg = diamond()
+        verify_schedule(dfg, {"a0": 1, "b1": 2, "c2": 2, "a3": 3}, lib)
+
+    def test_missing_node_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="missing"):
+            verify_schedule(dfg, {"a0": 1, "b1": 2, "c2": 2}, lib)
+
+    def test_extra_node_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="extra"):
+            verify_schedule(
+                dfg,
+                {"a0": 1, "b1": 2, "c2": 2, "a3": 3, "zz": 1},
+                lib,
+            )
+
+    def test_non_contiguous_cycles_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="contiguous"):
+            verify_schedule(dfg, {"a0": 1, "b1": 2, "c2": 2, "a3": 5}, lib)
+
+    def test_zero_based_cycles_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="contiguous"):
+            verify_schedule(dfg, {"a0": 0, "b1": 1, "c2": 1, "a3": 2}, lib)
+
+    def test_dependency_violation_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="dependency"):
+            verify_schedule(dfg, {"a0": 2, "b1": 1, "c2": 2, "a3": 3}, lib)
+
+    def test_same_cycle_dependency_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="dependency"):
+            verify_schedule(dfg, {"a0": 1, "b1": 1, "c2": 1, "a3": 2}, lib)
+
+    def test_nonconforming_cycle_rejected(self, lib):
+        # Cycle 2 holds b+c; only pattern 'abc' covers it — pattern 'aa'
+        # cannot, so recording chosen=[0, 1, 0] must fail.
+        dfg = diamond()
+        assignment = {"a0": 1, "b1": 2, "c2": 2, "a3": 3}
+        with pytest.raises(ScheduleValidationError, match="exceed chosen"):
+            verify_schedule(dfg, assignment, lib, chosen=[0, 1, 0])
+
+    def test_no_pattern_fits_rejected(self):
+        dfg = diamond()
+        tiny = PatternLibrary(["a", "b", "c"], capacity=1)
+        with pytest.raises(ScheduleValidationError, match="fit no library"):
+            verify_schedule(dfg, {"a0": 1, "b1": 2, "c2": 2, "a3": 3}, tiny)
+
+    def test_chosen_length_mismatch_rejected(self, lib):
+        dfg = diamond()
+        with pytest.raises(ScheduleValidationError, match="chosen patterns"):
+            verify_schedule(
+                dfg, {"a0": 1, "b1": 2, "c2": 2, "a3": 3}, lib, chosen=[0]
+            )
+
+
+class TestScheduleObject:
+    @pytest.fixture()
+    def schedule(self, paper_3dft):
+        return schedule_dfg(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+
+    def test_nodes_in_cycle(self, schedule):
+        assert set(schedule.nodes_in_cycle(1)) == {"a2", "a4", "b6"}
+
+    def test_pattern_of_cycle(self, schedule):
+        assert schedule.pattern_of_cycle(5) == Pattern.from_string("aaacc")
+        assert schedule.pattern_of_cycle(1) == Pattern.from_string("aabcc")
+
+    def test_pattern_usage(self, schedule):
+        usage = schedule.pattern_usage()
+        assert usage[0] == 5 and usage[1] == 2
+
+    def test_utilization_in_unit_interval(self, schedule):
+        assert 0.0 < schedule.utilization() <= 1.0
+        # 24 nodes over 7 cycles of 5 slots: mean fill = mean(|S|/5).
+        fills = [len(r.scheduled) / 5 for r in schedule.cycles]
+        assert schedule.utilization() == pytest.approx(sum(fills) / 7)
+
+    def test_as_table_contains_trace(self, schedule):
+        text = schedule.as_table()
+        assert "pattern1" in text and "pattern2" in text
+        assert "a19" in text
+        assert len(text.splitlines()) == 8  # header + 7 cycles
+
+    def test_length(self, schedule):
+        assert schedule.length == 7

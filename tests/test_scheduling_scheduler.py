@@ -1,0 +1,150 @@
+"""Unit tests for :mod:`repro.scheduling.scheduler`."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from tests.conftest import chain, diamond
+
+from repro.exceptions import (
+    SchedulingDeadlockError,
+    SchedulingError,
+)
+from repro.patterns.library import PatternLibrary
+from repro.patterns.random_gen import random_pattern_set
+from repro.scheduling.baselines import resource_list_schedule
+from repro.scheduling.scheduler import MultiPatternScheduler, schedule_dfg
+from repro.workloads.synthetic import layered_dag, random_dag
+
+
+class TestConstruction:
+    def test_raw_patterns_need_capacity(self):
+        with pytest.raises(SchedulingError, match="capacity is required"):
+            MultiPatternScheduler(["aabcc"])
+
+    def test_library_passthrough(self):
+        lib = PatternLibrary(["ab"], capacity=2)
+        sched = MultiPatternScheduler(lib)
+        assert sched.library is lib
+
+    def test_priority_coerced(self):
+        lib = PatternLibrary(["ab"], capacity=2)
+        sched = MultiPatternScheduler(lib, priority="f1")
+        assert sched.priority.value == "f1"
+
+
+class TestBasicScheduling:
+    def test_chain_one_node_per_cycle(self):
+        dfg = chain(4)
+        schedule = schedule_dfg(dfg, ["a"], capacity=1)
+        assert schedule.length == 4
+        assert [schedule.assignment[f"a{i}"] for i in range(4)] == [1, 2, 3, 4]
+
+    def test_diamond(self):
+        schedule = schedule_dfg(diamond(), ["abc"], capacity=3)
+        assert schedule.length == 3
+        assert schedule.assignment["a0"] == 1
+        assert schedule.assignment["a3"] == 3
+
+    def test_wide_graph_packs_slots(self):
+        dfg = layered_dag(1, layers=1, width=10, colors=("a",))
+        schedule = schedule_dfg(dfg, ["aaaaa"], capacity=5)
+        assert schedule.length == 2
+
+    def test_every_schedule_verifies(self, paper_3dft, dft5):
+        for dfg in (paper_3dft, dft5):
+            schedule = schedule_dfg(dfg, ["aabcc", "aaacc", "abc"], capacity=5)
+            schedule.verify()
+
+    def test_missing_color_deadlocks_up_front(self, paper_3dft):
+        with pytest.raises(SchedulingDeadlockError, match="no slot"):
+            schedule_dfg(paper_3dft, ["aabb"], capacity=5)
+
+    def test_pattern_tie_prefers_first(self, paper_3dft):
+        # Table 2 cycle 7: both patterns select exactly {a19}; the paper
+        # (and we) keep pattern 1.
+        schedule = schedule_dfg(paper_3dft, ["aabcc", "aaacc"], capacity=5)
+        last = schedule.cycles[-1]
+        assert last.priorities[0] == last.priorities[1]
+        assert last.chosen == 0
+
+    def test_max_cycles_guard(self, paper_3dft):
+        sched = MultiPatternScheduler(
+            PatternLibrary(["aabcc"], capacity=5), max_cycles=2
+        )
+        with pytest.raises(SchedulingError, match="exceeded 2 cycles"):
+            sched.schedule(paper_3dft)
+
+    def test_empty_graph_rejected(self):
+        from repro.dfg.graph import DFG
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError):
+            schedule_dfg(DFG(), ["a"], capacity=1)
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_single_pattern_equals_resource_list_scheduling(self, seed):
+        # A single-pattern library is exactly classic RC list scheduling
+        # with the pattern as the per-color unit vector.
+        dfg = layered_dag(seed, layers=4, width=5)
+        lib = ["aabbc"]
+        mp = schedule_dfg(dfg, lib, capacity=5)
+        rc = resource_list_schedule(dfg, {"a": 2, "b": 2, "c": 1})
+        assert mp.assignment == rc
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_libraries_produce_valid_schedules(self, seed):
+        rng = random.Random(seed)
+        dfg = random_dag(seed, n=20, edge_prob=0.2)
+        lib = random_pattern_set(rng, 4, list(dfg.colors()), 3)
+        schedule = MultiPatternScheduler(lib).schedule(dfg)
+        schedule.verify()
+        assert schedule.length <= dfg.n_nodes
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_length_at_least_dependence_bound(self, seed):
+        from repro.dfg.levels import LevelAnalysis
+
+        dfg = layered_dag(seed, layers=5, width=4)
+        lib = random_pattern_set(
+            random.Random(seed), 5, list(dfg.colors()), 2
+        )
+        schedule = MultiPatternScheduler(lib).schedule(dfg)
+        assert schedule.length >= LevelAnalysis.of(dfg).critical_path_length
+
+
+class TestF1VsF2:
+    def test_f1_allowed(self, paper_3dft):
+        s = MultiPatternScheduler(
+            PatternLibrary(["aabcc", "aaacc"], capacity=5), priority="f1"
+        ).schedule(paper_3dft)
+        s.verify()
+
+    def test_trace_records_priorities(self, paper_3dft):
+        s = MultiPatternScheduler(
+            PatternLibrary(["aabcc", "aaacc"], capacity=5), priority="f1"
+        ).schedule(paper_3dft)
+        for rec in s.cycles:
+            assert rec.priorities[rec.chosen] == max(rec.priorities)
+            assert rec.priorities[rec.chosen] == len(rec.scheduled)
+
+
+class TestDeterminism:
+    def test_same_input_same_trace(self, dft5):
+        a = schedule_dfg(dft5, ["aabcc", "abbcc"], capacity=5)
+        b = schedule_dfg(dft5, ["aabcc", "abbcc"], capacity=5)
+        assert a.assignment == b.assignment
+        assert [r.chosen for r in a.cycles] == [r.chosen for r in b.cycles]
+
+    def test_scheduler_reusable(self, paper_3dft, dft5):
+        sched = MultiPatternScheduler(
+            PatternLibrary(["aabcc", "aaacc"], capacity=5)
+        )
+        assert sched.schedule(paper_3dft).length == 7
+        first = sched.schedule(dft5).length
+        assert sched.schedule(dft5).length == first
+        assert sched.schedule(paper_3dft).length == 7

@@ -1,0 +1,53 @@
+"""Unit tests for :mod:`repro.scheduling.selected_set`."""
+
+from __future__ import annotations
+
+from repro.patterns.pattern import Pattern
+from repro.scheduling.selected_set import selected_set
+
+
+def color_of(name: str) -> str:
+    return name[0]
+
+
+class TestSelectedSet:
+    def test_greedy_priority_order(self):
+        pattern = Pattern.from_string("aab")
+        got = selected_set(pattern, ["a1", "a2", "a3", "b1"], color_of)
+        assert got == ("a1", "a2", "b1")
+
+    def test_skips_when_slots_full(self):
+        pattern = Pattern.from_string("ab")
+        got = selected_set(pattern, ["a1", "a2", "b1", "b2"], color_of)
+        assert got == ("a1", "b1")
+
+    def test_no_matching_color(self):
+        pattern = Pattern.from_string("cc")
+        assert selected_set(pattern, ["a1", "b1"], color_of) == ()
+
+    def test_empty_candidates(self):
+        assert selected_set(Pattern.from_string("abc"), [], color_of) == ()
+
+    def test_dummy_slots_unusable(self):
+        # "ab---" has only 2 usable slots.
+        pattern = Pattern.from_string("ab---")
+        got = selected_set(pattern, ["a1", "a2", "b1", "b2"], color_of)
+        assert got == ("a1", "b1")
+
+    def test_stops_early_when_pattern_full(self):
+        pattern = Pattern.from_string("a")
+        got = selected_set(pattern, ["a1"] + [f"a{i}" for i in range(2, 100)], color_of)
+        assert got == ("a1",)
+
+    def test_paper_cycle1(self, paper_3dft):
+        # Table 2, cycle 1 with pattern2 = aaacc: only a2, a4 fit.
+        order = ["b6", "b3", "a2", "b5", "b1", "a4"]
+        got = selected_set(
+            Pattern.from_string("aaacc"), order, paper_3dft.color
+        )
+        assert set(got) == {"a2", "a4"}
+
+    def test_result_preserves_candidate_order(self):
+        pattern = Pattern.from_string("aabb")
+        got = selected_set(pattern, ["b9", "a5", "b2", "a1"], color_of)
+        assert got == ("b9", "a5", "b2", "a1")

@@ -1,0 +1,140 @@
+"""Unit tests for :mod:`repro.workloads.complex_builder`.
+
+The twiddle-factor special cases (``±1``, ``±i``, pure real/imaginary)
+take different node-generation paths; each is verified numerically.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.workloads.complex_builder import ComplexGraphBuilder
+
+
+def _eval_cref(builder: ComplexGraphBuilder, ref, feed):
+    values = builder.dfg.evaluate(feed)
+
+    def scalar(r):
+        if isinstance(r, tuple):
+            return feed[r[1]]
+        return values[r].real
+
+    return complex(scalar(ref[0]), scalar(ref[1]))
+
+
+FEED = {"ur": 3.0, "ui": -2.0, "vr": 1.5, "vi": 4.0}
+U = complex(3.0, -2.0)
+V = complex(1.5, 4.0)
+
+
+class TestScalarOps:
+    def test_add_sub_mulc(self):
+        b = ComplexGraphBuilder("t")
+        s = b.add(b.input("x"), b.input("y"))
+        d = b.sub(s, b.input("y"))
+        m = b.mulc(2.5, d)
+        values = b.dfg.evaluate({"x": 4.0, "y": 1.0})
+        assert values[m] == pytest.approx(10.0)
+
+    def test_colors_follow_convention(self):
+        b = ComplexGraphBuilder("t")
+        b.add(b.input("x"), b.input("y"))
+        b.sub(b.input("x"), b.input("y"))
+        b.mulc(2.0, b.input("x"))
+        assert [b.dfg.color(n) for n in b.dfg.nodes] == ["a", "b", "c"]
+
+    def test_custom_colors(self):
+        b = ComplexGraphBuilder("t", colors={"add": "p", "sub": "q", "mul": "r"})
+        b.add(b.input("x"), b.input("y"))
+        assert b.dfg.color(b.dfg.nodes[0]) == "p"
+
+    def test_named_nodes(self):
+        b = ComplexGraphBuilder("t")
+        n = b.add(b.input("x"), b.input("y"), name="total")
+        assert n == "total"
+
+    def test_malformed_operand_rejected(self):
+        b = ComplexGraphBuilder("t")
+        with pytest.raises(GraphError):
+            b.add(("oops", "x"), b.input("y"))
+
+
+class TestComplexOps:
+    def test_cadd_csub(self):
+        b = ComplexGraphBuilder("t")
+        u, v = b.cinput("u"), b.cinput("v")
+        assert _eval_cref(b, b.cadd(u, v), FEED) == pytest.approx(U + V)
+        assert _eval_cref(b, b.csub(u, v), FEED) == pytest.approx(U - V)
+
+    def test_cmul_real(self):
+        b = ComplexGraphBuilder("t")
+        u = b.cinput("u")
+        assert _eval_cref(b, b.cmul_real(1.5, u), FEED) == pytest.approx(1.5 * U)
+
+
+class TestCmulConstSpecialCases:
+    @pytest.mark.parametrize(
+        "w",
+        [
+            1.0,                       # identity: no nodes
+            -1.0,                      # pure real negative
+            2.5,                       # pure real
+            1j,                        # i
+            -1j,                       # −i  (regression: sign handling)
+            0.75j,                     # pure imaginary, |w| ≠ 1
+            -0.75j,                    # negative pure imaginary
+            cmath.exp(-2j * cmath.pi / 8),  # general twiddle
+            complex(-0.3, 0.9),        # general
+        ],
+    )
+    def test_numeric(self, w):
+        b = ComplexGraphBuilder("t")
+        u = b.cinput("u")
+        out = b.cmul_const(complex(w), u)
+        assert _eval_cref(b, out, FEED) == pytest.approx(w * U, abs=1e-12)
+
+    def test_identity_generates_no_nodes(self):
+        b = ComplexGraphBuilder("t")
+        b.cmul_const(1.0, b.cinput("u"))
+        assert b.dfg.n_nodes == 0
+
+    def test_minus_i_generates_one_node(self):
+        b = ComplexGraphBuilder("t")
+        b.cmul_const(-1j, b.cinput("u"))
+        assert b.dfg.n_nodes == 1  # one negation multiply
+
+    def test_general_case_generates_six_nodes(self):
+        b = ComplexGraphBuilder("t")
+        b.cmul_const(complex(0.6, 0.8), b.cinput("u"))
+        census = b.dfg.color_census()
+        assert census == {"c": 4, "a": 1, "b": 1}
+
+
+class TestButterfly:
+    @pytest.mark.parametrize(
+        "w", [1.0, -1j, cmath.exp(-2j * cmath.pi / 16), complex(0.5, -0.5)]
+    )
+    def test_numeric(self, w):
+        b = ComplexGraphBuilder("t")
+        u, v = b.cinput("u"), b.cinput("v")
+        top, bot = b.cbutterfly(u, v, complex(w))
+        assert _eval_cref(b, top, FEED) == pytest.approx(U + w * V, abs=1e-12)
+        assert _eval_cref(b, bot, FEED) == pytest.approx(U - w * V, abs=1e-12)
+
+    def test_minus_i_butterfly_has_no_multiplies(self):
+        b = ComplexGraphBuilder("t")
+        b.cbutterfly(b.cinput("u"), b.cinput("v"), -1j)
+        assert b.dfg.color_census().get("c", 0) == 0
+
+
+class TestFinish:
+    def test_metadata_recorded(self):
+        b = ComplexGraphBuilder("t")
+        u = b.cinput("u")
+        out = b.cadd(u, u)
+        dfg = b.finish(outputs={"X0": out}, inputs=["u"])
+        assert dfg.meta["inputs"] == ["u"]
+        assert dfg.meta["outputs"]["X0"] == out

@@ -1,0 +1,142 @@
+"""Unit tests for :mod:`repro.workloads.dsp` and ``.linear_algebra``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dfg.levels import LevelAnalysis
+from repro.exceptions import GraphError
+from repro.workloads.dsp import fir_filter, iir_cascade, moving_average
+from repro.workloads.linear_algebra import (
+    dot_product,
+    fixed_matrix,
+    matmul,
+    matvec,
+)
+
+
+def _eval_scalar(dfg, feed):
+    values = dfg.evaluate(feed)
+    return values[dfg.meta["output"]].real
+
+
+class TestFir:
+    def test_census(self):
+        dfg = fir_filter(8)
+        assert dfg.color_census() == {"c": 8, "a": 7}
+
+    def test_numerics(self):
+        dfg = fir_filter(5)
+        taps = dfg.meta["taps"]
+        x = np.arange(1.0, 6.0)
+        feed = {f"x{k}": x[k] for k in range(5)}
+        assert _eval_scalar(dfg, feed) == pytest.approx(float(np.dot(taps, x)))
+
+    def test_tree_is_shallower_than_chain(self):
+        tree = LevelAnalysis.of(fir_filter(16, tree=True))
+        chain = LevelAnalysis.of(fir_filter(16, tree=False))
+        assert tree.critical_path_length < chain.critical_path_length
+
+    def test_chain_numerics_match_tree(self):
+        x = np.linspace(0.5, 2.0, 6)
+        feed = {f"x{k}": x[k] for k in range(6)}
+        assert _eval_scalar(fir_filter(6, tree=True), feed) == pytest.approx(
+            _eval_scalar(fir_filter(6, tree=False), feed)
+        )
+
+    def test_single_tap(self):
+        dfg = fir_filter(1)
+        assert dfg.n_nodes == 1
+
+    def test_rejects_zero_taps(self):
+        with pytest.raises(GraphError):
+            fir_filter(0)
+
+
+class TestMovingAverage:
+    def test_numerics(self):
+        dfg = moving_average(4)
+        x = np.array([1.0, 2.0, 3.0, 6.0])
+        feed = {f"x{k}": x[k] for k in range(4)}
+        assert _eval_scalar(dfg, feed) == pytest.approx(3.0)
+
+    def test_rejects_window_one(self):
+        with pytest.raises(GraphError):
+            moving_average(1)
+
+
+class TestIir:
+    def test_census_per_section(self):
+        # 5 multiplies, 3 adds (two feed-forward, one feedback), 1 subtract.
+        dfg = iir_cascade(1)
+        assert dfg.color_census() == {"c": 5, "a": 3, "b": 1}
+
+    def test_numerics_single_section(self):
+        dfg = iir_cascade(1)
+        b0, b1, b2, a1, a2 = dfg.meta["coeffs"][0]
+        feed = {"x": 1.0, "s0x1": 0.5, "s0x2": 0.25, "s0y1": 0.1, "s0y2": 0.05}
+        expected = (
+            b0 * 1.0 + b1 * 0.5 + b2 * 0.25 - (a1 * 0.1 + a2 * 0.05)
+        )
+        assert _eval_scalar(dfg, feed) == pytest.approx(expected)
+
+    def test_cascade_feeds_forward(self):
+        dfg = iir_cascade(2)
+        assert dfg.n_nodes == 18  # 9 ops per section
+        # Section 1's output must reach the final node.
+        lv = LevelAnalysis.of(dfg)
+        assert lv.critical_path_length >= 6
+
+    def test_rejects_zero_sections(self):
+        with pytest.raises(GraphError):
+            iir_cascade(0)
+
+
+class TestLinearAlgebra:
+    def test_fixed_matrix_deterministic(self):
+        np.testing.assert_array_equal(fixed_matrix(3, 4), fixed_matrix(3, 4))
+
+    def test_dot_numerics(self):
+        n = 6
+        dfg = dot_product(n)
+        w = np.array(dfg.meta["weights"])
+        x = np.linspace(-1, 1, n)
+        feed = {f"x{k}": x[k] for k in range(n)}
+        assert _eval_scalar(dfg, feed) == pytest.approx(float(w @ x))
+
+    def test_matvec_numerics(self):
+        m, n = 3, 4
+        dfg = matvec(m, n)
+        a = np.array(dfg.meta["matrix"])
+        x = np.arange(1.0, n + 1)
+        feed = {f"x{k}": x[k] for k in range(n)}
+        values = dfg.evaluate(feed)
+        got = np.array([values[o].real for o in dfg.meta["outputs_real"]])
+        np.testing.assert_allclose(got, a @ x, atol=1e-12)
+
+    def test_matmul_numerics(self):
+        m, k, n = 2, 3, 2
+        dfg = matmul(m, k, n)
+        a = np.array(dfg.meta["matrix"])
+        rng = np.random.default_rng(1)
+        b = rng.normal(size=(k, n))
+        feed = {f"b{r}_{c}": b[r, c] for r in range(k) for c in range(n)}
+        values = dfg.evaluate(feed)
+        got = np.array(
+            [values[o].real for o in dfg.meta["outputs_real"]]
+        ).reshape(m, n)
+        np.testing.assert_allclose(got, a @ b, atol=1e-12)
+
+    def test_wide_matmul_graph_shape(self):
+        dfg = matmul(2, 4, 3)
+        # 2·4·3 multiplies + 2·3 trees of 3 adds each.
+        assert dfg.color_census() == {"c": 24, "a": 18}
+
+    def test_input_validation(self):
+        with pytest.raises(GraphError):
+            dot_product(1)
+        with pytest.raises(GraphError):
+            matvec(0, 4)
+        with pytest.raises(GraphError):
+            matmul(1, 1, 1)

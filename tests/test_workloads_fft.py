@@ -1,0 +1,142 @@
+"""Unit tests for :mod:`repro.workloads.fft`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.workloads.fft import (
+    direct_dft,
+    evaluate_transform,
+    five_point_dft,
+    radix2_fft,
+    reference_dft,
+    three_point_dft_paper,
+    three_point_dft_winograd,
+)
+
+
+class TestPaper3dft:
+    def test_node_census(self, paper_3dft):
+        assert paper_3dft.n_nodes == 24
+        assert paper_3dft.n_edges == 22
+        assert paper_3dft.color_census() == {"a": 14, "b": 4, "c": 6}
+
+    def test_node_ids_match_names(self, paper_3dft):
+        # Insertion index + 1 equals the paper's node numbering.
+        for n in paper_3dft.nodes:
+            assert paper_3dft.index(n) + 1 == int(n[1:])
+
+    def test_reconstruction_metadata(self, paper_3dft):
+        assert "reconstructed" in paper_3dft.meta["source"]
+
+    def test_a2_edge_order_is_reproduction_critical(self, paper_3dft):
+        assert paper_3dft.successors("a2") == ("a24", "a16", "c10")
+
+    def test_fresh_instances_independent(self):
+        a = three_point_dft_paper()
+        b = three_point_dft_paper()
+        a.add_node("extra", "z")
+        assert "extra" not in b
+
+
+def _check_numeric(builder, n, seed):
+    rng = np.random.default_rng(seed)
+    dfg = builder()
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    got = evaluate_transform(dfg, x)
+    np.testing.assert_allclose(got, reference_dft(x), atol=1e-12)
+
+
+class TestWinograd3:
+    def test_census(self):
+        dfg = three_point_dft_winograd()
+        assert dfg.color_census() == {"a": 8, "b": 4, "c": 4}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_numerically_exact(self, seed):
+        _check_numeric(three_point_dft_winograd, 3, seed)
+
+    def test_real_input(self):
+        dfg = three_point_dft_winograd()
+        x = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_allclose(
+            evaluate_transform(dfg, x), reference_dft(x), atol=1e-12
+        )
+
+
+class TestFivePoint:
+    def test_census(self, dft5):
+        assert dft5.n_nodes == 48
+        assert dft5.color_census() == {"a": 22, "b": 10, "c": 16}
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_numerically_exact(self, seed):
+        _check_numeric(five_point_dft, 5, seed)
+
+    def test_impulse_response(self, dft5):
+        # DFT of a unit impulse is all-ones.
+        got = evaluate_transform(dft5, np.array([1, 0, 0, 0, 0], dtype=complex))
+        np.testing.assert_allclose(got, np.ones(5), atol=1e-12)
+
+
+class TestRadix2:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_numerically_exact(self, n):
+        rng = np.random.default_rng(n)
+        dfg = radix2_fft(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(
+            evaluate_transform(dfg, x), reference_dft(x), atol=1e-9
+        )
+
+    def test_rejects_non_power_of_two(self):
+        for bad in (0, 1, 3, 6, 12):
+            with pytest.raises(GraphError):
+                radix2_fft(bad)
+
+    def test_trivial_twiddles_generate_no_multiplies(self):
+        # n = 4 uses only w ∈ {1, −i} — zero multiply nodes.
+        dfg = radix2_fft(4)
+        assert dfg.color_census().get("c", 0) == 0
+
+    def test_size_grows_loglinear(self):
+        n8 = radix2_fft(8).n_nodes
+        n16 = radix2_fft(16).n_nodes
+        assert n8 < n16 < 6 * 16 * 4  # loose sanity bound
+
+
+class TestDirectDft:
+    @pytest.mark.parametrize("n", [2, 3, 5, 6])
+    def test_numerically_exact(self, n):
+        rng = np.random.default_rng(100 + n)
+        dfg = direct_dft(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(
+            evaluate_transform(dfg, x), reference_dft(x), atol=1e-9
+        )
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            direct_dft(1)
+
+
+class TestEvaluateTransform:
+    def test_rejects_structural_graphs(self, paper_3dft):
+        with pytest.raises(GraphError, match="not an evaluable"):
+            evaluate_transform(paper_3dft, np.zeros(3))
+
+    def test_rejects_wrong_length(self):
+        dfg = three_point_dft_winograd()
+        with pytest.raises(GraphError, match="expected 3 inputs"):
+            evaluate_transform(dfg, np.zeros(4))
+
+    def test_linearity_spot_check(self, dft5):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=5) + 1j * rng.normal(size=5)
+        y = rng.normal(size=5) + 1j * rng.normal(size=5)
+        fx = evaluate_transform(dft5, x)
+        fy = evaluate_transform(dft5, y)
+        fxy = evaluate_transform(dft5, x + y)
+        np.testing.assert_allclose(fxy, fx + fy, atol=1e-12)

@@ -1,0 +1,74 @@
+"""Unit tests for :mod:`repro.workloads.synthetic`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg.levels import LevelAnalysis
+from repro.exceptions import GraphError
+from repro.workloads.synthetic import layered_dag, random_dag
+
+
+class TestLayeredDag:
+    def test_shape(self):
+        dfg = layered_dag(0, layers=4, width=5)
+        assert dfg.n_nodes == 20
+        dfg.check_acyclic()
+
+    def test_deterministic(self):
+        a = layered_dag(3, 3, 4)
+        b = layered_dag(3, 3, 4)
+        assert a.nodes == b.nodes
+        assert a.edges() == b.edges()
+        assert [a.color(n) for n in a.nodes] == [b.color(n) for n in b.nodes]
+
+    def test_different_seeds_differ(self):
+        a = layered_dag(1, 4, 6, edge_prob=0.5)
+        b = layered_dag(2, 4, 6, edge_prob=0.5)
+        assert a.edges() != b.edges()
+
+    def test_every_non_source_layer_connected(self):
+        dfg = layered_dag(5, layers=5, width=4, edge_prob=0.05)
+        lv = LevelAnalysis.of(dfg)
+        # The generator guarantees ≥1 predecessor per node in layers > 0,
+        # so ASAP equals the layer index exactly.
+        for n in dfg.nodes:
+            layer = int(n.split("_")[0][1:])
+            assert lv.asap[n] == layer
+
+    def test_custom_colors(self):
+        dfg = layered_dag(0, 2, 3, colors=("x", "y"))
+        assert set(dfg.color(n) for n in dfg.nodes) <= {"x", "y"}
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            layered_dag(0, 0, 3)
+        with pytest.raises(GraphError):
+            layered_dag(0, 2, 2, edge_prob=1.5)
+        with pytest.raises(GraphError):
+            layered_dag(0, 2, 2, colors=())
+
+
+class TestRandomDag:
+    def test_acyclic_by_construction(self):
+        for seed in range(5):
+            random_dag(seed, 15, 0.4).check_acyclic()
+
+    def test_deterministic(self):
+        a = random_dag(9, 12, 0.3)
+        b = random_dag(9, 12, 0.3)
+        assert a.edges() == b.edges()
+
+    def test_edge_prob_extremes(self):
+        empty = random_dag(0, 6, 0.0)
+        full = random_dag(0, 6, 1.0)
+        assert empty.n_edges == 0
+        assert full.n_edges == 15  # C(6,2)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            random_dag(0, 0)
+        with pytest.raises(GraphError):
+            random_dag(0, 5, -0.1)
+        with pytest.raises(GraphError):
+            random_dag(0, 5, colors=())

@@ -1,0 +1,73 @@
+"""Unit tests for :mod:`repro.workloads.transforms` (DCT graphs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.workloads.transforms import dct2, evaluate_real_transform
+
+scipy_fft = pytest.importorskip("scipy.fft")
+
+
+class TestDct2:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_matches_scipy_unnormalized(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n)
+        dfg = dct2(n)
+        got = evaluate_real_transform(dfg, x)
+        np.testing.assert_allclose(
+            got, scipy_fft.dct(x, type=2, norm=None), atol=1e-10
+        )
+
+    @pytest.mark.parametrize("n", [4, 8])
+    def test_matches_scipy_ortho(self, n):
+        rng = np.random.default_rng(10 + n)
+        x = rng.normal(size=n)
+        dfg = dct2(n, orthogonalize=True)
+        got = evaluate_real_transform(dfg, x)
+        np.testing.assert_allclose(
+            got, scipy_fft.dct(x, type=2, norm="ortho"), atol=1e-10
+        )
+
+    def test_census(self):
+        dfg = dct2(8)
+        census = dfg.color_census()
+        assert census["c"] == 64
+        assert census["a"] == 8 * 7
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            dct2(1)
+
+    def test_schedulable(self):
+        from repro.core.config import SelectionConfig
+        from repro.core.selection import select_patterns
+        from repro.scheduling.scheduler import MultiPatternScheduler
+
+        dfg = dct2(4)
+        lib = select_patterns(dfg, 3, 5, config=SelectionConfig(span_limit=0))
+        MultiPatternScheduler(lib).schedule(dfg).verify()
+
+
+class TestEvaluateRealTransform:
+    def test_rejects_non_transform(self, paper_3dft):
+        with pytest.raises(GraphError, match="not a real transform"):
+            evaluate_real_transform(paper_3dft, np.zeros(3))
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(GraphError, match="expected 4 inputs"):
+            evaluate_real_transform(dct2(4), np.zeros(5))
+
+    def test_linearity(self):
+        dfg = dct2(6)
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=6), rng.normal(size=6)
+        np.testing.assert_allclose(
+            evaluate_real_transform(dfg, x + y),
+            evaluate_real_transform(dfg, x)
+            + evaluate_real_transform(dfg, y),
+            atol=1e-10,
+        )
