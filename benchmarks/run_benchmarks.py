@@ -1,0 +1,238 @@
+"""Engine benchmark runner — before/after stage timings as JSON.
+
+Times every pipeline stage (enumeration+classification, Table 5 counting,
+selection, scheduling) under both the reference and the fused/incremental
+fast engines, verifies the outputs agree, and writes a machine-readable
+``BENCH_engine.json`` next to this file — the seed of the repo's perf
+trajectory (compare the file across commits to catch regressions).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro._version import __version__
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.dfg.antichains import AntichainEnumerator
+from repro.patterns.enumeration import classify_antichains
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.workloads.fft import radix2_fft
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    """Minimum wall time over ``repeats`` calls, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.collect()  # keep prior stages' garbage out of this stage's time
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def bench_workload(name, dfg, config, capacity, pdef, repeats):
+    """Time each stage reference-vs-fast on one workload."""
+    rows = []
+    selector = PatternSelector(capacity, config)
+    size = capacity
+    if config.max_pattern_size is not None:
+        size = min(size, config.max_pattern_size)
+    span = config.span_limit
+
+    def stage(stage_name, ref_fn, fast_fn, check=None):
+        ref_s, ref_out = _best_of(ref_fn, repeats)
+        fast_s, fast_out = _best_of(fast_fn, repeats)
+        if check is not None:
+            check(ref_out, fast_out)
+        rows.append(
+            {
+                "workload": name,
+                "stage": stage_name,
+                "reference_s": round(ref_s, 6),
+                "fast_s": round(fast_s, 6),
+                "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
+            }
+        )
+        print(
+            f"  {name:>8} {stage_name:<24} ref {ref_s:8.4f}s   "
+            f"fast {fast_s:8.4f}s   {ref_s / fast_s:6.2f}x"
+        )
+        return ref_out
+
+    # Stage 1: pattern generation (enumerate → classify).
+    catalog = stage(
+        "enumeration+classify",
+        lambda: classify_antichains(dfg, size, span, engine="reference"),
+        lambda: classify_antichains(dfg, size, span),
+        check=lambda r, f: _check(
+            r.frequencies == f.frequencies
+            and r.antichain_counts == f.antichain_counts,
+            "catalog mismatch",
+        ),
+    )
+
+    # Stage 2: Table 5 census (counting-only mode vs materializing DFS).
+    enum = AntichainEnumerator(dfg)
+
+    def count_reference():
+        counts = {k: 0 for k in range(1, size + 1)}
+        for members in enum.iter_index_antichains(size, span):
+            counts[len(members)] += 1
+        return counts
+
+    stage(
+        "antichain census",
+        count_reference,
+        lambda: enum.count_by_size(size, span),
+        check=lambda r, f: _check(r == f, "census mismatch"),
+    )
+
+    # Stage 3: Fig. 7 selection on the prebuilt catalog.
+    selection = stage(
+        "selection",
+        lambda: selector.select(dfg, pdef, catalog=catalog, engine="reference"),
+        lambda: selector.select(dfg, pdef, catalog=catalog, engine="fast"),
+        check=lambda r, f: _check(
+            r.library == f.library
+            and all(
+                dict(a.priorities) == dict(b.priorities)
+                and a.chosen == b.chosen
+                and a.deleted == b.deleted
+                for a, b in zip(r.rounds, f.rounds)
+            ),
+            "selection mismatch",
+        ),
+    )
+
+    # Stage 4: multi-pattern list scheduling.
+    scheduler = MultiPatternScheduler(selection.library)
+    stage(
+        "scheduling",
+        lambda: scheduler.schedule(dfg, engine="reference"),
+        lambda: scheduler.schedule(dfg, engine="fast"),
+        check=lambda r, f: _check(
+            r.cycles == f.cycles and dict(r.assignment) == dict(f.assignment),
+            "schedule mismatch",
+        ),
+    )
+    return rows
+
+
+def _check(ok: bool, message: str) -> None:
+    if not ok:
+        raise AssertionError(f"engine equivalence violated: {message}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workloads / single repeat (CI smoke)",
+    )
+    parser.add_argument(
+        "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"output JSON path (default: {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        workloads = [
+            (
+                "FFT-8",
+                radix2_fft(8),
+                SelectionConfig(span_limit=1, widen_to_capacity=True),
+                4,
+                4,
+                1,
+            ),
+            (
+                "FFT-16",
+                radix2_fft(16),
+                SelectionConfig(
+                    span_limit=1, max_pattern_size=2, widen_to_capacity=True
+                ),
+                5,
+                5,
+                1,
+            ),
+        ]
+    else:
+        workloads = [
+            (
+                "FFT-16",
+                radix2_fft(16),
+                SelectionConfig(
+                    span_limit=1, max_pattern_size=3, widen_to_capacity=True
+                ),
+                5,
+                5,
+                2,
+            ),
+            (
+                "FFT-64",
+                radix2_fft(64),
+                SelectionConfig(
+                    span_limit=1, max_pattern_size=2, widen_to_capacity=True
+                ),
+                5,
+                5,
+                2,
+            ),
+        ]
+
+    print("engine benchmark: reference vs fused/incremental fast paths")
+    rows = []
+    for name, dfg, config, capacity, pdef, repeats in workloads:
+        rows.extend(bench_workload(name, dfg, config, capacity, pdef, repeats))
+
+    pipeline = {}
+    for row in rows:
+        agg = pipeline.setdefault(
+            row["workload"], {"reference_s": 0.0, "fast_s": 0.0}
+        )
+        agg["reference_s"] += row["reference_s"]
+        agg["fast_s"] += row["fast_s"]
+    for name, agg in pipeline.items():
+        agg["speedup"] = round(agg["reference_s"] / agg["fast_s"], 2)
+        agg["reference_s"] = round(agg["reference_s"], 6)
+        agg["fast_s"] = round(agg["fast_s"], 6)
+        print(
+            f"  {name:>8} {'TOTAL':<24} ref {agg['reference_s']:8.4f}s   "
+            f"fast {agg['fast_s']:8.4f}s   {agg['speedup']:6.2f}x"
+        )
+
+    report = {
+        "benchmark": "engine_speedup",
+        "version": __version__,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "stages": rows,
+        "pipeline": pipeline,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Tier-1 gate + engine smoke, the same sequence CI runs.
+#
+#   ./scripts/ci.sh          # full tier-1 tests + quick bench smoke
+#   ./scripts/ci.sh --fast   # tier-1 tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== engine bench smoke (quick) =="
+    python benchmarks/run_benchmarks.py --quick -o /tmp/BENCH_engine_smoke.json
+    python - <<'EOF'
+import json
+report = json.load(open("/tmp/BENCH_engine_smoke.json"))
+slow = [
+    f"{r['workload']}/{r['stage']}: {r['speedup']}x"
+    for r in report["stages"]
+    if r["stage"] == "enumeration+classify" and (r["speedup"] or 0) < 2.0
+]
+if slow:
+    raise SystemExit("fast engine regressed below 2x on: " + ", ".join(slow))
+print("engine smoke ok:",
+      ", ".join(f"{w} {p['speedup']}x" for w, p in report["pipeline"].items()))
+EOF
+fi
+echo "CI OK"

@@ -16,7 +16,11 @@ Public entry points: :class:`~repro.core.selection.PatternSelector` and the
 
 from repro.core.config import SelectionConfig
 from repro.core.frequency import coverage_vector, frequency_table
-from repro.core.priority import color_number_condition, selection_priority
+from repro.core.priority import (
+    balanced_frequency_sum,
+    color_number_condition,
+    selection_priority,
+)
 from repro.core.selection import (
     PatternSelector,
     PriorityFn,
@@ -35,6 +39,7 @@ __all__ = [
     "coverage_vector",
     "selection_priority",
     "color_number_condition",
+    "balanced_frequency_sum",
     "PatternSelector",
     "PriorityFn",
     "SelectionResult",

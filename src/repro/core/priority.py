@@ -32,7 +32,31 @@ from typing import AbstractSet, Mapping
 from repro.core.config import SelectionConfig
 from repro.patterns.pattern import Pattern
 
-__all__ = ["color_number_condition", "selection_priority", "raw_priority"]
+__all__ = [
+    "color_number_condition",
+    "selection_priority",
+    "raw_priority",
+    "balanced_frequency_sum",
+]
+
+
+def balanced_frequency_sum(
+    counter: Mapping[str, int],
+    coverage: Mapping[str, int],
+    epsilon: float,
+) -> float:
+    """The Eq. 8 summation ``Σ_n h(p̄, n) / (Σ_{p̄i∈Ps} h(p̄i, n) + ε)``.
+
+    Shared by :func:`raw_priority` and the incremental selection engine so
+    both accumulate in the same term order — float addition is not
+    associative, and the engines must agree bit-for-bit.  Iterates the
+    candidate's counter (``h`` is zero elsewhere) in its insertion order.
+    """
+    total = 0.0
+    get = coverage.get
+    for node, h in counter.items():
+        total += h / (get(node, 0) + epsilon)
+    return total
 
 
 def color_number_condition(
@@ -81,9 +105,7 @@ def raw_priority(
     counter = frequencies.get(pattern)
     total = 0.0
     if counter:
-        eps = config.epsilon
-        for node, h in counter.items():
-            total += h / (coverage.get(node, 0) + eps)
+        total = balanced_frequency_sum(counter, coverage, config.epsilon)
     return total + config.alpha * pattern.size**2
 
 

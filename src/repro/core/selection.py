@@ -22,7 +22,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.config import SelectionConfig
-from repro.core.priority import color_number_condition, raw_priority
+from repro.core.priority import (
+    balanced_frequency_sum,
+    color_number_condition,
+    raw_priority,
+)
+from repro.patterns.multiset import iter_subbag_keys, n_subbags
 from repro.dfg.levels import LevelAnalysis
 from repro.dfg.validate import validate_dfg
 from repro.exceptions import EnumerationLimitError, SelectionError
@@ -187,6 +192,7 @@ class PatternSelector:
         pdef: int,
         *,
         catalog: PatternCatalog | None = None,
+        engine: str = "auto",
     ) -> SelectionResult:
         """Run Fig. 7 and return the selected library plus diagnostics.
 
@@ -199,10 +205,29 @@ class PatternSelector:
             enforced via :class:`~repro.patterns.library.PatternLibrary`).
         catalog:
             Optional pre-built catalog (reused across ``pdef`` sweeps).
+        engine:
+            ``"auto"`` (default) uses the incremental fast loop when the
+            selector runs the stock Eq. 8 priority and the reference loop
+            for custom ``priority_fn`` callables (whose scores may depend
+            on global pool state the incremental cache cannot track).
+            ``"fast"`` / ``"reference"`` force a loop; both produce
+            identical results for Eq. 8 (pinned by the equivalence tests).
         """
         validate_dfg(dfg)
         if pdef < 1:
             raise SelectionError(f"pdef must be ≥ 1, got {pdef}")
+        if engine not in ("auto", "fast", "reference"):
+            raise SelectionError(
+                f"unknown selection engine {engine!r}; expected 'auto', "
+                f"'fast' or 'reference'"
+            )
+        if engine == "auto":
+            engine = "fast" if self.priority_fn is raw_priority else "reference"
+        elif engine == "fast" and self.priority_fn is not raw_priority:
+            raise SelectionError(
+                "the fast selection engine supports only the stock Eq. 8 "
+                "priority; use engine='reference' with custom priority_fn"
+            )
         if catalog is None:
             catalog = self.build_catalog(dfg)
         config = self.config
@@ -213,6 +238,39 @@ class PatternSelector:
                 f"{len(all_colors)} colors of {dfg.name!r}"
             )
 
+        if engine == "fast":
+            selected, rounds = self._run_fast(catalog, pdef, all_colors)
+        else:
+            selected, rounds = self._run_reference(catalog, pdef, all_colors)
+
+        if not selected:
+            raise SelectionError(
+                f"no pattern could be selected for {dfg.name!r}: the graph "
+                "yielded no antichains and no colors to synthesize from"
+            )
+        if config.widen_to_capacity:
+            selected = self._widen_all(selected, dfg)
+        library = PatternLibrary(selected, self.capacity)
+        return SelectionResult(
+            library=library,
+            rounds=tuple(rounds),
+            catalog=catalog,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _run_reference(
+        self,
+        catalog: PatternCatalog,
+        pdef: int,
+        all_colors: frozenset[str],
+    ) -> tuple[list[Pattern], list[SelectionRound]]:
+        """The Fig. 7 loop exactly as written — the equivalence oracle.
+
+        Every round recomputes every candidate's priority from scratch and
+        scans the whole pool for sub-patterns of the pick.
+        """
+        config = self.config
         pool: dict[Pattern, Counter[str]] = dict(catalog.frequencies)
         coverage: Counter[str] = Counter()
         selected: list[Pattern] = []
@@ -259,20 +317,157 @@ class PatternSelector:
                     deleted=deleted,
                 )
             )
+        return selected, rounds
 
-        if not selected:
-            raise SelectionError(
-                f"no pattern could be selected for {dfg.name!r}: the graph "
-                "yielded no antichains and no colors to synthesize from"
+    def _run_fast(
+        self,
+        catalog: PatternCatalog,
+        pdef: int,
+        all_colors: frozenset[str],
+    ) -> tuple[list[Pattern], list[SelectionRound]]:
+        """Incremental Fig. 7 loop, bit-identical to :meth:`_run_reference`.
+
+        Three structural shortcuts, none of which change any computed value:
+
+        * each candidate's Eq. 8 sum is cached and recomputed — via the same
+          :func:`~repro.core.priority.balanced_frequency_sum` term order —
+          only when a pick changed the coverage of a node the candidate
+          actually touches.  Node sets are precomputed integer bitmasks, so
+          the per-round invalidation test is one big-int AND per candidate
+          (the inverted node → patterns relation, collapsed into machine
+          words);
+        * the Eq. 9 gate runs on precomputed color bitmasks
+          (``(colors & ~selected).bit_count()``), and is skipped wholesale
+          in rounds where its right-hand side is ≤ 0 (every candidate
+          passes trivially);
+        * sub-pattern deletion enumerates the pick's ``Π(k_c+1)`` sub-bags
+          against a bag-key index instead of bag-testing the whole pool,
+          falling back to the linear scan when the pick is so wide that
+          enumeration would lose.
+        """
+        config = self.config
+        eps = config.epsilon
+        alpha = config.alpha
+        capacity = self.capacity
+        pool: dict[Pattern, Counter[str]] = dict(catalog.frequencies)
+        coverage: Counter[str] = Counter()
+        selected: list[Pattern] = []
+        selected_colors: set[str] = set()
+        rounds: list[SelectionRound] = []
+
+        node_bit: dict[str, int] = {
+            n: 1 << j for j, n in enumerate(catalog.dfg.nodes)
+        }
+        color_bit: dict[str, int] = {
+            c: 1 << j for j, c in enumerate(sorted(all_colors))
+        }
+        node_masks: dict[Pattern, int] = {}
+        color_masks: dict[Pattern, int] = {}
+        size_bonus: dict[Pattern, float] = {}
+        for p, counter in pool.items():
+            m = 0
+            for node in counter:
+                m |= node_bit[node]
+            node_masks[p] = m
+            cm = 0
+            for c in p.color_set():
+                cm |= color_bit[c]
+            color_masks[p] = cm
+            size_bonus[p] = alpha * p.size**2
+        by_key: dict[tuple[str, ...], Pattern] = {p.key: p for p in pool}
+        cached: dict[Pattern, float] = {}
+        selected_cmask = 0
+        changed_mask = -1  # round 0: everything needs a first score
+
+        for i in range(pdef):
+            if changed_mask == -1:
+                for p, counter in pool.items():
+                    cached[p] = (
+                        balanced_frequency_sum(counter, coverage, eps)
+                        + size_bonus[p]
+                    )
+            elif changed_mask:
+                for p, counter in pool.items():
+                    if node_masks[p] & changed_mask:
+                        cached[p] = (
+                            balanced_frequency_sum(counter, coverage, eps)
+                            + size_bonus[p]
+                        )
+            changed_mask = 0
+
+            rhs = len(all_colors) - len(selected_colors) - capacity * (
+                pdef - i - 1
             )
-        if config.widen_to_capacity:
-            selected = self._widen_all(selected, dfg)
-        library = PatternLibrary(selected, self.capacity)
-        return SelectionResult(
-            library=library,
-            rounds=tuple(rounds),
-            catalog=catalog,
-            config=config,
+            priorities: dict[Pattern, float] = {}
+            if rhs <= 0:
+                # Eq. 9 asks for ≥ rhs new colors; with rhs ≤ 0 every
+                # candidate qualifies.
+                for p in pool:
+                    priorities[p] = cached[p]
+            else:
+                not_selected = ~selected_cmask
+                for p in pool:
+                    if (color_masks[p] & not_selected).bit_count() >= rhs:
+                        priorities[p] = cached[p]
+                    else:
+                        priorities[p] = 0.0
+
+            chosen, fallback = self._choose(priorities, all_colors, selected_colors)
+            if chosen is None:
+                break  # pool exhausted, every color covered (see reference)
+
+            deleted = self._deleted_subpatterns(chosen, pool, by_key)
+            for q in deleted:
+                del pool[q]
+                del by_key[q.key]
+                del cached[q]
+            if pool.pop(chosen, None) is not None:
+                del by_key[chosen.key]
+                del cached[chosen]
+
+            counter = catalog.frequencies.get(chosen)
+            if counter:
+                # chosen came from the catalog, so its node mask exists.
+                coverage.update(counter)
+                changed_mask = node_masks[chosen]
+            selected.append(chosen)
+            for c in chosen.color_set():
+                selected_colors.add(c)
+                selected_cmask |= color_bit.get(c, 0)
+            rounds.append(
+                SelectionRound(
+                    index=i,
+                    priorities=priorities,
+                    chosen=chosen,
+                    fallback=fallback,
+                    deleted=deleted,
+                )
+            )
+        return selected, rounds
+
+    @staticmethod
+    def _deleted_subpatterns(
+        chosen: Pattern,
+        pool: dict[Pattern, Counter[str]],
+        by_key: dict[tuple[str, ...], Pattern],
+    ) -> tuple[Pattern, ...]:
+        """Pool members that are strict sub-patterns of ``chosen``.
+
+        Every sub-pattern's bag is one of the pick's ``Π(k_c+1)`` sub-bags,
+        so membership is a key lookup per sub-bag — O(2^C) worst case,
+        independent of pool size.  A pool scan is kept for the degenerate
+        wide-pick case where enumerating sub-bags would be the slower side.
+        """
+        counts = chosen.counts
+        if n_subbags(counts) - 2 <= 4 * (len(pool) + 4):
+            found = [
+                q
+                for key in iter_subbag_keys(counts)
+                if (q := by_key.get(key)) is not None
+            ]
+            return tuple(sorted(found))
+        return tuple(
+            sorted(q for q in pool if q != chosen and q.is_subpattern_of(chosen))
         )
 
     # ------------------------------------------------------------------ #

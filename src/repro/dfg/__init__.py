@@ -26,6 +26,7 @@ from repro.dfg.traversal import (
 )
 from repro.dfg.antichains import (
     AntichainEnumerator,
+    LabelClassification,
     count_antichains_by_size,
     enumerate_antichains,
     is_antichain,
@@ -52,6 +53,7 @@ __all__ = [
     "ancestor_masks",
     "comparability_masks",
     "AntichainEnumerator",
+    "LabelClassification",
     "enumerate_antichains",
     "count_antichains_by_size",
     "is_antichain",

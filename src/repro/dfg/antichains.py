@@ -19,11 +19,32 @@ under set extension (max-ASAP can only grow, min-ALAP only shrink).
 The number of antichains grows combinatorially (paper Table 5); a
 ``max_count`` guard raises :class:`~repro.exceptions.EnumerationLimitError`
 rather than silently eating memory.
+
+Fused fast paths
+----------------
+Enumerating millions of name tuples only to immediately reduce them (into a
+per-size census or a per-pattern frequency table) dominates pattern
+generation cost.  Two allocation-free fast paths therefore run the *same*
+DFS — identical visit order, pruning and ``max_count`` semantics — but fold
+the reduction into the walk:
+
+* :meth:`AntichainEnumerator.count_by_size` — counting-only mode for the
+  Table 5 sweeps; no member tuples are ever built.
+* :meth:`AntichainEnumerator.classify_by_label` — in-DFS classification for
+  pattern generation: antichains are bucketed by their color bag *at the
+  index level*, accumulating node-frequency int arrays per bucket.  Bag
+  identity is tracked incrementally through a transition trie
+  (``(bucket, label) → bucket``), so the hot loop performs one dict lookup
+  per extension instead of building a key object per antichain.
+
+An ``allowed_mask`` bitmask restricts every mode to a node subset inside
+the DFS (no post-filtering).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.dfg.levels import LevelAnalysis
 from repro.dfg.traversal import comparability_masks
@@ -34,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "AntichainEnumerator",
+    "LabelClassification",
     "enumerate_antichains",
     "count_antichains_by_size",
     "is_antichain",
@@ -42,6 +64,30 @@ __all__ = [
 
 #: Default hard ceiling on the number of enumerated antichains.
 DEFAULT_MAX_COUNT = 5_000_000
+
+
+@dataclass(frozen=True)
+class LabelClassification:
+    """One label-bag bucket produced by in-DFS classification.
+
+    Attributes
+    ----------
+    count:
+        Number of antichains carrying this bag (``Σ_A 1``).
+    frequencies:
+        Node-index-indexed int array: ``frequencies[i]`` is the number of
+        this bag's antichains containing node ``i`` — the paper's
+        ``h(p̄, n)`` before names are attached.
+    first_seen:
+        Node indices with nonzero frequency, in the order the DFS first
+        recorded them.  Downstream consumers use it to build name-keyed
+        mappings whose insertion order matches the sequential reference
+        classifier exactly.
+    """
+
+    count: int
+    frequencies: list[int]
+    first_seen: list[int]
 
 
 def is_antichain(dfg: "DFG", nodes: Iterable[str]) -> bool:
@@ -95,6 +141,27 @@ class AntichainEnumerator:
         self._alap = [self.levels.alap[dfg.name_of(i)] for i in range(n)]
 
     # ------------------------------------------------------------------ #
+    def _check_bounds(
+        self, max_size: int, min_size: int, span_limit: int | None
+    ) -> None:
+        if max_size < 1:
+            raise GraphError(f"max_size must be ≥ 1, got {max_size}")
+        if min_size < 1 or min_size > max_size:
+            raise GraphError(
+                f"min_size must be in 1..max_size, got {min_size} (max {max_size})"
+            )
+        if span_limit is not None and span_limit < 0:
+            raise GraphError(f"span_limit must be ≥ 0, got {span_limit}")
+
+    def _limit_error(
+        self, max_count: int, max_size: int, span_limit: int | None
+    ) -> EnumerationLimitError:
+        return EnumerationLimitError(
+            f"more than {max_count} antichains in {self.dfg.name!r} "
+            f"(size ≤ {max_size}, span ≤ {span_limit}); raise "
+            f"max_count or tighten the span limit"
+        )
+
     def iter_index_antichains(
         self,
         max_size: int,
@@ -102,6 +169,7 @@ class AntichainEnumerator:
         *,
         min_size: int = 1,
         max_count: int | None = DEFAULT_MAX_COUNT,
+        allowed_mask: int | None = None,
     ) -> Iterator[tuple[int, ...]]:
         """Yield antichains as ascending node-index tuples.
 
@@ -115,15 +183,14 @@ class AntichainEnumerator:
             Smallest cardinality to yield (≥ 1).
         max_count:
             Safety ceiling; ``None`` disables it.
+        allowed_mask:
+            Bitmask of node indices the antichains may use; ``None`` means
+            all nodes.  Restriction happens inside the DFS, so the yielded
+            sequence is the full enumeration filtered to antichains whose
+            members all lie in the mask — without visiting excluded
+            branches.
         """
-        if max_size < 1:
-            raise GraphError(f"max_size must be ≥ 1, got {max_size}")
-        if min_size < 1 or min_size > max_size:
-            raise GraphError(
-                f"min_size must be in 1..max_size, got {min_size} (max {max_size})"
-            )
-        if span_limit is not None and span_limit < 0:
-            raise GraphError(f"span_limit must be ≥ 0, got {span_limit}")
+        self._check_bounds(max_size, min_size, span_limit)
 
         n = self.dfg.n_nodes
         comp = self._comp
@@ -131,10 +198,14 @@ class AntichainEnumerator:
         alap = self._alap
         produced = 0
         full_mask = (1 << n) - 1
+        if allowed_mask is not None:
+            full_mask &= allowed_mask
 
         # members, allowed-extension mask, running max(ASAP), min(ALAP)
         stack: list[tuple[tuple[int, ...], int, int, int]] = []
         for i in range(n):
+            if not full_mask >> i & 1:
+                continue
             higher = full_mask & ~((1 << (i + 1)) - 1)
             stack.append(((i,), higher & ~comp[i], asap[i], alap[i]))
         # LIFO DFS would enumerate in reverse start order; reverse the seed so
@@ -146,11 +217,7 @@ class AntichainEnumerator:
             if len(members) >= min_size:
                 produced += 1
                 if max_count is not None and produced > max_count:
-                    raise EnumerationLimitError(
-                        f"more than {max_count} antichains in {self.dfg.name!r} "
-                        f"(size ≤ {max_size}, span ≤ {span_limit}); raise "
-                        f"max_count or tighten the span limit"
-                    )
+                    raise self._limit_error(max_count, max_size, span_limit)
                 yield members
             if len(members) == max_size:
                 continue
@@ -175,11 +242,16 @@ class AntichainEnumerator:
         *,
         min_size: int = 1,
         max_count: int | None = DEFAULT_MAX_COUNT,
+        allowed_mask: int | None = None,
     ) -> Iterator[tuple[str, ...]]:
         """Like :meth:`iter_index_antichains` but yields node-name tuples."""
         name_of = self.dfg.name_of
         for idx in self.iter_index_antichains(
-            max_size, span_limit, min_size=min_size, max_count=max_count
+            max_size,
+            span_limit,
+            min_size=min_size,
+            max_count=max_count,
+            allowed_mask=allowed_mask,
         ):
             yield tuple(name_of(i) for i in idx)
 
@@ -189,14 +261,188 @@ class AntichainEnumerator:
         span_limit: int | None = None,
         *,
         max_count: int | None = DEFAULT_MAX_COUNT,
+        allowed_mask: int | None = None,
     ) -> dict[int, int]:
-        """Antichain counts keyed by cardinality — the paper's Table 5 rows."""
+        """Antichain counts keyed by cardinality — the paper's Table 5 rows.
+
+        Counting-only mode: runs the same DFS as
+        :meth:`iter_index_antichains` (same pruning, same ``max_count``
+        semantics) but never materializes member tuples, so Table 5 sweeps
+        over multi-million antichain spaces stay allocation-free.
+        """
+        self._check_bounds(max_size, 1, span_limit)
         counts = {k: 0 for k in range(1, max_size + 1)}
-        for members in self.iter_index_antichains(
-            max_size, span_limit, max_count=max_count
-        ):
-            counts[len(members)] += 1
+
+        n = self.dfg.n_nodes
+        comp = self._comp
+        asap = self._asap
+        alap = self._alap
+        produced = 0
+        full_mask = (1 << n) - 1
+        if allowed_mask is not None:
+            full_mask &= allowed_mask
+
+        # depth, allowed-extension mask, running max(ASAP), min(ALAP)
+        stack: list[tuple[int, int, int, int]] = []
+        for i in range(n):
+            if not full_mask >> i & 1:
+                continue
+            higher = full_mask & ~((1 << (i + 1)) - 1)
+            stack.append((1, higher & ~comp[i], asap[i], alap[i]))
+        stack.reverse()
+
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            depth, allowed, mx_asap, mn_alap = pop()
+            produced += 1
+            if max_count is not None and produced > max_count:
+                raise self._limit_error(max_count, max_size, span_limit)
+            counts[depth] += 1
+            if depth == max_size:
+                continue
+            depth += 1
+            ext: list[tuple[int, int, int, int]] = []
+            m = allowed
+            while m:
+                low = m & -m
+                j = low.bit_length() - 1
+                m ^= low
+                new_mx = mx_asap if mx_asap >= asap[j] else asap[j]
+                new_mn = mn_alap if mn_alap <= alap[j] else alap[j]
+                if span_limit is not None and new_mx - new_mn > span_limit:
+                    continue
+                ext.append((depth, allowed & ~comp[j] & ~(low - 1) & ~low,
+                            new_mx, new_mn))
+            extend(reversed(ext))
         return counts
+
+    def classify_by_label(
+        self,
+        labels: Sequence[int],
+        max_size: int,
+        span_limit: int | None = None,
+        *,
+        min_size: int = 1,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+        allowed_mask: int | None = None,
+    ) -> dict[tuple[int, ...], LabelClassification]:
+        """Classify antichains by label bag inside the DFS (fused fast path).
+
+        ``labels[i]`` is an integer label (e.g. an interned color id) for
+        node index ``i``.  Antichains are never materialized; each visited
+        antichain increments one bucket's census and the per-node int
+        frequency array ``h(bag, ·)`` of that bucket.  Bag identity is
+        carried incrementally: each DFS frame holds its bucket id, and
+        extending by a node of label ``c`` resolves the child bucket through
+        a memoized ``(bucket, c) → bucket`` transition table, so the hot
+        loop allocates nothing per antichain beyond its stack frame.
+
+        Returns a dict mapping each bag (ascending label tuple) to a
+        :class:`LabelClassification`, in first-visit order — exactly the
+        order in which a sequential classify over :meth:`iter_index_antichains`
+        would first see each bag.  Visit order, pruning and ``max_count``
+        semantics are identical to :meth:`iter_index_antichains`.
+        """
+        self._check_bounds(max_size, min_size, span_limit)
+        n = self.dfg.n_nodes
+        if len(labels) != n:
+            raise GraphError(
+                f"labels has {len(labels)} entries for {n} nodes"
+            )
+        comp = self._comp
+        asap = self._asap
+        alap = self._alap
+        produced = 0
+        full_mask = (1 << n) - 1
+        if allowed_mask is not None:
+            full_mask &= allowed_mask
+
+        # Per-bucket state, indexed by bucket id.
+        bag_keys: list[tuple[int, ...]] = []
+        bucket_counts: list[int] = []
+        bucket_freqs: list[list[int]] = []
+        bucket_orders: list[list[int]] = []
+        transitions: list[dict[int, int]] = []
+        key_to_bucket: dict[tuple[int, ...], int] = {}
+        visit_order: list[int] = []
+
+        def bucket_of(key: tuple[int, ...]) -> int:
+            b = key_to_bucket.get(key)
+            if b is None:
+                b = len(bag_keys)
+                key_to_bucket[key] = b
+                bag_keys.append(key)
+                bucket_counts.append(0)
+                bucket_freqs.append([0] * n)
+                bucket_orders.append([])
+                transitions.append({})
+            return b
+
+        path = [0] * max_size
+        # depth, node, allowed-extension mask, max(ASAP), min(ALAP), bucket
+        stack: list[tuple[int, int, int, int, int, int]] = []
+        for i in range(n):
+            if not full_mask >> i & 1:
+                continue
+            higher = full_mask & ~((1 << (i + 1)) - 1)
+            stack.append(
+                (1, i, higher & ~comp[i], asap[i], alap[i], bucket_of((labels[i],)))
+            )
+        stack.reverse()
+
+        pop = stack.pop
+        extend = stack.extend
+        while stack:
+            depth, j, allowed, mx_asap, mn_alap, b = pop()
+            path[depth - 1] = j
+            if depth >= min_size:
+                produced += 1
+                if max_count is not None and produced > max_count:
+                    raise self._limit_error(max_count, max_size, span_limit)
+                count = bucket_counts[b]
+                if count == 0:
+                    visit_order.append(b)
+                bucket_counts[b] = count + 1
+                freq = bucket_freqs[b]
+                order = bucket_orders[b]
+                for d in range(depth):
+                    i = path[d]
+                    h = freq[i]
+                    if h == 0:
+                        order.append(i)
+                    freq[i] = h + 1
+            if depth == max_size:
+                continue
+            trans = transitions[b]
+            depth += 1
+            ext: list[tuple[int, int, int, int, int, int]] = []
+            m = allowed
+            while m:
+                low = m & -m
+                k = low.bit_length() - 1
+                m ^= low
+                new_mx = mx_asap if mx_asap >= asap[k] else asap[k]
+                new_mn = mn_alap if mn_alap <= alap[k] else alap[k]
+                if span_limit is not None and new_mx - new_mn > span_limit:
+                    continue
+                c = labels[k]
+                nb = trans.get(c)
+                if nb is None:
+                    nb = bucket_of(tuple(sorted(bag_keys[b] + (c,))))
+                    trans[c] = nb
+                ext.append((depth, k, allowed & ~comp[k] & ~(low - 1) & ~low,
+                            new_mx, new_mn, nb))
+            extend(reversed(ext))
+
+        return {
+            bag_keys[b]: LabelClassification(
+                count=bucket_counts[b],
+                frequencies=bucket_freqs[b],
+                first_seen=bucket_orders[b],
+            )
+            for b in visit_order
+        }
 
 
 def enumerate_antichains(

@@ -93,6 +93,10 @@ class DFG:
         self._g = nx.DiGraph()
         self._order: list[str] = []
         self._index: dict[str, int] = {}
+        #: Structure-derived analysis results (reachability masks, level
+        #: analysis, …), invalidated wholesale on any node/edge mutation.
+        #: Cached values must be treated as immutable by all consumers.
+        self._analysis_cache: dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # construction
@@ -113,6 +117,7 @@ class DFG:
         self._g.add_node(name, color=color, **attrs)
         self._order.append(name)
         self._index[name] = idx
+        self._analysis_cache.clear()
         return Node(name=name, color=color, index=idx, attrs=self._g.nodes[name])
 
     def add_edge(self, u: str, v: str) -> None:
@@ -122,6 +127,7 @@ class DFG:
         if u == v:
             raise CycleError(f"self-loop {u!r} -> {u!r} is not allowed in a DFG")
         self._g.add_edge(u, v)
+        self._analysis_cache.clear()
 
     def add_edges(self, edges: Iterable[tuple[str, str]]) -> None:
         """Add many edges preserving the given order."""
@@ -241,6 +247,26 @@ class DFG:
     def color_census(self) -> Counter[str]:
         """How many nodes of each color the graph contains."""
         return Counter(self._g.nodes[n]["color"] for n in self._order)
+
+    def color_labels(self) -> tuple[list[int], tuple[str, ...]]:
+        """Dense color interning: per-node color ids plus the id → color table.
+
+        Returns ``(labels, id_colors)`` where ``labels[i]`` is the color id
+        of node index ``i`` and ``id_colors[cid]`` the color string; ids are
+        assigned in first-appearance order (so ``id_colors`` equals
+        :meth:`colors`).  The int-level fast paths (fused classification,
+        scheduler hot loop) share this so the interning cannot drift.
+        """
+        ids: dict[str, int] = {}
+        labels: list[int] = []
+        nodes = self._g.nodes
+        for n in self._order:
+            c = nodes[n]["color"]
+            cid = ids.get(c)
+            if cid is None:
+                cid = ids[c] = len(ids)
+            labels.append(cid)
+        return labels, tuple(ids)
 
     def is_acyclic(self) -> bool:
         """``True`` iff the graph is a DAG."""

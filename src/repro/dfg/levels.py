@@ -102,10 +102,20 @@ class LevelAnalysis:
 
     @classmethod
     def of(cls, dfg: "DFG") -> "LevelAnalysis":
-        """Compute the bundle for ``dfg``."""
+        """Compute the bundle for ``dfg``.
+
+        Memoized on the graph's analysis cache (invalidated on mutation);
+        the shared instance and its dictionaries are read-only by contract.
+        """
+        cache = getattr(dfg, "_analysis_cache", None)
+        if cache is not None and "level_analysis" in cache:
+            return cache["level_analysis"]
         a = asap(dfg)
         amax = max(a.values()) if a else 0
-        return cls(asap=a, alap=alap(dfg, a), height=height(dfg), asap_max=amax)
+        out = cls(asap=a, alap=alap(dfg, a), height=height(dfg), asap_max=amax)
+        if cache is not None:
+            cache["level_analysis"] = out
+        return out
 
     @property
     def critical_path_length(self) -> int:

@@ -15,6 +15,13 @@ Python's arbitrary-precision integers make this both compact and fast (a
 single ``&`` tests a node against a whole candidate set), following the
 "choose the better algorithm before micro-optimising" guidance of the HPC
 coding guides.
+
+All three mask computations are memoized on the graph's analysis cache
+(:attr:`repro.dfg.graph.DFG._analysis_cache`, invalidated on mutation), so
+repeated calls — e.g. :func:`~repro.dfg.antichains.is_antichain` in a loop,
+or the scheduler's priority derivation after pattern generation — pay the
+O(V·E/word) cost once per graph.  The returned lists are shared: treat them
+as read-only.
 """
 
 from __future__ import annotations
@@ -34,12 +41,21 @@ __all__ = [
 ]
 
 
+def _cache_of(dfg: "DFG") -> dict | None:
+    """The graph's analysis cache, or ``None`` for foreign graph objects."""
+    return getattr(dfg, "_analysis_cache", None)
+
+
 def descendant_masks(dfg: "DFG") -> list[int]:
-    """Bitmask of strict descendants for every node index.
+    """Bitmask of strict descendants for every node index (read-only).
 
     Bit ``j`` of ``masks[i]`` is set iff node ``j`` is a follower of node
-    ``i``.  Computed in reverse topological order in O(V·E/word) time.
+    ``i``.  Computed in reverse topological order in O(V·E/word) time and
+    memoized per graph.
     """
+    cache = _cache_of(dfg)
+    if cache is not None and "descendant_masks" in cache:
+        return cache["descendant_masks"]
     masks = [0] * dfg.n_nodes
     for n in reversed(dfg.topological_order()):
         i = dfg.index(n)
@@ -48,11 +64,16 @@ def descendant_masks(dfg: "DFG") -> list[int]:
             j = dfg.index(s)
             m |= (1 << j) | masks[j]
         masks[i] = m
+    if cache is not None:
+        cache["descendant_masks"] = masks
     return masks
 
 
 def ancestor_masks(dfg: "DFG") -> list[int]:
-    """Bitmask of strict ancestors for every node index."""
+    """Bitmask of strict ancestors for every node index (read-only)."""
+    cache = _cache_of(dfg)
+    if cache is not None and "ancestor_masks" in cache:
+        return cache["ancestor_masks"]
     masks = [0] * dfg.n_nodes
     for n in dfg.topological_order():
         i = dfg.index(n)
@@ -61,14 +82,25 @@ def ancestor_masks(dfg: "DFG") -> list[int]:
             j = dfg.index(p)
             m |= (1 << j) | masks[j]
         masks[i] = m
+    if cache is not None:
+        cache["ancestor_masks"] = masks
     return masks
 
 
 def comparability_masks(dfg: "DFG") -> list[int]:
-    """Bitmask of nodes comparable with each node (ancestors ∪ descendants)."""
+    """Bitmask of nodes comparable with each node (ancestors ∪ descendants).
+
+    Memoized per graph; the returned list is shared — treat it as read-only.
+    """
+    cache = _cache_of(dfg)
+    if cache is not None and "comparability_masks" in cache:
+        return cache["comparability_masks"]
     desc = descendant_masks(dfg)
     anc = ancestor_masks(dfg)
-    return [d | a for d, a in zip(desc, anc)]
+    masks = [d | a for d, a in zip(desc, anc)]
+    if cache is not None:
+        cache["comparability_masks"] = masks
+    return masks
 
 
 def followers(dfg: "DFG", name: str) -> frozenset[str]:

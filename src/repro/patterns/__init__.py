@@ -21,6 +21,8 @@ from repro.patterns.multiset import (
     is_subbag,
     bag_difference,
     bag_union,
+    iter_subbag_keys,
+    n_subbags,
 )
 from repro.patterns.library import PatternLibrary
 from repro.patterns.enumeration import PatternCatalog, classify_antichains
@@ -38,4 +40,6 @@ __all__ = [
     "is_subbag",
     "bag_difference",
     "bag_union",
+    "iter_subbag_keys",
+    "n_subbags",
 ]

@@ -11,6 +11,14 @@ algorithm needs.
 :class:`PatternCatalog` stores frequencies always and the raw antichain lists
 optionally (they are only needed for reporting; frequencies suffice for
 selection and keeping millions of tuples alive would be wasteful).
+
+Two engines build the catalog (see PERFORMANCE.md): the default ``"fast"``
+engine classifies inside the enumeration DFS via
+:meth:`~repro.dfg.antichains.AntichainEnumerator.classify_by_label`
+(no per-antichain allocations; one interned :class:`Pattern` per bag),
+while ``"reference"`` materializes name tuples and classifies them
+sequentially.  Both produce equal catalogs — including per-pattern Counter
+insertion order, which Eq. 8's float summation depends on.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.dfg.antichains import DEFAULT_MAX_COUNT, AntichainEnumerator
 from repro.dfg.levels import LevelAnalysis
+from repro.exceptions import PatternError
 from repro.patterns.pattern import Pattern
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -84,6 +93,19 @@ class PatternCatalog:
         return len(self.frequencies)
 
 
+def _allowed_mask(dfg: "DFG", restrict_to: Iterable[str] | None) -> int | None:
+    """Bitmask of ``restrict_to`` node indices (names absent from the graph
+    are ignored, matching the historical post-filter semantics)."""
+    if restrict_to is None:
+        return None
+    mask = 0
+    index = dfg.index
+    for n in restrict_to:
+        if n in dfg:
+            mask |= 1 << index(n)
+    return mask
+
+
 def classify_antichains(
     dfg: "DFG",
     capacity: int,
@@ -93,6 +115,7 @@ def classify_antichains(
     store_antichains: bool = False,
     max_count: int | None = DEFAULT_MAX_COUNT,
     restrict_to: Iterable[str] | None = None,
+    engine: str = "auto",
 ) -> PatternCatalog:
     """Enumerate antichains of ``dfg`` and classify them into patterns.
 
@@ -110,27 +133,110 @@ def classify_antichains(
         Optional precomputed level analysis.
     store_antichains:
         Keep the raw antichains per pattern (Table 4 style reporting).
+        Requires the reference engine — the stored name tuples are exactly
+        what the fused path exists to avoid.
     max_count:
         Enumeration safety ceiling (see :mod:`repro.dfg.antichains`).
     restrict_to:
         If given, only antichains whose nodes all belong to this set are
-        classified (used by incremental re-selection experiments).
+        classified (used by incremental re-selection experiments).  The
+        restriction is pushed into the enumerator as a node bitmask, so
+        excluded branches of the DFS are never visited.
+    engine:
+        ``"auto"`` (default) classifies inside the enumeration DFS without
+        materializing antichains, unless ``store_antichains`` demands the
+        sequential name-tuple classifier; ``"fast"`` / ``"reference"``
+        force an engine (``"fast"`` with ``store_antichains`` is an
+        error).  Both engines produce equal catalogs — the equivalence
+        test-suite pins this.
 
     Returns
     -------
     PatternCatalog
     """
+    if engine not in ("auto", "fast", "reference"):
+        raise PatternError(
+            f"unknown classification engine {engine!r}; expected 'auto', "
+            f"'fast' or 'reference'"
+        )
+    if engine == "fast" and store_antichains:
+        raise PatternError(
+            "the fast classification engine cannot store raw antichains; "
+            "use engine='reference' (or 'auto') with store_antichains"
+        )
+    if engine == "auto":
+        engine = "reference" if store_antichains else "fast"
     enum = AntichainEnumerator(dfg, levels=levels)
-    allowed: frozenset[str] | None = (
-        frozenset(restrict_to) if restrict_to is not None else None
+    allowed_mask = _allowed_mask(dfg, restrict_to)
+    if engine == "fast":
+        return _classify_fast(dfg, enum, capacity, span_limit, max_count, allowed_mask)
+    return _classify_reference(
+        dfg, enum, capacity, span_limit, max_count, allowed_mask, store_antichains
     )
+
+
+def _classify_fast(
+    dfg: "DFG",
+    enum: AntichainEnumerator,
+    capacity: int,
+    span_limit: int | None,
+    max_count: int | None,
+    allowed_mask: int | None,
+) -> PatternCatalog:
+    """Fused engine: in-DFS classification into int frequency arrays.
+
+    One :class:`Pattern` is interned per distinct bag and every name-keyed
+    Counter is built in the same insertion order the reference classifier
+    would produce, so the two engines' catalogs compare equal — including
+    Counter iteration order, which downstream float summations depend on.
+    """
+    names = dfg.nodes
+    labels, id_colors = dfg.color_labels()
+
+    buckets = enum.classify_by_label(
+        labels,
+        capacity,
+        span_limit,
+        max_count=max_count,
+        allowed_mask=allowed_mask,
+    )
+    freqs: dict[Pattern, Counter[str]] = {}
+    counts: dict[Pattern, int] = {}
+    for bag, cls in buckets.items():
+        bag_counts: dict[str, int] = {}
+        for cid in bag:
+            c = id_colors[cid]
+            bag_counts[c] = bag_counts.get(c, 0) + 1
+        pattern = Pattern.from_counts(bag_counts)
+        freq = cls.frequencies
+        freqs[pattern] = Counter({names[i]: freq[i] for i in cls.first_seen})
+        counts[pattern] = cls.count
+    return PatternCatalog(
+        dfg=dfg,
+        capacity=capacity,
+        span_limit=span_limit,
+        frequencies=freqs,
+        antichain_counts=counts,
+    )
+
+
+def _classify_reference(
+    dfg: "DFG",
+    enum: AntichainEnumerator,
+    capacity: int,
+    span_limit: int | None,
+    max_count: int | None,
+    allowed_mask: int | None,
+    store_antichains: bool,
+) -> PatternCatalog:
+    """Sequential oracle: classify materialized name tuples one by one."""
     freqs: dict[Pattern, Counter[str]] = {}
     counts: dict[Pattern, int] = {}
     stored: dict[Pattern, list[tuple[str, ...]]] = {}
     color = dfg.color
-    for names in enum.iter_antichains(capacity, span_limit, max_count=max_count):
-        if allowed is not None and not all(n in allowed for n in names):
-            continue
+    for names in enum.iter_antichains(
+        capacity, span_limit, max_count=max_count, allowed_mask=allowed_mask
+    ):
         pattern = Pattern(color(n) for n in names)
         counter = freqs.get(pattern)
         if counter is None:

@@ -12,7 +12,15 @@ from __future__ import annotations
 from collections import Counter
 from typing import Iterable, Mapping
 
-__all__ = ["bag", "bag_key", "is_subbag", "bag_difference", "bag_union"]
+__all__ = [
+    "bag",
+    "bag_key",
+    "is_subbag",
+    "bag_difference",
+    "bag_union",
+    "iter_subbag_keys",
+    "n_subbags",
+]
 
 
 def bag(colors: Iterable[str]) -> Counter[str]:
@@ -44,6 +52,35 @@ def bag_difference(a: Mapping[str, int], b: Mapping[str, int]) -> Counter[str]:
         if d > 0:
             out[color] = d
     return out
+
+
+def n_subbags(counts: Mapping[str, int]) -> int:
+    """Number of sub-bags of ``counts`` (including the empty and full bags).
+
+    ``Π_c (counts[c] + 1)`` — at most ``2^|bag|``, so tiny for
+    capacity-bounded patterns.  Used to decide whether enumerating a
+    selected pattern's sub-bags beats scanning a candidate pool.
+    """
+    out = 1
+    for k in counts.values():
+        if k > 0:
+            out *= k + 1
+    return out
+
+
+def iter_subbag_keys(counts: Mapping[str, int]) -> "list[tuple[str, ...]]":
+    """Canonical :func:`bag_key` of every nonempty proper sub-bag.
+
+    A sub-bag takes ``0..k`` copies of each color; the full bag and the
+    empty bag are excluded (the selection algorithm deletes *strict*
+    sub-patterns of its pick — the pick itself leaves the pool separately).
+    """
+    items = sorted((c, k) for c, k in counts.items() if k > 0)
+    keys: list[tuple[str, ...]] = [()]
+    for color, k in items:
+        keys = [key + (color,) * take for key in keys for take in range(k + 1)]
+    full = bag_key(counts)
+    return [key for key in keys if key and key != full]
 
 
 def bag_union(a: Mapping[str, int], b: Mapping[str, int]) -> Counter[str]:

@@ -39,7 +39,7 @@ class Pattern:
     True
     """
 
-    __slots__ = ("_key", "_counts")
+    __slots__ = ("_key", "_counts", "_hash", "_size")
 
     def __init__(self, colors: Iterable[str]) -> None:
         counts = Counter(colors)
@@ -50,8 +50,11 @@ class Pattern:
                 raise PatternError(f"non-positive multiplicity for {color!r}")
         if not counts:
             raise PatternError("a pattern must contain at least one color")
+        key = bag_key(counts)
         object.__setattr__(self, "_counts", dict(counts))
-        object.__setattr__(self, "_key", bag_key(counts))
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_size", len(key))
 
     def __setattr__(self, name: str, value: object) -> None:  # immutability
         raise AttributeError("Pattern is immutable")
@@ -73,11 +76,39 @@ class Pattern:
 
     @classmethod
     def from_counts(cls, counts: Mapping[str, int]) -> "Pattern":
-        """Build from a color → multiplicity mapping."""
-        colors: list[str] = []
+        """Build from a color → multiplicity mapping.
+
+        Validated fast path: the counts are checked directly and the bag
+        key derived without first expanding the mapping into a color list
+        (pattern generation interns one ``Pattern`` per distinct bag, so
+        this constructor sits on the catalog-building path).  Entries with
+        non-positive multiplicity are dropped, matching the historical
+        expansion semantics.
+        """
+        kept: dict[str, int] = {}
         for color, k in counts.items():
-            colors.extend([color] * k)
-        return cls(colors)
+            if k <= 0:
+                continue
+            if not isinstance(color, str) or not color or color == DUMMY:
+                raise PatternError(f"invalid color {color!r} in pattern")
+            kept[color] = k
+        if not kept:
+            raise PatternError("a pattern must contain at least one color")
+        return cls._from_validated(kept)
+
+    @classmethod
+    def _from_validated(cls, counts: dict[str, int]) -> "Pattern":
+        """Construct from an already-validated counts dict (internal).
+
+        ``counts`` is owned by the new instance; callers must not mutate it.
+        """
+        self = object.__new__(cls)
+        key = bag_key(counts)
+        object.__setattr__(self, "_counts", counts)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_size", len(key))
+        return self
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -90,7 +121,7 @@ class Pattern:
     @property
     def size(self) -> int:
         """``|p̄|`` — the number of colors counting multiplicity (paper §5.2)."""
-        return len(self._key)
+        return self._size
 
     @property
     def counts(self) -> Counter[str]:
@@ -170,7 +201,7 @@ class Pattern:
         return (self.size, self._key) < (other.size, other._key)
 
     def __hash__(self) -> int:
-        return hash(self._key)
+        return self._hash  # precomputed: patterns key catalogs and pools
 
     def __repr__(self) -> str:
         return f"Pattern({self.as_string()!r})"

@@ -25,8 +25,8 @@ from repro.scheduling.pattern_priority import (
     PatternPriority,
     pattern_priority,
 )
-from repro.scheduling.candidate_list import CandidateList
-from repro.scheduling.selected_set import selected_set
+from repro.scheduling.candidate_list import CandidateList, IndexedCandidateQueue
+from repro.scheduling.selected_set import selected_set, selected_set_indices
 from repro.scheduling.schedule import CycleRecord, Schedule, verify_schedule
 from repro.scheduling.scheduler import MultiPatternScheduler, schedule_dfg
 from repro.scheduling.baselines import (
@@ -51,7 +51,9 @@ __all__ = [
     "PatternPriority",
     "pattern_priority",
     "CandidateList",
+    "IndexedCandidateQueue",
     "selected_set",
+    "selected_set_indices",
     "CycleRecord",
     "Schedule",
     "verify_schedule",

@@ -16,14 +16,15 @@ unique consistent semantics, implemented here:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
+from bisect import insort
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
 
-__all__ = ["CandidateList"]
+__all__ = ["CandidateList", "IndexedCandidateQueue"]
 
 
 class CandidateList:
@@ -106,3 +107,92 @@ class CandidateList:
                     self._append(succ)
                     appended.append(succ)
         return tuple(appended)
+
+
+class IndexedCandidateQueue:
+    """Integer fast path of :class:`CandidateList` for the scheduler hot loop.
+
+    Keeps the candidates in a list of ``(-priority, arrival, node_id)``
+    triples maintained **sorted** across commits (``bisect.insort`` on
+    arrival of each new candidate), so the per-cycle "sort the candidate
+    list" step of Fig. 3 degenerates into reading the list — no re-sort of
+    the full list every cycle.  ``arrival`` is a monotonically increasing
+    sequence number, which makes the triple order exactly the stable
+    sort-by-descending-priority-then-arrival order that
+    :meth:`CandidateList.in_priority_order` produces; the equivalence
+    test-suite pins the two against each other.
+
+    Readiness bookkeeping is index-based: a node becomes a candidate when
+    its count of unscheduled predecessors drops to zero.  Commit semantics
+    replicate :meth:`CandidateList.commit_cycle` exactly — all committed
+    nodes are marked scheduled *first*, then their successors are examined
+    in ascending committed index and edge-insertion order.
+    """
+
+    def __init__(self, dfg: "DFG") -> None:
+        n = dfg.n_nodes
+        cache = getattr(dfg, "_analysis_cache", None)
+        cached = cache.get("index_adjacency") if cache is not None else None
+        if cached is None:
+            index = dfg.index
+            succ_ids: list[tuple[int, ...]] = [
+                tuple(index(s) for s in dfg.successors(name))
+                for name in dfg.nodes
+            ]
+            in_degrees = tuple(dfg.in_degree(name) for name in dfg.nodes)
+            cached = (succ_ids, in_degrees)
+            if cache is not None:
+                cache["index_adjacency"] = cached
+        self._succ_ids = cached[0]
+        self._pred_remaining: list[int] = list(cached[1])
+        self._present = bytearray(n)
+        self._scheduled = bytearray(n)
+        self._arrival = 0
+        self._order: list[tuple[int, int, int]] = []
+
+    def seed(self, priorities: Sequence[int]) -> None:
+        """Enter all source nodes (ascending index) with their priorities."""
+        for i, remaining in enumerate(self._pred_remaining):
+            if remaining == 0:
+                self._push(i, priorities[i])
+
+    def _push(self, node_id: int, priority: int) -> None:
+        self._present[node_id] = 1
+        insort(self._order, (-priority, self._arrival, node_id))
+        self._arrival += 1
+
+    def __bool__(self) -> bool:
+        return bool(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def ordered_ids(self) -> list[int]:
+        """Candidate node ids in descending priority order (ties: arrival)."""
+        return [t[2] for t in self._order]
+
+    def commit_cycle(self, node_ids: Iterable[int], priorities: Sequence[int]) -> None:
+        """Commit one cycle's scheduled node ids and enqueue new candidates."""
+        committed = sorted(node_ids)
+        committed_set = set(committed)
+        if len(committed_set) != len(committed) or any(
+            not self._present[i] for i in committed
+        ):
+            raise SchedulingError(
+                "cannot commit nodes that are not on the candidate list"
+            )
+        self._order = [t for t in self._order if t[2] not in committed_set]
+        scheduled = self._scheduled
+        pred_remaining = self._pred_remaining
+        succ_ids = self._succ_ids
+        for i in committed:
+            self._present[i] = 0
+            scheduled[i] = 1
+            for s in succ_ids[i]:
+                pred_remaining[s] -= 1
+        for i in committed:
+            for s in succ_ids[i]:
+                if self._present[s] or scheduled[s]:
+                    continue
+                if pred_remaining[s] == 0:
+                    self._push(s, priorities[s])

@@ -26,11 +26,11 @@ from repro.dfg.validate import validate_dfg
 from repro.exceptions import SchedulingDeadlockError, SchedulingError
 from repro.patterns.library import PatternLibrary
 from repro.patterns.pattern import Pattern
-from repro.scheduling.candidate_list import CandidateList
+from repro.scheduling.candidate_list import CandidateList, IndexedCandidateQueue
 from repro.scheduling.node_priority import PriorityParameters, node_priorities
 from repro.scheduling.pattern_priority import PatternPriority, pattern_priority
 from repro.scheduling.schedule import CycleRecord, Schedule
-from repro.scheduling.selected_set import selected_set
+from repro.scheduling.selected_set import selected_set, selected_set_indices
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
@@ -82,9 +82,26 @@ class MultiPatternScheduler:
 
     # ------------------------------------------------------------------ #
     def schedule(
-        self, dfg: "DFG", *, levels: LevelAnalysis | None = None
+        self,
+        dfg: "DFG",
+        *,
+        levels: LevelAnalysis | None = None,
+        engine: str = "fast",
     ) -> Schedule:
         """Schedule ``dfg``, returning the full :class:`Schedule` trace.
+
+        Parameters
+        ----------
+        dfg:
+            The graph to schedule.
+        levels:
+            Optional precomputed level analysis.
+        engine:
+            ``"fast"`` (default) runs the integer hot loop — color-id
+            arrays, slot-count vectors, an incrementally sorted candidate
+            queue; ``"reference"`` runs the straightforward name-based
+            loop.  Both produce identical schedules (pinned by the
+            equivalence tests).
 
         Raises
         ------
@@ -92,6 +109,11 @@ class MultiPatternScheduler:
             When no pattern can execute any candidate (the library's colors
             do not cover the graph's colors).
         """
+        if engine not in ("fast", "reference"):
+            raise SchedulingError(
+                f"unknown scheduling engine {engine!r}; expected 'fast' or "
+                f"'reference'"
+            )
         validate_dfg(dfg)
         missing = set(dfg.colors()) - self.library.color_set()
         if missing:
@@ -99,7 +121,15 @@ class MultiPatternScheduler:
                 f"library {self.library.as_strings()} has no slot for "
                 f"colors {sorted(missing)} used by {dfg.name!r}"
             )
+        if engine == "fast":
+            return self._schedule_fast(dfg, levels)
+        return self._schedule_reference(dfg, levels)
 
+    # ------------------------------------------------------------------ #
+    def _schedule_reference(
+        self, dfg: "DFG", levels: LevelAnalysis | None
+    ) -> Schedule:
+        """Name-based Fig. 3 loop — the equivalence oracle."""
         # Fig. 3 step 1: node priorities.
         priorities = node_priorities(dfg, levels=levels, params=self.params)
         # Step 2: initial candidate list.
@@ -153,6 +183,103 @@ class MultiPatternScheduler:
                 assignment[n] = cycle_no
             # Step 6: update the candidate list.
             cl.commit_cycle(scheduled)
+
+        schedule = Schedule(
+            dfg=dfg,
+            library=self.library,
+            cycles=tuple(records),
+            assignment=assignment,
+        )
+        schedule.verify()
+        return schedule
+
+    def _schedule_fast(self, dfg: "DFG", levels: LevelAnalysis | None) -> Schedule:
+        """Integer Fig. 3 loop, bit-identical to :meth:`_schedule_reference`.
+
+        All per-cycle work runs on dense int structures: node → color-id
+        and node → priority arrays replace dict/graph lookups, each
+        pattern's bag is a slot-count vector copied per hypothetical
+        selection (instead of a fresh ``Counter``), and the candidate list
+        is an :class:`~repro.scheduling.candidate_list.IndexedCandidateQueue`
+        kept sorted across commits rather than re-sorted every cycle.
+        Names only appear when a cycle's :class:`CycleRecord` is written.
+        """
+        priorities = node_priorities(dfg, levels=levels, params=self.params)
+        names = dfg.nodes
+        n = dfg.n_nodes
+        prio = [priorities[name] for name in names]
+
+        labels, id_colors = dfg.color_labels()
+        color_ids = {c: i for i, c in enumerate(id_colors)}
+        n_colors = len(id_colors)
+        # Slot-count vector + size per pattern; colors a pattern provides
+        # that the graph never uses occupy no vector slot (they can never
+        # match a candidate).
+        pattern_slots: list[tuple[list[int], int]] = []
+        for p in self.library.patterns:
+            vec = [0] * n_colors
+            for c, k in p.counts.items():
+                cid = color_ids.get(c)
+                if cid is not None:
+                    vec[cid] = k
+            pattern_slots.append((vec, p.size))
+
+        queue = IndexedCandidateQueue(dfg)
+        queue.seed(prio)
+        use_f1 = self.priority is PatternPriority.F1
+        records: list[CycleRecord] = []
+        assignment: dict[str, int] = {}
+        limit = (
+            self.max_cycles
+            if self.max_cycles is not None
+            else 2 * dfg.n_nodes + 1
+        )
+
+        while queue:
+            if len(records) >= limit:
+                raise SchedulingError(
+                    f"exceeded {limit} cycles scheduling {dfg.name!r}; "
+                    "the candidate list is not draining"
+                )
+            # Step 3 degenerates to reading the maintained order.
+            ordered_ids = queue.ordered_ids()
+            # Step 4: hypothetical selected set per pattern.
+            selections_ids = [
+                selected_set_indices(vec, size, ordered_ids, labels)
+                for vec, size in pattern_slots
+            ]
+            # Step 5: pattern priorities; keep the best (ties: first).
+            if use_f1:
+                values = tuple(len(sel) for sel in selections_ids)
+            else:
+                values = tuple(
+                    sum(prio[i] for i in sel) for sel in selections_ids
+                )
+            best = max(range(len(values)), key=lambda i: (values[i], -i))
+            scheduled_ids = selections_ids[best]
+            if not scheduled_ids:
+                ordered = tuple(names[i] for i in ordered_ids)
+                raise SchedulingDeadlockError(
+                    f"no pattern can schedule any of {ordered[:6]}… in "
+                    f"{dfg.name!r} (cycle {len(records) + 1})"
+                )
+            cycle_no = len(records) + 1
+            records.append(
+                CycleRecord(
+                    cycle=cycle_no,
+                    candidates=tuple(names[i] for i in ordered_ids),
+                    selections=tuple(
+                        tuple(names[i] for i in sel) for sel in selections_ids
+                    ),
+                    priorities=values,
+                    chosen=best,
+                    scheduled=tuple(names[i] for i in scheduled_ids),
+                )
+            )
+            for i in scheduled_ids:
+                assignment[names[i]] = cycle_no
+            # Step 6: update the candidate list.
+            queue.commit_cycle(scheduled_ids, prio)
 
         schedule = Schedule(
             dfg=dfg,

@@ -15,7 +15,47 @@ from repro.patterns.pattern import Pattern
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
 
-__all__ = ["selected_set"]
+__all__ = ["selected_set", "selected_set_indices"]
+
+
+def selected_set_indices(
+    slot_counts: Sequence[int],
+    size: int,
+    candidate_ids: Sequence[int],
+    labels: Sequence[int],
+) -> list[int]:
+    """Integer fast path of :func:`selected_set` (scheduler hot loop).
+
+    Parameters
+    ----------
+    slot_counts:
+        Free slots per color id — the pattern's bag as a dense int vector.
+        Not mutated (copied internally).
+    size:
+        The pattern's total slot count (``Σ slot_counts``).
+    candidate_ids:
+        Candidate node indices in descending priority order.
+    labels:
+        Color id per node index.
+
+    Returns
+    -------
+    list[int]
+        Selected node indices in priority order — exactly the index image
+        of what :func:`selected_set` returns for the same inputs.
+    """
+    free = list(slot_counts)
+    out: list[int] = []
+    taken = 0
+    for i in candidate_ids:
+        c = labels[i]
+        if free[c] > 0:
+            free[c] -= 1
+            out.append(i)
+            taken += 1
+            if taken == size:
+                break
+    return out
 
 
 def selected_set(
