@@ -1,15 +1,23 @@
-"""Engine benchmark runner — before/after stage timings as JSON.
+"""Engine benchmark runner — per-stage backend timings as JSON.
 
-Times every pipeline stage (enumeration+classification, Table 5 counting,
-selection, scheduling) under both the reference and the fused/incremental
-fast engines, verifies the outputs agree, and writes a machine-readable
-``BENCH_engine.json`` next to this file — the seed of the repo's perf
-trajectory (compare the file across commits to catch regressions).
+Runs the full :class:`repro.pipeline.Pipeline` (DFG → catalog → selection
+→ schedule) under the serial and fused execution backends — the pipeline's
+own per-stage timing hooks replace the hand-rolled timers this script used
+to carry — verifies the outputs are bit-identical, and writes a
+machine-readable ``BENCH_engine.json`` next to this file (compare the file
+across commits / CI artifacts to catch regressions; see
+``scripts/diff_bench.py``).
+
+With ``--backend process --jobs N`` the process backend is timed as well
+and its enumeration+classify speedup over the fused single-threaded
+engine is recorded.  Multi-core speedup obviously requires multiple
+cores; the report records the machine's CPU count alongside.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py            # full run
-    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_benchmarks.py              # serial vs fused
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --backend process --jobs 4
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --quick      # CI smoke
     PYTHONPATH=src python benchmarks/run_benchmarks.py -o out.json
 """
 
@@ -18,6 +26,7 @@ from __future__ import annotations
 import argparse
 import gc
 import json
+import os
 import platform
 import sys
 import time
@@ -25,13 +34,47 @@ from pathlib import Path
 
 from repro._version import __version__
 from repro.core.config import SelectionConfig
-from repro.core.selection import PatternSelector
 from repro.dfg.antichains import AntichainEnumerator
-from repro.patterns.enumeration import classify_antichains
-from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.pipeline import Pipeline
 from repro.workloads.fft import radix2_fft
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: Pipeline stage → historical stage name in the JSON report.
+STAGE_NAMES = {
+    "catalog": "enumeration+classify",
+    "selection": "selection",
+    "schedule": "scheduling",
+}
+
+
+def _check(ok: bool, message: str) -> None:
+    if not ok:
+        raise AssertionError(f"engine equivalence violated: {message}")
+
+
+def _assert_equivalent(ref, other, label: str) -> None:
+    """Pin two PipelineResults bit-identical (catalog, rounds, schedule)."""
+    _check(
+        ref.catalog.frequencies == other.catalog.frequencies
+        and ref.catalog.antichain_counts == other.catalog.antichain_counts,
+        f"catalog mismatch ({label})",
+    )
+    _check(
+        ref.selection.library == other.selection.library
+        and all(
+            dict(a.priorities) == dict(b.priorities)
+            and a.chosen == b.chosen
+            and a.deleted == b.deleted
+            for a, b in zip(ref.selection.rounds, other.selection.rounds)
+        ),
+        f"selection mismatch ({label})",
+    )
+    _check(
+        ref.schedule.cycles == other.schedule.cycles
+        and dict(ref.schedule.assignment) == dict(other.schedule.assignment),
+        f"schedule mismatch ({label})",
+    )
 
 
 def _best_of(fn, repeats: int) -> tuple[float, object]:
@@ -48,48 +91,71 @@ def _best_of(fn, repeats: int) -> tuple[float, object]:
     return best, result
 
 
-def bench_workload(name, dfg, config, capacity, pdef, repeats):
-    """Time each stage reference-vs-fast on one workload."""
+def _run_pipeline(dfg, config, capacity, pdef, repeats, backend, jobs=None):
+    """Best-of-``repeats`` per-stage timings for one backend, plus a result."""
+    pipe = Pipeline(
+        capacity, pdef, config=config, backend=backend, jobs=jobs,
+        collect_metrics=False,
+    )
+    best: dict[str, float] = {}
+    result = None
+    for _ in range(repeats):
+        gc.collect()
+        result = pipe.run(dfg)
+        for stage, seconds in result.timings.items():
+            if seconds < best.get(stage, float("inf")):
+                best[stage] = seconds
+    return best, result
+
+
+def bench_workload(name, dfg, config, capacity, pdef, repeats, process_jobs):
+    """Time each pipeline stage per backend on one workload."""
     rows = []
-    selector = PatternSelector(capacity, config)
+    serial_t, serial_r = _run_pipeline(
+        dfg, config, capacity, pdef, repeats, "serial"
+    )
+    fused_t, fused_r = _run_pipeline(
+        dfg, config, capacity, pdef, repeats, "fused"
+    )
+    _assert_equivalent(serial_r, fused_r, "serial vs fused")
+
+    process_t = None
+    if process_jobs:
+        process_t, process_r = _run_pipeline(
+            dfg, config, capacity, pdef, repeats, "process", jobs=process_jobs
+        )
+        _assert_equivalent(fused_r, process_r, "fused vs process")
+
+    for stage, json_name in STAGE_NAMES.items():
+        ref_s, fast_s = serial_t[stage], fused_t[stage]
+        row = {
+            "workload": name,
+            "stage": json_name,
+            "reference_s": round(ref_s, 6),
+            "fast_s": round(fast_s, 6),
+            "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
+        }
+        line = (
+            f"  {name:>8} {json_name:<24} ref {ref_s:8.4f}s   "
+            f"fast {fast_s:8.4f}s   {ref_s / fast_s:6.2f}x"
+        )
+        if process_t is not None:
+            proc_s = process_t[stage]
+            row["process_s"] = round(proc_s, 6)
+            row["process_jobs"] = process_jobs
+            row["process_speedup_vs_fast"] = (
+                round(fast_s / proc_s, 2) if proc_s > 0 else None
+            )
+            line += f"   proc {proc_s:8.4f}s ({fast_s / proc_s:5.2f}x vs fast)"
+        rows.append(row)
+        print(line)
+
+    # Table 5 census: counting-only DFS vs materializing enumeration
+    # (an analysis path outside the pipeline; timed the classic way).
     size = capacity
     if config.max_pattern_size is not None:
         size = min(size, config.max_pattern_size)
-    span = config.span_limit
-
-    def stage(stage_name, ref_fn, fast_fn, check=None):
-        ref_s, ref_out = _best_of(ref_fn, repeats)
-        fast_s, fast_out = _best_of(fast_fn, repeats)
-        if check is not None:
-            check(ref_out, fast_out)
-        rows.append(
-            {
-                "workload": name,
-                "stage": stage_name,
-                "reference_s": round(ref_s, 6),
-                "fast_s": round(fast_s, 6),
-                "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
-            }
-        )
-        print(
-            f"  {name:>8} {stage_name:<24} ref {ref_s:8.4f}s   "
-            f"fast {fast_s:8.4f}s   {ref_s / fast_s:6.2f}x"
-        )
-        return ref_out
-
-    # Stage 1: pattern generation (enumerate → classify).
-    catalog = stage(
-        "enumeration+classify",
-        lambda: classify_antichains(dfg, size, span, engine="reference"),
-        lambda: classify_antichains(dfg, size, span),
-        check=lambda r, f: _check(
-            r.frequencies == f.frequencies
-            and r.antichain_counts == f.antichain_counts,
-            "catalog mismatch",
-        ),
-    )
-
-    # Stage 2: Table 5 census (counting-only mode vs materializing DFS).
+    span = fused_r.catalog.span_limit
     enum = AntichainEnumerator(dfg)
 
     def count_reference():
@@ -98,47 +164,23 @@ def bench_workload(name, dfg, config, capacity, pdef, repeats):
             counts[len(members)] += 1
         return counts
 
-    stage(
-        "antichain census",
-        count_reference,
-        lambda: enum.count_by_size(size, span),
-        check=lambda r, f: _check(r == f, "census mismatch"),
+    ref_s, ref_counts = _best_of(count_reference, repeats)
+    fast_s, fast_counts = _best_of(lambda: enum.count_by_size(size, span), repeats)
+    _check(ref_counts == fast_counts, "census mismatch")
+    rows.append(
+        {
+            "workload": name,
+            "stage": "antichain census",
+            "reference_s": round(ref_s, 6),
+            "fast_s": round(fast_s, 6),
+            "speedup": round(ref_s / fast_s, 2) if fast_s > 0 else None,
+        }
     )
-
-    # Stage 3: Fig. 7 selection on the prebuilt catalog.
-    selection = stage(
-        "selection",
-        lambda: selector.select(dfg, pdef, catalog=catalog, engine="reference"),
-        lambda: selector.select(dfg, pdef, catalog=catalog, engine="fast"),
-        check=lambda r, f: _check(
-            r.library == f.library
-            and all(
-                dict(a.priorities) == dict(b.priorities)
-                and a.chosen == b.chosen
-                and a.deleted == b.deleted
-                for a, b in zip(r.rounds, f.rounds)
-            ),
-            "selection mismatch",
-        ),
-    )
-
-    # Stage 4: multi-pattern list scheduling.
-    scheduler = MultiPatternScheduler(selection.library)
-    stage(
-        "scheduling",
-        lambda: scheduler.schedule(dfg, engine="reference"),
-        lambda: scheduler.schedule(dfg, engine="fast"),
-        check=lambda r, f: _check(
-            r.cycles == f.cycles and dict(r.assignment) == dict(f.assignment),
-            "schedule mismatch",
-        ),
+    print(
+        f"  {name:>8} {'antichain census':<24} ref {ref_s:8.4f}s   "
+        f"fast {fast_s:8.4f}s   {ref_s / fast_s:6.2f}x"
     )
     return rows
-
-
-def _check(ok: bool, message: str) -> None:
-    if not ok:
-        raise AssertionError(f"engine equivalence violated: {message}")
 
 
 def main(argv=None) -> int:
@@ -149,10 +191,23 @@ def main(argv=None) -> int:
         help="small workloads / single repeat (CI smoke)",
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["process"],
+        help="additionally time this backend against the fused baseline",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for --backend process (default: all cores)",
+    )
+    parser.add_argument(
         "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
         help=f"output JSON path (default: {DEFAULT_OUTPUT})",
     )
     args = parser.parse_args(argv)
+    process_jobs = None
+    if args.backend == "process":
+        process_jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
 
     if args.quick:
         workloads = [
@@ -199,10 +254,15 @@ def main(argv=None) -> int:
             ),
         ]
 
-    print("engine benchmark: reference vs fused/incremental fast paths")
+    print("engine benchmark: execution backends (serial / fused"
+          + (f" / process x{process_jobs}" if process_jobs else "") + ")")
     rows = []
     for name, dfg, config, capacity, pdef, repeats in workloads:
-        rows.extend(bench_workload(name, dfg, config, capacity, pdef, repeats))
+        rows.extend(
+            bench_workload(
+                name, dfg, config, capacity, pdef, repeats, process_jobs
+            )
+        )
 
     pipeline = {}
     for row in rows:
@@ -211,10 +271,14 @@ def main(argv=None) -> int:
         )
         agg["reference_s"] += row["reference_s"]
         agg["fast_s"] += row["fast_s"]
+        if "process_s" in row:
+            agg["process_s"] = agg.get("process_s", 0.0) + row["process_s"]
     for name, agg in pipeline.items():
         agg["speedup"] = round(agg["reference_s"] / agg["fast_s"], 2)
         agg["reference_s"] = round(agg["reference_s"], 6)
         agg["fast_s"] = round(agg["fast_s"], 6)
+        if "process_s" in agg:
+            agg["process_s"] = round(agg["process_s"], 6)
         print(
             f"  {name:>8} {'TOTAL':<24} ref {agg['reference_s']:8.4f}s   "
             f"fast {agg['fast_s']:8.4f}s   {agg['speedup']:6.2f}x"
@@ -225,7 +289,11 @@ def main(argv=None) -> int:
         "version": __version__,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         "quick": args.quick,
+        "backends": ["serial", "fused"]
+        + (["process"] if process_jobs else []),
+        "process_jobs": process_jobs,
         "stages": rows,
         "pipeline": pipeline,
     }

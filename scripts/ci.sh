@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 gate + engine smoke, the same sequence CI runs.
+# Tier-1 gate + engine smoke + stage-level bench regression diff.
 #
-#   ./scripts/ci.sh          # full tier-1 tests + quick bench smoke
+#   ./scripts/ci.sh          # full tier-1 tests + quick bench smoke + diff
 #   ./scripts/ci.sh --fast   # tier-1 tests only
+#
+# The smoke report is diffed per (workload, stage) against the previous
+# run's report when one is available under $BENCH_BASELINE_DIR (CI restores
+# it from the actions cache; any stage whose speedup halves fails loudly),
+# then stored back as the next run's baseline and uploaded as an artifact.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,20 +17,17 @@ echo "== tier-1 tests =="
 python -m pytest -x -q
 
 if [[ "${1:-}" != "--fast" ]]; then
+    SMOKE=/tmp/BENCH_engine_smoke.json
+    BASELINE_DIR="${BENCH_BASELINE_DIR:-.bench-baseline}"
+
     echo "== engine bench smoke (quick) =="
-    python benchmarks/run_benchmarks.py --quick -o /tmp/BENCH_engine_smoke.json
-    python - <<'EOF'
-import json
-report = json.load(open("/tmp/BENCH_engine_smoke.json"))
-slow = [
-    f"{r['workload']}/{r['stage']}: {r['speedup']}x"
-    for r in report["stages"]
-    if r["stage"] == "enumeration+classify" and (r["speedup"] or 0) < 2.0
-]
-if slow:
-    raise SystemExit("fast engine regressed below 2x on: " + ", ".join(slow))
-print("engine smoke ok:",
-      ", ".join(f"{w} {p['speedup']}x" for w, p in report["pipeline"].items()))
-EOF
+    python benchmarks/run_benchmarks.py --quick -o "$SMOKE"
+
+    echo "== stage-level bench regression diff =="
+    python scripts/diff_bench.py "$SMOKE" \
+        --baseline "$BASELINE_DIR/BENCH_engine_smoke.json"
+
+    mkdir -p "$BASELINE_DIR"
+    cp "$SMOKE" "$BASELINE_DIR/BENCH_engine_smoke.json"
 fi
 echo "CI OK"

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Diff two BENCH_engine.json reports and fail loudly on stage regressions.
+
+CI persists every bench run as a workflow artifact and caches the previous
+run's report; this script compares the fresh report against that baseline
+**per (workload, stage)** instead of only enforcing the global 2x smoke
+floor:
+
+* absolute floor — enumeration+classify must keep a ≥ ``--floor`` (default
+  2.0x) speedup over the reference backend on every workload;
+* relative regression — any stage whose fused-vs-reference speedup drops
+  below ``--ratio`` (default 0.5) of the baseline's speedup for the same
+  (workload, stage) fails.  Speedups are compared rather than raw seconds
+  because both sides of a speedup are measured on the same machine, which
+  makes the metric portable across differently-sized CI runners.
+
+Stages present on only one side (new workloads, removed workloads) are
+reported but never fail the run.
+
+Usage::
+
+    python scripts/diff_bench.py NEW.json [--baseline OLD.json]
+    python scripts/diff_bench.py /tmp/BENCH_engine_smoke.json \
+        --baseline .bench-baseline/BENCH_engine_smoke.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _stages(report: dict) -> dict[tuple[str, str], dict]:
+    return {(r["workload"], r["stage"]): r for r in report.get("stages", [])}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", type=Path, help="fresh bench report")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous report to diff against (skipped when absent)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=2.0,
+        help="absolute enumeration+classify speedup floor (default 2.0)",
+    )
+    parser.add_argument(
+        "--ratio", type=float, default=0.5,
+        help="fail when a stage speedup drops below this fraction of the "
+        "baseline's (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    new = json.loads(args.new.read_text())
+    new_stages = _stages(new)
+    failures: list[str] = []
+
+    for (workload, stage), row in sorted(new_stages.items()):
+        if stage == "enumeration+classify" and (row["speedup"] or 0) < args.floor:
+            failures.append(
+                f"{workload}/{stage}: fused speedup {row['speedup']}x "
+                f"below the {args.floor}x floor"
+            )
+
+    if args.baseline is not None and args.baseline.exists():
+        old_stages = _stages(json.loads(args.baseline.read_text()))
+        for key, row in sorted(new_stages.items()):
+            old = old_stages.get(key)
+            if old is None:
+                print(f"  new stage (no baseline): {key[0]}/{key[1]}")
+                continue
+            old_speedup, new_speedup = old.get("speedup"), row.get("speedup")
+            if not old_speedup or not new_speedup:
+                continue
+            verdict = "ok"
+            if new_speedup < args.ratio * old_speedup:
+                failures.append(
+                    f"{key[0]}/{key[1]}: speedup regressed "
+                    f"{old_speedup}x -> {new_speedup}x "
+                    f"(below {args.ratio:.0%} of baseline)"
+                )
+                verdict = "REGRESSED"
+            print(
+                f"  {key[0]:>8} {key[1]:<24} baseline {old_speedup:6.2f}x   "
+                f"now {new_speedup:6.2f}x   {verdict}"
+            )
+        for key in sorted(set(old_stages) - set(new_stages)):
+            print(f"  stage dropped from report: {key[0]}/{key[1]}")
+    else:
+        print("  (no baseline report; absolute floor check only)")
+
+    if failures:
+        print("\nbench regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("bench regression gate ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

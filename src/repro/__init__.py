@@ -10,6 +10,9 @@ The library implements, from scratch:
   (:mod:`repro.scheduling`),
 * the paper's contribution — the pattern selection algorithm of §5
   (:mod:`repro.core`),
+* pluggable execution backends — serial, fused, multiprocess — behind a
+  named registry (:mod:`repro.exec`) and an end-to-end staged
+  :class:`~repro.pipeline.Pipeline`,
 * a lightweight Montium tile model and 4-phase compiler pipeline
   (:mod:`repro.montium`),
 * the evaluation workloads (3DFT/5DFT, FFTs, DSP kernels)
@@ -35,7 +38,9 @@ from repro.core import (
     select_patterns,
 )
 from repro.dfg import DFG, LevelAnalysis
+from repro.exec import available_backends, get_backend
 from repro.patterns import Pattern, PatternLibrary, random_pattern_set
+from repro.pipeline import Pipeline, PipelineResult
 from repro.scheduling import (
     MultiPatternScheduler,
     Schedule,
@@ -63,6 +68,10 @@ __all__ = [
     "SelectionConfig",
     "SelectionResult",
     "select_patterns",
+    "Pipeline",
+    "PipelineResult",
+    "available_backends",
+    "get_backend",
     "three_point_dft_paper",
     "five_point_dft",
     "small_example",

@@ -108,15 +108,23 @@ def random_vs_selected(
     trials: int = 10,
     seed: int = 2006,
     config: SelectionConfig | None = None,
+    backend: "object | str" = "fused",
+    jobs: int | None = None,
 ) -> list[RandomVsSelectedRow]:
     """The paper's Table 7: random vs selected patterns across ``Pdef``.
 
     Random pattern sets are sampled per trial from a seeded generator (ten
     trials in the paper); the selected column runs the §5 algorithm with
-    ``config`` (paper constants by default).
+    ``config`` (paper constants by default) through a
+    :class:`~repro.pipeline.Pipeline` on the chosen execution backend
+    (results are backend-independent; only wall-clock changes).
     """
+    from repro.exec import get_backend
+    from repro.pipeline import Pipeline
+
+    exec_backend = get_backend(backend, jobs=jobs)  # type: ignore[arg-type]
     selector = PatternSelector(capacity, config=config)
-    catalog = selector.build_catalog(dfg)
+    catalog = selector.build_catalog(dfg, backend=exec_backend)
     colors = list(dfg.colors())
     rows: list[RandomVsSelectedRow] = []
     for pdef in pdefs:
@@ -124,15 +132,25 @@ def random_vs_selected(
         lengths = []
         for _ in range(trials):
             lib = random_pattern_set(rng, capacity, colors, pdef)
-            lengths.append(MultiPatternScheduler(lib).schedule(dfg).length)
-        result = selector.select(dfg, pdef, catalog=catalog)
-        sel_len = MultiPatternScheduler(result.library).schedule(dfg).length
+            lengths.append(
+                MultiPatternScheduler(lib)
+                .schedule(dfg, backend=exec_backend)
+                .length
+            )
+        pipeline = Pipeline(
+            capacity,
+            pdef,
+            config=config,
+            backend=exec_backend,
+            collect_metrics=False,
+        )
+        result = pipeline.run(dfg, catalog=catalog)
         rows.append(
             RandomVsSelectedRow(
                 pdef=pdef,
                 random=summarize(lengths),
-                selected=sel_len,
-                library=result.library.as_strings(),
+                selected=result.schedule.length,
+                library=result.selection.library.as_strings(),
             )
         )
     return rows
@@ -271,6 +289,8 @@ def baseline_comparison(
     pdef: int,
     *,
     config: SelectionConfig | None = None,
+    backend: "object | str" = "fused",
+    jobs: int | None = None,
 ) -> dict[str, dict[str, object]]:
     """Multi-pattern scheduling vs the classic pattern-oblivious heuristics.
 
@@ -279,10 +299,22 @@ def baseline_comparison(
     ``capacity`` units per color, since a Montium ALU can be configured to
     any function); their schedules are then inspected for how many distinct
     patterns they implicitly demand — the quantity the Montium bounds.
+    The multi-pattern column runs through a
+    :class:`~repro.pipeline.Pipeline` on the chosen execution backend.
     """
-    selector = PatternSelector(capacity, config=config)
-    selection = selector.select(dfg, pdef)
-    mp = MultiPatternScheduler(selection.library).schedule(dfg)
+    from repro.pipeline import Pipeline
+
+    pipeline = Pipeline(
+        capacity,
+        pdef,
+        config=config,
+        backend=backend,  # type: ignore[arg-type]
+        jobs=jobs,
+        collect_metrics=False,
+    )
+    result = pipeline.run(dfg)
+    selection = result.selection
+    mp = result.schedule
 
     resources = {color: capacity for color in dfg.colors()}
     ls_assignment = resource_list_schedule(dfg, resources)

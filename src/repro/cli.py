@@ -5,9 +5,16 @@
     repro tables                 # regenerate every paper table
     repro table 7 --trials 10    # one specific table
     repro select 3dft --pdef 4   # run pattern selection on a workload
+    repro select fft64 --backend process --jobs 4
     repro schedule 3dft --patterns aabcc,aaacc
+    repro pipeline fft64 --backend process --jobs 4 --timings
     repro compile examples.prog --pdef 3
     repro workloads              # list built-in workloads
+    repro backends               # list execution backends
+
+Compute-heavy commands accept ``--backend`` (``serial``/``fused``/
+``process``; default ``fused``) and ``--jobs`` (worker count for the
+process backend).
 """
 
 from __future__ import annotations
@@ -29,7 +36,9 @@ from repro.core.frequency import frequency_table
 from repro.core.selection import PatternSelector
 from repro.dfg.levels import LevelAnalysis
 from repro.exceptions import ReproError
+from repro.exec import available_backends, get_backend
 from repro.montium.compiler import MontiumCompiler
+from repro.pipeline import Pipeline
 from repro.scheduling.scheduler import schedule_dfg
 from repro.workloads import WORKLOADS, small_example, three_point_dft_paper
 
@@ -148,6 +157,11 @@ def _cmd_table(args: argparse.Namespace) -> None:
     _TABLE_DISPATCH[args.number](args)
 
 
+def _backend_of(args: argparse.Namespace):
+    """Resolve the --backend/--jobs flags to an execution backend."""
+    return get_backend(args.backend, jobs=args.jobs)
+
+
 def _cmd_select(args: argparse.Namespace) -> None:
     from repro.core.variants import get_variant
 
@@ -156,7 +170,7 @@ def _cmd_select(args: argparse.Namespace) -> None:
     selector = PatternSelector(
         args.capacity, config=cfg, priority_fn=get_variant(args.variant)
     )
-    result = selector.select(dfg, args.pdef)
+    result = selector.select(dfg, args.pdef, backend=_backend_of(args))
     print(
         f"selected patterns for {dfg.name!r} "
         f"(Pdef={args.pdef}, variant={args.variant}):"
@@ -167,11 +181,53 @@ def _cmd_select(args: argparse.Namespace) -> None:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> None:
+    from repro.scheduling.scheduler import MultiPatternScheduler
+
     dfg = _workload(args.workload)
     patterns = args.patterns.split(",")
-    schedule = schedule_dfg(dfg, patterns, capacity=args.capacity)
+    scheduler = MultiPatternScheduler(patterns, capacity=args.capacity)
+    schedule = scheduler.schedule(dfg, backend=_backend_of(args))
     print(schedule.as_table())
     print(f"\ntotal clock cycles: {schedule.length}")
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> None:
+    dfg = _workload(args.workload)
+    cfg = SelectionConfig(
+        span_limit=args.span_limit,
+        max_pattern_size=args.max_pattern_size,
+        widen_to_capacity=args.widen,
+    )
+    pipe = Pipeline(
+        args.capacity,
+        args.pdef,
+        config=cfg,
+        backend=args.backend,
+        jobs=args.jobs,
+    )
+    result = pipe.run(dfg)
+    print(
+        f"pipeline {dfg.name!r} via backend {pipe.backend.describe()} "
+        f"(C={args.capacity}, Pdef={args.pdef}):"
+    )
+    print(f"  library: {' '.join(result.selection.library.as_strings())}")
+    print(f"  cycles:  {result.schedule.length}  "
+          f"(lower bound {result.metrics['lower_bound']}, "
+          f"gap {result.metrics['optimality_gap']})")
+    print(f"  utilization: {result.metrics['utilization']:.2f}")
+    if args.timings:
+        rows = [(stage, f"{result.timings[stage] * 1000:.2f}")
+                for stage in result.timings]
+        print(render_table(["stage", "ms"], rows, title="stage timings"))
+
+
+def _cmd_backends(args: argparse.Namespace) -> None:
+    rows = []
+    for name in available_backends():
+        backend = get_backend(name, jobs=args.jobs)
+        rows.append((name, backend.describe()))
+    print(render_table(["name", "description"], rows,
+                       title="registered execution backends"))
 
 
 def _cmd_compile(args: argparse.Namespace) -> None:
@@ -218,6 +274,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--span-limit", type=int, default=1)
     p.set_defaults(fn=_cmd_table)
 
+    def add_backend_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend", default="fused",
+            help="execution backend: serial, fused (default) or process "
+                 "(see 'repro backends')",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=None,
+            help="worker count for the process backend (default: all cores)",
+        )
+
     p = sub.add_parser("select", help="run pattern selection on a workload")
     p.add_argument("workload")
     p.add_argument("--pdef", type=int, default=4)
@@ -225,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--span-limit", type=int, default=1)
     p.add_argument("--variant", default="paper",
                    help="priority variant (see repro.core.variants)")
+    add_backend_args(p)
     p.set_defaults(fn=_cmd_select)
 
     p = sub.add_parser("schedule", help="schedule a workload with patterns")
@@ -232,7 +300,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--patterns", required=True,
                    help="comma-separated, e.g. aabcc,aaacc")
     p.add_argument("--capacity", type=int, default=5)
+    add_backend_args(p)
     p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser(
+        "pipeline",
+        help="run the full DFG → catalog → selection → schedule pipeline",
+    )
+    p.add_argument("workload")
+    p.add_argument("--pdef", type=int, default=4)
+    p.add_argument("--capacity", type=int, default=5)
+    p.add_argument("--span-limit", type=int, default=1)
+    p.add_argument("--max-pattern-size", type=int, default=None,
+                   help="cap generated pattern cardinality (default: C)")
+    p.add_argument("--widen", action="store_true",
+                   help="pad selected patterns to full capacity")
+    p.add_argument("--timings", action="store_true",
+                   help="print per-stage wall-clock timings")
+    add_backend_args(p)
+    p.set_defaults(fn=_cmd_pipeline)
+
+    p = sub.add_parser("backends", help="list execution backends")
+    p.add_argument("--jobs", type=int, default=None)
+    p.set_defaults(fn=_cmd_backends)
 
     p = sub.add_parser("compile", help="compile an expression program")
     p.add_argument("source", help="path to a program file")

@@ -143,7 +143,11 @@ class PatternSelector:
 
     # ------------------------------------------------------------------ #
     def build_catalog(
-        self, dfg: "DFG", *, levels: LevelAnalysis | None = None
+        self,
+        dfg: "DFG",
+        *,
+        levels: LevelAnalysis | None = None,
+        backend: "object | None" = None,
     ) -> PatternCatalog:
         """Pattern generation (paper §5.1) with this selector's bounds.
 
@@ -153,9 +157,18 @@ class PatternSelector:
         produce more than ``config.max_antichains`` antichains — wide
         graphs grow as ``C(width, size)`` and the tightest useful bound is
         span 0 (single-level antichains).  The catalog records the span
-        actually used.
+        actually used.  ``backend`` (an
+        :class:`~repro.exec.backend.ExecutionBackend` or registered name)
+        selects who runs the enumeration; default resolution is as in
+        :func:`~repro.patterns.enumeration.classify_antichains`.  A
+        ``store_antichains`` config always routes to the serial
+        classifier (only it can materialize the raw antichains),
+        regardless of ``backend`` — the backend remains in force for the
+        selection/scheduling stages.
         """
         config = self.config
+        if config.store_antichains:
+            backend = None  # auto-resolves to the serial classifier
         size = self.capacity
         if config.max_pattern_size is not None:
             size = min(size, config.max_pattern_size)
@@ -174,6 +187,7 @@ class PatternSelector:
                     levels=levels,
                     store_antichains=config.store_antichains,
                     max_count=config.max_antichains,
+                    backend=backend,
                 )
             except EnumerationLimitError as exc:
                 if not config.adaptive_span:
@@ -193,6 +207,7 @@ class PatternSelector:
         *,
         catalog: PatternCatalog | None = None,
         engine: str = "auto",
+        backend: "object | None" = None,
     ) -> SelectionResult:
         """Run Fig. 7 and return the selected library plus diagnostics.
 
@@ -206,30 +221,44 @@ class PatternSelector:
         catalog:
             Optional pre-built catalog (reused across ``pdef`` sweeps).
         engine:
-            ``"auto"`` (default) uses the incremental fast loop when the
-            selector runs the stock Eq. 8 priority and the reference loop
-            for custom ``priority_fn`` callables (whose scores may depend
-            on global pool state the incremental cache cannot track).
-            ``"fast"`` / ``"reference"`` force a loop; both produce
-            identical results for Eq. 8 (pinned by the equivalence tests).
+            Legacy engine-name alias, resolved through the backend
+            registry when ``backend`` is not given.  ``"auto"`` (default)
+            uses the incremental fast loop when the selector runs the
+            stock Eq. 8 priority and the reference loop for custom
+            ``priority_fn`` callables (whose scores may depend on global
+            pool state the incremental cache cannot track).  ``"fast"`` /
+            ``"reference"`` force a loop; both produce identical results
+            for Eq. 8 (pinned by the equivalence tests).
+        backend:
+            An :class:`~repro.exec.backend.ExecutionBackend` instance or
+            registered backend name; takes precedence over ``engine``.
+            Also used to build the catalog when ``catalog`` is ``None``.
         """
+        from repro.exec import get_backend
+
         validate_dfg(dfg)
         if pdef < 1:
             raise SelectionError(f"pdef must be ≥ 1, got {pdef}")
-        if engine not in ("auto", "fast", "reference"):
-            raise SelectionError(
-                f"unknown selection engine {engine!r}; expected 'auto', "
-                f"'fast' or 'reference'"
-            )
-        if engine == "auto":
-            engine = "fast" if self.priority_fn is raw_priority else "reference"
-        elif engine == "fast" and self.priority_fn is not raw_priority:
-            raise SelectionError(
-                "the fast selection engine supports only the stock Eq. 8 "
-                "priority; use engine='reference' with custom priority_fn"
-            )
+        if backend is None:
+            if engine not in ("auto", "fast", "reference"):
+                raise SelectionError(
+                    f"unknown selection engine {engine!r}; expected 'auto', "
+                    f"'fast' or 'reference'"
+                )
+            if engine == "auto":
+                engine = "fast" if self.priority_fn is raw_priority else "reference"
+            elif engine == "fast" and self.priority_fn is not raw_priority:
+                raise SelectionError(
+                    "the fast selection engine supports only the stock Eq. 8 "
+                    "priority; use engine='reference' with custom priority_fn"
+                )
+            exec_backend = get_backend(engine)
+            catalog_backend = None  # preserve historical auto resolution
+        else:
+            exec_backend = get_backend(backend)  # type: ignore[arg-type]
+            catalog_backend = exec_backend
         if catalog is None:
-            catalog = self.build_catalog(dfg)
+            catalog = self.build_catalog(dfg, backend=catalog_backend)
         config = self.config
         all_colors = frozenset(dfg.colors())
         if pdef * self.capacity < len(all_colors):
@@ -238,10 +267,9 @@ class PatternSelector:
                 f"{len(all_colors)} colors of {dfg.name!r}"
             )
 
-        if engine == "fast":
-            selected, rounds = self._run_fast(catalog, pdef, all_colors)
-        else:
-            selected, rounds = self._run_reference(catalog, pdef, all_colors)
+        selected, rounds = exec_backend.run_selection(
+            self, catalog, pdef, all_colors
+        )
 
         if not selected:
             raise SelectionError(

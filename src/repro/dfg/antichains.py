@@ -39,6 +39,19 @@ the reduction into the walk:
 
 An ``allowed_mask`` bitmask restricts every mode to a node subset inside
 the DFS (no post-filtering).
+
+Parallel partitioning
+---------------------
+The DFS explores antichains in lexicographic order of their ascending index
+tuples: the entire subtree rooted at seed node 0 (all antichains whose
+smallest member is 0) is visited before seed node 1's, and so on.  Subtrees
+of distinct seeds are disjoint, so the enumeration partitions cleanly by
+seed node — the ``roots`` parameter of :meth:`AntichainEnumerator.classify_by_label`
+restricts one call to a chosen set of seeds.  The process execution backend
+(:mod:`repro.exec.process`) fans those per-seed subtrees out over workers
+and merges the resulting int frequency arrays elementwise (they add);
+concatenating per-seed results in ascending seed order reproduces the
+sequential visit order exactly, which keeps merged catalogs bit-identical.
 """
 
 from __future__ import annotations
@@ -49,6 +62,11 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 from repro.dfg.levels import LevelAnalysis
 from repro.dfg.traversal import comparability_masks
 from repro.exceptions import EnumerationLimitError, GraphError
+
+try:  # optional — bucket arrays spill to numpy on very large graphs
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
@@ -65,6 +83,25 @@ __all__ = [
 #: Default hard ceiling on the number of enumerated antichains.
 DEFAULT_MAX_COUNT = 5_000_000
 
+#: Node count beyond which per-bucket frequency arrays spill to numpy
+#: ``int64`` arrays: ``[0] * n`` per bucket costs ~8x the memory of a dense
+#: int64 vector at interpreter-object granularity, and the process backend's
+#: merge becomes a vectorized elementwise add.  Pure-python lists remain the
+#: fallback when numpy is absent.
+NUMPY_SPILL_THRESHOLD = 10_000
+
+
+def _freq_buffer(n: int) -> "Sequence[int]":
+    """A zeroed per-bucket node-frequency accumulator of length ``n``.
+
+    Spills to a numpy int64 array beyond :data:`NUMPY_SPILL_THRESHOLD`
+    (when numpy is importable); otherwise a plain list.  Both support the
+    ``buf[i]`` read/write the classification loop performs.
+    """
+    if _np is not None and n >= NUMPY_SPILL_THRESHOLD:
+        return _np.zeros(n, dtype=_np.int64)
+    return [0] * n
+
 
 @dataclass(frozen=True)
 class LabelClassification:
@@ -77,7 +114,9 @@ class LabelClassification:
     frequencies:
         Node-index-indexed int array: ``frequencies[i]`` is the number of
         this bag's antichains containing node ``i`` — the paper's
-        ``h(p̄, n)`` before names are attached.
+        ``h(p̄, n)`` before names are attached.  A plain list on ordinary
+        graphs; a numpy ``int64`` array past
+        :data:`NUMPY_SPILL_THRESHOLD` nodes (when numpy is available).
     first_seen:
         Node indices with nonzero frequency, in the order the DFS first
         recorded them.  Downstream consumers use it to build name-keyed
@@ -86,7 +125,7 @@ class LabelClassification:
     """
 
     count: int
-    frequencies: list[int]
+    frequencies: Sequence[int]
     first_seen: list[int]
 
 
@@ -326,6 +365,7 @@ class AntichainEnumerator:
         min_size: int = 1,
         max_count: int | None = DEFAULT_MAX_COUNT,
         allowed_mask: int | None = None,
+        roots: Sequence[int] | None = None,
     ) -> dict[tuple[int, ...], LabelClassification]:
         """Classify antichains by label bag inside the DFS (fused fast path).
 
@@ -343,6 +383,14 @@ class AntichainEnumerator:
         order in which a sequential classify over :meth:`iter_index_antichains`
         would first see each bag.  Visit order, pruning and ``max_count``
         semantics are identical to :meth:`iter_index_antichains`.
+
+        ``roots`` restricts the walk to the DFS subtrees rooted at the given
+        seed node indices — i.e. to antichains whose *smallest* member is
+        one of those nodes.  The subtrees of distinct seeds are disjoint and
+        their concatenation in ascending seed order is the full sequential
+        enumeration, which is what the process backend exploits to fan the
+        classification out over workers (see the module docstring).  Seeds
+        outside ``allowed_mask`` are skipped.
         """
         self._check_bounds(max_size, min_size, span_limit)
         n = self.dfg.n_nodes
@@ -357,11 +405,20 @@ class AntichainEnumerator:
         full_mask = (1 << n) - 1
         if allowed_mask is not None:
             full_mask &= allowed_mask
+        if roots is None:
+            seed_ids: Iterable[int] = range(n)
+        else:
+            seed_ids = sorted(set(roots))
+            for r in seed_ids:
+                if not 0 <= r < n:
+                    raise GraphError(
+                        f"root index {r} out of range for {n} nodes"
+                    )
 
         # Per-bucket state, indexed by bucket id.
         bag_keys: list[tuple[int, ...]] = []
         bucket_counts: list[int] = []
-        bucket_freqs: list[list[int]] = []
+        bucket_freqs: list[Sequence[int]] = []
         bucket_orders: list[list[int]] = []
         transitions: list[dict[int, int]] = []
         key_to_bucket: dict[tuple[int, ...], int] = {}
@@ -374,7 +431,7 @@ class AntichainEnumerator:
                 key_to_bucket[key] = b
                 bag_keys.append(key)
                 bucket_counts.append(0)
-                bucket_freqs.append([0] * n)
+                bucket_freqs.append(_freq_buffer(n))
                 bucket_orders.append([])
                 transitions.append({})
             return b
@@ -382,7 +439,7 @@ class AntichainEnumerator:
         path = [0] * max_size
         # depth, node, allowed-extension mask, max(ASAP), min(ALAP), bucket
         stack: list[tuple[int, int, int, int, int, int]] = []
-        for i in range(n):
+        for i in seed_ids:
             if not full_mask >> i & 1:
                 continue
             higher = full_mask & ~((1 << (i + 1)) - 1)

@@ -22,6 +22,7 @@ __all__ = [
     "ScheduleValidationError",
     "SelectionError",
     "EnumerationLimitError",
+    "BackendError",
     "FrontendError",
     "AllocationError",
 ]
@@ -85,6 +86,10 @@ class SelectionError(ReproError):
 
 class EnumerationLimitError(ReproError):
     """Antichain enumeration exceeded the configured safety limit."""
+
+
+class BackendError(ReproError):
+    """An execution backend was unknown or configured inconsistently."""
 
 
 class FrontendError(ReproError):

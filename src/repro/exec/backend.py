@@ -1,0 +1,100 @@
+"""The execution-backend seam (`ExecutionBackend`).
+
+Every compute-heavy pipeline stage — pattern generation (enumerate →
+classify), Fig. 7 selection and Fig. 3 scheduling — used to pick its
+implementation through ad-hoc ``engine=`` string parameters threaded
+through :mod:`repro.patterns.enumeration`, :mod:`repro.core.selection` and
+:mod:`repro.scheduling.scheduler`.  An :class:`ExecutionBackend` replaces
+those branches with one dispatch object: callers resolve a backend once
+(:func:`repro.exec.get_backend`) and every stage runs through it.  The
+string names survive as registry aliases (``"reference"`` → serial,
+``"fast"`` → fused), so the historical ``engine=`` API keeps working.
+
+The contract mirrors the engine contract it replaces: **all backends
+produce bit-identical results** — identical catalogs (same patterns, same
+counts, same per-pattern Counter insertion order), identical selection
+rounds (exact float priorities) and identical schedules.  A backend is a
+strategy for *how* to compute, never *what*.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Iterable
+
+from repro.dfg.antichains import DEFAULT_MAX_COUNT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.selection import PatternSelector, SelectionRound
+    from repro.dfg.graph import DFG
+    from repro.dfg.levels import LevelAnalysis
+    from repro.patterns.enumeration import PatternCatalog
+    from repro.patterns.pattern import Pattern
+    from repro.scheduling.schedule import Schedule
+    from repro.scheduling.scheduler import MultiPatternScheduler
+
+__all__ = ["ExecutionBackend"]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy object executing the pipeline's compute stages.
+
+    Subclasses implement the three stage hooks below.  Instances are
+    stateless and reusable across graphs; anything expensive a backend
+    owns (e.g. a worker pool) is created per call, so one backend object
+    can serve many pipelines concurrently.
+    """
+
+    #: Canonical registry name (also used in reports and JSON output).
+    name: str = "?"
+
+    def __init__(self, jobs: int | None = None) -> None:
+        # Accepted by every backend so `get_backend(name, jobs=...)` works
+        # uniformly; only parallel backends act on it.
+        self.jobs = jobs
+
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def classify(
+        self,
+        dfg: "DFG",
+        capacity: int,
+        span_limit: int | None = None,
+        *,
+        levels: "LevelAnalysis | None" = None,
+        store_antichains: bool = False,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+        restrict_to: Iterable[str] | None = None,
+    ) -> "PatternCatalog":
+        """Pattern generation: enumerate antichains and classify into patterns.
+
+        Semantics match :func:`repro.patterns.enumeration.classify_antichains`;
+        ``max_count=None`` disables the enumeration ceiling.
+        """
+
+    @abc.abstractmethod
+    def run_selection(
+        self,
+        selector: "PatternSelector",
+        catalog: "PatternCatalog",
+        pdef: int,
+        all_colors: frozenset[str],
+    ) -> "tuple[list[Pattern], list[SelectionRound]]":
+        """Run the Fig. 7 selection loop over a prebuilt catalog."""
+
+    @abc.abstractmethod
+    def run_schedule(
+        self,
+        scheduler: "MultiPatternScheduler",
+        dfg: "DFG",
+        levels: "LevelAnalysis | None" = None,
+    ) -> "Schedule":
+        """Run the Fig. 3 multi-pattern list scheduling loop."""
+
+    # ------------------------------------------------------------------ #
+    def describe(self) -> str:
+        """One-line human-readable description for reports/CLI output."""
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,89 @@
+"""The fused backend — single-threaded allocation-free fast paths.
+
+Wraps the in-DFS classifier (`AntichainEnumerator.classify_by_label`),
+the incremental Fig. 7 selection loop and the integer Fig. 3 scheduler
+hot loop behind the backend seam.  This is the default backend everywhere
+(the old ``engine="fast"``) and the baseline the process backend's
+speedups are measured against.
+
+Two capability notes, inherited from the fast engines it wraps:
+
+* it cannot store raw antichains (the per-antichain name tuples are
+  exactly what the fused classifier exists to avoid) — asking for
+  ``store_antichains`` raises;
+* its incremental selection cache is only valid for the stock Eq. 8
+  priority, so custom ``priority_fn`` callables (whose scores may depend
+  on global pool state) are routed to the reference loop automatically —
+  same outputs, without the cache.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.dfg.antichains import DEFAULT_MAX_COUNT, AntichainEnumerator
+from repro.exceptions import PatternError
+from repro.exec.backend import ExecutionBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.selection import PatternSelector, SelectionRound
+    from repro.dfg.graph import DFG
+    from repro.dfg.levels import LevelAnalysis
+    from repro.patterns.enumeration import PatternCatalog
+    from repro.patterns.pattern import Pattern
+    from repro.scheduling.schedule import Schedule
+    from repro.scheduling.scheduler import MultiPatternScheduler
+
+__all__ = ["FusedBackend"]
+
+
+class FusedBackend(ExecutionBackend):
+    """Fused/incremental single-threaded fast paths (see module docstring)."""
+
+    name = "fused"
+
+    def classify(
+        self,
+        dfg: "DFG",
+        capacity: int,
+        span_limit: int | None = None,
+        *,
+        levels: "LevelAnalysis | None" = None,
+        store_antichains: bool = False,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+        restrict_to: Iterable[str] | None = None,
+    ) -> "PatternCatalog":
+        from repro.patterns.enumeration import _allowed_mask, _classify_fast
+
+        if store_antichains:
+            raise PatternError(
+                f"the {self.name!r} backend cannot store raw antichains; "
+                "use the serial backend with store_antichains"
+            )
+        enum = AntichainEnumerator(dfg, levels=levels)
+        return _classify_fast(
+            dfg, enum, capacity, span_limit, max_count, _allowed_mask(dfg, restrict_to)
+        )
+
+    def run_selection(
+        self,
+        selector: "PatternSelector",
+        catalog: "PatternCatalog",
+        pdef: int,
+        all_colors: frozenset[str],
+    ) -> "tuple[list[Pattern], list[SelectionRound]]":
+        from repro.core.priority import raw_priority
+
+        if selector.priority_fn is not raw_priority:
+            # The incremental cache assumes Eq. 8 locality; custom priorities
+            # run the reference loop (identical results, no cache).
+            return selector._run_reference(catalog, pdef, all_colors)
+        return selector._run_fast(catalog, pdef, all_colors)
+
+    def run_schedule(
+        self,
+        scheduler: "MultiPatternScheduler",
+        dfg: "DFG",
+        levels: "LevelAnalysis | None" = None,
+    ) -> "Schedule":
+        return scheduler._schedule_fast(dfg, levels)

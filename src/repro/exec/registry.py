@@ -1,0 +1,76 @@
+"""Named backend registry — ``get_backend("process", jobs=4)``.
+
+Backends are registered by canonical name with optional aliases; the
+legacy ``engine=`` strings (``"reference"``, ``"fast"``) are aliases of
+the serial and fused backends, so every historical call site resolves
+through this registry unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import BackendError
+from repro.exec.backend import ExecutionBackend
+
+__all__ = ["available_backends", "get_backend", "register_backend"]
+
+_FACTORIES: dict[str, Callable[..., ExecutionBackend]] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., ExecutionBackend],
+    *,
+    aliases: tuple[str, ...] = (),
+) -> None:
+    """Register a backend factory under ``name`` (plus ``aliases``).
+
+    ``factory`` is called with the keyword arguments handed to
+    :func:`get_backend` (currently ``jobs``).  Re-registering a name
+    replaces it — deliberate, so tests and downstream projects can swap
+    implementations.
+    """
+    if not name or not isinstance(name, str):
+        raise BackendError(f"backend name must be a non-empty string, got {name!r}")
+    _FACTORIES[name] = factory
+    for alias in aliases:
+        _ALIASES[alias] = name
+
+
+def available_backends() -> tuple[str, ...]:
+    """Canonical registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_backend(
+    spec: "ExecutionBackend | str", *, jobs: int | None = None
+) -> ExecutionBackend:
+    """Resolve ``spec`` to an :class:`ExecutionBackend` instance.
+
+    ``spec`` may already be a backend instance (returned as-is), a
+    canonical name (``"serial"``, ``"fused"``, ``"process"``) or a legacy
+    alias (``"reference"``, ``"fast"``, ``"parallel"``, ``"mp"``).
+    ``jobs`` is forwarded to the factory (worker count for the process
+    backend; ignored by serial/fused).
+
+    Raises
+    ------
+    BackendError
+        For an unknown name, listing what is available.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise BackendError(
+            f"backend must be an ExecutionBackend or a name, got {type(spec).__name__}"
+        )
+    canonical = _ALIASES.get(spec, spec)
+    factory = _FACTORIES.get(canonical)
+    if factory is None:
+        known = ", ".join(sorted(set(_FACTORIES) | set(_ALIASES)))
+        raise BackendError(
+            f"unknown execution backend {spec!r}; available: {known}"
+        )
+    return factory(jobs=jobs)

@@ -12,13 +12,16 @@ algorithm needs.
 optionally (they are only needed for reporting; frequencies suffice for
 selection and keeping millions of tuples alive would be wasteful).
 
-Two engines build the catalog (see PERFORMANCE.md): the default ``"fast"``
-engine classifies inside the enumeration DFS via
+Catalog construction runs through an execution backend (see
+:mod:`repro.exec` and PERFORMANCE.md): the default fused backend
+classifies inside the enumeration DFS via
 :meth:`~repro.dfg.antichains.AntichainEnumerator.classify_by_label`
 (no per-antichain allocations; one interned :class:`Pattern` per bag),
-while ``"reference"`` materializes name tuples and classifies them
-sequentially.  Both produce equal catalogs — including per-pattern Counter
-insertion order, which Eq. 8's float summation depends on.
+the serial backend materializes name tuples and classifies them
+sequentially, and the process backend fans the fused classifier out over
+seed-node partitions.  All produce equal catalogs — including per-pattern
+Counter insertion order, which Eq. 8's float summation depends on.  The
+legacy ``engine=`` strings remain as registry aliases.
 """
 
 from __future__ import annotations
@@ -116,6 +119,7 @@ def classify_antichains(
     max_count: int | None = DEFAULT_MAX_COUNT,
     restrict_to: Iterable[str] | None = None,
     engine: str = "auto",
+    backend: object | None = None,
 ) -> PatternCatalog:
     """Enumerate antichains of ``dfg`` and classify them into patterns.
 
@@ -133,7 +137,7 @@ def classify_antichains(
         Optional precomputed level analysis.
     store_antichains:
         Keep the raw antichains per pattern (Table 4 style reporting).
-        Requires the reference engine — the stored name tuples are exactly
+        Requires the serial backend — the stored name tuples are exactly
         what the fused path exists to avoid.
     max_count:
         Enumeration safety ceiling (see :mod:`repro.dfg.antichains`).
@@ -143,35 +147,48 @@ def classify_antichains(
         restriction is pushed into the enumerator as a node bitmask, so
         excluded branches of the DFS are never visited.
     engine:
-        ``"auto"`` (default) classifies inside the enumeration DFS without
-        materializing antichains, unless ``store_antichains`` demands the
-        sequential name-tuple classifier; ``"fast"`` / ``"reference"``
-        force an engine (``"fast"`` with ``store_antichains`` is an
-        error).  Both engines produce equal catalogs — the equivalence
-        test-suite pins this.
+        Legacy engine-name alias, resolved through the backend registry
+        when ``backend`` is not given.  ``"auto"`` (default) classifies
+        inside the enumeration DFS without materializing antichains,
+        unless ``store_antichains`` demands the sequential name-tuple
+        classifier; ``"fast"`` / ``"reference"`` force a backend
+        (``"fast"`` with ``store_antichains`` is an error).  All backends
+        produce equal catalogs — the equivalence test-suite pins this.
+    backend:
+        An :class:`~repro.exec.backend.ExecutionBackend` instance or
+        registered backend name (e.g. ``"process"``); takes precedence
+        over ``engine``.
 
     Returns
     -------
     PatternCatalog
     """
-    if engine not in ("auto", "fast", "reference"):
-        raise PatternError(
-            f"unknown classification engine {engine!r}; expected 'auto', "
-            f"'fast' or 'reference'"
-        )
-    if engine == "fast" and store_antichains:
-        raise PatternError(
-            "the fast classification engine cannot store raw antichains; "
-            "use engine='reference' (or 'auto') with store_antichains"
-        )
-    if engine == "auto":
-        engine = "reference" if store_antichains else "fast"
-    enum = AntichainEnumerator(dfg, levels=levels)
-    allowed_mask = _allowed_mask(dfg, restrict_to)
-    if engine == "fast":
-        return _classify_fast(dfg, enum, capacity, span_limit, max_count, allowed_mask)
-    return _classify_reference(
-        dfg, enum, capacity, span_limit, max_count, allowed_mask, store_antichains
+    from repro.exec import get_backend
+
+    if backend is None:
+        if engine not in ("auto", "fast", "reference"):
+            raise PatternError(
+                f"unknown classification engine {engine!r}; expected 'auto', "
+                f"'fast' or 'reference'"
+            )
+        if engine == "fast" and store_antichains:
+            raise PatternError(
+                "the fast classification engine cannot store raw antichains; "
+                "use engine='reference' (or 'auto') with store_antichains"
+            )
+        if engine == "auto":
+            engine = "reference" if store_antichains else "fast"
+        backend = get_backend(engine)
+    else:
+        backend = get_backend(backend)  # type: ignore[arg-type]
+    return backend.classify(
+        dfg,
+        capacity,
+        span_limit,
+        levels=levels,
+        store_antichains=store_antichains,
+        max_count=max_count,
+        restrict_to=restrict_to,
     )
 
 
@@ -209,7 +226,9 @@ def _classify_fast(
             bag_counts[c] = bag_counts.get(c, 0) + 1
         pattern = Pattern.from_counts(bag_counts)
         freq = cls.frequencies
-        freqs[pattern] = Counter({names[i]: freq[i] for i in cls.first_seen})
+        # int() matters in the numpy-spill regime: keep Counter values
+        # plain python ints regardless of the buffer representation.
+        freqs[pattern] = Counter({names[i]: int(freq[i]) for i in cls.first_seen})
         counts[pattern] = cls.count
     return PatternCatalog(
         dfg=dfg,

@@ -16,7 +16,7 @@ unique consistent semantics, implemented here:
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_right
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
 
 from repro.exceptions import SchedulingError
@@ -127,6 +127,14 @@ class IndexedCandidateQueue:
     replicate :meth:`CandidateList.commit_cycle` exactly — all committed
     nodes are marked scheduled *first*, then their successors are examined
     in ascending committed index and edge-insertion order.
+
+    The queue additionally tracks how deep into the sorted order the last
+    :meth:`commit_cycle` reached: :attr:`min_changed_pos` is the smallest
+    position (at modification time) of any removal or insertion during that
+    commit, i.e. the prefix ``order[:min_changed_pos]`` is guaranteed
+    unchanged.  The scheduler uses this to keep per-pattern hypothetical
+    selected sets ``S(p, CL)`` cached across cycles and re-run the greedy
+    walk only for patterns whose examined prefix was actually touched.
     """
 
     def __init__(self, dfg: "DFG") -> None:
@@ -149,6 +157,9 @@ class IndexedCandidateQueue:
         self._scheduled = bytearray(n)
         self._arrival = 0
         self._order: list[tuple[int, int, int]] = []
+        #: Smallest order position modified by the last :meth:`commit_cycle`
+        #: (``None`` until the first commit: everything is "dirty").
+        self.min_changed_pos: int | None = None
 
     def seed(self, priorities: Sequence[int]) -> None:
         """Enter all source nodes (ascending index) with their priorities."""
@@ -156,10 +167,14 @@ class IndexedCandidateQueue:
             if remaining == 0:
                 self._push(i, priorities[i])
 
-    def _push(self, node_id: int, priority: int) -> None:
+    def _push(self, node_id: int, priority: int) -> int:
+        """Insert a candidate, returning the sorted position it landed at."""
         self._present[node_id] = 1
-        insort(self._order, (-priority, self._arrival, node_id))
+        entry = (-priority, self._arrival, node_id)
+        pos = bisect_right(self._order, entry)
+        self._order.insert(pos, entry)
         self._arrival += 1
+        return pos
 
     def __bool__(self) -> bool:
         return bool(self._order)
@@ -172,7 +187,14 @@ class IndexedCandidateQueue:
         return [t[2] for t in self._order]
 
     def commit_cycle(self, node_ids: Iterable[int], priorities: Sequence[int]) -> None:
-        """Commit one cycle's scheduled node ids and enqueue new candidates."""
+        """Commit one cycle's scheduled node ids and enqueue new candidates.
+
+        Also records :attr:`min_changed_pos`: the smallest sorted position
+        (at the moment of each individual modification) a removal or
+        insertion touched.  Every modification at position ``p`` leaves
+        ``order[:p]`` intact, so the prefix up to the minimum over all of
+        them survives the commit unchanged.
+        """
         committed = sorted(node_ids)
         committed_set = set(committed)
         if len(committed_set) != len(committed) or any(
@@ -181,7 +203,15 @@ class IndexedCandidateQueue:
             raise SchedulingError(
                 "cannot commit nodes that are not on the candidate list"
             )
-        self._order = [t for t in self._order if t[2] not in committed_set]
+        changed = len(self._order)
+        kept: list[tuple[int, int, int]] = []
+        for pos, t in enumerate(self._order):
+            if t[2] in committed_set:
+                if pos < changed:
+                    changed = pos
+            else:
+                kept.append(t)
+        self._order = kept
         scheduled = self._scheduled
         pred_remaining = self._pred_remaining
         succ_ids = self._succ_ids
@@ -195,4 +225,7 @@ class IndexedCandidateQueue:
                 if self._present[s] or scheduled[s]:
                     continue
                 if pred_remaining[s] == 0:
-                    self._push(s, priorities[s])
+                    pos = self._push(s, priorities[s])
+                    if pos < changed:
+                        changed = pos
+        self.min_changed_pos = changed

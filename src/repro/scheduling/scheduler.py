@@ -30,10 +30,11 @@ from repro.scheduling.candidate_list import CandidateList, IndexedCandidateQueue
 from repro.scheduling.node_priority import PriorityParameters, node_priorities
 from repro.scheduling.pattern_priority import PatternPriority, pattern_priority
 from repro.scheduling.schedule import CycleRecord, Schedule
-from repro.scheduling.selected_set import selected_set, selected_set_indices
+from repro.scheduling.selected_set import selected_set, selected_set_scan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
+    from repro.exec.backend import ExecutionBackend
 
 __all__ = ["MultiPatternScheduler", "schedule_dfg"]
 
@@ -87,6 +88,7 @@ class MultiPatternScheduler:
         *,
         levels: LevelAnalysis | None = None,
         engine: str = "fast",
+        backend: "ExecutionBackend | str | None" = None,
     ) -> Schedule:
         """Schedule ``dfg``, returning the full :class:`Schedule` trace.
 
@@ -97,11 +99,16 @@ class MultiPatternScheduler:
         levels:
             Optional precomputed level analysis.
         engine:
-            ``"fast"`` (default) runs the integer hot loop — color-id
-            arrays, slot-count vectors, an incrementally sorted candidate
-            queue; ``"reference"`` runs the straightforward name-based
-            loop.  Both produce identical schedules (pinned by the
-            equivalence tests).
+            Legacy engine-name alias, resolved through the backend registry
+            when ``backend`` is not given: ``"fast"`` (default) maps to the
+            fused backend's integer hot loop — color-id arrays, slot-count
+            vectors, an incrementally sorted candidate queue; ``"reference"``
+            to the serial backend's straightforward name-based loop.  Both
+            produce identical schedules (pinned by the equivalence tests).
+        backend:
+            An :class:`~repro.exec.backend.ExecutionBackend` instance or
+            registered backend name (see :func:`repro.exec.get_backend`).
+            Takes precedence over ``engine``.
 
         Raises
         ------
@@ -109,11 +116,17 @@ class MultiPatternScheduler:
             When no pattern can execute any candidate (the library's colors
             do not cover the graph's colors).
         """
-        if engine not in ("fast", "reference"):
-            raise SchedulingError(
-                f"unknown scheduling engine {engine!r}; expected 'fast' or "
-                f"'reference'"
-            )
+        from repro.exec import get_backend
+
+        if backend is None:
+            if engine not in ("fast", "reference"):
+                raise SchedulingError(
+                    f"unknown scheduling engine {engine!r}; expected 'fast' or "
+                    f"'reference'"
+                )
+            backend = get_backend(engine)
+        else:
+            backend = get_backend(backend)
         validate_dfg(dfg)
         missing = set(dfg.colors()) - self.library.color_set()
         if missing:
@@ -121,9 +134,7 @@ class MultiPatternScheduler:
                 f"library {self.library.as_strings()} has no slot for "
                 f"colors {sorted(missing)} used by {dfg.name!r}"
             )
-        if engine == "fast":
-            return self._schedule_fast(dfg, levels)
-        return self._schedule_reference(dfg, levels)
+        return backend.run_schedule(self, dfg, levels=levels)
 
     # ------------------------------------------------------------------ #
     def _schedule_reference(
@@ -203,10 +214,17 @@ class MultiPatternScheduler:
         is an :class:`~repro.scheduling.candidate_list.IndexedCandidateQueue`
         kept sorted across commits rather than re-sorted every cycle.
         Names only appear when a cycle's :class:`CycleRecord` is written.
+
+        The hypothetical selected set ``S(p, CL)`` is additionally cached
+        per pattern across cycles: a *complete* greedy selection depends
+        only on the first ``examined`` entries of the priority-ordered
+        candidate list, so it is re-walked only when the queue's
+        ``min_changed_pos`` (the prefix length the last commit provably
+        left untouched) reaches into that prefix.  Reused selections are by
+        construction identical to a fresh walk, so this changes no output.
         """
         priorities = node_priorities(dfg, levels=levels, params=self.params)
         names = dfg.nodes
-        n = dfg.n_nodes
         prio = [priorities[name] for name in names]
 
         labels, id_colors = dfg.color_labels()
@@ -234,6 +252,9 @@ class MultiPatternScheduler:
             if self.max_cycles is not None
             else 2 * dfg.n_nodes + 1
         )
+        # Per-pattern S(p, CL) cache: (selection, examined-prefix length),
+        # kept only for complete selections (see selected_set_scan).
+        sel_cache: list[tuple[list[int], int] | None] = [None] * len(pattern_slots)
 
         while queue:
             if len(records) >= limit:
@@ -243,11 +264,21 @@ class MultiPatternScheduler:
                 )
             # Step 3 degenerates to reading the maintained order.
             ordered_ids = queue.ordered_ids()
-            # Step 4: hypothetical selected set per pattern.
-            selections_ids = [
-                selected_set_indices(vec, size, ordered_ids, labels)
-                for vec, size in pattern_slots
-            ]
+            # Step 4: hypothetical selected set per pattern.  A cached
+            # selection is reused when the last commit only touched the
+            # order beyond the prefix its greedy walk examined.
+            stable = queue.min_changed_pos
+            selections_ids: list[list[int]] = []
+            for pi, (vec, size) in enumerate(pattern_slots):
+                cached = sel_cache[pi]
+                if cached is not None and stable is not None and cached[1] <= stable:
+                    selections_ids.append(cached[0])
+                    continue
+                sel, examined, complete = selected_set_scan(
+                    vec, size, ordered_ids, labels
+                )
+                sel_cache[pi] = (sel, examined) if complete else None
+                selections_ids.append(sel)
             # Step 5: pattern priorities; keep the best (ties: first).
             if use_f1:
                 values = tuple(len(sel) for sel in selections_ids)

@@ -15,7 +15,7 @@ from repro.patterns.pattern import Pattern
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
 
-__all__ = ["selected_set", "selected_set_indices"]
+__all__ = ["selected_set", "selected_set_indices", "selected_set_scan"]
 
 
 def selected_set_indices(
@@ -44,18 +44,38 @@ def selected_set_indices(
         Selected node indices in priority order — exactly the index image
         of what :func:`selected_set` returns for the same inputs.
     """
+    return selected_set_scan(slot_counts, size, candidate_ids, labels)[0]
+
+
+def selected_set_scan(
+    slot_counts: Sequence[int],
+    size: int,
+    candidate_ids: Sequence[int],
+    labels: Sequence[int],
+) -> tuple[list[int], int, bool]:
+    """:func:`selected_set_indices` plus the greedy walk's scan depth.
+
+    Returns ``(selected, examined, complete)`` where ``examined`` is the
+    number of leading candidates the walk inspected and ``complete`` is
+    ``True`` when every slot was filled.  A complete selection depends only
+    on the first ``examined`` candidates, so it stays valid across cycles
+    as long as that prefix of the priority-ordered candidate list is
+    untouched — the invariant the scheduler's per-pattern ``S(p, CL)``
+    cache checks against
+    :attr:`~repro.scheduling.candidate_list.IndexedCandidateQueue.min_changed_pos`.
+    """
     free = list(slot_counts)
     out: list[int] = []
     taken = 0
-    for i in candidate_ids:
+    for pos, i in enumerate(candidate_ids):
         c = labels[i]
         if free[c] > 0:
             free[c] -= 1
             out.append(i)
             taken += 1
             if taken == size:
-                break
-    return out
+                return out, pos + 1, True
+    return out, len(candidate_ids), False
 
 
 def selected_set(

@@ -70,6 +70,35 @@ class TestSchedule:
         assert "error:" in capsys.readouterr().err
 
 
+class TestPipeline:
+    def test_pipeline_3dft(self, capsys):
+        assert main(["pipeline", "3dft", "--pdef", "4", "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline '3dft'" in out
+        assert "cycles:" in out and "stage timings" in out
+        assert "catalog" in out and "schedule" in out
+
+    def test_pipeline_backend_flag(self, capsys):
+        assert main(["pipeline", "3dft", "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "via backend serial" in out
+
+    def test_select_backend_flag(self, capsys):
+        assert main(["select", "3dft", "--pdef", "3",
+                     "--backend", "reference"]) == 0
+        assert "selected patterns" in capsys.readouterr().out
+
+    def test_unknown_backend_is_clean_error(self, capsys):
+        assert main(["select", "3dft", "--backend", "warp"]) == 1
+        assert "unknown execution backend" in capsys.readouterr().err
+
+    def test_backends_listing(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("serial", "fused", "process"):
+            assert name in out
+
+
 class TestCompile:
     def test_compile_program(self, tmp_path, capsys):
         src = tmp_path / "prog.txt"

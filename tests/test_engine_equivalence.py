@@ -10,6 +10,11 @@ identical schedules.
 
 Property tests drive both paths over random layered and Erdős-Rényi DAGs
 with varied capacity / span / pdef; paper workloads pin the named graphs.
+The same contract extends to the process execution backend (seed-node
+partitioned multiprocess classification, see ``repro.exec.process``):
+its merged catalogs must equal the fused engine's bit for bit, driven
+here by a reduced-example property test (pool startup per example is
+expensive) and exhaustively in ``tests/test_exec_backends.py``.
 """
 
 from __future__ import annotations
@@ -137,6 +142,25 @@ def test_count_by_size_matches_enumeration(params):
     for members in enum.iter_index_antichains(capacity, span):
         expected[len(members)] += 1
     assert counted == expected
+
+
+@settings(
+    max_examples=8,  # one worker pool per example — keep the count tight
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(layered_params)
+def test_process_backend_classification_equivalence(params):
+    from repro.exec import ProcessBackend
+
+    seed, layers, width, capacity, span, _, n_colors = params
+    dfg = layered_dag(seed, layers=layers, width=width,
+                      colors=tuple("abcd"[:n_colors]))
+    fast = classify_antichains(dfg, capacity, span)
+    proc = classify_antichains(
+        dfg, capacity, span, backend=ProcessBackend(jobs=2)
+    )
+    assert_catalogs_identical(proc, fast)
 
 
 def test_classification_equivalence_paper_graphs():

@@ -1,0 +1,302 @@
+"""Execution backend subsystem: registry resolution + backend equivalence.
+
+The registry tests pin name/alias resolution and error behavior; the
+equivalence tests pin the process backend bit-identical to the fused and
+serial backends — catalogs (including Counter insertion order), selection
+rounds (exact floats) and schedules — over random DAGs and paper graphs.
+The numpy bucket spill is exercised by forcing the threshold down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.exceptions import (
+    BackendError,
+    EnumerationLimitError,
+    PatternError,
+)
+from repro.exec import (
+    ExecutionBackend,
+    FusedBackend,
+    ProcessBackend,
+    SerialBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.patterns.enumeration import classify_antichains
+from repro.pipeline import Pipeline
+from repro.workloads import small_example, three_point_dft_paper
+from repro.workloads.fft import radix2_fft
+from repro.workloads.synthetic import layered_dag, random_dag
+
+
+def assert_catalogs_identical(a, b):
+    assert list(a.frequencies) == list(b.frequencies)
+    assert a.antichain_counts == b.antichain_counts
+    for p, counter in b.frequencies.items():
+        assert list(a.frequencies[p].items()) == list(counter.items()), p
+
+
+def assert_results_identical(a, b):
+    """Full PipelineResult comparison: catalog, selection rounds, schedule."""
+    assert_catalogs_identical(a.catalog, b.catalog)
+    assert a.selection.library == b.selection.library
+    for fr, rr in zip(a.selection.rounds, b.selection.rounds):
+        assert dict(fr.priorities) == dict(rr.priorities)
+        assert (fr.chosen, fr.fallback, fr.deleted) == (
+            rr.chosen, rr.fallback, rr.deleted
+        )
+    assert a.schedule.cycles == b.schedule.cycles
+    assert dict(a.schedule.assignment) == dict(b.schedule.assignment)
+    assert list(a.schedule.assignment) == list(b.schedule.assignment)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+
+
+def test_available_backends_lists_builtins():
+    names = available_backends()
+    assert {"serial", "fused", "process"} <= set(names)
+
+
+@pytest.mark.parametrize(
+    "name, cls",
+    [
+        ("serial", SerialBackend),
+        ("reference", SerialBackend),  # legacy engine alias
+        ("fused", FusedBackend),
+        ("fast", FusedBackend),        # legacy engine alias
+        ("process", ProcessBackend),
+        ("parallel", ProcessBackend),
+        ("mp", ProcessBackend),
+    ],
+)
+def test_get_backend_resolves_names_and_aliases(name, cls):
+    backend = get_backend(name)
+    assert type(backend) is cls
+
+
+def test_get_backend_unknown_name_raises():
+    with pytest.raises(BackendError, match="unknown execution backend 'bogus'"):
+        get_backend("bogus")
+    with pytest.raises(BackendError, match="available"):
+        get_backend("bogus")
+
+
+def test_get_backend_rejects_non_string_non_backend():
+    with pytest.raises(BackendError, match="ExecutionBackend or a name"):
+        get_backend(42)  # type: ignore[arg-type]
+
+
+def test_get_backend_passes_instances_through():
+    backend = ProcessBackend(jobs=3)
+    assert get_backend(backend) is backend
+
+
+def test_get_backend_forwards_jobs():
+    assert get_backend("process", jobs=7).jobs == 7
+    assert get_backend("process").jobs is None
+    # serial/fused accept and ignore jobs uniformly
+    assert get_backend("serial", jobs=7).name == "serial"
+
+
+def test_process_backend_rejects_bad_jobs():
+    with pytest.raises(BackendError, match="jobs must be"):
+        ProcessBackend(jobs=0)
+
+
+def test_register_backend_custom_and_replace():
+    class Dummy(SerialBackend):
+        name = "dummy-backend"
+
+    register_backend("dummy-backend", Dummy, aliases=("dummy-alias",))
+    try:
+        assert type(get_backend("dummy-backend")) is Dummy
+        assert type(get_backend("dummy-alias")) is Dummy
+        assert "dummy-backend" in available_backends()
+    finally:
+        from repro.exec import registry
+
+        registry._FACTORIES.pop("dummy-backend", None)
+        registry._ALIASES.pop("dummy-alias", None)
+
+
+def test_register_backend_rejects_bad_name():
+    with pytest.raises(BackendError, match="non-empty string"):
+        register_backend("", SerialBackend)
+
+
+def test_describe():
+    assert get_backend("serial").describe() == "serial"
+    assert get_backend("process", jobs=2).describe() == "process(jobs=2)"
+
+
+# --------------------------------------------------------------------------- #
+# process backend: classification equivalence
+# --------------------------------------------------------------------------- #
+
+PROCESS = ProcessBackend(jobs=2)
+
+RANDOM_CASES = [
+    # (kind, seed, a, b, capacity, span)
+    ("layered", 7, 4, 5, 3, 1),
+    ("layered", 23, 5, 4, 4, None),
+    ("layered", 104, 3, 6, 5, 0),
+    ("er", 11, 14, 0.2, 3, 1),
+    ("er", 42, 12, 0.45, 4, None),
+]
+
+
+def _case_graph(kind, seed, a, b):
+    if kind == "layered":
+        return layered_dag(seed, layers=a, width=b, colors=("a", "b", "c"))
+    return random_dag(seed, a, edge_prob=b)
+
+
+@pytest.mark.parametrize("kind, seed, a, b, capacity, span", RANDOM_CASES)
+def test_process_classification_equivalence_random(kind, seed, a, b, capacity, span):
+    dfg = _case_graph(kind, seed, a, b)
+    fused = classify_antichains(dfg, capacity, span)
+    proc = classify_antichains(dfg, capacity, span, backend=PROCESS)
+    assert_catalogs_identical(proc, fused)
+
+
+def test_process_classification_equivalence_paper_graphs():
+    for dfg, capacity, span in [
+        (small_example(), 2, None),
+        (three_point_dft_paper(), 5, 1),
+        (three_point_dft_paper(), 5, None),
+        (radix2_fft(8), 4, 1),
+    ]:
+        fused = classify_antichains(dfg, capacity, span)
+        proc = classify_antichains(dfg, capacity, span, backend=PROCESS)
+        assert_catalogs_identical(proc, fused)
+
+
+def test_process_restrict_to_equivalence():
+    dfg = layered_dag(3, layers=4, width=5, colors=("a", "b"))
+    subset = list(dfg.nodes)[::2] + ["not-a-node"]
+    fused = classify_antichains(dfg, 3, 1, restrict_to=subset)
+    proc = classify_antichains(dfg, 3, 1, restrict_to=subset, backend=PROCESS)
+    assert_catalogs_identical(proc, fused)
+    for counter in proc.frequencies.values():
+        assert set(counter) <= set(subset)
+
+
+def test_process_single_job_falls_back_in_process():
+    dfg = three_point_dft_paper()
+    backend = ProcessBackend(jobs=1)
+    fused = classify_antichains(dfg, 5, 1)
+    proc = classify_antichains(dfg, 5, 1, backend=backend)
+    assert_catalogs_identical(proc, fused)
+
+
+def test_process_store_antichains_raises():
+    with pytest.raises(PatternError, match="cannot store raw antichains"):
+        classify_antichains(
+            small_example(), 2, store_antichains=True, backend=PROCESS
+        )
+    with pytest.raises(PatternError, match="cannot store raw antichains"):
+        classify_antichains(
+            small_example(), 2, store_antichains=True, backend="fused"
+        )
+
+
+def test_process_max_count_limit_propagates():
+    dfg = radix2_fft(8)
+    with pytest.raises(EnumerationLimitError):
+        classify_antichains(dfg, 4, None, max_count=10, backend=PROCESS)
+
+
+# --------------------------------------------------------------------------- #
+# all three backends: full pipeline bit-identity
+# --------------------------------------------------------------------------- #
+
+PIPELINE_CASES = [
+    ("layered", 5, 4, 4, 3, 1, 3),
+    ("layered", 77, 3, 5, 4, None, 2),
+    ("er", 19, 13, 0.3, 3, 1, 4),
+]
+
+
+@pytest.mark.parametrize(
+    "kind, seed, a, b, capacity, span, pdef", PIPELINE_CASES
+)
+def test_pipeline_bit_identical_across_backends(
+    kind, seed, a, b, capacity, span, pdef
+):
+    dfg = _case_graph(kind, seed, a, b)
+    if pdef * capacity < len(dfg.colors()):
+        pdef = -(-len(dfg.colors()) // capacity)
+    config = SelectionConfig(span_limit=span, widen_to_capacity=True)
+    results = {}
+    for backend in ("serial", "fused", "process"):
+        pipe = Pipeline(
+            capacity, pdef, config=config, backend=backend, jobs=2
+        )
+        results[backend] = pipe.run(dfg)
+    assert_results_identical(results["fused"], results["serial"])
+    assert_results_identical(results["process"], results["serial"])
+
+
+def test_selector_and_scheduler_accept_backend_objects():
+    dfg = three_point_dft_paper()
+    selector = PatternSelector(5, SelectionConfig(span_limit=1))
+    ref = selector.select(dfg, 4, engine="reference")
+    for backend in (SerialBackend(), FusedBackend(), PROCESS):
+        got = selector.select(dfg, 4, backend=backend)
+        assert got.library == ref.library
+        from repro.scheduling.scheduler import MultiPatternScheduler
+
+        sched_ref = MultiPatternScheduler(ref.library).schedule(
+            dfg, engine="reference"
+        )
+        sched = MultiPatternScheduler(got.library).schedule(dfg, backend=backend)
+        assert sched.cycles == sched_ref.cycles
+
+
+# --------------------------------------------------------------------------- #
+# numpy bucket spill
+# --------------------------------------------------------------------------- #
+
+
+def test_freq_buffer_spills_to_numpy(monkeypatch):
+    from repro.dfg import antichains
+
+    if antichains._np is None:  # pragma: no cover - container ships numpy
+        pytest.skip("numpy unavailable")
+    monkeypatch.setattr(antichains, "NUMPY_SPILL_THRESHOLD", 4)
+    buf = antichains._freq_buffer(10)
+    assert isinstance(buf, antichains._np.ndarray)
+    assert antichains._freq_buffer(3) == [0, 0, 0]
+
+
+def test_freq_buffer_falls_back_without_numpy(monkeypatch):
+    from repro.dfg import antichains
+
+    monkeypatch.setattr(antichains, "_np", None)
+    monkeypatch.setattr(antichains, "NUMPY_SPILL_THRESHOLD", 1)
+    assert antichains._freq_buffer(4) == [0, 0, 0, 0]
+
+
+def test_classification_identical_in_numpy_spill_regime(monkeypatch):
+    from repro.dfg import antichains
+
+    if antichains._np is None:  # pragma: no cover
+        pytest.skip("numpy unavailable")
+    dfg = radix2_fft(8)
+    expected = classify_antichains(dfg, 4, 1, engine="reference")
+    monkeypatch.setattr(antichains, "NUMPY_SPILL_THRESHOLD", 1)
+    spilled = classify_antichains(dfg, 4, 1)
+    assert_catalogs_identical(spilled, expected)
+    # Counter values must be plain python ints even off numpy buffers.
+    for counter in spilled.frequencies.values():
+        assert all(type(v) is int for v in counter.values())
+    proc = classify_antichains(dfg, 4, 1, backend=ProcessBackend(jobs=2))
+    assert_catalogs_identical(proc, expected)

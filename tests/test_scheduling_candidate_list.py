@@ -87,3 +87,48 @@ class TestPriorityOrder:
         ordered = cl.in_priority_order(prio)
         values = [prio[n] for n in ordered]
         assert values == sorted(values, reverse=True)
+
+
+class TestIndexedQueueDirtyPrefix:
+    """min_changed_pos: the stable-prefix contract of the S(p, CL) cache."""
+
+    def _queue(self, dfg, prio=None):
+        from repro.scheduling.candidate_list import IndexedCandidateQueue
+
+        q = IndexedCandidateQueue(dfg)
+        if prio is None:
+            prio = [1] * dfg.n_nodes
+        q.seed(prio)
+        return q, prio
+
+    def test_initially_none(self, paper_3dft):
+        q, _ = self._queue(paper_3dft)
+        assert q.min_changed_pos is None
+
+    def test_commit_records_min_removed_position(self, paper_3dft):
+        q, prio = self._queue(paper_3dft)
+        order = q.ordered_ids()
+        # commit the candidate sitting at position 2 (no new arrivals for
+        # leaf-free picks would be unusual; just check the bound holds)
+        q.commit_cycle([order[2]], prio)
+        assert q.min_changed_pos is not None
+        assert q.min_changed_pos <= 2
+
+    def test_prefix_before_min_changed_is_untouched(self, paper_3dft):
+        q, prio = self._queue(paper_3dft)
+        before = q.ordered_ids()
+        q.commit_cycle([before[-1]], prio)
+        stable = q.min_changed_pos
+        after = q.ordered_ids()
+        assert after[:stable] == before[:stable]
+
+    def test_insertion_can_lower_min_changed(self):
+        from tests.conftest import chain
+
+        dfg = chain(3)
+        # High-priority successors: committing position 0 inserts the
+        # successor back at position 0.
+        q, prio = self._queue(dfg, prio=[1, 5, 9])
+        first = q.ordered_ids()[0]
+        q.commit_cycle([first], prio)
+        assert q.min_changed_pos == 0

@@ -51,3 +51,42 @@ class TestSelectedSet:
         pattern = Pattern.from_string("aabb")
         got = selected_set(pattern, ["b9", "a5", "b2", "a1"], color_of)
         assert got == ("b9", "a5", "b2", "a1")
+
+
+class TestSelectedSetScan:
+    """selected_set_scan: selection + greedy scan depth (S(p, CL) cache)."""
+
+    def test_matches_selected_set_indices(self):
+        from repro.scheduling.selected_set import (
+            selected_set_indices,
+            selected_set_scan,
+        )
+
+        labels = [0, 0, 1, 1, 0, 1]
+        candidates = [3, 0, 5, 1, 2, 4]
+        for slots, size in [([2, 1], 3), ([1, 0], 1), ([3, 3], 6)]:
+            sel, examined, complete = selected_set_scan(
+                slots, size, candidates, labels
+            )
+            assert sel == selected_set_indices(slots, size, candidates, labels)
+            assert complete == (len(sel) == size)
+            assert 0 <= examined <= len(candidates)
+
+    def test_examined_is_position_after_last_taken_when_complete(self):
+        from repro.scheduling.selected_set import selected_set_scan
+
+        labels = [0, 1, 0, 1]
+        # pattern {1x color0}: takes candidate at position 1 (node 0)
+        sel, examined, complete = selected_set_scan([1, 0], 1, [1, 0, 2, 3], labels)
+        assert sel == [0]
+        assert examined == 2
+        assert complete
+
+    def test_examined_spans_whole_list_when_incomplete(self):
+        from repro.scheduling.selected_set import selected_set_scan
+
+        labels = [0, 1]
+        sel, examined, complete = selected_set_scan([0, 2], 2, [0, 1], labels)
+        assert sel == [1]
+        assert examined == 2
+        assert not complete
