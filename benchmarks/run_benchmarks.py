@@ -36,6 +36,7 @@ from repro._version import __version__
 from repro.core.config import SelectionConfig
 from repro.dfg.antichains import AntichainEnumerator
 from repro.pipeline import Pipeline
+from repro.service import JobRequest, SchedulerService
 from repro.workloads.fft import radix2_fft
 
 DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
@@ -183,6 +184,78 @@ def bench_workload(name, dfg, config, capacity, pdef, repeats, process_jobs):
     return rows
 
 
+def bench_service(warm_repeats: int = 3) -> dict:
+    """Cold vs warm submit of one FFT-64 job through the service.
+
+    The cold submit pays full catalog + selection + scheduling; the warm
+    submit of the *same* job must return the bit-identical result from the
+    service's content-addressed result cache ≥ 10x faster (the acceptance
+    floor ``scripts/diff_bench.py`` enforces).  A ``pdef`` sweep via
+    ``submit_many`` additionally pins the catalog-built-exactly-once
+    guarantee.
+    """
+    config = SelectionConfig(
+        span_limit=1, max_pattern_size=2, widen_to_capacity=True
+    )
+    request = JobRequest(capacity=5, pdef=5, workload="fft64", config=config)
+
+    with SchedulerService() as service:
+        gc.collect()
+        t0 = time.perf_counter()
+        cold_result = service.submit(request)
+        cold_s = time.perf_counter() - t0
+
+        warm_s = float("inf")
+        for _ in range(warm_repeats):
+            gc.collect()
+            t0 = time.perf_counter()
+            warm_result = service.submit(request)
+            warm_s = min(warm_s, time.perf_counter() - t0)
+        _check(
+            warm_result == cold_result,
+            "warm service submit is not bit-identical to the cold one",
+        )
+        _check(
+            service.stats.result_hits == warm_repeats,
+            "warm submits did not come from the result cache",
+        )
+
+    # pdef sweep on a fresh service: one catalog build for the whole batch.
+    with SchedulerService() as sweep_service:
+        sweep_pdefs = [3, 4, 5, 5]
+        sweep_service.submit_many(
+            [
+                JobRequest(
+                    capacity=5, pdef=p, workload="fft64", config=config
+                )
+                for p in sweep_pdefs
+            ]
+        )
+        catalog_builds = sweep_service.stats.catalog_misses
+        _check(
+            catalog_builds == 1,
+            f"pdef sweep built the catalog {catalog_builds} times, not once",
+        )
+        deduped = sweep_service.stats.deduped
+
+    section = {
+        "workload": "FFT-64",
+        "job": {"capacity": 5, "pdef": 5, "workload": "fft64"},
+        "cold_s": round(cold_s, 6),
+        "warm_s": round(warm_s, 6),
+        "warm_speedup": round(cold_s / warm_s, 2) if warm_s > 0 else None,
+        "sweep_pdefs": sweep_pdefs,
+        "sweep_catalog_builds": catalog_builds,
+        "sweep_deduped": deduped,
+    }
+    print(
+        f"  {'FFT-64':>8} {'service submit':<24} cold {cold_s:8.4f}s   "
+        f"warm {warm_s:8.4f}s   {cold_s / warm_s:6.0f}x "
+        f"(sweep: {catalog_builds} catalog build, {deduped} deduped)"
+    )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -264,6 +337,9 @@ def main(argv=None) -> int:
             )
         )
 
+    print("service benchmark: cold vs warm submit (content-addressed caches)")
+    service_section = bench_service()
+
     pipeline = {}
     for row in rows:
         agg = pipeline.setdefault(
@@ -296,6 +372,7 @@ def main(argv=None) -> int:
         "process_jobs": process_jobs,
         "stages": rows,
         "pipeline": pipeline,
+        "service": service_section,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate + engine smoke + stage-level bench regression diff.
+# Tier-1 gate + service HTTP smoke + engine smoke + bench regression diff.
 #
-#   ./scripts/ci.sh          # full tier-1 tests + quick bench smoke + diff
+#   ./scripts/ci.sh          # tier-1 tests + HTTP smoke + quick bench + diff
 #   ./scripts/ci.sh --fast   # tier-1 tests only
 #
 # The smoke report is diffed per (workload, stage) against the previous
@@ -19,6 +19,9 @@ python -m pytest -x -q
 if [[ "${1:-}" != "--fast" ]]; then
     SMOKE=/tmp/BENCH_engine_smoke.json
     BASELINE_DIR="${BENCH_BASELINE_DIR:-.bench-baseline}"
+
+    echo "== service HTTP smoke =="
+    python scripts/http_smoke.py
 
     echo "== engine bench smoke (quick) =="
     python benchmarks/run_benchmarks.py --quick -o "$SMOKE"

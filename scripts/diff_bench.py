@@ -12,10 +12,16 @@ floor:
   below ``--ratio`` (default 0.5) of the baseline's speedup for the same
   (workload, stage) fails.  Speedups are compared rather than raw seconds
   because both sides of a speedup are measured on the same machine, which
-  makes the metric portable across differently-sized CI runners.
+  makes the metric portable across differently-sized CI runners;
+* service regression — the report's ``service`` section (cold vs warm
+  submit of the same job through :class:`repro.service.SchedulerService`)
+  must keep a warm speedup ≥ ``--service-floor`` (default 10x, the
+  acceptance bar for the content-addressed result cache) and must have
+  built the pdef-sweep catalog exactly once.
 
 Stages present on only one side (new workloads, removed workloads) are
-reported but never fail the run.
+reported but never fail the run; a report without a ``service`` section
+(older baselines) skips that gate.
 
 Usage::
 
@@ -52,6 +58,10 @@ def main(argv=None) -> int:
         help="fail when a stage speedup drops below this fraction of the "
         "baseline's (default 0.5)",
     )
+    parser.add_argument(
+        "--service-floor", type=float, default=10.0,
+        help="minimum warm-vs-cold service submit speedup (default 10.0)",
+    )
     args = parser.parse_args(argv)
 
     new = json.loads(args.new.read_text())
@@ -64,6 +74,28 @@ def main(argv=None) -> int:
                 f"{workload}/{stage}: fused speedup {row['speedup']}x "
                 f"below the {args.floor}x floor"
             )
+
+    service = new.get("service")
+    if service is not None:
+        warm = service.get("warm_speedup") or 0
+        if warm < args.service_floor:
+            failures.append(
+                f"{service.get('workload', '?')}/service: warm submit "
+                f"speedup {warm}x below the {args.service_floor}x floor"
+            )
+        builds = service.get("sweep_catalog_builds")
+        if builds != 1:
+            failures.append(
+                f"{service.get('workload', '?')}/service: pdef sweep built "
+                f"the catalog {builds} times, expected exactly 1"
+            )
+        print(
+            f"  {service.get('workload', '?'):>8} {'service submit':<24} "
+            f"cold {service.get('cold_s', 0):8.4f}s   "
+            f"warm {service.get('warm_s', 0):8.4f}s   {warm:6.0f}x"
+        )
+    else:
+        print("  (no service section; service gate skipped)")
 
     if args.baseline is not None and args.baseline.exists():
         old_stages = _stages(json.loads(args.baseline.read_text()))

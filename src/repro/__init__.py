@@ -13,6 +13,8 @@ The library implements, from scratch:
 * pluggable execution backends — serial, fused, multiprocess — behind a
   named registry (:mod:`repro.exec`) and an end-to-end staged
   :class:`~repro.pipeline.Pipeline`,
+* a job-oriented scheduling service with content-addressed caching and a
+  stdlib HTTP front-end (:mod:`repro.service`),
 * a lightweight Montium tile model and 4-phase compiler pipeline
   (:mod:`repro.montium`),
 * the evaluation workloads (3DFT/5DFT, FFTs, DSP kernels)
@@ -76,3 +78,22 @@ __all__ = [
     "five_point_dft",
     "small_example",
 ]
+
+#: Service-layer names re-exported lazily: the HTTP front-end drags in
+#: ``http.server``/``urllib``, which plain library users (and every CLI
+#: command that is not ``serve``/``submit``) should not pay to import.
+_SERVICE_EXPORTS = (
+    "JobRequest",
+    "JobResult",
+    "SchedulerService",
+    "ServiceClient",
+)
+__all__ += list(_SERVICE_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -110,50 +110,58 @@ def random_vs_selected(
     config: SelectionConfig | None = None,
     backend: "object | str" = "fused",
     jobs: int | None = None,
+    service: "object | None" = None,
 ) -> list[RandomVsSelectedRow]:
     """The paper's Table 7: random vs selected patterns across ``Pdef``.
 
     Random pattern sets are sampled per trial from a seeded generator (ten
-    trials in the paper); the selected column runs the §5 algorithm with
-    ``config`` (paper constants by default) through a
-    :class:`~repro.pipeline.Pipeline` on the chosen execution backend
-    (results are backend-independent; only wall-clock changes).
+    trials in the paper); the selected column submits one job per ``Pdef``
+    to a :class:`~repro.service.SchedulerService` — the catalog is built
+    exactly once for the whole sweep by the service's content-addressed
+    catalog cache (results are backend-independent; only wall-clock
+    changes).  Pass ``service`` to share a resident service (and its
+    caches) across harness calls; otherwise an ephemeral one is created
+    on ``backend``/``jobs``.
     """
-    from repro.exec import get_backend
-    from repro.pipeline import Pipeline
+    from repro.service import JobRequest, SchedulerService
 
-    exec_backend = get_backend(backend, jobs=jobs)  # type: ignore[arg-type]
-    selector = PatternSelector(capacity, config=config)
-    catalog = selector.build_catalog(dfg, backend=exec_backend)
-    colors = list(dfg.colors())
-    rows: list[RandomVsSelectedRow] = []
-    for pdef in pdefs:
-        rng = random.Random(seed + pdef)
-        lengths = []
-        for _ in range(trials):
-            lib = random_pattern_set(rng, capacity, colors, pdef)
-            lengths.append(
-                MultiPatternScheduler(lib)
-                .schedule(dfg, backend=exec_backend)
-                .length
-            )
-        pipeline = Pipeline(
-            capacity,
-            pdef,
-            config=config,
-            backend=exec_backend,
-            collect_metrics=False,
+    owned = service is None
+    if service is None:
+        service = SchedulerService(backend=backend, jobs=jobs)  # type: ignore[arg-type]
+    try:
+        exec_backend = service.backend
+        colors = list(dfg.colors())
+        pdefs = list(pdefs)
+        cfg = config if config is not None else SelectionConfig()
+        selected = service.submit_many(
+            [
+                JobRequest(capacity=capacity, pdef=pdef, dfg=dfg, config=cfg)
+                for pdef in pdefs
+            ]
         )
-        result = pipeline.run(dfg, catalog=catalog)
-        rows.append(
-            RandomVsSelectedRow(
-                pdef=pdef,
-                random=summarize(lengths),
-                selected=result.schedule.length,
-                library=result.selection.library.as_strings(),
+        rows: list[RandomVsSelectedRow] = []
+        for pdef, result in zip(pdefs, selected):
+            rng = random.Random(seed + pdef)
+            lengths = []
+            for _ in range(trials):
+                lib = random_pattern_set(rng, capacity, colors, pdef)
+                lengths.append(
+                    MultiPatternScheduler(lib)
+                    .schedule(dfg, backend=exec_backend)
+                    .length
+                )
+            rows.append(
+                RandomVsSelectedRow(
+                    pdef=pdef,
+                    random=summarize(lengths),
+                    selected=result.schedule.length,
+                    library=result.selection.library.as_strings(),
+                )
             )
-        )
-    return rows
+        return rows
+    finally:
+        if owned:
+            service.close()
 
 
 # --------------------------------------------------------------------------- #
@@ -291,6 +299,7 @@ def baseline_comparison(
     config: SelectionConfig | None = None,
     backend: "object | str" = "fused",
     jobs: int | None = None,
+    service: "object | None" = None,
 ) -> dict[str, dict[str, object]]:
     """Multi-pattern scheduling vs the classic pattern-oblivious heuristics.
 
@@ -299,20 +308,27 @@ def baseline_comparison(
     ``capacity`` units per color, since a Montium ALU can be configured to
     any function); their schedules are then inspected for how many distinct
     patterns they implicitly demand — the quantity the Montium bounds.
-    The multi-pattern column runs through a
-    :class:`~repro.pipeline.Pipeline` on the chosen execution backend.
+    The multi-pattern column submits a job to a
+    :class:`~repro.service.SchedulerService` (pass ``service`` to share a
+    resident one and its caches; an ephemeral one is created otherwise).
     """
-    from repro.pipeline import Pipeline
+    from repro.service import JobRequest, SchedulerService
 
-    pipeline = Pipeline(
-        capacity,
-        pdef,
-        config=config,
-        backend=backend,  # type: ignore[arg-type]
-        jobs=jobs,
-        collect_metrics=False,
-    )
-    result = pipeline.run(dfg)
+    owned = service is None
+    if service is None:
+        service = SchedulerService(backend=backend, jobs=jobs)  # type: ignore[arg-type]
+    try:
+        result = service.submit(
+            JobRequest(
+                capacity=capacity,
+                pdef=pdef,
+                dfg=dfg,
+                config=config if config is not None else SelectionConfig(),
+            )
+        )
+    finally:
+        if owned:
+            service.close()
     selection = result.selection
     mp = result.schedule
 

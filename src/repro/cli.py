@@ -8,13 +8,18 @@
     repro select fft64 --backend process --jobs 4
     repro schedule 3dft --patterns aabcc,aaacc
     repro pipeline fft64 --backend process --jobs 4 --timings
+    repro serve --port 8350 --backend process --jobs 4
+    repro submit fft64 --url http://127.0.0.1:8350 --pdef 5
     repro compile examples.prog --pdef 3
     repro workloads              # list built-in workloads
     repro backends               # list execution backends
 
 Compute-heavy commands accept ``--backend`` (``serial``/``fused``/
 ``process``; default ``fused``) and ``--jobs`` (worker count for the
-process backend).
+process backend).  ``pipeline`` submits its job through an (ephemeral,
+per-command) :class:`~repro.service.SchedulerService`; for warm caches
+across requests run the *resident* service — ``serve`` — and submit to
+it with ``submit`` or :class:`~repro.service.ServiceClient`.
 """
 
 from __future__ import annotations
@@ -38,7 +43,6 @@ from repro.dfg.levels import LevelAnalysis
 from repro.exceptions import ReproError
 from repro.exec import available_backends, get_backend
 from repro.montium.compiler import MontiumCompiler
-from repro.pipeline import Pipeline
 from repro.scheduling.scheduler import schedule_dfg
 from repro.workloads import WORKLOADS, small_example, three_point_dft_paper
 
@@ -191,34 +195,80 @@ def _cmd_schedule(args: argparse.Namespace) -> None:
     print(f"\ntotal clock cycles: {schedule.length}")
 
 
+def _print_job_result(result, cache: str, *, timings: bool) -> None:
+    print(f"  library: {' '.join(result.selection.library.as_strings())}")
+    print(f"  cycles:  {result.schedule.length}  "
+          f"(lower bound {result.metrics['lower_bound']}, "
+          f"gap {result.metrics['optimality_gap']})")
+    print(f"  utilization: {result.metrics['utilization']:.2f}")
+    print(f"  cache:   {cache}  (job {result.job_key[:12]}, "
+          f"dfg {result.dfg_digest[:12]})")
+    if timings:
+        rows = [(stage, f"{result.timings[stage] * 1000:.2f}")
+                for stage in result.timings]
+        rows.extend(
+            (stage, "cached")
+            for stage in ("catalog", "selection", "schedule", "metrics")
+            if stage not in result.timings
+        )
+        print(render_table(["stage", "ms"], rows, title="stage timings"))
+
+
 def _cmd_pipeline(args: argparse.Namespace) -> None:
+    from repro.service import JobRequest, SchedulerService
+
     dfg = _workload(args.workload)
     cfg = SelectionConfig(
         span_limit=args.span_limit,
         max_pattern_size=args.max_pattern_size,
         widen_to_capacity=args.widen,
     )
-    pipe = Pipeline(
-        args.capacity,
-        args.pdef,
-        config=cfg,
+    with SchedulerService(backend=args.backend, jobs=args.jobs) as service:
+        outcome = service.submit_outcome(
+            JobRequest(
+                capacity=args.capacity, pdef=args.pdef, dfg=dfg, config=cfg
+            )
+        )
+    print(
+        f"pipeline {dfg.name!r} via backend {service.backend.describe()} "
+        f"(C={args.capacity}, Pdef={args.pdef}):"
+    )
+    _print_job_result(outcome.result, outcome.cache, timings=args.timings)
+
+
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
         backend=args.backend,
         jobs=args.jobs,
     )
-    result = pipe.run(dfg)
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    from repro.service import JobRequest, ServiceClient
+
+    cfg = SelectionConfig(
+        span_limit=args.span_limit,
+        max_pattern_size=args.max_pattern_size,
+        widen_to_capacity=args.widen,
+    )
+    request = JobRequest(
+        capacity=args.capacity,
+        pdef=args.pdef,
+        workload=args.workload,
+        config=cfg,
+        priority=args.priority,
+    )
+    client = ServiceClient(args.url, timeout=args.timeout)
+    result = client.submit(request)
     print(
-        f"pipeline {dfg.name!r} via backend {pipe.backend.describe()} "
+        f"job {args.workload!r} via {args.url} "
         f"(C={args.capacity}, Pdef={args.pdef}):"
     )
-    print(f"  library: {' '.join(result.selection.library.as_strings())}")
-    print(f"  cycles:  {result.schedule.length}  "
-          f"(lower bound {result.metrics['lower_bound']}, "
-          f"gap {result.metrics['optimality_gap']})")
-    print(f"  utilization: {result.metrics['utilization']:.2f}")
-    if args.timings:
-        rows = [(stage, f"{result.timings[stage] * 1000:.2f}")
-                for stage in result.timings]
-        print(render_table(["stage", "ms"], rows, title="stage timings"))
+    _print_job_result(result, client.last_cache or "?", timings=args.timings)
 
 
 def _cmd_backends(args: argparse.Namespace) -> None:
@@ -323,6 +373,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("backends", help="list execution backends")
     p.add_argument("--jobs", type=int, default=None)
     p.set_defaults(fn=_cmd_backends)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling service over HTTP (see repro.service)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8350)
+    add_backend_args(p)
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a workload job to a running 'repro serve'"
+    )
+    p.add_argument("workload")
+    p.add_argument("--url", default="http://127.0.0.1:8350",
+                   help="base URL of the service")
+    p.add_argument("--pdef", type=int, default=4)
+    p.add_argument("--capacity", type=int, default=5)
+    p.add_argument("--span-limit", type=int, default=1)
+    p.add_argument("--max-pattern-size", type=int, default=None)
+    p.add_argument("--widen", action="store_true")
+    p.add_argument("--priority", default="f2", choices=["f1", "f2"])
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--timings", action="store_true",
+                   help="print per-stage wall-clock timings")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("compile", help="compile an expression program")
     p.add_argument("source", help="path to a program file")

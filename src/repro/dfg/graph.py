@@ -198,9 +198,16 @@ class DFG:
         return self._g.nodes[name].get(key, default)
 
     def set_attr(self, name: str, key: str, value: Any) -> None:
-        """Set a free-form node attribute."""
+        """Set a free-form node attribute.
+
+        Invalidates the analysis cache: attributes participate in the
+        graph's canonical content (:func:`repro.dfg.io.dfg_digest` is
+        memoized there), even though the purely structural analyses do
+        not read them.
+        """
         self._require(name)
         self._g.nodes[name][key] = value
+        self._analysis_cache.clear()
 
     # ------------------------------------------------------------------ #
     # structure

@@ -4,6 +4,10 @@ Formats
 -------
 * **JSON** — lossless round-trip of nodes (name, color, JSON-safe attributes)
   and edges in insertion order.
+* **canonical JSON** — an order-*independent* normal form used for content
+  addressing: :func:`canonical_json` sorts nodes, edges and attribute keys, so
+  two graphs with the same structure hash equal regardless of how they were
+  built; :func:`dfg_digest` is its SHA-256.
 * **edge list** — a compact text format; node colors are taken from the first
   character of the name by default (the paper's naming convention, e.g.
   ``a24`` is an addition).
@@ -12,8 +16,9 @@ Formats
 
 from __future__ import annotations
 
+import hashlib
 import json
-from typing import Callable
+from typing import Any, Callable
 
 from repro.dfg.graph import DFG
 from repro.exceptions import GraphError
@@ -21,6 +26,10 @@ from repro.exceptions import GraphError
 __all__ = [
     "to_json",
     "from_json",
+    "to_payload",
+    "from_payload",
+    "canonical_json",
+    "dfg_digest",
     "to_edge_list",
     "from_edge_list",
     "to_dot",
@@ -38,9 +47,9 @@ def color_from_name(name: str) -> str:
     return name[0]
 
 
-def to_json(dfg: DFG, *, indent: int | None = None) -> str:
-    """Serialise ``dfg`` to a JSON string (JSON-safe attributes only)."""
-    payload = {
+def to_payload(dfg: DFG) -> dict[str, Any]:
+    """The JSON-safe dict behind :func:`to_json` (insertion order preserved)."""
+    return {
         "name": dfg.name,
         "nodes": [
             {
@@ -56,7 +65,11 @@ def to_json(dfg: DFG, *, indent: int | None = None) -> str:
         ],
         "edges": [[u, v] for u, v in dfg.edges()],
     }
-    return json.dumps(payload, indent=indent)
+
+
+def to_json(dfg: DFG, *, indent: int | None = None) -> str:
+    """Serialise ``dfg`` to a JSON string (JSON-safe attributes only)."""
+    return json.dumps(to_payload(dfg), indent=indent)
 
 
 def _json_safe(value: object) -> bool:
@@ -67,12 +80,8 @@ def _json_safe(value: object) -> bool:
     return True
 
 
-def from_json(text: str) -> DFG:
-    """Inverse of :func:`to_json`."""
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as exc:
-        raise GraphError(f"invalid DFG JSON: {exc}") from exc
+def from_payload(payload: dict[str, Any]) -> DFG:
+    """Inverse of :func:`to_payload`."""
     try:
         dfg = DFG(name=payload.get("name", "dfg"))
         for node in payload["nodes"]:
@@ -82,6 +91,76 @@ def from_json(text: str) -> DFG:
     except (KeyError, TypeError) as exc:
         raise GraphError(f"malformed DFG JSON payload: {exc!r}") from exc
     return dfg
+
+
+def from_json(text: str) -> DFG:
+    """Inverse of :func:`to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid DFG JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise GraphError("malformed DFG JSON payload: expected an object")
+    return from_payload(payload)
+
+
+def canonical_json(dfg: DFG) -> str:
+    """An order-independent normal form of ``dfg`` for content addressing.
+
+    Nodes are sorted by name, edges lexicographically, attribute keys
+    alphabetically, and the output carries no whitespace — so the string
+    (and therefore :func:`dfg_digest`) is invariant under node/edge
+    *insertion* order and attribute dict ordering, while any change to the
+    structure itself (a node, a color, an edge, an attribute value)
+    produces a different string.
+
+    The graph ``name`` is deliberately excluded: it is a display label, not
+    structure, and content addressing must let differently-named builds of
+    the same graph share cached work (see :mod:`repro.service`).
+
+    Note that canonical form erases insertion order, which the scheduler's
+    *tie-breaks* (DESIGN.md §3.4) observe: two graphs with equal digests are
+    structurally interchangeable, and callers that cache schedule results by
+    digest (the service does) treat the first-seen insertion order as the
+    canonical one for the whole digest class.
+    """
+    nodes = sorted(
+        (
+            n,
+            dfg.color(n),
+            sorted(
+                (k, v)
+                for k, v in dfg.node(n).attrs.items()
+                if k != "color" and _json_safe(v)
+            ),
+        )
+        for n in dfg.nodes
+    )
+    payload = {
+        "nodes": [
+            {"name": n, "color": c, "attrs": {k: v for k, v in attrs}}
+            for n, c, attrs in nodes
+        ],
+        "edges": sorted([u, v] for u, v in dfg.edges()),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def dfg_digest(dfg: DFG) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` — the graph's content id.
+
+    Memoized on the graph's analysis cache, so repeated lookups (every
+    service submit) hash the canonical form only once per graph mutation.
+    """
+    cache = getattr(dfg, "_analysis_cache", None)
+    if cache is not None:
+        cached = cache.get("dfg_digest")
+        if cached is not None:
+            return cached
+    digest = hashlib.sha256(canonical_json(dfg).encode("utf-8")).hexdigest()
+    if cache is not None:
+        cache["dfg_digest"] = digest
+    return digest
 
 
 def to_edge_list(dfg: DFG) -> str:

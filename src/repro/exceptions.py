@@ -25,6 +25,8 @@ __all__ = [
     "BackendError",
     "FrontendError",
     "AllocationError",
+    "ServiceError",
+    "JobValidationError",
 ]
 
 
@@ -98,3 +100,22 @@ class FrontendError(ReproError):
 
 class AllocationError(ReproError):
     """The allocation phase found a schedule that exceeds tile resources."""
+
+
+class ServiceError(ReproError):
+    """The scheduling service failed to process a request."""
+
+
+class JobValidationError(ServiceError):
+    """A job request or result payload is malformed or inconsistent.
+
+    Attributes
+    ----------
+    field:
+        Name of the offending request/result field when one can be blamed
+        (``None`` for payload-level problems such as invalid JSON).
+    """
+
+    def __init__(self, message: str, *, field: str | None = None) -> None:
+        super().__init__(message)
+        self.field = field

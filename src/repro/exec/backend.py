@@ -40,9 +40,11 @@ class ExecutionBackend(abc.ABC):
     """Strategy object executing the pipeline's compute stages.
 
     Subclasses implement the three stage hooks below.  Instances are
-    stateless and reusable across graphs; anything expensive a backend
-    owns (e.g. a worker pool) is created per call, so one backend object
-    can serve many pipelines concurrently.
+    reusable across graphs; anything expensive a backend owns (e.g. a
+    worker pool) is by default created per call, so one backend object
+    can serve many pipelines concurrently.  Backends may opt into
+    retaining such resources across calls (the process backend's
+    ``persistent`` pool); :meth:`close` releases them.
     """
 
     #: Canonical registry name (also used in reports and JSON output).
@@ -92,6 +94,15 @@ class ExecutionBackend(abc.ABC):
         """Run the Fig. 3 multi-pattern list scheduling loop."""
 
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release resources retained across calls (worker pools etc.).
+
+        The base implementation is a no-op: most backends retain nothing.
+        Long-lived owners (e.g. :class:`~repro.service.SchedulerService`)
+        call this on shutdown; a closed backend may be used again — it
+        simply re-acquires what it needs.
+        """
+
     def describe(self) -> str:
         """One-line human-readable description for reports/CLI output."""
         return self.name

@@ -24,19 +24,31 @@ realistic catalogs and inherently sequential round-by-round); the process
 backend inherits the fused fast paths for both.
 
 Workers are plain ``multiprocessing.Pool`` processes primed once per
-worker with the graph via the pool initializer; tasks then carry only a
-contiguous seed-index range.  Seed subtrees are heavily skewed (low seeds
-own the largest subtrees), so the ranges are cut much finer than the
-worker count and scheduled dynamically.  ``jobs`` defaults to
-``os.cpu_count()``; with one job (or a single seed) the backend degrades
-to the fused in-process path rather than paying pool overhead for
-nothing.
+worker with the *graph* via the pool initializer; tasks carry a
+contiguous seed-index range plus the call's enumeration parameters.
+Seed subtrees are heavily skewed (low seeds own the largest subtrees),
+so the ranges are cut much finer than the worker count and scheduled
+dynamically.  ``jobs`` defaults to ``os.cpu_count()``; with one job (or
+a single seed) the backend degrades to the fused in-process path rather
+than paying pool overhead for nothing.
+
+Persistent pools
+----------------
+With ``persistent=True`` the pool outlives a classify call: because only
+the graph is baked in at fork time, every later call against the *same
+graph object* — any capacity, span limit or restriction — reuses the
+warm workers, so ``pdef``/span sweeps and long-lived services (see
+:mod:`repro.service`) amortize pool startup across requests.  A call
+with a different graph retires the old pool and spins up a fresh one;
+:meth:`ProcessBackend.close` (also via ``with backend:``) shuts the pool
+down deterministically.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import weakref
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.dfg.antichains import (
@@ -63,22 +75,21 @@ _GROUPS_PER_JOB = 16
 _WORKER: dict = {}
 
 
-def _init_worker(
-    dfg: "DFG",
-    labels: Sequence[int],
-    size: int,
-    span_limit: int | None,
-    max_count: int | None,
-    allowed_mask: int | None,
-) -> None:
-    """Pool initializer: prime the per-worker enumerator once."""
+def _init_worker(dfg: "DFG") -> None:
+    """Pool initializer: prime the per-worker enumerator once per pool.
+
+    Only graph-derived state is baked in here; per-call enumeration
+    parameters travel with each task so a persistent pool can serve any
+    capacity/span/restriction against the primed graph.
+    """
     _WORKER["enum"] = AntichainEnumerator(dfg)
-    _WORKER["args"] = (labels, size, span_limit, max_count, allowed_mask)
+    _WORKER["labels"] = dfg.color_labels()[0]
 
 
-def _classify_seeds(seeds: Sequence[int]):
+def _classify_seeds(task):
     """Classify the DFS subtrees rooted at ``seeds`` (one pool task).
 
+    ``task`` is ``(seeds, size, span_limit, max_count, allowed_mask)``;
     ``seeds`` is a contiguous ascending range, so the in-task result is
     already in sequential visit order for that range.  Returns a list of
     ``(bag_key, count, first_seen, payload)`` in local first-visit order,
@@ -86,8 +97,9 @@ def _classify_seeds(seeds: Sequence[int]):
     or the values aligned with ``first_seen`` (sparse regime) — whichever
     is cheaper to ship back.
     """
+    seeds, size, span_limit, max_count, allowed_mask = task
     enum: AntichainEnumerator = _WORKER["enum"]
-    labels, size, span_limit, max_count, allowed_mask = _WORKER["args"]
+    labels = _WORKER["labels"]
     buckets = enum.classify_by_label(
         labels,
         size,
@@ -114,21 +126,97 @@ class ProcessBackend(FusedBackend):
     ----------
     jobs:
         Worker process count; ``None`` means ``os.cpu_count()``.
+    persistent:
+        Keep the worker pool alive across classify calls on the same
+        graph object (see module docstring).  Off by default — one-shot
+        callers should not leak worker processes past the call; the
+        long-lived :class:`~repro.service.SchedulerService` turns it on.
     """
 
     name = "process"
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self, jobs: int | None = None, *, persistent: bool = False
+    ) -> None:
+        # Pool state first: __del__ must find it even when validation below
+        # rejects the construction.
+        self.persistent = persistent
+        self._pool: multiprocessing.pool.Pool | None = None
+        self._pool_graph: "weakref.ref[DFG] | None" = None
+        self._pool_procs = 0
+        self._pool_token: object | None = None
         if jobs is not None and jobs < 1:
             raise BackendError(f"jobs must be ≥ 1, got {jobs}")
         super().__init__(jobs=jobs)
 
     def describe(self) -> str:
-        return f"{self.name}(jobs={self.effective_jobs()})"
+        suffix = ", persistent" if self.persistent else ""
+        return f"{self.name}(jobs={self.effective_jobs()}{suffix})"
 
     def effective_jobs(self) -> int:
         """The worker count a classify call would actually use."""
         return self.jobs if self.jobs is not None else (os.cpu_count() or 1)
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def pool_generation(self) -> int:
+        """How many pools this backend has started (observability/tests)."""
+        return self._generation
+
+    _generation = 0
+
+    def _acquire_pool(self, dfg: "DFG", procs: int):
+        """A pool primed with ``dfg`` — reused when persistent and warm.
+
+        Reuse requires the same graph *object* and, via a token planted in
+        the graph's mutation-cleared ``_analysis_cache``, the same graph
+        *content*: workers hold the graph as pickled at pool creation, so
+        an in-place ``add_node``/``add_edge``/``set_attr`` after that must
+        retire the pool or workers would classify a stale graph.
+        """
+        cache = getattr(dfg, "_analysis_cache", None)
+        if (
+            self._pool is not None
+            and self._pool_graph is not None
+            and self._pool_graph() is dfg
+            and self._pool_procs >= procs
+            and cache is not None
+            and cache.get("process_pool_token") is self._pool_token
+        ):
+            return self._pool
+        self.close()
+        pool = multiprocessing.get_context().Pool(
+            procs, initializer=_init_worker, initargs=(dfg,)
+        )
+        self._generation += 1
+        if self.persistent:
+            self._pool = pool
+            self._pool_graph = weakref.ref(dfg)
+            self._pool_procs = procs
+            self._pool_token = object()
+            if cache is not None:
+                cache["process_pool_token"] = self._pool_token
+        return pool
+
+    def close(self) -> None:
+        """Shut down a retained persistent pool (no-op otherwise)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_graph = None
+            self._pool_procs = 0
+            self._pool_token = None
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
 
     def classify(
         self,
@@ -170,24 +258,34 @@ class ProcessBackend(FusedBackend):
                 restrict_to=restrict_to,
             )
 
-        labels, id_colors = dfg.color_labels()
+        _, id_colors = dfg.color_labels()
         # Contiguous ascending seed ranges, cut finer than the worker count
         # so dynamic scheduling can absorb the low-seed subtree skew.
         n_groups = min(len(seeds), jobs * _GROUPS_PER_JOB)
         bounds = [len(seeds) * g // n_groups for g in range(n_groups + 1)]
-        groups = [
-            seeds[bounds[g]:bounds[g + 1]]
+        tasks = [
+            (
+                seeds[bounds[g]:bounds[g + 1]],
+                capacity,
+                span_limit,
+                max_count,
+                allowed_mask,
+            )
             for g in range(n_groups)
             if bounds[g] < bounds[g + 1]
         ]
-        with multiprocessing.get_context().Pool(
-            min(jobs, len(groups)),
-            initializer=_init_worker,
-            initargs=(dfg, labels, capacity, span_limit, max_count, allowed_mask),
-        ) as pool:
+        # A persistent pool keeps all `jobs` workers warm for later calls;
+        # a one-shot pool spawns no more workers than there are tasks.
+        procs = jobs if self.persistent else min(jobs, len(tasks))
+        pool = self._acquire_pool(dfg, procs)
+        try:
             # map preserves input order: results arrive in ascending seed
             # order, which the merge below depends on for bit-identity.
-            results = pool.map(_classify_seeds, groups, chunksize=1)
+            results = pool.map(_classify_seeds, tasks, chunksize=1)
+        finally:
+            if not self.persistent:
+                pool.terminate()
+                pool.join()
 
         # Merge per-seed subtree classifications in sequential visit order.
         merged: dict[tuple[int, ...], list] = {}

@@ -58,9 +58,19 @@ def get_backend(
     Raises
     ------
     BackendError
-        For an unknown name, listing what is available.
+        For an unknown name, listing what is available — or when ``jobs``
+        is combined with an already-constructed instance, whose worker
+        count is fixed at construction (silently dropping the argument
+        hid real configuration bugs; see ``ProcessBackend(jobs=...)``).
     """
     if isinstance(spec, ExecutionBackend):
+        if jobs is not None:
+            raise BackendError(
+                f"jobs={jobs} cannot be combined with an already-constructed "
+                f"backend instance ({spec.describe()}); construct the "
+                f"instance with the desired worker count, or pass the "
+                f"backend by name"
+            )
         return spec
     if not isinstance(spec, str):
         raise BackendError(

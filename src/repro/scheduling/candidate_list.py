@@ -135,6 +135,15 @@ class IndexedCandidateQueue:
     unchanged.  The scheduler uses this to keep per-pattern hypothetical
     selected sets ``S(p, CL)`` cached across cycles and re-run the greedy
     walk only for patterns whose examined prefix was actually touched.
+
+    For the *color-aware* refinement of that cache
+    (:func:`~repro.scheduling.selected_set.revalidate_scan`) the commit
+    also records its individual modifications: :attr:`last_removals` holds
+    ``(pre-commit position, node id)`` per removed candidate in ascending
+    position order, and :attr:`last_insertions` ``(position at insertion
+    time, node id)`` per appended candidate in insertion order — enough to
+    decide, per pattern, whether any *matching-color* candidate moved
+    inside the cached walk's examined prefix.
     """
 
     def __init__(self, dfg: "DFG") -> None:
@@ -160,6 +169,12 @@ class IndexedCandidateQueue:
         #: Smallest order position modified by the last :meth:`commit_cycle`
         #: (``None`` until the first commit: everything is "dirty").
         self.min_changed_pos: int | None = None
+        #: ``(pre-commit position, node id)`` of the last commit's removals,
+        #: ascending by position.
+        self.last_removals: tuple[tuple[int, int], ...] = ()
+        #: ``(position at insertion time, node id)`` of the last commit's
+        #: insertions, in insertion order.
+        self.last_insertions: tuple[tuple[int, int], ...] = ()
 
     def seed(self, priorities: Sequence[int]) -> None:
         """Enter all source nodes (ascending index) with their priorities."""
@@ -204,9 +219,11 @@ class IndexedCandidateQueue:
                 "cannot commit nodes that are not on the candidate list"
             )
         changed = len(self._order)
+        removals: list[tuple[int, int]] = []
         kept: list[tuple[int, int, int]] = []
         for pos, t in enumerate(self._order):
             if t[2] in committed_set:
+                removals.append((pos, t[2]))
                 if pos < changed:
                     changed = pos
             else:
@@ -220,12 +237,16 @@ class IndexedCandidateQueue:
             scheduled[i] = 1
             for s in succ_ids[i]:
                 pred_remaining[s] -= 1
+        insertions: list[tuple[int, int]] = []
         for i in committed:
             for s in succ_ids[i]:
                 if self._present[s] or scheduled[s]:
                     continue
                 if pred_remaining[s] == 0:
                     pos = self._push(s, priorities[s])
+                    insertions.append((pos, s))
                     if pos < changed:
                         changed = pos
         self.min_changed_pos = changed
+        self.last_removals = tuple(removals)
+        self.last_insertions = tuple(insertions)

@@ -30,7 +30,11 @@ from repro.scheduling.candidate_list import CandidateList, IndexedCandidateQueue
 from repro.scheduling.node_priority import PriorityParameters, node_priorities
 from repro.scheduling.pattern_priority import PatternPriority, pattern_priority
 from repro.scheduling.schedule import CycleRecord, Schedule
-from repro.scheduling.selected_set import selected_set, selected_set_scan
+from repro.scheduling.selected_set import (
+    revalidate_scan,
+    selected_set,
+    selected_set_scan,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
@@ -220,8 +224,14 @@ class MultiPatternScheduler:
         only on the first ``examined`` entries of the priority-ordered
         candidate list, so it is re-walked only when the queue's
         ``min_changed_pos`` (the prefix length the last commit provably
-        left untouched) reaches into that prefix.  Reused selections are by
-        construction identical to a fresh walk, so this changes no output.
+        left untouched) reaches into that prefix.  When it does, a second,
+        *color-aware* check (:func:`~repro.scheduling.selected_set.revalidate_scan`)
+        replays the commit's removal/insertion events: changes involving
+        only colors the pattern has no slot for cannot alter its greedy
+        walk, so the cached selection survives with an adjusted prefix
+        length — on color-diverse libraries most patterns keep their cache
+        across most cycles.  Reused selections are by construction
+        identical to a fresh walk, so none of this changes any output.
         """
         priorities = node_priorities(dfg, levels=levels, params=self.params)
         names = dfg.nodes
@@ -266,14 +276,26 @@ class MultiPatternScheduler:
             ordered_ids = queue.ordered_ids()
             # Step 4: hypothetical selected set per pattern.  A cached
             # selection is reused when the last commit only touched the
-            # order beyond the prefix its greedy walk examined.
+            # order beyond the prefix its greedy walk examined — or, color
+            # aware, when everything it touched inside that prefix is of
+            # colors the pattern has no slot for.
             stable = queue.min_changed_pos
+            removals = queue.last_removals
+            insertions = queue.last_insertions
             selections_ids: list[list[int]] = []
             for pi, (vec, size) in enumerate(pattern_slots):
                 cached = sel_cache[pi]
-                if cached is not None and stable is not None and cached[1] <= stable:
-                    selections_ids.append(cached[0])
-                    continue
+                if cached is not None and stable is not None:
+                    if cached[1] <= stable:
+                        selections_ids.append(cached[0])
+                        continue
+                    boundary = revalidate_scan(
+                        cached[1], removals, insertions, vec, labels
+                    )
+                    if boundary is not None:
+                        sel_cache[pi] = (cached[0], boundary)
+                        selections_ids.append(cached[0])
+                        continue
                 sel, examined, complete = selected_set_scan(
                     vec, size, ordered_ids, labels
                 )

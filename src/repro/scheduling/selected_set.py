@@ -15,7 +15,12 @@ from repro.patterns.pattern import Pattern
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.graph import DFG
 
-__all__ = ["selected_set", "selected_set_indices", "selected_set_scan"]
+__all__ = [
+    "selected_set",
+    "selected_set_indices",
+    "selected_set_scan",
+    "revalidate_scan",
+]
 
 
 def selected_set_indices(
@@ -76,6 +81,55 @@ def selected_set_scan(
             if taken == size:
                 return out, pos + 1, True
     return out, len(candidate_ids), False
+
+
+def revalidate_scan(
+    examined: int,
+    removals: Sequence[tuple[int, int]],
+    insertions: Sequence[tuple[int, int]],
+    slot_counts: Sequence[int],
+    labels: Sequence[int],
+) -> int | None:
+    """Color-aware revalidation of a cached *complete* ``S(p, CL)`` walk.
+
+    The greedy walk of :func:`selected_set_scan` skips every candidate
+    whose color has no slot in the pattern, so its selection depends only
+    on the subsequence of *matching-color* candidates inside its examined
+    prefix.  When a commit removed or inserted only non-matching-color
+    candidates there, the selection is provably unchanged — only the
+    prefix *length* shifts.  This function replays the commit's
+    modification events against the cached boundary:
+
+    * a removal at pre-commit position ``< examined``: matching color →
+      the cache is dead (return ``None``); otherwise the boundary shrinks
+      by one;
+    * an insertion at (insertion-time) position below the current
+      boundary: matching color → dead; otherwise the boundary grows by
+      one (the walk now skips one more candidate);
+    * events at or beyond the boundary never matter.
+
+    Parameters mirror :func:`selected_set_scan` (``slot_counts``/
+    ``labels``); ``removals``/``insertions`` are the
+    :class:`~repro.scheduling.candidate_list.IndexedCandidateQueue`'s
+    ``last_removals``/``last_insertions`` event records.  Returns the
+    adjusted examined-prefix length when the cached selection survives,
+    ``None`` when it must be re-walked.  Invariant (pinned by the
+    equivalence tests): a surviving selection equals a fresh
+    :func:`selected_set_scan` over the post-commit order bit for bit.
+    """
+    boundary = examined
+    for pos, node in removals:  # ascending pre-commit positions
+        if pos >= examined:
+            break
+        if slot_counts[labels[node]] > 0:
+            return None
+        boundary -= 1
+    for pos, node in insertions:  # sequential insertion timeline
+        if pos < boundary:
+            if slot_counts[labels[node]] > 0:
+                return None
+            boundary += 1
+    return boundary
 
 
 def selected_set(

@@ -1,0 +1,36 @@
+"""Scheduling-as-a-service: the job-oriented public API.
+
+Instead of constructing a fresh :class:`~repro.pipeline.Pipeline` per
+call, callers submit :class:`JobRequest` jobs to a long-lived
+:class:`SchedulerService` that owns one execution backend (persistent
+worker pool included), content-addresses graphs
+(:func:`repro.dfg.io.dfg_digest`) and caches catalogs, selections and full
+results in keyed LRUs::
+
+    from repro.service import JobRequest, SchedulerService
+
+    service = SchedulerService(backend="process", jobs=4)
+    result = service.submit(JobRequest(capacity=5, pdef=4, workload="3dft"))
+    result.schedule.length          # cycles
+    service.stats.result_hits      # cache accounting
+
+Over the wire the same API is ``repro serve`` + :class:`ServiceClient`
+(see :mod:`repro.service.http`).  Requests and results round-trip
+losslessly through JSON; malformed payloads raise
+:class:`~repro.exceptions.JobValidationError`.
+"""
+
+from repro.service.http import ServiceClient, ServiceServer, serve
+from repro.service.jobs import JobRequest, JobResult
+from repro.service.service import SchedulerService, ServiceStats, SubmitOutcome
+
+__all__ = [
+    "JobRequest",
+    "JobResult",
+    "SchedulerService",
+    "ServiceStats",
+    "SubmitOutcome",
+    "ServiceClient",
+    "ServiceServer",
+    "serve",
+]

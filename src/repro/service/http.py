@@ -1,0 +1,329 @@
+"""HTTP front-end: ``repro serve`` and the thin :class:`ServiceClient`.
+
+Stdlib only (``http.server`` + ``urllib``) — the wire format is exactly
+the :class:`~repro.service.jobs.JobRequest` / ``JobResult`` JSON, so the
+HTTP layer is a pipe, not a second API:
+
+========  =================  =============================================
+method    path               body → response
+========  =================  =============================================
+``POST``  ``/v1/jobs``       job request JSON → job result JSON
+``POST``  ``/v1/jobs:batch`` ``{"jobs": [...]}`` → ``{"results": [...]}``
+``GET``   ``/healthz``       liveness + backend description
+``GET``   ``/stats``         :meth:`SchedulerService.describe` output
+``GET``   ``/workloads``     available workload names
+========  =================  =============================================
+
+Every job response carries an ``X-Repro-Cache`` header naming the deepest
+cache level that answered (``result`` / ``selection`` / ``catalog`` /
+``none``) — cache behaviour is observable without perturbing the
+bit-identical result body.  Validation failures map to HTTP 400 with a
+typed error payload ``{"error", "message", "field"}``; unexpected
+failures to 500.  The server is threading (one resident
+:class:`~repro.service.service.SchedulerService`, which serializes
+submits internally), daemon-threaded so Ctrl-C exits cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.exceptions import JobValidationError, ReproError, ServiceError
+from repro.service.jobs import JobRequest, JobResult
+from repro.service.service import SchedulerService
+
+__all__ = ["ServiceClient", "ServiceServer", "serve"]
+
+#: Maximum accepted request body (64 MiB) — a guard, not a quota.
+MAX_BODY_BYTES = 64 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler bound to the owning :class:`ServiceServer`."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    def _send_json(
+        self,
+        status: int,
+        payload: "dict[str, Any] | str",
+        headers: "dict[str, str] | None" = None,
+    ) -> None:
+        body = (
+            payload if isinstance(payload, str) else json.dumps(payload)
+        ).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.close_connection:
+            # Set by _read_body when the declared body was not consumed:
+            # advertise the close so clients do not reuse the connection.
+            self.send_header("Connection", "close")
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, exc: Exception) -> None:
+        payload = {
+            "error": type(exc).__name__,
+            "message": str(exc),
+            "field": getattr(exc, "field", None),
+        }
+        self._send_json(status, payload)
+
+    def _read_body(self) -> bytes:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # The declared body cannot be located, let alone drained: the
+            # keep-alive connection is unusable past this request.
+            self.close_connection = True
+            raise JobValidationError(
+                "Content-Length header is not an integer"
+            ) from None
+        if length > MAX_BODY_BYTES:
+            # Rejecting without draining leaves the body bytes in the
+            # socket; the next request on this connection would be parsed
+            # out of them.  Drop the connection instead of reading 64 MiB+.
+            self.close_connection = True
+            raise JobValidationError(
+                f"request body of {length} bytes exceeds the "
+                f"{MAX_BODY_BYTES}-byte limit"
+            )
+        return self.rfile.read(length)
+
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(
+                200, {"status": "ok", "backend": service.backend.describe()}
+            )
+        elif self.path == "/stats":
+            self._send_json(200, service.describe())
+        elif self.path == "/workloads":
+            self._send_json(200, {"workloads": service.describe()["workloads"]})
+        else:
+            self._send_json(
+                404, {"error": "NotFound", "message": f"no route {self.path!r}"}
+            )
+
+    def do_POST(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
+        service = self.server.service
+        try:
+            body = self._read_body()
+            if self.path == "/v1/jobs":
+                request = JobRequest.from_json(body.decode("utf-8"))
+                outcome = service.submit_outcome(request)
+                self._send_json(
+                    200,
+                    outcome.result.to_json(),
+                    headers={"X-Repro-Cache": outcome.cache},
+                )
+            elif self.path == "/v1/jobs:batch":
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except json.JSONDecodeError as exc:
+                    raise JobValidationError(
+                        f"invalid batch JSON: {exc}"
+                    ) from exc
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("jobs"), list
+                ):
+                    raise JobValidationError(
+                        "batch payload must be an object with a 'jobs' list",
+                        field="jobs",
+                    )
+                requests = [
+                    JobRequest.from_dict(job) for job in payload["jobs"]
+                ]
+                results = service.submit_many(requests)
+                self._send_json(
+                    200, {"results": [r.to_dict() for r in results]}
+                )
+            else:
+                self._send_json(
+                    404,
+                    {"error": "NotFound", "message": f"no route {self.path!r}"},
+                )
+        except JobValidationError as exc:
+            self._send_error_json(400, exc)
+        except ReproError as exc:
+            # A well-formed request the scheduler cannot satisfy (deadlock,
+            # enumeration limit, …) is the client's problem, not a crash.
+            self._send_error_json(422, exc)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, exc)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`SchedulerService` behind ``http.server``.
+
+    Parameters
+    ----------
+    service:
+        The resident service; constructed from ``backend``/``jobs`` when
+        omitted.
+    host / port:
+        Bind address; port 0 picks a free port (see :attr:`port`).
+    verbose:
+        Log one line per request to stderr (off by default; tests stay
+        quiet).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SchedulerService | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8350,
+        backend: str = "fused",
+        jobs: int | None = None,
+        verbose: bool = False,
+    ) -> None:
+        if service is None:
+            service = SchedulerService(backend=backend, jobs=jobs)
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should use."""
+        host = self.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start_background(self) -> threading.Thread:
+        """Serve from a daemon thread (tests and embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        self.service.close()
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8350,
+    backend: str = "fused",
+    jobs: int | None = None,
+    verbose: bool = True,
+) -> None:
+    """Blocking entry point behind ``repro serve``."""
+    server = ServiceServer(
+        host=host, port=port, backend=backend, jobs=jobs, verbose=verbose
+    )
+    print(
+        f"repro service listening on {server.url} "
+        f"(backend {server.service.backend.describe()}); Ctrl-C to stop"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP client for a running ``repro serve``.
+
+    >>> client = ServiceClient("http://127.0.0.1:8350")   # doctest: +SKIP
+    >>> result = client.submit(JobRequest(capacity=5, pdef=4,
+    ...                                   workload="3dft"))  # doctest: +SKIP
+
+    The client re-raises server-side validation failures as
+    :class:`~repro.exceptions.JobValidationError` and everything else as
+    :class:`~repro.exceptions.ServiceError`, so callers handle local and
+    remote submission identically.
+    """
+
+    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: Cache level of the most recent single-job submit (the
+        #: ``X-Repro-Cache`` response header).
+        self.last_cache: str | None = None
+
+    # ------------------------------------------------------------------ #
+    def _request(
+        self, path: str, body: "bytes | None" = None
+    ) -> tuple[dict[str, Any] | str, dict[str, str]]:
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            headers={"Content-Type": "application/json"} if body else {},
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8"), dict(resp.headers)
+        except urllib.error.HTTPError as exc:
+            detail: dict[str, Any] = {}
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                pass
+            message = detail.get("message", str(exc))
+            if exc.code == 400:
+                raise JobValidationError(
+                    message, field=detail.get("field")
+                ) from exc
+            raise ServiceError(
+                f"service returned HTTP {exc.code}: {message}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.base_url}: {exc.reason}"
+            ) from exc
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: JobRequest) -> JobResult:
+        """Submit one job; ``self.last_cache`` records the cache level."""
+        body, headers = self._request(
+            "/v1/jobs", request.to_json().encode("utf-8")
+        )
+        self.last_cache = headers.get("X-Repro-Cache")
+        return JobResult.from_json(body)  # type: ignore[arg-type]
+
+    def submit_many(self, requests: "list[JobRequest]") -> list[JobResult]:
+        """Submit a batch (service-side dedup applies)."""
+        payload = json.dumps({"jobs": [r.to_dict() for r in requests]})
+        body, _ = self._request("/v1/jobs:batch", payload.encode("utf-8"))
+        parsed = json.loads(body)  # type: ignore[arg-type]
+        return [JobResult.from_dict(r) for r in parsed["results"]]
+
+    def health(self) -> dict[str, Any]:
+        body, _ = self._request("/healthz")
+        return json.loads(body)  # type: ignore[arg-type]
+
+    def stats(self) -> dict[str, Any]:
+        body, _ = self._request("/stats")
+        return json.loads(body)  # type: ignore[arg-type]
+
+    def workloads(self) -> list[str]:
+        body, _ = self._request("/workloads")
+        return json.loads(body)["workloads"]  # type: ignore[arg-type]

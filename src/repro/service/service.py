@@ -1,0 +1,459 @@
+"""The long-lived scheduling service (``SchedulerService``).
+
+The public API shift this module carries: instead of constructing a fresh
+:class:`~repro.pipeline.Pipeline` and paying full catalog + selection cost
+per call, callers **submit jobs** to a resident service that
+
+* owns **one backend instance for its lifetime** — the process backend
+  runs with a persistent worker pool, so pool startup is amortized across
+  requests (a PERFORMANCE.md backlog item);
+* keys work by **content**: graphs are canonicalized and SHA-256-digested
+  (:func:`repro.dfg.io.dfg_digest`), so structurally identical graphs
+  share cached work no matter how or where they were built;
+* caches at **three levels**, each a keyed LRU —
+
+  ===========  ========================================================
+  level        key
+  ===========  ========================================================
+  catalog      ``(dfg_digest, capacity, enumeration-config fields)``
+  selection    ``(catalog key, pdef, full config)``
+  result       ``(dfg_digest, capacity, pdef, config, priority)``
+  ===========  ========================================================
+
+  so a ``pdef`` sweep re-uses one catalog, a re-submitted job returns its
+  bit-identical :class:`~repro.service.jobs.JobResult` from the result
+  cache, and an edited config invalidates exactly the levels it touches;
+* batches: :meth:`SchedulerService.submit_many` dedups identical jobs
+  (same job key → computed once, result shared) before running, so a
+  sweep submitted as one batch does no duplicate work even intra-batch.
+
+The backend is a *strategy*, never part of a cache key — all backends are
+bit-identical by contract, so a result computed under ``process`` serves a
+later ``fused`` request for the same job.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.analysis.metrics import schedule_stats
+from repro.core.selection import PatternSelector, SelectionResult
+from repro.dfg.graph import DFG
+from repro.dfg.io import dfg_digest
+from repro.dfg.validate import validate_dfg
+from repro.exceptions import JobValidationError, ServiceError
+from repro.exec import ExecutionBackend, get_backend
+from repro.exec.process import ProcessBackend
+from repro.scheduling.scheduler import MultiPatternScheduler
+from repro.service.jobs import JobRequest, JobResult
+
+__all__ = ["SchedulerService", "ServiceStats", "SubmitOutcome"]
+
+#: Cache levels, deepest first — the level names reported per submit.
+CACHE_LEVELS = ("result", "selection", "catalog", "none")
+
+
+class _LRU:
+    """A small keyed LRU (most-recently-*used* eviction order)."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ServiceError(f"cache size must be ≥ 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any) -> Any | None:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+@dataclass
+class ServiceStats:
+    """Cache hit/miss accounting across a service's lifetime.
+
+    ``submitted`` counts every job that reached :meth:`SchedulerService.submit`
+    (batch members included); ``deduped`` counts batch members answered by
+    an identical sibling within the same :meth:`~SchedulerService.submit_many`
+    call *without* reaching the caches at all.
+    """
+
+    submitted: int = 0
+    deduped: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    selection_hits: int = 0
+    selection_misses: int = 0
+    catalog_hits: int = 0
+    catalog_misses: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "selection_hits": self.selection_hits,
+            "selection_misses": self.selection_misses,
+            "catalog_hits": self.catalog_hits,
+            "catalog_misses": self.catalog_misses,
+        }
+
+
+@dataclass(frozen=True)
+class SubmitOutcome:
+    """A :class:`JobResult` plus how much of it came from cache.
+
+    ``cache`` is the deepest cache level that answered: ``"result"`` (the
+    whole job), ``"selection"`` (catalog + selection reused, schedule
+    recomputed — only reachable for jobs differing in ``priority``),
+    ``"catalog"`` (catalog reused) or ``"none"`` (cold).
+    """
+
+    result: JobResult
+    cache: str = "none"
+
+
+class SchedulerService:
+    """A resident scheduler serving :class:`~repro.service.jobs.JobRequest` jobs.
+
+    Parameters
+    ----------
+    backend:
+        Execution backend name or instance the service owns for its
+        lifetime (default ``"fused"``).  When a *name* resolves to the
+        process backend, the service turns its persistent worker pool on;
+        an explicitly constructed instance is used exactly as configured.
+    jobs:
+        Worker count forwarded to the backend factory (names only; an
+        instance's worker count is fixed at construction).
+    workloads:
+        Name → zero-argument DFG builder registry for workload-by-name
+        requests (default: :data:`repro.workloads.WORKLOADS`).
+    catalog_cache / selection_cache / result_cache:
+        LRU sizes of the three cache levels.
+    timer:
+        Stage clock (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: "ExecutionBackend | str" = "fused",
+        jobs: int | None = None,
+        workloads: "dict[str, Callable[[], DFG]] | None" = None,
+        catalog_cache: int = 64,
+        selection_cache: int = 256,
+        result_cache: int = 1024,
+        timer: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        owns = isinstance(backend, str)
+        self.backend: ExecutionBackend = get_backend(backend, jobs=jobs)
+        if owns and isinstance(self.backend, ProcessBackend):
+            # The service is long-lived by definition; amortize pool
+            # startup across requests.
+            self.backend.persistent = True
+        if workloads is None:
+            from repro.workloads import WORKLOADS
+
+            workloads = dict(WORKLOADS)
+        self._workloads = workloads
+        self._catalogs = _LRU(catalog_cache)
+        self._selections = _LRU(selection_cache)
+        self._results = _LRU(result_cache)
+        # digest → first-seen graph object: keeps one canonical DFG per
+        # content class so the persistent pool and analysis caches warm up
+        # on a single object instead of per-request copies.
+        self._graphs = _LRU(catalog_cache)
+        self._named_graphs: dict[str, DFG] = {}
+        self._overrides: dict[str, ExecutionBackend] = {}
+        self.stats = ServiceStats()
+        self.timer = timer
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release the resident backend's retained resources."""
+        self.backend.close()
+        for b in self._overrides.values():
+            b.close()
+
+    def __enter__(self) -> "SchedulerService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # graph resolution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate_once(dfg: DFG) -> None:
+        """``validate_dfg`` memoized on the graph's mutation-cleared cache.
+
+        Warm submits and batch keying would otherwise re-pay the O(V+E)
+        acyclicity check per submission of the same graph object.
+        """
+        cache = getattr(dfg, "_analysis_cache", None)
+        if cache is not None and cache.get("service_validated"):
+            return
+        validate_dfg(dfg)
+        if cache is not None:
+            cache["service_validated"] = True
+
+    def _resolve_graph(self, request: JobRequest) -> tuple[DFG, str]:
+        """The job's graph (canonical object per content class) + digest."""
+        if request.workload is not None:
+            dfg = self._named_graphs.get(request.workload)
+            if dfg is None:
+                builder = self._workloads.get(request.workload)
+                if builder is None:
+                    raise JobValidationError(
+                        f"unknown workload {request.workload!r}; available: "
+                        f"{sorted(self._workloads)}",
+                        field="workload",
+                    )
+                dfg = builder()
+                self._validate_once(dfg)
+                self._named_graphs[request.workload] = dfg
+        else:
+            assert request.dfg is not None  # JobRequest validated this
+            dfg = request.dfg
+            self._validate_once(dfg)
+        digest = dfg_digest(dfg)
+        seen = self._graphs.get(digest)
+        # First-seen object wins the whole digest class: equal content ⇒
+        # equal results, and object stability keeps worker pools warm.
+        # Guard against a caller mutating a previously submitted graph in
+        # place: the stored object must still *hash to* the digest it is
+        # filed under (dfg_digest is memoized, so this re-check is a dict
+        # lookup except right after a mutation), else it is evicted.
+        if seen is None or dfg_digest(seen) != digest:
+            self._graphs.put(digest, dfg)
+            seen = dfg
+        return seen, digest
+
+    def _backend_for(self, request: JobRequest) -> ExecutionBackend:
+        if request.backend is None:
+            return self.backend
+        override = self._overrides.get(request.backend)
+        if override is None:
+            override = get_backend(request.backend)
+            self._overrides[request.backend] = override
+        return override
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    def submit(self, request: JobRequest) -> JobResult:
+        """Run (or serve from cache) one job; see :meth:`submit_outcome`."""
+        return self.submit_outcome(request).result
+
+    def submit_outcome(self, request: JobRequest) -> SubmitOutcome:
+        """:meth:`submit` plus the cache level that answered."""
+        if not isinstance(request, JobRequest):
+            raise JobValidationError(
+                f"expected a JobRequest, got {type(request).__name__}"
+            )
+        with self._lock:
+            self.stats.submitted += 1
+            dfg, digest = self._resolve_graph(request)
+            job_key = request.job_key(digest)
+
+            cached = self._results.get(job_key)
+            if cached is not None:
+                self.stats.result_hits += 1
+                return SubmitOutcome(result=cached, cache="result")
+            self.stats.result_misses += 1
+
+            backend = self._backend_for(request)
+            timings: dict[str, float] = {}
+            config = request.config
+            selector = PatternSelector(request.capacity, config=config)
+
+            catalog_key = (
+                digest,
+                request.capacity,
+                config.span_limit,
+                config.max_pattern_size,
+                config.max_antichains,
+                config.adaptive_span,
+                config.store_antichains,
+            )
+            selection_key = (catalog_key, request.pdef, config)
+            cache_level = "none"
+
+            selection: SelectionResult | None = self._selections.get(
+                selection_key
+            )
+            if selection is not None:
+                self.stats.selection_hits += 1
+                cache_level = "selection"
+            else:
+                self.stats.selection_misses += 1
+                catalog = self._catalogs.get(catalog_key)
+                if catalog is not None:
+                    self.stats.catalog_hits += 1
+                    cache_level = "catalog"
+                else:
+                    self.stats.catalog_misses += 1
+                    t0 = self.timer()
+                    catalog = selector.build_catalog(dfg, backend=backend)
+                    timings["catalog"] = self.timer() - t0
+                    self._catalogs.put(catalog_key, catalog)
+                t0 = self.timer()
+                selection = selector.select(
+                    dfg, request.pdef, catalog=catalog, backend=backend
+                )
+                timings["selection"] = self.timer() - t0
+                self._selections.put(selection_key, selection)
+
+            scheduler = MultiPatternScheduler(
+                selection.library, priority=request.priority
+            )
+            t0 = self.timer()
+            schedule = scheduler.schedule(dfg, backend=backend)
+            timings["schedule"] = self.timer() - t0
+            t0 = self.timer()
+            metrics = schedule_stats(schedule)
+            timings["metrics"] = self.timer() - t0
+
+            result = JobResult(
+                job_key=job_key,
+                dfg_digest=digest,
+                workload=request.workload,
+                capacity=request.capacity,
+                pdef=request.pdef,
+                priority=request.priority,
+                dfg=dfg,
+                schedule=schedule,
+                selection=selection,
+                metrics=metrics,
+                timings=timings,
+                backend=backend.name,
+            )
+            self._results.put(job_key, result)
+            return SubmitOutcome(result=result, cache=cache_level)
+
+    def submit_many(
+        self, requests: "Sequence[JobRequest] | Iterable[JobRequest]"
+    ) -> list[JobResult]:
+        """Submit a batch, deduping identical jobs before running.
+
+        Jobs with equal job keys (same graph content, capacity, pdef,
+        config and priority) are computed once and the result is shared;
+        catalog sharing across a ``pdef`` sweep falls out of the catalog
+        cache — the catalog is built exactly once per
+        ``(graph, capacity, enumeration config)``.  Results come back
+        aligned with the input order.
+        """
+        requests = list(requests)
+        with self._lock:
+            keyed: list[tuple[str, JobRequest]] = []
+            for request in requests:
+                if not isinstance(request, JobRequest):
+                    raise JobValidationError(
+                        f"expected a JobRequest, got {type(request).__name__}"
+                    )
+                _, digest = self._resolve_graph(request)
+                keyed.append((request.job_key(digest), request))
+            computed: dict[str, JobResult] = {}
+            out: list[JobResult] = []
+            for key, request in keyed:
+                hit = computed.get(key)
+                if hit is not None:
+                    self.stats.deduped += 1
+                    out.append(hit)
+                    continue
+                result = self.submit(request)
+                computed[key] = result
+                out.append(result)
+            return out
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def describe(self) -> dict[str, Any]:
+        """Service status: backend, cache occupancy, hit/miss counters."""
+        return {
+            "backend": self.backend.describe(),
+            "caches": {
+                "catalog": {
+                    "size": len(self._catalogs),
+                    "max": self._catalogs.maxsize,
+                },
+                "selection": {
+                    "size": len(self._selections),
+                    "max": self._selections.maxsize,
+                },
+                "result": {
+                    "size": len(self._results),
+                    "max": self._results.maxsize,
+                },
+            },
+            "stats": self.stats.to_dict(),
+            "workloads": sorted(self._workloads),
+        }
+
+    def clear_caches(self) -> None:
+        """Drop all cached catalogs, selections and results."""
+        with self._lock:
+            self._catalogs.clear()
+            self._selections.clear()
+            self._results.clear()
+            self._graphs.clear()
+            self._named_graphs.clear()
+
+    # ------------------------------------------------------------------ #
+    def run_pipeline_job(
+        self,
+        workload_or_dfg: "str | DFG",
+        capacity: int,
+        pdef: int,
+        **kwargs: Any,
+    ) -> SubmitOutcome:
+        """Convenience: build a request from loose arguments and submit it.
+
+        ``kwargs`` are the optional :class:`JobRequest` fields
+        (``config``, ``priority``, ``backend``).
+        """
+        if isinstance(workload_or_dfg, str):
+            request = JobRequest(
+                capacity=capacity,
+                pdef=pdef,
+                workload=workload_or_dfg,
+                **kwargs,
+            )
+        elif isinstance(workload_or_dfg, DFG):
+            request = JobRequest(
+                capacity=capacity, pdef=pdef, dfg=workload_or_dfg, **kwargs
+            )
+        else:
+            raise JobValidationError(
+                f"expected a workload name or DFG, "
+                f"got {type(workload_or_dfg).__name__}"
+            )
+        return self.submit_outcome(request)

@@ -51,6 +51,7 @@ WORKLOADS = {
     "5dft": five_point_dft,
     "fft8": lambda: radix2_fft(8),
     "fft16": lambda: radix2_fft(16),
+    "fft64": lambda: radix2_fft(64),
     "small-example": small_example,
     "fir8": lambda: fir_filter(8),
     "iir2": lambda: iir_cascade(2),

@@ -6,7 +6,9 @@ import pytest
 
 from repro.dfg.graph import DFG
 from repro.dfg.io import (
+    canonical_json,
     color_from_name,
+    dfg_digest,
     from_edge_list,
     from_json,
     to_dot,
@@ -89,6 +91,88 @@ class TestEdgeList:
     def test_bad_line_rejected(self):
         with pytest.raises(GraphError, match="line 1"):
             from_edge_list("a b c\n")
+
+
+def _abc_graph(*, node_order=("a1", "b2", "c3"), edge_order=(("a1", "b2"), ("a1", "c3")), attr_order="forward", name="g"):
+    """One structural content, many construction orders."""
+    colors = {"a1": "a", "b2": "b", "c3": "c"}
+    attrs = {"op": "add", "weight": 2}
+    if attr_order == "reversed":
+        attrs = dict(reversed(list(attrs.items())))
+    dfg = DFG(name=name)
+    for n in node_order:
+        dfg.add_node(n, colors[n], **(attrs if n == "a1" else {}))
+    dfg.add_edges(edge_order)
+    return dfg
+
+
+class TestCanonicalDigest:
+    def test_invariant_under_node_insertion_order(self):
+        a = _abc_graph(node_order=("a1", "b2", "c3"))
+        b = _abc_graph(node_order=("c3", "a1", "b2"))
+        assert a.nodes != b.nodes  # genuinely different insertion orders
+        assert canonical_json(a) == canonical_json(b)
+        assert dfg_digest(a) == dfg_digest(b)
+
+    def test_invariant_under_edge_insertion_order(self):
+        a = _abc_graph(edge_order=(("a1", "b2"), ("a1", "c3")))
+        b = _abc_graph(edge_order=(("a1", "c3"), ("a1", "b2")))
+        assert a.edges() != b.edges()
+        assert dfg_digest(a) == dfg_digest(b)
+
+    def test_invariant_under_attr_dict_ordering(self):
+        a = _abc_graph(attr_order="forward")
+        b = _abc_graph(attr_order="reversed")
+        assert list(a.node("a1").attrs) != list(b.node("a1").attrs)
+        assert dfg_digest(a) == dfg_digest(b)
+
+    def test_name_is_not_structure(self):
+        assert dfg_digest(_abc_graph(name="x")) == dfg_digest(
+            _abc_graph(name="y")
+        )
+
+    def test_distinct_across_color_change(self):
+        a = _abc_graph()
+        b = DFG(name="g")
+        b.add_node("a1", "a", op="add", weight=2)
+        b.add_node("b2", "b")
+        b.add_node("c3", "b")  # c3 recolored
+        b.add_edges([("a1", "b2"), ("a1", "c3")])
+        assert dfg_digest(a) != dfg_digest(b)
+
+    def test_distinct_across_edge_change(self):
+        a = _abc_graph(edge_order=(("a1", "b2"), ("a1", "c3")))
+        b = _abc_graph(edge_order=(("a1", "b2"), ("b2", "c3")))
+        assert dfg_digest(a) != dfg_digest(b)
+
+    def test_distinct_across_attr_value_change(self):
+        a = _abc_graph()
+        b = _abc_graph()
+        b.set_attr("a1", "weight", 3)
+        assert dfg_digest(a) != dfg_digest(b)
+
+    def test_canonical_form_is_compact_valid_json(self):
+        import json
+
+        text = canonical_json(_abc_graph())
+        payload = json.loads(text)
+        assert set(payload) == {"nodes", "edges"}
+        assert ": " not in text and ", " not in text  # no whitespace
+
+    def test_set_attr_invalidates_digest_memo(self):
+        g = _abc_graph()
+        before = dfg_digest(g)  # memoized on the analysis cache
+        g.set_attr("a1", "weight", 99)
+        assert dfg_digest(g) != before
+
+    def test_digest_memoized_and_invalidated_on_mutation(self, paper_3dft):
+        first = dfg_digest(paper_3dft)
+        assert paper_3dft._analysis_cache["dfg_digest"] == first
+        assert dfg_digest(paper_3dft) == first  # cached path
+        mutated = paper_3dft.copy()
+        assert dfg_digest(mutated) == first  # copies share content
+        mutated.add_node("z99", "a")
+        assert dfg_digest(mutated) != first  # mutation invalidates
 
 
 class TestDot:

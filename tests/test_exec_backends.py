@@ -300,3 +300,55 @@ def test_classification_identical_in_numpy_spill_regime(monkeypatch):
         assert all(type(v) is int for v in counter.values())
     proc = classify_antichains(dfg, 4, 1, backend=ProcessBackend(jobs=2))
     assert_catalogs_identical(proc, expected)
+
+
+def test_get_backend_rejects_jobs_with_instance():
+    from repro.exceptions import BackendError
+
+    with pytest.raises(BackendError, match="cannot be combined"):
+        get_backend(FusedBackend(), jobs=4)
+
+
+def test_process_persistent_pool_reused_across_calls():
+    from tests.conftest import chain
+
+    # A graph with >1 seed so the pool actually engages.
+    dfg = chain(4)
+    dfg2 = chain(5)
+    with ProcessBackend(jobs=2, persistent=True) as backend:
+        a = backend.classify(dfg, 2, None, max_count=None)
+        gen_after_first = backend.pool_generation()
+        # Same graph, different capacity/span: the pool survives.
+        b = backend.classify(dfg, 3, 1, max_count=None)
+        assert backend.pool_generation() == gen_after_first
+        # A different graph retires the pool and starts a new one.
+        backend.classify(dfg2, 2, None, max_count=None)
+        assert backend.pool_generation() == gen_after_first + 1
+    # Closed: a fresh call simply re-acquires.
+    ref = FusedBackend().classify(dfg, 2, None, max_count=None)
+    assert a.frequencies == ref.frequencies
+    assert b.capacity == 3
+
+
+def test_process_one_shot_does_not_retain_pool():
+    from tests.conftest import chain
+
+    backend = ProcessBackend(jobs=2)
+    backend.classify(chain(4), 2, None, max_count=None)
+    assert backend._pool is None
+
+
+def test_process_persistent_pool_retired_on_graph_mutation():
+    from tests.conftest import chain
+
+    dfg = chain(4)
+    with ProcessBackend(jobs=2, persistent=True) as backend:
+        backend.classify(dfg, 2, None, max_count=None)
+        gen = backend.pool_generation()
+        # Workers hold the graph as pickled at pool creation; an in-place
+        # mutation must retire the pool (stale workers would classify the
+        # old graph), and the fresh pool must see the new node.
+        dfg.add_node("a9", "a")
+        catalog = backend.classify(dfg, 2, None, max_count=None)
+        assert backend.pool_generation() == gen + 1
+        assert any("a9" in counter for counter in catalog.frequencies.values())

@@ -111,3 +111,12 @@ def test_pipeline_config_property():
     pipe = Pipeline(5, 4, config=cfg)
     assert pipe.config is cfg
     assert Pipeline(5, 4).config == SelectionConfig()
+
+
+def test_pipeline_rejects_jobs_with_backend_instance():
+    # jobs= used to be silently dropped when a backend instance was passed;
+    # it must now raise (the instance's worker count is fixed at construction).
+    from repro.exec import SerialBackend
+
+    with pytest.raises(BackendError, match="cannot be combined"):
+        Pipeline(5, 4, backend=SerialBackend(), jobs=4)

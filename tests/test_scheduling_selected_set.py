@@ -90,3 +90,114 @@ class TestSelectedSetScan:
         assert sel == [1]
         assert examined == 2
         assert not complete
+
+
+class TestRevalidateScan:
+    """revalidate_scan: color-aware S(p, CL) cache dirtiness.
+
+    A cached complete greedy walk survives a commit iff every removal and
+    insertion inside its examined prefix involves a color the pattern has
+    no slot for — then only the prefix *length* shifts.  The scheduler's
+    equivalence suite pins the end-to-end bit-identity; these tests pin the
+    event arithmetic directly.
+    """
+
+    def test_untouched_prefix_is_a_noop(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 1, 0, 1]
+        # Events strictly beyond the examined prefix never matter.
+        assert revalidate_scan(2, [(5, 0)], [(7, 1)], [1, 0], labels) == 2
+
+    def test_matching_color_removal_invalidates(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 1]
+        # Node 0 has color 0, the pattern has a color-0 slot -> dead.
+        assert revalidate_scan(3, [(1, 0)], [], [1, 0], labels) is None
+
+    def test_non_matching_removal_shrinks_boundary(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 1, 1]
+        # Two color-1 removals inside the prefix; pattern has no 1-slots.
+        assert revalidate_scan(4, [(0, 1), (2, 2)], [], [2, 0], labels) == 2
+
+    def test_matching_insertion_invalidates(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 1]
+        assert revalidate_scan(3, [], [(1, 0)], [1, 0], labels) is None
+
+    def test_non_matching_insertion_grows_boundary(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 1]
+        assert revalidate_scan(3, [], [(0, 1)], [1, 0], labels) == 4
+
+    def test_insertion_positions_track_the_moving_boundary(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 1, 1]
+        # Boundary 2; first insertion at pos 2 is beyond it (no effect);
+        # second at pos 1 grows it to 3 -- after which position 2 *would*
+        # be inside, but events are sequential, so the first stays outside.
+        assert revalidate_scan(2, [], [(2, 1), (1, 2)], [1, 0], labels) == 3
+
+    def test_removals_beyond_prefix_stop_the_scan(self):
+        from repro.scheduling.selected_set import revalidate_scan
+
+        labels = [0, 0, 1]
+        # Ascending removal positions: (4, ...) >= examined stops the loop
+        # before the matching-color removal at position 5 is examined.
+        assert revalidate_scan(3, [(4, 0), (5, 1)], [], [1, 0], labels) == 3
+
+    def test_agrees_with_a_fresh_walk_randomized(self):
+        import random
+
+        from repro.scheduling.selected_set import (
+            revalidate_scan,
+            selected_set_scan,
+        )
+
+        rng = random.Random(7)
+        n_colors = 3
+        for _ in range(300):
+            n = rng.randint(4, 14)
+            labels = [rng.randrange(n_colors) for _ in range(n)]
+            order = list(range(n))
+            rng.shuffle(order)
+            slots = [rng.randint(0, 2) for _ in range(n_colors)]
+            size = sum(slots)
+            if size == 0:
+                continue
+            sel, examined, complete = selected_set_scan(
+                slots, size, order, labels
+            )
+            if not complete:
+                continue
+            # One commit: remove some candidates, insert some new ones.
+            removal_count = rng.randint(0, min(3, n - 1))
+            removal_pos = sorted(rng.sample(range(n), removal_count))
+            removals = [(pos, order[pos]) for pos in removal_pos]
+            new_order = [
+                x for i, x in enumerate(order) if i not in set(removal_pos)
+            ]
+            insertions = []
+            for j in range(rng.randint(0, 3)):
+                node = n + j
+                labels.append(rng.randrange(n_colors))
+                pos = rng.randint(0, len(new_order))
+                new_order.insert(pos, node)
+                insertions.append((pos, node))
+            boundary = revalidate_scan(
+                examined, removals, insertions, slots, labels
+            )
+            fresh_sel, fresh_examined, fresh_complete = selected_set_scan(
+                slots, size, new_order, labels
+            )
+            if boundary is not None:
+                # A surviving cache must equal the fresh walk bit for bit.
+                assert fresh_complete
+                assert fresh_sel == sel
+                assert fresh_examined == boundary

@@ -108,3 +108,47 @@ def test_missing_baseline_path_is_skipped(tmp_path):
     assert diff_bench.main(
         [str(new), "--baseline", str(tmp_path / "nope.json")]
     ) == 0
+
+
+def _service_section(warm_speedup=500.0, catalog_builds=1):
+    return {
+        "workload": "FFT-64",
+        "cold_s": 1.0,
+        "warm_s": 1.0 / warm_speedup,
+        "warm_speedup": warm_speedup,
+        "sweep_pdefs": [3, 4, 5],
+        "sweep_catalog_builds": catalog_builds,
+    }
+
+
+def test_service_section_passes_at_floor(tmp_path, capsys):
+    report = _report([("FFT-8", "enumeration+classify", 5.0)])
+    report["service"] = _service_section(warm_speedup=10.0)
+    new = _write(tmp_path, "new.json", report)
+    assert diff_bench.main([str(new)]) == 0
+    assert "service submit" in capsys.readouterr().out
+
+
+def test_service_warm_speedup_below_floor_fails(tmp_path, capsys):
+    report = _report([("FFT-8", "enumeration+classify", 5.0)])
+    report["service"] = _service_section(warm_speedup=4.0)
+    new = _write(tmp_path, "new.json", report)
+    assert diff_bench.main([str(new)]) == 1
+    assert "below the 10.0x floor" in capsys.readouterr().err
+
+
+def test_service_sweep_must_build_catalog_once(tmp_path, capsys):
+    report = _report([("FFT-8", "enumeration+classify", 5.0)])
+    report["service"] = _service_section(catalog_builds=3)
+    new = _write(tmp_path, "new.json", report)
+    assert diff_bench.main([str(new)]) == 1
+    assert "expected exactly 1" in capsys.readouterr().err
+
+
+def test_missing_service_section_is_skipped(tmp_path, capsys):
+    new = _write(
+        tmp_path, "new.json",
+        _report([("FFT-8", "enumeration+classify", 5.0)]),
+    )
+    assert diff_bench.main([str(new)]) == 0
+    assert "service gate skipped" in capsys.readouterr().out
