@@ -23,7 +23,7 @@ from repro.core.local_search import optimize_pattern_set
 from repro.core.selection import select_patterns
 from repro.patterns.library import PatternLibrary
 from repro.scheduling.optimal import optimal_schedule
-from repro.scheduling.scheduler import MultiPatternScheduler, schedule_dfg
+from repro.scheduling.scheduler import MultiPatternScheduler
 
 CFG = SelectionConfig(span_limit=1)
 

@@ -31,7 +31,7 @@ def test_ablation_alpha_epsilon(benchmark, dfg_3dft):
 
     table = render_table(
         ["parameter", "value", "cycles (3DFT, Pdef=3)"],
-        [("alpha", a, l) for a, l in out["alpha"]]
-        + [("epsilon", e, l) for e, l in out["epsilon"]],
+        [("alpha", a, cyc) for a, cyc in out["alpha"]]
+        + [("epsilon", e, cyc) for e, cyc in out["epsilon"]],
     )
     record(benchmark, "Ablation — α/ε around the paper's (20, 0.5)", table)

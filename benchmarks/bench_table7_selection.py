@@ -13,7 +13,6 @@ Paper-vs-measured expectations (DESIGN.md §4/§5):
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import record
 

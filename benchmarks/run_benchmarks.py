@@ -10,13 +10,20 @@ across commits / CI artifacts to catch regressions; see
 
 With ``--backend process --jobs N`` the process backend is timed as well
 and its enumeration+classify speedup over the fused single-threaded
-engine is recorded.  Multi-core speedup obviously requires multiple
-cores; the report records the machine's CPU count alongside.
+engine is recorded.  With ``--shards N`` the sharded-enumeration path is
+timed too: N real ``repro serve`` subprocesses are spawned and a
+:class:`~repro.service.shard.ShardCoordinator` fans the catalog build
+out over them via ``POST /v1/catalog:shard``, verifying the merged
+catalog bit-identical to the fused one.  Multi-core speedup obviously
+requires multiple cores; the report records the machine's CPU count
+alongside, and ``scripts/diff_bench.py`` only gates process/shard rows
+when ``cpus > 1``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # serial vs fused
     PYTHONPATH=src python benchmarks/run_benchmarks.py --backend process --jobs 4
+    PYTHONPATH=src python benchmarks/run_benchmarks.py --shards 4   # + shard rows
     PYTHONPATH=src python benchmarks/run_benchmarks.py --quick      # CI smoke
     PYTHONPATH=src python benchmarks/run_benchmarks.py -o out.json
 """
@@ -28,12 +35,16 @@ import gc
 import json
 import os
 import platform
+import re
+import subprocess
 import sys
+import threading
 import time
 from pathlib import Path
 
 from repro._version import __version__
 from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
 from repro.dfg.antichains import AntichainEnumerator
 from repro.pipeline import Pipeline
 from repro.service import JobRequest, SchedulerService
@@ -184,6 +195,109 @@ def bench_workload(name, dfg, config, capacity, pdef, repeats, process_jobs):
     return rows
 
 
+def _spawn_shard_servers(n: int) -> tuple[list, list[str]]:
+    """Spawn ``n`` real ``repro serve`` subprocesses on OS-assigned ports.
+
+    Subprocesses (not threads) so the shard benchmark measures genuine
+    multi-core fan-out — each server enumerates in its own interpreter.
+    Returns ``(procs, urls)``; callers must terminate the procs.
+    """
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs, urls = [], []
+    try:
+        for _ in range(n):
+            proc = subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro.cli", "serve",
+                 "--port", "0"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                env=env,
+                text=True,
+            )
+            procs.append(proc)
+            line = proc.stdout.readline()
+            m = re.search(r"http://[\d.]+:\d+", line or "")
+            if not m:
+                raise RuntimeError(
+                    f"shard server failed to start (got {line!r})"
+                )
+            urls.append(m.group(0))
+            # Drain further output (per-request logs) so the pipe never
+            # fills and blocks the server.
+            threading.Thread(
+                target=proc.stdout.read, daemon=True
+            ).start()
+    except BaseException:
+        for proc in procs:
+            proc.terminate()
+        raise
+    return procs, urls
+
+
+def bench_shards(shards, workloads, repeats_override=None):
+    """Sharded catalog build over real server subprocesses vs fused.
+
+    One ``shard catalog`` row per workload: ``reference_s`` is the fused
+    single-instance catalog build, ``fast_s`` the coordinator fanning the
+    same build out over ``shards`` ``repro serve`` subprocesses.  The
+    merged catalog is checked bit-identical before any number is
+    reported.
+    """
+    from repro.service import ShardCoordinator
+    from repro.service.serialize import catalog_to_dict
+
+    rows = []
+    procs, urls = _spawn_shard_servers(shards)
+    try:
+        with ShardCoordinator(urls) as coord:
+            for name, dfg, config, capacity, _pdef, repeats in workloads:
+                repeats = repeats_override or repeats
+                selector = PatternSelector(capacity, config=config)
+                fused_s, fused_cat = _best_of(
+                    lambda: selector.build_catalog(dfg), repeats
+                )
+                shard_s, shard_cat = _best_of(
+                    lambda: coord.build_catalog(
+                        dfg, capacity, config=config
+                    ),
+                    repeats,
+                )
+                _check(
+                    json.dumps(catalog_to_dict(shard_cat))
+                    == json.dumps(catalog_to_dict(fused_cat)),
+                    f"sharded catalog not bit-identical ({name})",
+                )
+                speedup = (
+                    round(fused_s / shard_s, 2) if shard_s > 0 else None
+                )
+                rows.append(
+                    {
+                        "workload": name,
+                        "stage": "shard catalog",
+                        "reference_s": round(fused_s, 6),
+                        "fast_s": round(shard_s, 6),
+                        "speedup": speedup,
+                        "shards": shards,
+                    }
+                )
+                print(
+                    f"  {name:>8} {'shard catalog':<24} "
+                    f"fused {fused_s:8.4f}s   "
+                    f"x{shards} shards {shard_s:8.4f}s   {speedup:6.2f}x"
+                )
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    return rows
+
+
 def bench_service(warm_repeats: int = 3) -> dict:
     """Cold vs warm submit of one FFT-64 job through the service.
 
@@ -274,6 +388,11 @@ def main(argv=None) -> int:
         help="worker count for --backend process (default: all cores)",
     )
     parser.add_argument(
+        "--shards", type=int, default=None,
+        help="additionally time sharded catalog building over N "
+             "'repro serve' subprocesses (shard catalog rows)",
+    )
+    parser.add_argument(
         "-o", "--output", type=Path, default=DEFAULT_OUTPUT,
         help=f"output JSON path (default: {DEFAULT_OUTPUT})",
     )
@@ -337,11 +456,20 @@ def main(argv=None) -> int:
             )
         )
 
+    if args.shards:
+        print(
+            f"shard benchmark: catalog build over {args.shards} "
+            f"'repro serve' subprocesses vs fused"
+        )
+        rows.extend(bench_shards(args.shards, workloads))
+
     print("service benchmark: cold vs warm submit (content-addressed caches)")
     service_section = bench_service()
 
     pipeline = {}
     for row in rows:
+        if row["stage"] == "shard catalog":
+            continue  # an alternative strategy, not a pipeline stage sum
         agg = pipeline.setdefault(
             row["workload"], {"reference_s": 0.0, "fast_s": 0.0}
         )
@@ -370,6 +498,7 @@ def main(argv=None) -> int:
         "backends": ["serial", "fused"]
         + (["process"] if process_jobs else []),
         "process_jobs": process_jobs,
+        "shards": args.shards,
         "stages": rows,
         "pipeline": pipeline,
         "service": service_section,

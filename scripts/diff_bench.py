@@ -17,7 +17,16 @@ floor:
   submit of the same job through :class:`repro.service.SchedulerService`)
   must keep a warm speedup ≥ ``--service-floor`` (default 10x, the
   acceptance bar for the content-addressed result cache) and must have
-  built the pdef-sweep catalog exactly once.
+  built the pdef-sweep catalog exactly once;
+* multi-core gates — process-backend and sharded-enumeration rows are
+  only meaningful on real multi-core hardware, so they are gated **only
+  when the report says ``cpus > 1``**: the process backend must then beat
+  the fused engine on enumeration+classify by ≥ ``--process-floor``
+  (default 1.05x) and the ``shard catalog`` rows must reach
+  ≥ ``--shard-floor`` (default 1.0x) over the fused build.  On a
+  single-CPU machine those rows measure fan-out overhead only and are
+  reported, never gated (and they are excluded from the relative
+  regression compare unless both reports are multi-core).
 
 Stages present on only one side (new workloads, removed workloads) are
 reported but never fail the run; a report without a ``service`` section
@@ -42,6 +51,15 @@ def _stages(report: dict) -> dict[tuple[str, str], dict]:
     return {(r["workload"], r["stage"]): r for r in report.get("stages", [])}
 
 
+def _multicore(report: dict) -> bool:
+    return (report.get("cpus") or 1) > 1
+
+
+#: Stages whose speedups depend on core count: gated and diffed only on
+#: multi-core reports.
+_PARALLEL_STAGES = {"shard catalog"}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("new", type=Path, help="fresh bench report")
@@ -62,11 +80,22 @@ def main(argv=None) -> int:
         "--service-floor", type=float, default=10.0,
         help="minimum warm-vs-cold service submit speedup (default 10.0)",
     )
+    parser.add_argument(
+        "--process-floor", type=float, default=1.05,
+        help="minimum process-vs-fused enumeration speedup, gated only "
+        "when the report's cpus > 1 (default 1.05)",
+    )
+    parser.add_argument(
+        "--shard-floor", type=float, default=1.0,
+        help="minimum shard-vs-fused catalog speedup, gated only when "
+        "the report's cpus > 1 (default 1.0)",
+    )
     args = parser.parse_args(argv)
 
     new = json.loads(args.new.read_text())
     new_stages = _stages(new)
     failures: list[str] = []
+    multicore = _multicore(new)
 
     for (workload, stage), row in sorted(new_stages.items()):
         if stage == "enumeration+classify" and (row["speedup"] or 0) < args.floor:
@@ -74,6 +103,34 @@ def main(argv=None) -> int:
                 f"{workload}/{stage}: fused speedup {row['speedup']}x "
                 f"below the {args.floor}x floor"
             )
+        proc_speedup = row.get("process_speedup_vs_fast")
+        if stage == "enumeration+classify" and proc_speedup is not None:
+            if not multicore:
+                print(
+                    f"  {workload:>8} process x{row.get('process_jobs')} "
+                    f"{proc_speedup}x vs fused — single-CPU report "
+                    f"(cpus={new.get('cpus')}), overhead only; not gated"
+                )
+            elif proc_speedup < args.process_floor:
+                failures.append(
+                    f"{workload}/{stage}: process speedup {proc_speedup}x "
+                    f"vs fused below the {args.process_floor}x floor on a "
+                    f"{new.get('cpus')}-cpu machine"
+                )
+        if stage in _PARALLEL_STAGES:
+            if not multicore:
+                print(
+                    f"  {workload:>8} {stage} {row.get('speedup')}x — "
+                    f"single-CPU report (cpus={new.get('cpus')}), "
+                    f"overhead only; not gated"
+                )
+            elif (row.get("speedup") or 0) < args.shard_floor:
+                failures.append(
+                    f"{workload}/{stage}: shard speedup {row.get('speedup')}x "
+                    f"vs fused below the {args.shard_floor}x floor on a "
+                    f"{new.get('cpus')}-cpu machine "
+                    f"({row.get('shards')} shards)"
+                )
 
     service = new.get("service")
     if service is not None:
@@ -98,11 +155,20 @@ def main(argv=None) -> int:
         print("  (no service section; service gate skipped)")
 
     if args.baseline is not None and args.baseline.exists():
-        old_stages = _stages(json.loads(args.baseline.read_text()))
+        baseline = json.loads(args.baseline.read_text())
+        old_stages = _stages(baseline)
         for key, row in sorted(new_stages.items()):
             old = old_stages.get(key)
             if old is None:
                 print(f"  new stage (no baseline): {key[0]}/{key[1]}")
+                continue
+            if key[1] in _PARALLEL_STAGES and not (
+                multicore and _multicore(baseline)
+            ):
+                # Core-count-dependent rows compare apples to oranges
+                # unless both reports ran on multi-core machines.
+                print(f"  skipped (needs multi-core both sides): "
+                      f"{key[0]}/{key[1]}")
                 continue
             old_speedup, new_speedup = old.get("speedup"), row.get("speedup")
             if not old_speedup or not new_speedup:

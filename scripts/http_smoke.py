@@ -10,7 +10,10 @@ caller would, and checks the service contract:
 3. re-submitting the same job is served from the result cache
    (``X-Repro-Cache: result``) and is bit-identical on the wire;
 4. a batch ``pdef`` sweep dedups and shares one catalog;
-5. a malformed request comes back as a typed HTTP 400, not a stack trace.
+5. a malformed request comes back as a typed HTTP 400, not a stack trace;
+6. the server can act as a remote shard: a catalog built through
+   ``POST /v1/catalog:shard`` partitions merges bit-identical to the
+   in-process fused catalog.
 
 Usage::
 
@@ -19,13 +22,31 @@ Usage::
 
 from __future__ import annotations
 
+import errno
 import sys
 
 from repro.service import JobRequest, ServiceClient, ServiceServer
 
 
+def start_server(**kwargs) -> ServiceServer:
+    """A server on an OS-assigned free port (never a fixed one).
+
+    ``port=0`` asks the kernel for a free ephemeral port, so the smoke
+    test cannot collide with another service on a busy CI runner.  A
+    single ``EADDRINUSE`` retry papers over the one race that remains on
+    some platforms (the kernel handing out a port another process grabs
+    between selection and bind).
+    """
+    try:
+        return ServiceServer(port=0, **kwargs)
+    except OSError as exc:
+        if exc.errno != errno.EADDRINUSE:
+            raise
+        return ServiceServer(port=0, **kwargs)
+
+
 def main() -> int:
-    server = ServiceServer(port=0)
+    server = start_server()
     server.start_background()
     client = ServiceClient(server.url, timeout=30)
     try:
@@ -82,6 +103,24 @@ def main() -> int:
             print(f"validation ok: typed 400 ({detail['message']})")
         else:
             raise AssertionError("malformed request was accepted")
+
+        # Remote shard: the server classifies seed partitions over HTTP
+        # and the merged catalog is bit-identical to a local fused build.
+        from repro.core.config import SelectionConfig
+        from repro.core.selection import PatternSelector
+        from repro.service import ShardCoordinator
+        from repro.service.serialize import catalog_to_dict
+        from repro.workloads import three_point_dft_paper
+
+        cfg = SelectionConfig(span_limit=1)
+        dfg = three_point_dft_paper()
+        reference = PatternSelector(5, config=cfg).build_catalog(dfg)
+        with ShardCoordinator([server.url]) as coord:
+            sharded = coord.build_catalog(dfg, 5, config=cfg, workload="3dft")
+        assert json.dumps(catalog_to_dict(sharded)) == json.dumps(
+            catalog_to_dict(reference)
+        ), "remote shard catalog is not bit-identical"
+        print("remote shard ok: merged catalog bit-identical to fused")
     finally:
         server.shutdown()
         server.server_close()

@@ -19,7 +19,6 @@ from repro.dfg.levels import LevelAnalysis
 from repro.dfg.span import span, span_lower_bound
 from repro.patterns.enumeration import PatternCatalog
 from repro.patterns.library import PatternLibrary
-from repro.patterns.pattern import Pattern
 from repro.patterns.random_gen import random_pattern_set
 from repro.scheduling.baselines import (
     force_directed_schedule,

@@ -8,7 +8,9 @@
     repro select fft64 --backend process --jobs 4
     repro schedule 3dft --patterns aabcc,aaacc
     repro pipeline fft64 --backend process --jobs 4 --timings
+    repro pipeline fft64 --shards 4 --cache-dir ~/.cache/repro
     repro serve --port 8350 --backend process --jobs 4
+    repro serve --cache-dir /var/cache/repro --max-pending 64
     repro submit fft64 --url http://127.0.0.1:8350 --pdef 5
     repro compile examples.prog --pdef 3
     repro workloads              # list built-in workloads
@@ -216,6 +218,7 @@ def _print_job_result(result, cache: str, *, timings: bool) -> None:
 
 def _cmd_pipeline(args: argparse.Namespace) -> None:
     from repro.service import JobRequest, SchedulerService
+    from repro.service.shard import ShardCoordinator
 
     dfg = _workload(args.workload)
     cfg = SelectionConfig(
@@ -223,14 +226,26 @@ def _cmd_pipeline(args: argparse.Namespace) -> None:
         max_pattern_size=args.max_pattern_size,
         widen_to_capacity=args.widen,
     )
-    with SchedulerService(backend=args.backend, jobs=args.jobs) as service:
-        outcome = service.submit_outcome(
-            JobRequest(
-                capacity=args.capacity, pdef=args.pdef, dfg=dfg, config=cfg
-            )
-        )
+    request = JobRequest(
+        capacity=args.capacity, pdef=args.pdef, dfg=dfg, config=cfg
+    )
+    service = SchedulerService(
+        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir
+    )
+    if args.shards is not None:
+        # Fan the catalog stage out over N in-process shard services; a
+        # shared --cache-dir lets them reuse each other's disk entries.
+        with ShardCoordinator.local(
+            args.shards, service=service, cache_dir=args.cache_dir
+        ) as coord, service:
+            outcome = coord.submit_outcome(request)
+        via = f"{args.shards} local shards + {service.backend.describe()}"
+    else:
+        with service:
+            outcome = service.submit_outcome(request)
+        via = f"backend {service.backend.describe()}"
     print(
-        f"pipeline {dfg.name!r} via backend {service.backend.describe()} "
+        f"pipeline {dfg.name!r} via {via} "
         f"(C={args.capacity}, Pdef={args.pdef}):"
     )
     _print_job_result(outcome.result, outcome.cache, timings=args.timings)
@@ -244,6 +259,8 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         port=args.port,
         backend=args.backend,
         jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        max_pending=args.max_pending,
     )
 
 
@@ -367,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pad selected patterns to full capacity")
     p.add_argument("--timings", action="store_true",
                    help="print per-stage wall-clock timings")
+    p.add_argument("--shards", type=int, default=None,
+                   help="fan the catalog stage out over N in-process shard "
+                        "services (see repro.service.shard)")
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-backed cache directory: catalogs/selections/"
+                        "results persist across invocations")
     add_backend_args(p)
     p.set_defaults(fn=_cmd_pipeline)
 
@@ -380,6 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8350)
+    p.add_argument("--cache-dir", default=None,
+                   help="disk-backed cache directory: catalogs/selections/"
+                        "results survive restarts and can be shared between "
+                        "instances")
+    p.add_argument("--max-pending", type=int, default=None,
+                   help="admission bound: reject (HTTP 429) when this many "
+                        "submissions are already pending")
     add_backend_args(p)
     p.set_defaults(fn=_cmd_serve)
 

@@ -18,7 +18,7 @@ silent and its worked examples contain no ties).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.config import SelectionConfig
@@ -169,6 +169,36 @@ class PatternSelector:
         config = self.config
         if config.store_antichains:
             backend = None  # auto-resolves to the serial classifier
+        return self.build_catalog_with(
+            dfg,
+            lambda size, span: classify_antichains(
+                dfg,
+                size,
+                span,
+                levels=levels,
+                store_antichains=config.store_antichains,
+                max_count=config.max_antichains,
+                backend=backend,
+            ),
+        )
+
+    def build_catalog_with(
+        self,
+        dfg: "DFG",
+        classify: "Callable[[int, int | None], PatternCatalog]",
+    ) -> PatternCatalog:
+        """:meth:`build_catalog`'s size/adaptive-span policy around ``classify``.
+
+        ``classify(size, span_limit)`` runs one pattern-generation attempt
+        and either returns a catalog or raises
+        :class:`~repro.exceptions.EnumerationLimitError`; this wrapper
+        owns the ``max_pattern_size`` cap and the adaptive span-tightening
+        retry loop.  It exists so alternative generation strategies — the
+        shard coordinator fanning partitions out over service instances
+        (:mod:`repro.service.shard`) — inherit the exact same policy
+        instead of re-implementing it.
+        """
+        config = self.config
         size = self.capacity
         if config.max_pattern_size is not None:
             size = min(size, config.max_pattern_size)
@@ -180,15 +210,7 @@ class PatternSelector:
         last_error: EnumerationLimitError | None = None
         for span in spans:
             try:
-                return classify_antichains(
-                    dfg,
-                    size,
-                    span,
-                    levels=levels,
-                    store_antichains=config.store_antichains,
-                    max_count=config.max_antichains,
-                    backend=backend,
-                )
+                return classify(size, span)
             except EnumerationLimitError as exc:
                 if not config.adaptive_span:
                     raise

@@ -78,7 +78,25 @@ __all__ = [
     "count_antichains_by_size",
     "is_antichain",
     "is_executable",
+    "limit_error",
 ]
+
+
+def limit_error(
+    dfg: "DFG", max_count: int, max_size: int, span_limit: int | None
+) -> EnumerationLimitError:
+    """The canonical over-``max_count`` error for ``dfg``.
+
+    Shared by the in-DFS enumerators and every merge path that re-checks
+    the global count after combining per-partition results (the process
+    backend and the shard coordinator), so all of them fail with the same
+    message for the same overflow.
+    """
+    return EnumerationLimitError(
+        f"more than {max_count} antichains in {dfg.name!r} "
+        f"(size ≤ {max_size}, span ≤ {span_limit}); raise "
+        f"max_count or tighten the span limit"
+    )
 
 #: Default hard ceiling on the number of enumerated antichains.
 DEFAULT_MAX_COUNT = 5_000_000
@@ -195,11 +213,7 @@ class AntichainEnumerator:
     def _limit_error(
         self, max_count: int, max_size: int, span_limit: int | None
     ) -> EnumerationLimitError:
-        return EnumerationLimitError(
-            f"more than {max_count} antichains in {self.dfg.name!r} "
-            f"(size ≤ {max_size}, span ≤ {span_limit}); raise "
-            f"max_count or tighten the span limit"
-        )
+        return limit_error(self.dfg, max_count, max_size, span_limit)
 
     def iter_index_antichains(
         self,

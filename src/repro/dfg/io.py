@@ -16,6 +16,7 @@ Formats
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 from typing import Any, Callable
@@ -30,6 +31,8 @@ __all__ = [
     "from_payload",
     "canonical_json",
     "dfg_digest",
+    "stable_key_json",
+    "stable_key_digest",
     "to_edge_list",
     "from_edge_list",
     "to_dot",
@@ -161,6 +164,67 @@ def dfg_digest(dfg: DFG) -> str:
     if cache is not None:
         cache["dfg_digest"] = digest
     return digest
+
+
+def _stable_form(value: Any) -> Any:
+    """A JSON-encodable normal form for structured cache-key components.
+
+    Tuples and lists normalise to lists, mappings to key-sorted objects
+    (keys stringified, so int and str keys cannot collide silently — the
+    original type is part of the emitted key), dataclasses to
+    ``[class name, field dict]`` (a :class:`SelectionConfig` inside a
+    selection key hashes by *content*, not ``repr``), and sets to their
+    sorted element list.  Scalars pass through; ``bool`` is kept distinct
+    from ``int`` by tagging.  Anything else is rejected loudly — silent
+    ``str()`` fallbacks would let two distinct keys collide.
+    """
+    if value is None or isinstance(value, (int, float, str)):
+        if isinstance(value, bool):
+            return ["__bool__", value]
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_stable_form(v) for v in value]
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _stable_form(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return [type(value).__name__, fields]
+    if isinstance(value, dict):
+        return {
+            f"{type(k).__name__}:{k}": _stable_form(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (set, frozenset)):
+        return ["__set__", sorted(_stable_form(v) for v in value)]
+    raise GraphError(
+        f"cache key component of type {type(value).__name__!r} has no "
+        f"stable encoding: {value!r}"
+    )
+
+
+def stable_key_json(key: Any) -> str:
+    """A canonical JSON string for a structured cache key.
+
+    Deterministic across processes and python versions for keys built from
+    scalars, tuples/lists, dicts, sets and dataclasses — unlike ``str(key)``
+    or ``hash(key)``, which the disk-backed cache store
+    (:mod:`repro.service.store`) must never depend on.
+    """
+    return json.dumps(
+        _stable_form(key), sort_keys=True, separators=(",", ":")
+    )
+
+
+def stable_key_digest(key: Any) -> str:
+    """SHA-256 hex digest of :func:`stable_key_json` — a safe file name.
+
+    This is how the service's disk cache turns a structured cache key
+    (e.g. ``(dfg_digest, capacity, span_limit, …)``) into a flat,
+    filesystem-safe, collision-resistant identifier that two independent
+    service instances derive identically.
+    """
+    return hashlib.sha256(stable_key_json(key).encode("utf-8")).hexdigest()
 
 
 def to_edge_list(dfg: DFG) -> str:

@@ -79,8 +79,8 @@ def mobility(dfg: "DFG") -> dict[str, int]:
     formulas but reported by the analysis tooling.
     """
     a = asap(dfg)
-    l = alap(dfg, a)
-    return {n: l[n] - a[n] for n in dfg.nodes}
+    al = alap(dfg, a)
+    return {n: al[n] - a[n] for n in dfg.nodes}
 
 
 @dataclass(frozen=True)

@@ -18,7 +18,6 @@ from typing import TYPE_CHECKING, Iterable
 from repro.exceptions import GraphError
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.dfg.graph import DFG
     from repro.dfg.levels import LevelAnalysis
 
 __all__ = ["step", "span", "span_lower_bound"]

@@ -26,6 +26,7 @@ __all__ = [
     "FrontendError",
     "AllocationError",
     "ServiceError",
+    "ServiceOverloadedError",
     "JobValidationError",
 ]
 
@@ -119,3 +120,31 @@ class JobValidationError(ServiceError):
     def __init__(self, message: str, *, field: str | None = None) -> None:
         super().__init__(message)
         self.field = field
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded pending-job queue is full (admission control).
+
+    Raised instead of queueing when a :class:`~repro.service.SchedulerService`
+    configured with ``max_pending`` already has that many submissions pending
+    (executing included).  The HTTP layer maps it to a 429 response with a
+    ``Retry-After`` hint; a well-behaved client backs off and retries.
+
+    Attributes
+    ----------
+    pending:
+        Submissions in flight when the request was rejected.
+    max_pending:
+        The configured admission bound.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending: int | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.max_pending = max_pending

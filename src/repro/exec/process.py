@@ -56,6 +56,7 @@ from repro.dfg.antichains import (
     AntichainEnumerator,
     _freq_buffer,
     _np,
+    limit_error,
 )
 from repro.exceptions import BackendError, PatternError
 from repro.exec.fused import FusedBackend
@@ -65,7 +66,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.dfg.levels import LevelAnalysis
     from repro.patterns.enumeration import PatternCatalog
 
-__all__ = ["ProcessBackend"]
+__all__ = [
+    "ProcessBackend",
+    "plan_seed_partitions",
+    "merge_classified_parts",
+]
 
 #: Target task count per worker: enough dynamic-scheduling granularity to
 #: absorb the seed-subtree skew without drowning in task round-trips.
@@ -117,6 +122,123 @@ def _classify_seeds(task):
             payload = [freq[i] for i in cls.first_seen]
         out.append((key, cls.count, cls.first_seen, payload))
     return out
+
+
+def _split_contiguous(seeds: Sequence[int], partitions: int) -> list[list[int]]:
+    """Split ``seeds`` into ≤ ``partitions`` contiguous non-empty runs."""
+    n_groups = min(len(seeds), max(1, partitions))
+    if n_groups == 0:
+        return []
+    bounds = [len(seeds) * g // n_groups for g in range(n_groups + 1)]
+    return [
+        list(seeds[bounds[g]:bounds[g + 1]])
+        for g in range(n_groups)
+        if bounds[g] < bounds[g + 1]
+    ]
+
+
+def plan_seed_partitions(
+    dfg: "DFG",
+    partitions: int,
+    *,
+    restrict_to: Iterable[str] | None = None,
+) -> list[list[int]]:
+    """Contiguous ascending seed-node partitions of ``dfg``'s DFS.
+
+    This is the exact split the process backend fans classify tasks out
+    with: the antichain DFS visits the subtree of each seed node (the
+    antichain's smallest member index) contiguously and in ascending seed
+    order, so classifying each partition independently and merging the
+    results in partition order (:func:`merge_classified_parts`)
+    reproduces the sequential enumeration bit for bit.  The shard
+    coordinator (:mod:`repro.service.shard`) uses the same planner to
+    fan partitions out across *service instances* instead of worker
+    processes.
+
+    Returns at most ``partitions`` non-empty lists of node indices;
+    ``restrict_to`` narrows the seed universe the same way it narrows the
+    enumeration.
+    """
+    from repro.patterns.enumeration import _allowed_mask
+
+    if partitions < 1:
+        raise BackendError(f"partitions must be ≥ 1, got {partitions}")
+    n = dfg.n_nodes
+    full_mask = (1 << n) - 1
+    allowed = _allowed_mask(dfg, restrict_to)
+    if allowed is not None:
+        full_mask &= allowed
+    seeds = [i for i in range(n) if full_mask >> i & 1]
+    return _split_contiguous(seeds, partitions)
+
+
+def merge_classified_parts(
+    dfg: "DFG",
+    parts: "Iterable[Sequence[tuple]]",
+    *,
+    capacity: int,
+    span_limit: int | None,
+    max_count: int | None = DEFAULT_MAX_COUNT,
+) -> "PatternCatalog":
+    """Merge per-partition classify results into one catalog.
+
+    ``parts`` holds one bucket list per seed partition, **in ascending
+    seed order** — each bucket a ``(bag_key, count, first_seen, payload)``
+    tuple as produced by :func:`_classify_seeds` (``payload`` is either a
+    dense per-node frequency array or the values aligned with
+    ``first_seen``).  Censuses and int frequency arrays add elementwise;
+    bag keys merge by first appearance and per-bag first-seen node lists
+    concatenate-dedupe — exactly the sequential visit order, so the
+    merged catalog (every Counter's insertion order included) is
+    bit-identical to the fused single-threaded engine's.
+    """
+    from collections import Counter
+
+    from repro.patterns.enumeration import PatternCatalog
+    from repro.patterns.pattern import Pattern
+
+    n = dfg.n_nodes
+    _, id_colors = dfg.color_labels()
+    merged: dict[tuple[int, ...], list] = {}
+    total = 0
+    for buckets in parts:
+        for key, count, order, payload in buckets:
+            total += count
+            ent = merged.get(key)
+            if ent is None:
+                ent = merged[key] = [0, _freq_buffer(n), [], set()]
+            ent[0] += count
+            freq, g_order, seen = ent[1], ent[2], ent[3]
+            for i in order:
+                if i not in seen:
+                    seen.add(i)
+                    g_order.append(i)
+            if _np is not None and isinstance(payload, _np.ndarray):
+                freq += payload  # vectorized elementwise add
+            else:
+                for i, v in zip(order, payload):
+                    freq[i] += v
+    if max_count is not None and total > max_count:
+        raise limit_error(dfg, max_count, capacity, span_limit)
+
+    names = dfg.nodes
+    freqs: dict[Pattern, Counter[str]] = {}
+    counts: dict[Pattern, int] = {}
+    for key, (count, freq, order, _) in merged.items():
+        bag_counts: dict[str, int] = {}
+        for cid in key:
+            c = id_colors[cid]
+            bag_counts[c] = bag_counts.get(c, 0) + 1
+        pattern = Pattern.from_counts(bag_counts)
+        freqs[pattern] = Counter({names[i]: int(freq[i]) for i in order})
+        counts[pattern] = count
+    return PatternCatalog(
+        dfg=dfg,
+        capacity=capacity,
+        span_limit=span_limit,
+        frequencies=freqs,
+        antichain_counts=counts,
+    )
 
 
 class ProcessBackend(FusedBackend):
@@ -229,25 +351,24 @@ class ProcessBackend(FusedBackend):
         max_count: int | None = DEFAULT_MAX_COUNT,
         restrict_to: Iterable[str] | None = None,
     ) -> "PatternCatalog":
-        from collections import Counter
-
-        from repro.patterns.enumeration import PatternCatalog, _allowed_mask
-        from repro.patterns.pattern import Pattern
+        from repro.patterns.enumeration import _allowed_mask
 
         if store_antichains:
             raise PatternError(
                 f"the {self.name!r} backend cannot store raw antichains; "
                 "use the serial backend with store_antichains"
             )
-        enum = AntichainEnumerator(dfg, levels=levels)
+        # Keep the enumerator construction: it validates bounds eagerly and
+        # primes the analysis cache the merge's color interning reuses.
+        AntichainEnumerator(dfg, levels=levels)
         allowed_mask = _allowed_mask(dfg, restrict_to)
-        n = dfg.n_nodes
-        full_mask = (1 << n) - 1
-        if allowed_mask is not None:
-            full_mask &= allowed_mask
-        seeds = [i for i in range(n) if full_mask >> i & 1]
         jobs = self.effective_jobs()
-        if jobs <= 1 or len(seeds) < 2:
+        # Contiguous ascending seed ranges, cut finer than the worker count
+        # so dynamic scheduling can absorb the low-seed subtree skew.
+        groups = plan_seed_partitions(
+            dfg, jobs * _GROUPS_PER_JOB, restrict_to=restrict_to
+        )
+        if jobs <= 1 or sum(len(g) for g in groups) < 2:
             # Pool overhead cannot pay for itself; run fused in-process.
             return super().classify(
                 dfg,
@@ -258,21 +379,9 @@ class ProcessBackend(FusedBackend):
                 restrict_to=restrict_to,
             )
 
-        _, id_colors = dfg.color_labels()
-        # Contiguous ascending seed ranges, cut finer than the worker count
-        # so dynamic scheduling can absorb the low-seed subtree skew.
-        n_groups = min(len(seeds), jobs * _GROUPS_PER_JOB)
-        bounds = [len(seeds) * g // n_groups for g in range(n_groups + 1)]
         tasks = [
-            (
-                seeds[bounds[g]:bounds[g + 1]],
-                capacity,
-                span_limit,
-                max_count,
-                allowed_mask,
-            )
-            for g in range(n_groups)
-            if bounds[g] < bounds[g + 1]
+            (seeds, capacity, span_limit, max_count, allowed_mask)
+            for seeds in groups
         ]
         # A persistent pool keeps all `jobs` workers warm for later calls;
         # a one-shot pool spawns no more workers than there are tasks.
@@ -280,7 +389,7 @@ class ProcessBackend(FusedBackend):
         pool = self._acquire_pool(dfg, procs)
         try:
             # map preserves input order: results arrive in ascending seed
-            # order, which the merge below depends on for bit-identity.
+            # order, which the merge depends on for bit-identity.
             results = pool.map(_classify_seeds, tasks, chunksize=1)
         finally:
             if not self.persistent:
@@ -288,43 +397,10 @@ class ProcessBackend(FusedBackend):
                 pool.join()
 
         # Merge per-seed subtree classifications in sequential visit order.
-        merged: dict[tuple[int, ...], list] = {}
-        total = 0
-        for buckets in results:
-            for key, count, order, payload in buckets:
-                total += count
-                ent = merged.get(key)
-                if ent is None:
-                    ent = merged[key] = [0, _freq_buffer(n), [], set()]
-                ent[0] += count
-                freq, g_order, seen = ent[1], ent[2], ent[3]
-                for i in order:
-                    if i not in seen:
-                        seen.add(i)
-                        g_order.append(i)
-                if _np is not None and isinstance(payload, _np.ndarray):
-                    freq += payload  # vectorized elementwise add
-                else:
-                    for i, v in zip(order, payload):
-                        freq[i] += v
-        if max_count is not None and total > max_count:
-            raise enum._limit_error(max_count, capacity, span_limit)
-
-        names = dfg.nodes
-        freqs: dict[Pattern, Counter[str]] = {}
-        counts: dict[Pattern, int] = {}
-        for key, (count, freq, order, _) in merged.items():
-            bag_counts: dict[str, int] = {}
-            for cid in key:
-                c = id_colors[cid]
-                bag_counts[c] = bag_counts.get(c, 0) + 1
-            pattern = Pattern.from_counts(bag_counts)
-            freqs[pattern] = Counter({names[i]: int(freq[i]) for i in order})
-            counts[pattern] = count
-        return PatternCatalog(
-            dfg=dfg,
+        return merge_classified_parts(
+            dfg,
+            results,
             capacity=capacity,
             span_limit=span_limit,
-            frequencies=freqs,
-            antichain_counts=counts,
+            max_count=max_count,
         )

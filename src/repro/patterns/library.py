@@ -9,7 +9,7 @@ ties by list position (DESIGN.md §3.4).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 from repro.exceptions import PatternBudgetError, PatternError
 from repro.patterns.pattern import Pattern

@@ -15,7 +15,7 @@ All sampling is driven by :class:`random.Random` seeds for reproducibility.
 from __future__ import annotations
 
 import random
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.exceptions import PatternError
 from repro.patterns.library import PatternLibrary

@@ -8,12 +8,9 @@ priority and take each node whose color still has a free slot.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import Callable, Sequence
 
 from repro.patterns.pattern import Pattern
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.dfg.graph import DFG
 
 __all__ = [
     "selected_set",

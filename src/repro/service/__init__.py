@@ -18,11 +18,29 @@ Over the wire the same API is ``repro serve`` + :class:`ServiceClient`
 (see :mod:`repro.service.http`).  Requests and results round-trip
 losslessly through JSON; malformed payloads raise
 :class:`~repro.exceptions.JobValidationError`.
+
+Scaling seams layered on top:
+
+* :class:`ShardCoordinator` (:mod:`repro.service.shard`) fans the
+  catalog build out over shard services — local or remote — and merges
+  bit-identically;
+* :class:`CacheStore` (:mod:`repro.service.store`) puts the three cache
+  levels behind pluggable storage; ``cache_dir=...`` persists them to
+  disk across restarts and instances;
+* ``max_pending=...`` bounds admission
+  (:class:`~repro.exceptions.ServiceOverloadedError` → HTTP 429).
 """
 
 from repro.service.http import ServiceClient, ServiceServer, serve
 from repro.service.jobs import JobRequest, JobResult
 from repro.service.service import SchedulerService, ServiceStats, SubmitOutcome
+from repro.service.shard import (
+    LocalShard,
+    RemoteShard,
+    ShardCoordinator,
+    ShardTask,
+)
+from repro.service.store import CacheStore, DiskCacheStore, MemoryCacheStore
 
 __all__ = [
     "JobRequest",
@@ -33,4 +51,11 @@ __all__ = [
     "ServiceClient",
     "ServiceServer",
     "serve",
+    "ShardCoordinator",
+    "ShardTask",
+    "LocalShard",
+    "RemoteShard",
+    "CacheStore",
+    "MemoryCacheStore",
+    "DiskCacheStore",
 ]

@@ -4,43 +4,71 @@ Stdlib only (``http.server`` + ``urllib``) — the wire format is exactly
 the :class:`~repro.service.jobs.JobRequest` / ``JobResult`` JSON, so the
 HTTP layer is a pipe, not a second API:
 
-========  =================  =============================================
-method    path               body → response
-========  =================  =============================================
-``POST``  ``/v1/jobs``       job request JSON → job result JSON
-``POST``  ``/v1/jobs:batch`` ``{"jobs": [...]}`` → ``{"results": [...]}``
-``GET``   ``/healthz``       liveness + backend description
-``GET``   ``/stats``         :meth:`SchedulerService.describe` output
-``GET``   ``/workloads``     available workload names
-========  =================  =============================================
+=========  ====================  =========================================
+method     path                  body → response
+=========  ====================  =========================================
+``POST``   ``/v1/jobs``          job request JSON → job result JSON
+``POST``   ``/v1/jobs:batch``    ``{"jobs": [...]}`` → ``{"results": [...]}``
+``POST``   ``/v1/catalog:shard`` shard task JSON → ``{"buckets": [...]}``
+``GET``    ``/healthz``          liveness + backend description
+``GET``    ``/stats``            :meth:`SchedulerService.describe` output
+``GET``    ``/workloads``        available workload names
+=========  ====================  =========================================
 
 Every job response carries an ``X-Repro-Cache`` header naming the deepest
 cache level that answered (``result`` / ``selection`` / ``catalog`` /
 ``none``) — cache behaviour is observable without perturbing the
 bit-identical result body.  Validation failures map to HTTP 400 with a
-typed error payload ``{"error", "message", "field"}``; unexpected
-failures to 500.  The server is threading (one resident
+typed error payload ``{"error", "message", "field"}``; an admission
+rejection (the service's bounded pending queue is full) to HTTP 429 with
+a ``Retry-After`` hint; unexpected failures to 500.  The server is
+threading (one resident
 :class:`~repro.service.service.SchedulerService`, which serializes
 submits internally), daemon-threaded so Ctrl-C exits cleanly.
+
+``/v1/catalog:shard`` is the executor side of
+:class:`~repro.service.shard.ShardCoordinator`: the body is a
+:class:`~repro.service.shard.ShardTask` and the response carries the
+partial classification of that task's seed partition, JSON-safe
+(``[bag_key, count, first_seen, values]`` rows in local first-visit
+order).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
-from repro.exceptions import JobValidationError, ReproError, ServiceError
+from repro.exceptions import (
+    EnumerationLimitError,
+    JobValidationError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.service.jobs import JobRequest, JobResult
 from repro.service.service import SchedulerService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.shard import ShardTask
 
 __all__ = ["ServiceClient", "ServiceServer", "serve"]
 
 #: Maximum accepted request body (64 MiB) — a guard, not a quota.
 MAX_BODY_BYTES = 64 << 20
+
+#: Error types a client re-raises as themselves (not bare ServiceError)
+#: when the server reports them on a 4xx/422 — keeps remote failures
+#: actionable: the shard coordinator's adaptive-span loop, for one, must
+#: see a remote EnumerationLimitError to tighten the span and retry.
+_TYPED_ERRORS: dict[str, type[ReproError]] = {
+    "EnumerationLimitError": EnumerationLimitError,
+}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -149,11 +177,44 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, {"results": [r.to_dict() for r in results]}
                 )
+            elif self.path == "/v1/catalog:shard":
+                from repro.service.shard import ShardTask
+
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except json.JSONDecodeError as exc:
+                    raise JobValidationError(
+                        f"invalid shard task JSON: {exc}"
+                    ) from exc
+                task = ShardTask.from_dict(payload)
+                buckets = service.classify_shard(task)
+                self._send_json(
+                    200,
+                    {
+                        "buckets": [
+                            [list(key), count, order, values]
+                            for key, count, order, values in buckets
+                        ]
+                    },
+                )
             else:
                 self._send_json(
                     404,
                     {"error": "NotFound", "message": f"no route {self.path!r}"},
                 )
+        except ServiceOverloadedError as exc:
+            # Admission rejection: tell the client to back off, not that
+            # its request was wrong.
+            self._send_json(
+                429,
+                {
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                    "pending": exc.pending,
+                    "max_pending": exc.max_pending,
+                },
+                headers={"Retry-After": "1"},
+            )
         except JobValidationError as exc:
             self._send_error_json(400, exc)
         except ReproError as exc:
@@ -174,10 +235,17 @@ class ServiceServer(ThreadingHTTPServer):
     Parameters
     ----------
     service:
-        The resident service; constructed from ``backend``/``jobs`` when
-        omitted.
+        The resident service; constructed from ``backend``/``jobs``/
+        ``cache_dir``/``max_pending`` when omitted.
     host / port:
         Bind address; port 0 picks a free port (see :attr:`port`).
+    cache_dir:
+        Optional disk cache directory for the constructed service
+        (catalogs/selections/results survive restarts; see
+        :mod:`repro.service.store`).
+    max_pending:
+        Optional admission bound for the constructed service; overload
+        maps to HTTP 429.
     verbose:
         Log one line per request to stderr (off by default; tests stay
         quiet).
@@ -193,10 +261,17 @@ class ServiceServer(ThreadingHTTPServer):
         port: int = 8350,
         backend: str = "fused",
         jobs: int | None = None,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        max_pending: int | None = None,
         verbose: bool = False,
     ) -> None:
         if service is None:
-            service = SchedulerService(backend=backend, jobs=jobs)
+            service = SchedulerService(
+                backend=backend,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                max_pending=max_pending,
+            )
         self.service = service
         self.verbose = verbose
         super().__init__((host, port), _Handler)
@@ -229,15 +304,30 @@ def serve(
     port: int = 8350,
     backend: str = "fused",
     jobs: int | None = None,
+    cache_dir: "str | os.PathLike[str] | None" = None,
+    max_pending: int | None = None,
     verbose: bool = True,
 ) -> None:
     """Blocking entry point behind ``repro serve``."""
     server = ServiceServer(
-        host=host, port=port, backend=backend, jobs=jobs, verbose=verbose
+        host=host,
+        port=port,
+        backend=backend,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_pending=max_pending,
+        verbose=verbose,
     )
+    extras = ""
+    if cache_dir is not None:
+        extras += f", cache_dir={cache_dir}"
+    if max_pending is not None:
+        extras += f", max_pending={max_pending}"
     print(
         f"repro service listening on {server.url} "
-        f"(backend {server.service.backend.describe()}); Ctrl-C to stop"
+        f"(backend {server.service.backend.describe()}{extras}); "
+        f"Ctrl-C to stop",
+        flush=True,
     )
     try:
         server.serve_forever()
@@ -292,6 +382,15 @@ class ServiceClient:
                 raise JobValidationError(
                     message, field=detail.get("field")
                 ) from exc
+            if exc.code == 429:
+                raise ServiceOverloadedError(
+                    message,
+                    pending=detail.get("pending"),
+                    max_pending=detail.get("max_pending"),
+                ) from exc
+            typed = _TYPED_ERRORS.get(detail.get("error", ""))
+            if typed is not None:
+                raise typed(message) from exc
             raise ServiceError(
                 f"service returned HTTP {exc.code}: {message}"
             ) from exc
@@ -315,6 +414,29 @@ class ServiceClient:
         body, _ = self._request("/v1/jobs:batch", payload.encode("utf-8"))
         parsed = json.loads(body)  # type: ignore[arg-type]
         return [JobResult.from_dict(r) for r in parsed["results"]]
+
+    def classify_shard(self, task: "ShardTask") -> list[tuple]:
+        """Run one shard task remotely (``POST /v1/catalog:shard``).
+
+        Returns the partial classification in the in-process shape —
+        ``(bag_key tuple, count, first_seen list, values list)`` rows —
+        ready for :func:`repro.exec.process.merge_classified_parts`.
+        """
+        body, _ = self._request(
+            "/v1/catalog:shard", task.to_json().encode("utf-8")
+        )
+        parsed = json.loads(body)  # type: ignore[arg-type]
+        if not isinstance(parsed, dict) or not isinstance(
+            parsed.get("buckets"), list
+        ):
+            raise ServiceError(
+                "malformed shard response: expected an object with a "
+                "'buckets' list"
+            )
+        return [
+            (tuple(key), count, order, values)
+            for key, count, order, values in parsed["buckets"]
+        ]
 
     def health(self) -> dict[str, Any]:
         body, _ = self._request("/healthz")

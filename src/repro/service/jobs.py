@@ -133,6 +133,33 @@ class JobRequest:
             )
 
     # ------------------------------------------------------------------ #
+    def catalog_key(self, digest: str) -> tuple:
+        """The service's catalog-cache key for this request's graph digest.
+
+        Only the knobs that determine pattern *generation* participate:
+        the graph content, the capacity and the enumeration-config fields.
+        ``pdef``/``priority`` deliberately do not — a ``pdef`` sweep must
+        share one catalog.  The shard coordinator primes a completion
+        service's catalog cache under exactly this key, which is also
+        what the disk-backed :class:`~repro.service.store.DiskCacheStore`
+        derives its file names from.
+        """
+        config = self.config
+        return (
+            digest,
+            self.capacity,
+            config.span_limit,
+            config.max_pattern_size,
+            config.max_antichains,
+            config.adaptive_span,
+            config.store_antichains,
+        )
+
+    def selection_key(self, digest: str) -> tuple:
+        """The service's selection-cache key (catalog key + pdef + config)."""
+        return (self.catalog_key(digest), self.pdef, self.config)
+
+    # ------------------------------------------------------------------ #
     def job_key(self, digest: str | None = None) -> str:
         """Content-addressed identity of this job's *answer*.
 

@@ -25,7 +25,16 @@ per call, callers **submit jobs** to a resident service that
   cache, and an edited config invalidates exactly the levels it touches;
 * batches: :meth:`SchedulerService.submit_many` dedups identical jobs
   (same job key → computed once, result shared) before running, so a
-  sweep submitted as one batch does no duplicate work even intra-batch.
+  sweep submitted as one batch does no duplicate work even intra-batch;
+* storage is a **seam**: each cache level sits behind a
+  :class:`~repro.service.store.CacheStore` — in-memory LRUs by default,
+  disk-backed stores when constructed with ``cache_dir`` (catalogs,
+  selections and results then survive restarts and can be shared between
+  service instances via a common cache directory);
+* admission is **bounded**: with ``max_pending`` set, a submission
+  arriving while that many are already pending is rejected with a typed
+  :class:`~repro.exceptions.ServiceOverloadedError` (HTTP 429) instead
+  of queueing without bound.
 
 The backend is a *strategy*, never part of a cache key — all backends are
 bit-identical by contract, so a result computed under ``process`` serves a
@@ -34,59 +43,38 @@ later ``fused`` request for the same job.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 from repro.analysis.metrics import schedule_stats
 from repro.core.selection import PatternSelector, SelectionResult
+from repro.dfg.antichains import AntichainEnumerator
 from repro.dfg.graph import DFG
 from repro.dfg.io import dfg_digest
 from repro.dfg.validate import validate_dfg
-from repro.exceptions import JobValidationError, ServiceError
+from repro.exceptions import (
+    JobValidationError,
+    ServiceError,
+    ServiceOverloadedError,
+)
 from repro.exec import ExecutionBackend, get_backend
 from repro.exec.process import ProcessBackend
 from repro.scheduling.scheduler import MultiPatternScheduler
 from repro.service.jobs import JobRequest, JobResult
+from repro.service.store import MemoryCacheStore, open_cache_stores
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.patterns.enumeration import PatternCatalog
+    from repro.service.shard import ShardTask
 
 __all__ = ["SchedulerService", "ServiceStats", "SubmitOutcome"]
 
 #: Cache levels, deepest first — the level names reported per submit.
 CACHE_LEVELS = ("result", "selection", "catalog", "none")
-
-
-class _LRU:
-    """A small keyed LRU (most-recently-*used* eviction order)."""
-
-    def __init__(self, maxsize: int) -> None:
-        if maxsize < 1:
-            raise ServiceError(f"cache size must be ≥ 1, got {maxsize}")
-        self.maxsize = maxsize
-        self._data: OrderedDict[Any, Any] = OrderedDict()
-
-    def get(self, key: Any) -> Any | None:
-        try:
-            self._data.move_to_end(key)
-        except KeyError:
-            return None
-        return self._data[key]
-
-    def put(self, key: Any, value: Any) -> None:
-        self._data[key] = value
-        self._data.move_to_end(key)
-        while len(self._data) > self.maxsize:
-            self._data.popitem(last=False)
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __contains__(self, key: Any) -> bool:
-        return key in self._data
-
-    def clear(self) -> None:
-        self._data.clear()
 
 
 @dataclass
@@ -101,6 +89,8 @@ class ServiceStats:
 
     submitted: int = 0
     deduped: int = 0
+    rejected: int = 0
+    shard_tasks: int = 0
     result_hits: int = 0
     result_misses: int = 0
     selection_hits: int = 0
@@ -112,6 +102,8 @@ class ServiceStats:
         return {
             "submitted": self.submitted,
             "deduped": self.deduped,
+            "rejected": self.rejected,
+            "shard_tasks": self.shard_tasks,
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
             "selection_hits": self.selection_hits,
@@ -152,7 +144,19 @@ class SchedulerService:
         Name → zero-argument DFG builder registry for workload-by-name
         requests (default: :data:`repro.workloads.WORKLOADS`).
     catalog_cache / selection_cache / result_cache:
-        LRU sizes of the three cache levels.
+        LRU sizes of the three cache levels (with ``cache_dir``, the size
+        of each disk store's in-process memory front).
+    cache_dir:
+        Optional directory for disk-backed cache stores
+        (:class:`~repro.service.store.DiskCacheStore`): catalogs,
+        selections and results persist across restarts and are shared by
+        every service instance pointed at the same directory.  Default
+        ``None`` keeps the historical in-memory LRUs.
+    max_pending:
+        Admission bound: maximum submissions pending at once (executing
+        included); the next one is rejected with
+        :class:`~repro.exceptions.ServiceOverloadedError`.  ``None``
+        (default) admits everything.
     timer:
         Stage clock (injectable for tests).
     """
@@ -166,6 +170,8 @@ class SchedulerService:
         catalog_cache: int = 64,
         selection_cache: int = 256,
         result_cache: int = 1024,
+        cache_dir: "str | os.PathLike[str] | None" = None,
+        max_pending: int | None = None,
         timer: Callable[[], float] = time.perf_counter,
     ) -> None:
         owns = isinstance(backend, str)
@@ -178,19 +184,67 @@ class SchedulerService:
             from repro.workloads import WORKLOADS
 
             workloads = dict(WORKLOADS)
+        if max_pending is not None and max_pending < 1:
+            raise ServiceError(
+                f"max_pending must be ≥ 1 (or None), got {max_pending}"
+            )
         self._workloads = workloads
-        self._catalogs = _LRU(catalog_cache)
-        self._selections = _LRU(selection_cache)
-        self._results = _LRU(result_cache)
+        self.cache_dir = cache_dir
+        self._catalogs, self._selections, self._results = open_cache_stores(
+            cache_dir,
+            catalog_size=catalog_cache,
+            selection_size=selection_cache,
+            result_size=result_cache,
+        )
         # digest → first-seen graph object: keeps one canonical DFG per
         # content class so the persistent pool and analysis caches warm up
         # on a single object instead of per-request copies.
-        self._graphs = _LRU(catalog_cache)
+        self._graphs = MemoryCacheStore(catalog_cache)
         self._named_graphs: dict[str, DFG] = {}
         self._overrides: dict[str, ExecutionBackend] = {}
         self.stats = ServiceStats()
         self.timer = timer
         self._lock = threading.RLock()
+        self.max_pending = max_pending
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # admission control
+    # ------------------------------------------------------------------ #
+    @property
+    def pending(self) -> int:
+        """Submissions currently admitted and not yet finished."""
+        return self._pending
+
+    @contextmanager
+    def _admitted(self) -> Iterator[None]:
+        """One admission slot for the duration of a submission.
+
+        The pending counter is taken *before* the service lock, so
+        requests that would only wait in line are rejected immediately —
+        a bounded queue, not a bounded run rate.  A batch holds exactly
+        one slot for its whole lifetime.
+        """
+        if self.max_pending is None:
+            yield
+            return
+        with self._pending_lock:
+            if self._pending >= self.max_pending:
+                self.stats.rejected += 1
+                raise ServiceOverloadedError(
+                    f"service is at its admission limit "
+                    f"({self._pending} pending, max_pending="
+                    f"{self.max_pending}); retry later",
+                    pending=self._pending,
+                    max_pending=self.max_pending,
+                )
+            self._pending += 1
+        try:
+            yield
+        finally:
+            with self._pending_lock:
+                self._pending -= 1
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -226,22 +280,28 @@ class SchedulerService:
 
     def _resolve_graph(self, request: JobRequest) -> tuple[DFG, str]:
         """The job's graph (canonical object per content class) + digest."""
-        if request.workload is not None:
-            dfg = self._named_graphs.get(request.workload)
+        return self._resolve_input(request.workload, request.dfg)
+
+    def _resolve_input(
+        self, workload: str | None, inline: DFG | None
+    ) -> tuple[DFG, str]:
+        """Resolve a workload name or inline graph to (canonical DFG, digest)."""
+        if workload is not None:
+            dfg = self._named_graphs.get(workload)
             if dfg is None:
-                builder = self._workloads.get(request.workload)
+                builder = self._workloads.get(workload)
                 if builder is None:
                     raise JobValidationError(
-                        f"unknown workload {request.workload!r}; available: "
+                        f"unknown workload {workload!r}; available: "
                         f"{sorted(self._workloads)}",
                         field="workload",
                     )
                 dfg = builder()
                 self._validate_once(dfg)
-                self._named_graphs[request.workload] = dfg
+                self._named_graphs[workload] = dfg
         else:
-            assert request.dfg is not None  # JobRequest validated this
-            dfg = request.dfg
+            assert inline is not None  # callers validated this
+            dfg = inline
             self._validate_once(dfg)
         digest = dfg_digest(dfg)
         seen = self._graphs.get(digest)
@@ -278,6 +338,11 @@ class SchedulerService:
             raise JobValidationError(
                 f"expected a JobRequest, got {type(request).__name__}"
             )
+        with self._admitted():
+            return self._submit_outcome(request)
+
+    def _submit_outcome(self, request: JobRequest) -> SubmitOutcome:
+        """:meth:`submit_outcome` inside an already-held admission slot."""
         with self._lock:
             self.stats.submitted += 1
             dfg, digest = self._resolve_graph(request)
@@ -294,16 +359,8 @@ class SchedulerService:
             config = request.config
             selector = PatternSelector(request.capacity, config=config)
 
-            catalog_key = (
-                digest,
-                request.capacity,
-                config.span_limit,
-                config.max_pattern_size,
-                config.max_antichains,
-                config.adaptive_span,
-                config.store_antichains,
-            )
-            selection_key = (catalog_key, request.pdef, config)
+            catalog_key = request.catalog_key(digest)
+            selection_key = request.selection_key(digest)
             cache_level = "none"
 
             selection: SelectionResult | None = self._selections.get(
@@ -371,7 +428,7 @@ class SchedulerService:
         aligned with the input order.
         """
         requests = list(requests)
-        with self._lock:
+        with self._admitted(), self._lock:
             keyed: list[tuple[str, JobRequest]] = []
             for request in requests:
                 if not isinstance(request, JobRequest):
@@ -388,10 +445,76 @@ class SchedulerService:
                     self.stats.deduped += 1
                     out.append(hit)
                     continue
-                result = self.submit(request)
+                result = self._submit_outcome(request).result
                 computed[key] = result
                 out.append(result)
             return out
+
+    # ------------------------------------------------------------------ #
+    # sharded catalog building
+    # ------------------------------------------------------------------ #
+    def classify_shard(self, task: "ShardTask") -> list[tuple]:
+        """Classify one seed-node partition of a catalog job (shard work).
+
+        The executor side of :class:`~repro.service.shard.ShardCoordinator`:
+        runs the fused in-DFS classifier restricted to the task's seed
+        subtrees (``classify_by_label(roots=...)``) and returns the
+        partial classification as ``(bag_key, count, first_seen, values)``
+        tuples in local first-visit order — ``values`` aligned with
+        ``first_seen``, everything JSON-safe so the HTTP layer is a pipe.
+        Merging partitions in ascending-seed order
+        (:func:`repro.exec.process.merge_classified_parts`) reproduces the
+        single-instance fused catalog bit for bit.
+
+        Shard tasks are real enumeration work and therefore take an
+        admission slot like any submit.
+        """
+        from repro.service.shard import ShardTask
+
+        if not isinstance(task, ShardTask):
+            raise JobValidationError(
+                f"expected a ShardTask, got {type(task).__name__}"
+            )
+        with self._admitted(), self._lock:
+            self.stats.shard_tasks += 1
+            dfg, _ = self._resolve_input(task.workload, task.dfg)
+            enum = AntichainEnumerator(dfg)
+            labels = dfg.color_labels()[0]
+            buckets = enum.classify_by_label(
+                labels,
+                task.size,
+                task.span_limit,
+                max_count=task.max_count,
+                roots=task.seeds,
+            )
+            out: list[tuple] = []
+            for key, cls in buckets.items():
+                freq = cls.frequencies
+                out.append(
+                    (
+                        key,
+                        cls.count,
+                        list(cls.first_seen),
+                        [int(freq[i]) for i in cls.first_seen],
+                    )
+                )
+            return out
+
+    def prime_catalog(
+        self, request: JobRequest, catalog: "PatternCatalog"
+    ) -> tuple:
+        """Install a prebuilt catalog under ``request``'s catalog-cache key.
+
+        The shard coordinator merges per-shard partials into a catalog
+        and primes its completion service with it, so the subsequent
+        :meth:`submit` hits the catalog cache and only computes selection
+        and scheduling locally.  Returns the key used.
+        """
+        with self._lock:
+            _, digest = self._resolve_graph(request)
+            key = request.catalog_key(digest)
+            self._catalogs.put(key, catalog)
+            return key
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -401,18 +524,16 @@ class SchedulerService:
         return {
             "backend": self.backend.describe(),
             "caches": {
-                "catalog": {
-                    "size": len(self._catalogs),
-                    "max": self._catalogs.maxsize,
-                },
-                "selection": {
-                    "size": len(self._selections),
-                    "max": self._selections.maxsize,
-                },
-                "result": {
-                    "size": len(self._results),
-                    "max": self._results.maxsize,
-                },
+                "catalog": self._catalogs.describe(),
+                "selection": self._selections.describe(),
+                "result": self._results.describe(),
+            },
+            "cache_dir": (
+                str(self.cache_dir) if self.cache_dir is not None else None
+            ),
+            "admission": {
+                "max_pending": self.max_pending,
+                "pending": self.pending,
             },
             "stats": self.stats.to_dict(),
             "workloads": sorted(self._workloads),

@@ -1,0 +1,498 @@
+"""Sharded pattern generation across scheduler-service instances.
+
+The paper's admitted bottleneck is pattern generation — antichain counts
+grow as ``C(width, size)`` (§5.1, Table 5) — and the seed-partition merge
+the process backend uses is *associative*: the antichain DFS visits each
+seed node's subtree contiguously and in ascending seed order, so disjoint
+seed partitions classified anywhere and merged in partition order
+reproduce the sequential enumeration bit for bit.  This module fans those
+partitions out beyond one machine:
+
+.. code-block:: text
+
+                         ShardCoordinator
+                        /   |         \\
+           plan_seed_partitions (ascending, contiguous)
+                      /     |           \\
+            LocalShard   RemoteShard   RemoteShard
+        (SchedulerService) (HTTP /v1/catalog:shard ...)
+                      \\     |           /
+          merge_classified_parts (ascending-seed order)
+                            |
+          bit-identical PatternCatalog → prime completion
+          service's catalog cache → selection + scheduling
+
+A *shard* is anything that can classify one seed partition: a local
+in-process :class:`~repro.service.service.SchedulerService`
+(:class:`LocalShard`) or a remote ``repro serve`` instance reached
+through :class:`~repro.service.http.ServiceClient`
+(:class:`RemoteShard`, ``POST /v1/catalog:shard``).  The coordinator
+plans the same contiguous ascending partitions the process backend uses
+(:func:`repro.exec.process.plan_seed_partitions`), dispatches them
+concurrently, merges the per-shard int frequency arrays in ascending-seed
+order (:func:`repro.exec.process.merge_classified_parts`) and completes
+selection + scheduling through a local *completion service*, priming its
+catalog cache with the merged catalog — so every downstream cache level
+(and the disk :class:`~repro.service.store.CacheStore`, when configured)
+behaves exactly as if the catalog had been built in-process.
+
+Bit-identity is the contract, not an aspiration: the merged catalog —
+pattern set, antichain counts, per-node frequencies and every Counter's
+insertion order — equals the single-instance fused catalog, pinned by
+``tests/test_service_shard.py`` across shard counts.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.dfg.graph import DFG
+from repro.dfg.io import from_payload, to_payload
+from repro.exceptions import JobValidationError, PatternError, ServiceError
+from repro.service.http import ServiceClient
+from repro.service.jobs import JobRequest, JobResult
+from repro.service.service import SchedulerService, SubmitOutcome
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.patterns.enumeration import PatternCatalog
+
+__all__ = [
+    "ShardTask",
+    "LocalShard",
+    "RemoteShard",
+    "ShardCoordinator",
+]
+
+_TASK_FIELDS = {"size", "span_limit", "max_count", "seeds", "workload", "dfg"}
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One seed-node partition of a catalog build, addressed to one shard.
+
+    ``seeds`` are node indices into the graph's insertion order — stable
+    across the wire because DFG JSON payloads preserve node order.  The
+    graph travels by workload name when possible (both sides build the
+    identical graph from the registry) and inline otherwise.
+
+    Attributes
+    ----------
+    size:
+        Antichain size bound for this attempt (capacity already capped by
+        ``max_pattern_size`` at the coordinator).
+    span_limit:
+        Span bound for this attempt (the coordinator owns adaptive-span
+        retries; shards only ever see one concrete attempt).
+    max_count:
+        Global antichain ceiling; a shard whose partition alone exceeds
+        it fails the attempt exactly like a fused DFS would.
+    seeds:
+        Ascending contiguous node indices whose DFS subtrees this shard
+        classifies.
+    workload / dfg:
+        Exactly one names the graph, as in :class:`JobRequest`.
+    """
+
+    size: int
+    span_limit: int | None
+    max_count: int | None
+    seeds: tuple[int, ...]
+    workload: str | None = None
+    dfg: DFG | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.size, int) or self.size < 1:
+            raise JobValidationError(
+                f"size must be an int ≥ 1, got {self.size!r}", field="size"
+            )
+        if self.span_limit is not None and (
+            not isinstance(self.span_limit, int) or self.span_limit < 0
+        ):
+            raise JobValidationError(
+                f"span_limit must be None or an int ≥ 0, "
+                f"got {self.span_limit!r}",
+                field="span_limit",
+            )
+        if self.max_count is not None and (
+            not isinstance(self.max_count, int) or self.max_count < 1
+        ):
+            raise JobValidationError(
+                f"max_count must be None or an int ≥ 1, "
+                f"got {self.max_count!r}",
+                field="max_count",
+            )
+        seeds = tuple(self.seeds)
+        object.__setattr__(self, "seeds", seeds)
+        if not seeds or not all(isinstance(s, int) and s >= 0 for s in seeds):
+            raise JobValidationError(
+                f"seeds must be a non-empty sequence of node indices ≥ 0, "
+                f"got {self.seeds!r}",
+                field="seeds",
+            )
+        if (self.workload is None) == (self.dfg is None):
+            raise JobValidationError(
+                "exactly one of 'workload' and 'dfg' must be given",
+                field="workload",
+            )
+        if self.workload is not None and not isinstance(self.workload, str):
+            raise JobValidationError(
+                f"workload must be a string name, got {self.workload!r}",
+                field="workload",
+            )
+        if self.dfg is not None and not isinstance(self.dfg, DFG):
+            raise JobValidationError(
+                f"dfg must be a DFG, got {type(self.dfg).__name__}",
+                field="dfg",
+            )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe wire form (inline graphs via ``to_payload``)."""
+        out: dict[str, Any] = {
+            "size": self.size,
+            "span_limit": self.span_limit,
+            "max_count": self.max_count,
+            "seeds": list(self.seeds),
+        }
+        if self.workload is not None:
+            out["workload"] = self.workload
+        if self.dfg is not None:
+            out["dfg"] = to_payload(self.dfg)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "ShardTask":
+        """Inverse of :meth:`to_dict`; unknown fields are rejected."""
+        if not isinstance(payload, dict):
+            raise JobValidationError(
+                f"malformed shard task: expected an object, "
+                f"got {type(payload).__name__}"
+            )
+        unknown = set(payload) - _TASK_FIELDS
+        if unknown:
+            raise JobValidationError(
+                f"unknown shard task field(s) {sorted(unknown)}",
+                field=sorted(unknown)[0],
+            )
+        if "size" not in payload:
+            raise JobValidationError("shard task is missing 'size'", field="size")
+        if "seeds" not in payload or not isinstance(payload["seeds"], list):
+            raise JobValidationError("shard task needs a 'seeds' list", field="seeds")
+        dfg = None
+        if "dfg" in payload:
+            if not isinstance(payload["dfg"], dict):
+                raise JobValidationError(
+                    "inline 'dfg' must be a DFG JSON object", field="dfg"
+                )
+            try:
+                dfg = from_payload(payload["dfg"])
+            except Exception as exc:
+                raise JobValidationError(
+                    f"invalid inline DFG: {exc}", field="dfg"
+                ) from exc
+        return cls(
+            size=payload["size"],
+            span_limit=payload.get("span_limit"),
+            max_count=payload.get("max_count"),
+            seeds=tuple(payload["seeds"]),
+            workload=payload.get("workload"),
+            dfg=dfg,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# shard handles
+# --------------------------------------------------------------------------- #
+class LocalShard:
+    """An in-process :class:`SchedulerService` acting as one shard."""
+
+    def __init__(self, service: SchedulerService) -> None:
+        self.service = service
+
+    def classify(self, task: ShardTask) -> list[tuple]:
+        return self.service.classify_shard(task)
+
+    def describe(self) -> str:
+        return f"local({self.service.backend.describe()})"
+
+
+class RemoteShard:
+    """A remote ``repro serve`` instance acting as one shard."""
+
+    def __init__(self, client: "ServiceClient | str") -> None:
+        if isinstance(client, str):
+            client = ServiceClient(client)
+        self.client = client
+
+    def classify(self, task: ShardTask) -> list[tuple]:
+        return self.client.classify_shard(task)
+
+    def describe(self) -> str:
+        return f"remote({self.client.base_url})"
+
+
+def _as_shard(shard: Any) -> "LocalShard | RemoteShard":
+    if isinstance(shard, (LocalShard, RemoteShard)):
+        return shard
+    if isinstance(shard, SchedulerService):
+        return LocalShard(shard)
+    if isinstance(shard, ServiceClient):
+        return RemoteShard(shard)
+    if isinstance(shard, str):
+        return RemoteShard(shard)
+    raise ServiceError(
+        f"cannot use {type(shard).__name__} as a shard; expected a "
+        f"SchedulerService, ServiceClient, URL string, LocalShard or "
+        f"RemoteShard"
+    )
+
+
+# --------------------------------------------------------------------------- #
+class ShardCoordinator:
+    """Fan a catalog build out over shards; merge bit-identically.
+
+    Parameters
+    ----------
+    shards:
+        Shard handles (or anything :func:`_as_shard` coerces: services,
+        clients, URLs).  Partition count equals shard count; partition
+        *i* goes to shard *i*.
+    service:
+        The completion service that runs selection + scheduling against
+        the merged catalog (and owns the result/selection caches).  A
+        private one is created — and closed with the coordinator — when
+        omitted.
+
+    Examples
+    --------
+    >>> from repro.service import SchedulerService
+    >>> from repro.service.shard import ShardCoordinator
+    >>> coord = ShardCoordinator([SchedulerService(), SchedulerService()])
+    >>> # coord.submit(JobRequest(...)) — bit-identical to a single service
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Any],
+        *,
+        service: SchedulerService | None = None,
+    ) -> None:
+        if not shards:
+            raise ServiceError("need at least one shard")
+        self.shards: list[LocalShard | RemoteShard] = [_as_shard(s) for s in shards]
+        self._owns_service = service is None
+        self._owned_shards: list[SchedulerService] = []
+        self.service = service if service is not None else SchedulerService()
+
+    @classmethod
+    def local(
+        cls,
+        n: int,
+        *,
+        service: SchedulerService | None = None,
+        **service_kwargs: Any,
+    ) -> "ShardCoordinator":
+        """A coordinator over ``n`` fresh in-process shard services.
+
+        ``service_kwargs`` go to each shard's :class:`SchedulerService`
+        *and* to the auto-created completion service (e.g.
+        ``cache_dir=...`` shares one disk cache across all of them — the
+        completion service is the side that actually reads and writes
+        the catalog/selection/result stores).  An explicitly passed
+        ``service`` is used as configured.  The created services are
+        owned and closed with the coordinator.
+        """
+        if n < 1:
+            raise ServiceError(f"need n ≥ 1 local shards, got {n}")
+        owned = [SchedulerService(**service_kwargs) for _ in range(n)]
+        if service is None:
+            completion = SchedulerService(**service_kwargs)
+            coord = cls(owned, service=completion)
+            coord._owns_service = True
+        else:
+            coord = cls(owned, service=service)
+        coord._owned_shards = owned
+        return coord
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._owns_service:
+            self.service.close()
+        for shard_service in self._owned_shards:
+            shard_service.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "shards": [s.describe() for s in self.shards],
+            "service": self.service.describe()["backend"],
+        }
+
+    # ------------------------------------------------------------------ #
+    # sharded catalog building
+    # ------------------------------------------------------------------ #
+    def build_catalog(
+        self,
+        dfg: DFG,
+        capacity: int,
+        *,
+        config: SelectionConfig | None = None,
+        workload: str | None = None,
+    ) -> "PatternCatalog":
+        """The merged catalog for ``dfg`` — bit-identical to a fused build.
+
+        Applies the selector's exact size/adaptive-span policy
+        (:meth:`~repro.core.selection.PatternSelector.build_catalog_with`)
+        around sharded classify attempts.  ``workload`` lets tasks travel
+        by registry name instead of shipping the graph to every shard.
+        """
+        config = config if config is not None else SelectionConfig()
+        if config.store_antichains:
+            raise PatternError(
+                "sharded pattern generation cannot store raw antichains; "
+                "use the serial backend with store_antichains"
+            )
+        selector = PatternSelector(capacity, config=config)
+        return selector.build_catalog_with(
+            dfg,
+            lambda size, span: self._classify_sharded(
+                dfg,
+                size,
+                span,
+                max_count=config.max_antichains,
+                workload=workload,
+            ),
+        )
+
+    def _classify_sharded(
+        self,
+        dfg: DFG,
+        size: int,
+        span_limit: int | None,
+        *,
+        max_count: int | None,
+        workload: str | None,
+    ) -> "PatternCatalog":
+        """One sharded classify attempt at a concrete (size, span)."""
+        from repro.exec.process import (
+            merge_classified_parts,
+            plan_seed_partitions,
+        )
+
+        partitions = plan_seed_partitions(dfg, len(self.shards))
+        tasks = [
+            ShardTask(
+                size=size,
+                span_limit=span_limit,
+                max_count=max_count,
+                seeds=tuple(seeds),
+                workload=workload,
+                dfg=None if workload is not None else dfg,
+            )
+            for seeds in partitions
+        ]
+        if not tasks:
+            parts: list[list[tuple]] = []
+        elif len(tasks) == 1:
+            parts = [self.shards[0].classify(tasks[0])]
+        else:
+            # One thread per task: local shards release no GIL but remote
+            # shards overlap fully; either way results come back in
+            # partition order, which the merge requires for bit-identity.
+            with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+                parts = list(
+                    pool.map(
+                        lambda pair: self.shards[pair[0]].classify(pair[1]),
+                        enumerate(tasks),
+                    )
+                )
+        return merge_classified_parts(
+            dfg,
+            parts,
+            capacity=size,
+            span_limit=span_limit,
+            max_count=max_count,
+        )
+
+    # ------------------------------------------------------------------ #
+    # job submission
+    # ------------------------------------------------------------------ #
+    def submit_outcome(self, request: JobRequest) -> SubmitOutcome:
+        """Run one job with a sharded catalog build; see :meth:`submit`."""
+        if not isinstance(request, JobRequest):
+            raise JobValidationError(
+                f"expected a JobRequest, got {type(request).__name__}"
+            )
+        # Resolve + probe under the service lock (graph registries and
+        # stores are lock-protected everywhere else), but do NOT hold it
+        # across the shard fan-out: a LocalShard wrapping this very
+        # service would deadlock classifying from a pool thread.
+        with self.service._lock:
+            dfg, digest = self.service._resolve_input(request.workload, request.dfg)
+            # Already cached at some level (result or catalog, memory or
+            # disk)?  Then the completion service answers without any
+            # shard traffic at all.
+            answered = request.job_key(digest) in self.service._results
+            has_catalog = request.catalog_key(digest) in self.service._catalogs
+        if not answered and not has_catalog:
+            catalog = self.build_catalog(
+                dfg,
+                request.capacity,
+                config=request.config,
+                workload=request.workload,
+            )
+            self.service.prime_catalog(request, catalog)
+        return self.service.submit_outcome(request)
+
+    def submit(self, request: JobRequest) -> JobResult:
+        """Submit one job; the catalog stage fans out across the shards.
+
+        Selection and scheduling run on the completion service (they are
+        sequential and sub-10 ms on realistic catalogs); the result is
+        bit-identical to a single-instance submit and lands in the same
+        caches under the same keys.
+        """
+        return self.submit_outcome(request).result
+
+    # ------------------------------------------------------------------ #
+    def pipeline(
+        self,
+        capacity: int,
+        pdef: int,
+        *,
+        config: SelectionConfig | None = None,
+        **kwargs: Any,
+    ) -> "Any":
+        """A :class:`~repro.pipeline.Pipeline` with a sharded catalog stage.
+
+        The returned pipeline's ``catalog`` stage fans out over this
+        coordinator's shards; everything else (selection, scheduling,
+        metrics, per-stage timing hooks) is the ordinary pipeline.
+        """
+        from repro.pipeline import Pipeline
+
+        config = config if config is not None else SelectionConfig()
+        return Pipeline(
+            capacity,
+            pdef,
+            config=config,
+            catalog_builder=lambda dfg: self.build_catalog(
+                dfg, capacity, config=config
+            ),
+            **kwargs,
+        )

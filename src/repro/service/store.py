@@ -1,0 +1,312 @@
+"""Pluggable cache stores behind the service's three cache levels.
+
+:class:`~repro.service.service.SchedulerService` historically kept its
+catalog/selection/result caches in private in-memory LRUs; this module
+turns that storage decision into a seam:
+
+:class:`MemoryCacheStore`
+    The exact previous behaviour — a keyed LRU with
+    most-recently-*used* eviction order.  The default.
+
+:class:`DiskCacheStore`
+    A disk-backed store: every ``put`` writes the value through to a JSON
+    file under ``<directory>/<namespace>/`` (atomically — temp file +
+    ``os.replace``), and a ``get`` that misses the in-process memory
+    front falls back to reading it from disk.  File names are
+    :func:`repro.dfg.io.stable_key_digest` of the structured cache key,
+    so two independent service instances — or one service across a
+    restart — derive the same file for the same key: catalogs survive
+    restarts and can be shared between shard instances via a common
+    cache directory.  Corrupt or truncated cache files are treated as
+    misses, never errors; the next ``put`` atomically replaces them.
+
+Values are domain objects (:class:`~repro.patterns.enumeration.PatternCatalog`,
+:class:`~repro.core.selection.SelectionResult`,
+:class:`~repro.service.jobs.JobResult`); the disk store serialises them
+through the same lossless converters as the HTTP wire format
+(:mod:`repro.service.serialize`), so a value read back from disk is
+bit-identical to the one computed — Counter insertion order included.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.dfg.io import from_payload, stable_key_digest, to_payload
+from repro.exceptions import ServiceError
+from repro.service.jobs import JobResult
+from repro.service.serialize import (
+    catalog_from_dict,
+    catalog_to_dict,
+    selection_result_from_dict,
+    selection_result_to_dict,
+)
+
+__all__ = [
+    "CacheStore",
+    "MemoryCacheStore",
+    "DiskCacheStore",
+    "open_cache_stores",
+]
+
+#: On-disk payload format version; bump to invalidate old cache files.
+DISK_FORMAT = 1
+
+
+class CacheStore:
+    """The storage contract behind one service cache level.
+
+    A store maps hashable structured keys to values.  ``get`` returns
+    ``None`` on a miss (values are never ``None``), ``put`` inserts or
+    replaces.  Implementations are free to evict; the service treats any
+    eviction as an ordinary miss.
+    """
+
+    def get(self, key: Any) -> Any | None:
+        raise NotImplementedError
+
+    def put(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: Any) -> bool:
+        return self.get(key) is not None
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        """Occupancy/config summary for :meth:`SchedulerService.describe`."""
+        return {"kind": type(self).__name__, "size": len(self)}
+
+
+class MemoryCacheStore(CacheStore):
+    """A small keyed LRU (most-recently-*used* eviction order).
+
+    This is the service's historical ``_LRU`` verbatim: ``get`` refreshes
+    recency, ``put`` inserts most-recent and evicts from the least
+    recently used end until within ``maxsize``.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ServiceError(f"cache size must be ≥ 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+
+    def get(self, key: Any) -> Any | None:
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self) -> list[Any]:
+        """Current keys, least recently used first (tests/observability)."""
+        return list(self._data)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": "memory",
+            "size": len(self),
+            "max": self.maxsize,
+        }
+
+
+class DiskCacheStore(CacheStore):
+    """A write-through disk store with an in-process LRU front.
+
+    Parameters
+    ----------
+    directory:
+        Root cache directory (shared by all namespaces; created eagerly).
+    namespace:
+        Cache level name (``"catalog"`` / ``"selection"`` / ``"result"``)
+        — each namespace is its own subdirectory.
+    encode / decode:
+        Lossless value ↔ JSON-safe-dict converters for this namespace.
+    memory_size:
+        Size of the in-process LRU front (decoded objects; a warm hit in
+        the same process never re-reads the file).
+    """
+
+    _tmp_ids = itertools.count()
+
+    def __init__(
+        self,
+        directory: "str | os.PathLike[str]",
+        namespace: str,
+        *,
+        encode: Callable[[Any], dict],
+        decode: Callable[[dict], Any],
+        memory_size: int = 64,
+    ) -> None:
+        self.directory = Path(directory) / namespace
+        self.namespace = namespace
+        self.maxsize = memory_size
+        self._encode = encode
+        self._decode = decode
+        self._memory = MemoryCacheStore(memory_size)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: Any) -> Path:
+        """The cache file a key maps to (stable across processes)."""
+        return self.directory / f"{stable_key_digest(key)}.json"
+
+    def get(self, key: Any) -> Any | None:
+        value = self._memory.get(key)
+        if value is not None:
+            return value
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != DISK_FORMAT
+                or payload.get("namespace") != self.namespace
+            ):
+                return None
+            value = self._decode(payload["value"])
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt, truncated or foreign file: a miss, never an error.
+            # The next put for this key atomically replaces it.
+            return None
+        self._memory.put(key, value)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._memory.put(key, value)
+        payload = {
+            "format": DISK_FORMAT,
+            "namespace": self.namespace,
+            "value": self._encode(value),
+        }
+        path = self.path_for(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(self._tmp_ids)}.tmp")
+        body = json.dumps(payload, separators=(",", ":"))
+        try:
+            tmp.write_text(body, encoding="utf-8")
+            os.replace(tmp, path)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            msg = f"cannot persist cache entry to {path}: {exc}"
+            raise ServiceError(msg) from exc
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._memory or self.path_for(key).exists()
+
+    def clear(self) -> None:
+        self._memory.clear()
+        for path in self.directory.glob("*.json"):
+            path.unlink(missing_ok=True)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "kind": "disk",
+            "size": len(self),
+            "max": self.maxsize,
+            "directory": str(self.directory),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# per-level value codecs
+# --------------------------------------------------------------------------- #
+# Catalogs and selections reference their DFG; the graph payload is
+# embedded so a cold process (or another service instance) can rebuild
+# the object without the original graph in hand.
+def _encode_catalog(catalog: Any) -> dict:
+    return {
+        "dfg": to_payload(catalog.dfg),
+        "catalog": catalog_to_dict(catalog),
+    }
+
+
+def _decode_catalog(payload: dict) -> Any:
+    return catalog_from_dict(payload["catalog"], from_payload(payload["dfg"]))
+
+
+def _encode_selection(selection: Any) -> dict:
+    return {
+        "dfg": to_payload(selection.catalog.dfg),
+        "selection": selection_result_to_dict(selection),
+    }
+
+
+def _decode_selection(payload: dict) -> Any:
+    return selection_result_from_dict(
+        payload["selection"], from_payload(payload["dfg"])
+    )
+
+
+def open_cache_stores(
+    cache_dir: "str | os.PathLike[str] | None",
+    *,
+    catalog_size: int,
+    selection_size: int,
+    result_size: int,
+) -> tuple[CacheStore, CacheStore, CacheStore]:
+    """The service's three cache stores, disk-backed when ``cache_dir`` is set.
+
+    Returns ``(catalogs, selections, results)``.  With ``cache_dir=None``
+    each level is a plain :class:`MemoryCacheStore` (the historical
+    behaviour); otherwise each level is a :class:`DiskCacheStore` under
+    its own namespace with the LRU size as its memory front.
+    """
+    if cache_dir is None:
+        return (
+            MemoryCacheStore(catalog_size),
+            MemoryCacheStore(selection_size),
+            MemoryCacheStore(result_size),
+        )
+    return (
+        DiskCacheStore(
+            cache_dir,
+            "catalog",
+            encode=_encode_catalog,
+            decode=_decode_catalog,
+            memory_size=catalog_size,
+        ),
+        DiskCacheStore(
+            cache_dir,
+            "selection",
+            encode=_encode_selection,
+            decode=_decode_selection,
+            memory_size=selection_size,
+        ),
+        DiskCacheStore(
+            cache_dir,
+            "result",
+            encode=lambda r: r.to_dict(),
+            decode=JobResult.from_dict,
+            memory_size=result_size,
+        ),
+    )

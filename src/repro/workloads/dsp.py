@@ -6,8 +6,6 @@ test-suite against direct NumPy computations.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from repro.dfg.graph import DFG

@@ -63,7 +63,7 @@ class TestTables:
         text = render_table(["name", "v"], [["x", 1], ["longer", 22]])
         lines = text.splitlines()
         assert len(lines) == 4  # header, rule, 2 rows
-        assert len(set(len(l) for l in lines if l.strip())) == 1
+        assert len(set(len(ln) for ln in lines if ln.strip())) == 1
 
     def test_title(self):
         text = render_table(["a"], [[1]], title="My Table")
@@ -100,7 +100,7 @@ class TestHarnesses:
         )
         alphas = dict(out["alpha"])
         assert 20.0 in alphas
-        assert all(l >= 5 for l in alphas.values())
+        assert all(v >= 5 for v in alphas.values())
         assert dict(out["epsilon"])[0.5] >= 5
 
     def test_f1_vs_f2(self, paper_3dft):

@@ -11,6 +11,8 @@ from repro.dfg.io import (
     dfg_digest,
     from_edge_list,
     from_json,
+    stable_key_digest,
+    stable_key_json,
     to_dot,
     to_edge_list,
     to_json,
@@ -188,3 +190,67 @@ class TestDot:
         assert 'fillcolor="red"' in dot
         # 'b' not in custom palette → no fill for b4.
         assert dot.count("fillcolor") == 3
+
+
+class TestStableKeyEncoding:
+    def test_equal_keys_equal_digests(self):
+        key = ("digest", 5, None, 1, True)
+        assert stable_key_digest(key) == stable_key_digest(("digest", 5, None, 1, True))
+
+    def test_tuple_and_list_encode_identically(self):
+        # The service builds keys as tuples; JSON round trips produce
+        # lists — both must land on the same cache file.
+        assert stable_key_json(("a", (1, 2))) == stable_key_json(["a", [1, 2]])
+
+    def test_scalars_are_distinguished(self):
+        assert stable_key_json(1) != stable_key_json("1")
+        assert stable_key_json(1) != stable_key_json(True)
+        assert stable_key_json(0) != stable_key_json(False)
+        assert stable_key_json(None) != stable_key_json("None")
+
+    def test_dataclasses_hash_by_content(self):
+        from repro.core.config import SelectionConfig
+
+        a = SelectionConfig(span_limit=1)
+        b = SelectionConfig(span_limit=1)
+        c = SelectionConfig(span_limit=2)
+        assert stable_key_digest(("k", a)) == stable_key_digest(("k", b))
+        assert stable_key_digest(("k", a)) != stable_key_digest(("k", c))
+
+    def test_dict_key_types_do_not_collide(self):
+        assert stable_key_json({1: "x"}) != stable_key_json({"1": "x"})
+
+    def test_sets_are_order_independent(self):
+        assert stable_key_json({3, 1, 2}) == stable_key_json({2, 3, 1})
+        assert stable_key_json(frozenset({1})) == stable_key_json({1})
+
+    def test_unencodable_component_is_loud(self):
+        with pytest.raises(GraphError, match="no stable encoding"):
+            stable_key_json(("k", object()))
+
+    def test_digest_is_pinned(self):
+        # The on-disk cache contract: this digest must never drift, or
+        # every persisted cache silently invalidates.  If this test
+        # fails you have changed the stable-key encoding — bump
+        # repro.service.store.DISK_FORMAT and update the literal.
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class K:
+            x: int
+            y: str
+
+        key = (
+            "d",
+            5,
+            None,
+            True,
+            1.5,
+            {"a": 1, 2: "b"},
+            frozenset({3, 2}),
+            K(x=1, y="z"),
+        )
+        assert stable_key_digest(key) == (
+            "55280e715b3088d2dbdf9029d76c623a"
+            "1641383f22179f0d7c75f1553de34335"
+        )

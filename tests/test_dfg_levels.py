@@ -60,8 +60,8 @@ class TestAlap:
 
     def test_chain_has_zero_slack(self):
         dfg = chain(5)
-        a, l = asap(dfg), alap(dfg)
-        assert a == l
+        a, al = asap(dfg), alap(dfg)
+        assert a == al
 
 
 class TestHeight:

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.montium.clustering import cluster_dfg
 from repro.montium.frontend import parse_program

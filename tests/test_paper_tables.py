@@ -28,7 +28,6 @@ from repro.analysis.experiments import (
 from repro.core.config import SelectionConfig
 from repro.core.selection import PatternSelector
 from repro.dfg.antichains import is_antichain, is_executable
-from repro.dfg.levels import LevelAnalysis
 from repro.dfg.span import span
 from repro.dfg.traversal import is_follower, parallelizable
 from repro.patterns.pattern import Pattern
@@ -148,7 +147,7 @@ class TestTable3:
         # Paper: 8 / 9 / 7 — the exact values depend on tie-breaking, but
         # the observation under test is the spread itself.
         assert len(set(lengths)) >= 2
-        assert all(5 <= l <= 12 for l in lengths)
+        assert all(5 <= n <= 12 for n in lengths)
 
     def test_regression_values(self, paper_3dft):
         # Paper: 8 / 9 / 7.  Reconstruction: 8 / 8 / 6 — same ordering (the

@@ -10,7 +10,6 @@ from __future__ import annotations
 import random
 from collections import Counter
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

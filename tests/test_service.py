@@ -18,7 +18,6 @@ import json
 import pytest
 
 from repro.core.config import SelectionConfig
-from repro.dfg.graph import DFG
 from repro.dfg.io import dfg_digest
 from repro.exceptions import JobValidationError, ServiceError
 from repro.service import (
@@ -439,3 +438,99 @@ class TestHTTPKeepAliveSafety:
         finally:
             server.shutdown()
             server.server_close()
+
+
+# --------------------------------------------------------------------------- #
+# admission control (bounded pending-job queue)
+# --------------------------------------------------------------------------- #
+class TestAdmissionControl:
+    def test_rejects_when_pending_at_limit(self):
+        from repro.exceptions import ServiceOverloadedError
+
+        with SchedulerService(max_pending=1) as service:
+            with service._admitted():  # occupy the single slot
+                with pytest.raises(
+                    ServiceOverloadedError, match="admission limit"
+                ) as exc:
+                    service.submit(_job())
+            assert exc.value.pending == 1
+            assert exc.value.max_pending == 1
+            assert service.stats.rejected == 1
+            # The slot was released; the next submit goes through.
+            assert service.submit(_job()).schedule.length > 0
+            assert service.pending == 0
+
+    def test_batch_takes_one_slot(self):
+        with SchedulerService(max_pending=1) as service:
+            results = service.submit_many([_job(pdef=2), _job(pdef=3)])
+        assert len(results) == 2
+        assert service.stats.rejected == 0
+
+    def test_unbounded_by_default(self):
+        with SchedulerService() as service:
+            assert service.max_pending is None
+            service.submit(_job())
+            assert service.stats.rejected == 0
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ServiceError, match="max_pending"):
+            SchedulerService(max_pending=0)
+
+    def test_describe_reports_admission(self):
+        with SchedulerService(max_pending=7) as service:
+            info = service.describe()
+        assert info["admission"] == {"max_pending": 7, "pending": 0}
+
+    def test_overload_maps_to_http_429(self):
+        from repro.exceptions import ServiceOverloadedError
+
+        server = ServiceServer(port=0, max_pending=1)
+        server.start_background()
+        try:
+            client = ServiceClient(server.url, timeout=30)
+            with server.service._admitted():  # hold the only slot
+                import urllib.error
+                import urllib.request
+
+                with pytest.raises(urllib.error.HTTPError) as exc:
+                    urllib.request.urlopen(
+                        urllib.request.Request(
+                            server.url + "/v1/jobs",
+                            data=_job().to_json().encode("utf-8"),
+                            headers={"Content-Type": "application/json"},
+                            method="POST",
+                        ),
+                        timeout=30,
+                    )
+                assert exc.value.code == 429
+                assert exc.value.headers.get("Retry-After") == "1"
+                detail = json.loads(exc.value.read())
+                assert detail["error"] == "ServiceOverloadedError"
+                assert detail["max_pending"] == 1
+                # The thin client re-raises the typed exception.
+                with pytest.raises(ServiceOverloadedError):
+                    client.submit(_job())
+            # Slot released: the service recovers without a restart.
+            result = client.submit(_job())
+            assert client.last_cache == "none"
+            result.schedule.verify()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_shard_tasks_take_admission_slots(self):
+        from repro.exceptions import ServiceOverloadedError
+        from repro.service import ShardTask
+
+        with SchedulerService(max_pending=1) as service:
+            task = ShardTask(
+                size=2,
+                span_limit=1,
+                max_count=None,
+                seeds=(0,),
+                workload="3dft",
+            )
+            with service._admitted():
+                with pytest.raises(ServiceOverloadedError):
+                    service.classify_shard(task)
+            assert service.classify_shard(task)  # recovered

@@ -1,0 +1,415 @@
+"""Shard-coordinator tests: merge bit-identity, remote shards, submit.
+
+The contract under test (ISSUE 4 acceptance): N-shard merged catalogs are
+**bit-identical** to the single-instance fused catalog — same patterns,
+same antichain counts, same per-node frequencies and the same Counter
+insertion order — for any shard count, on random layered and
+Erdős-Rényi DAGs (property test) and on the FFT workloads, whether the
+shards are in-process services or remote ``repro serve`` instances
+reached over HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SelectionConfig
+from repro.core.selection import PatternSelector
+from repro.exceptions import (
+    EnumerationLimitError,
+    JobValidationError,
+    PatternError,
+    ServiceError,
+)
+from repro.exec.process import merge_classified_parts, plan_seed_partitions
+from repro.service import (
+    JobRequest,
+    SchedulerService,
+    ServiceClient,
+    ServiceServer,
+    ShardCoordinator,
+    ShardTask,
+)
+from repro.service.serialize import catalog_to_dict
+from repro.service.shard import LocalShard
+from repro.workloads import three_point_dft_paper
+from repro.workloads.fft import radix2_fft
+from repro.workloads.synthetic import layered_dag, random_dag
+
+CFG = SelectionConfig(span_limit=1)
+
+COMMON = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def catalog_bits(catalog) -> str:
+    """The catalog's full serialized form — order-sensitive by design."""
+    return json.dumps(catalog_to_dict(catalog))
+
+
+def fused_catalog(dfg, capacity, config=CFG):
+    return PatternSelector(capacity, config=config).build_catalog(dfg)
+
+
+# --------------------------------------------------------------------------- #
+# partition planning
+# --------------------------------------------------------------------------- #
+class TestPlanSeedPartitions:
+    def test_partitions_cover_all_seeds_in_order(self):
+        dfg = three_point_dft_paper()
+        for n in (1, 2, 3, 5, 100):
+            parts = plan_seed_partitions(dfg, n)
+            flat = [i for part in parts for i in part]
+            assert flat == list(range(dfg.n_nodes))
+            assert len(parts) <= n
+            assert all(part for part in parts)
+
+    def test_respects_restrict_to(self):
+        dfg = three_point_dft_paper()
+        keep = list(dfg.nodes)[:4]
+        parts = plan_seed_partitions(dfg, 2, restrict_to=keep)
+        flat = [i for part in parts for i in part]
+        assert flat == sorted(dfg.index(n) for n in keep)
+
+    def test_rejects_bad_partition_count(self):
+        from repro.exceptions import BackendError
+
+        with pytest.raises(BackendError, match="partitions"):
+            plan_seed_partitions(three_point_dft_paper(), 0)
+
+
+# --------------------------------------------------------------------------- #
+# merge bit-identity: fixed workloads
+# --------------------------------------------------------------------------- #
+class TestShardMergeEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_3dft_bit_identical(self, shards):
+        dfg = three_point_dft_paper()
+        reference = catalog_bits(fused_catalog(dfg, 5))
+        with ShardCoordinator.local(shards) as coord:
+            sharded = catalog_bits(coord.build_catalog(dfg, 5, config=CFG))
+        assert sharded == reference
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_fft16_bit_identical(self, shards):
+        cfg = SelectionConfig(span_limit=1, max_pattern_size=3)
+        dfg = radix2_fft(16)
+        reference = catalog_bits(fused_catalog(dfg, 5, cfg))
+        with ShardCoordinator.local(shards) as coord:
+            sharded = catalog_bits(coord.build_catalog(dfg, 5, config=cfg))
+        assert sharded == reference
+
+    def test_fft64_bit_identical(self):
+        cfg = SelectionConfig(span_limit=1, max_pattern_size=2)
+        dfg = radix2_fft(64)
+        reference = catalog_bits(fused_catalog(dfg, 5, cfg))
+        with ShardCoordinator.local(3) as coord:
+            sharded = catalog_bits(coord.build_catalog(dfg, 5, config=cfg))
+        assert sharded == reference
+
+    def test_adaptive_span_tightens_identically(self):
+        # A wide graph over a tiny antichain budget forces the adaptive
+        # loop to tighten the span; coordinator and fused selector must
+        # walk the same ladder to the same catalog (the remote path
+        # additionally needs EnumerationLimitError to survive HTTP).
+        cfg = SelectionConfig(span_limit=2, adaptive_span=True, max_antichains=1500)
+        dfg = layered_dag(7, layers=3, width=6, edge_prob=0.4)
+        reference = fused_catalog(dfg, 5, cfg)
+        with ShardCoordinator.local(2) as coord:
+            sharded = coord.build_catalog(dfg, 5, config=cfg)
+        assert catalog_bits(sharded) == catalog_bits(reference)
+        assert sharded.span_limit == reference.span_limit
+
+    def test_enumeration_limit_propagates_without_adaptive(self):
+        cfg = SelectionConfig(span_limit=2, max_antichains=50, adaptive_span=False)
+        dfg = layered_dag(3, layers=2, width=8, edge_prob=0.3)
+        with pytest.raises(EnumerationLimitError):
+            fused_catalog(dfg, 5, cfg)
+        with ShardCoordinator.local(2) as coord:
+            with pytest.raises(EnumerationLimitError):
+                coord.build_catalog(dfg, 5, config=cfg)
+
+    def test_store_antichains_is_rejected(self):
+        with ShardCoordinator.local(2) as coord:
+            with pytest.raises(PatternError, match="store raw antichains"):
+                coord.build_catalog(
+                    three_point_dft_paper(),
+                    2,
+                    config=SelectionConfig(store_antichains=True),
+                )
+
+
+# --------------------------------------------------------------------------- #
+# merge bit-identity: property test on random DAGs
+# --------------------------------------------------------------------------- #
+@COMMON
+@given(
+    st.tuples(
+        st.integers(0, 10_000),
+        st.integers(2, 12),
+        st.sampled_from([0.1, 0.3, 0.5]),
+    ),
+    st.integers(1, 6),
+    st.sampled_from([None, 1, 2]),
+)
+def test_random_dag_catalogs_bit_identical(params, shards, span):
+    seed, n, p = params
+    dfg = random_dag(seed, n, p)
+    cfg = SelectionConfig(span_limit=span)
+    reference = catalog_bits(fused_catalog(dfg, 3, cfg))
+    with ShardCoordinator.local(shards) as coord:
+        sharded = catalog_bits(coord.build_catalog(dfg, 3, config=cfg))
+    assert sharded == reference
+
+
+@COMMON
+@given(
+    st.tuples(
+        st.integers(0, 10_000),
+        st.integers(1, 4),
+        st.integers(1, 5),
+    ),
+    st.integers(2, 4),
+)
+def test_layered_dag_catalogs_bit_identical(params, shards):
+    seed, layers, width = params
+    dfg = layered_dag(seed, layers, width)
+    reference = catalog_bits(fused_catalog(dfg, 4))
+    with ShardCoordinator.local(shards) as coord:
+        sharded = catalog_bits(coord.build_catalog(dfg, 4, config=CFG))
+    assert sharded == reference
+
+
+# --------------------------------------------------------------------------- #
+# remote shards over HTTP
+# --------------------------------------------------------------------------- #
+class TestRemoteShards:
+    @pytest.fixture()
+    def servers(self):
+        started = []
+        for _ in range(2):
+            server = ServiceServer(port=0)
+            server.start_background()
+            started.append(server)
+        yield started
+        for server in started:
+            server.shutdown()
+            server.server_close()
+
+    def test_remote_catalog_bit_identical_by_name(self, servers):
+        dfg = three_point_dft_paper()
+        reference = catalog_bits(fused_catalog(dfg, 5))
+        with ShardCoordinator([s.url for s in servers]) as coord:
+            sharded = coord.build_catalog(dfg, 5, config=CFG, workload="3dft")
+        assert catalog_bits(sharded) == reference
+        # Each remote instance actually did shard work.
+        for server in servers:
+            stats = ServiceClient(server.url).stats()["stats"]
+            assert stats["shard_tasks"] >= 1
+
+    def test_remote_catalog_bit_identical_inline_graph(self, servers):
+        dfg = layered_dag(11, layers=3, width=3)
+        reference = catalog_bits(fused_catalog(dfg, 4))
+        with ShardCoordinator([s.url for s in servers]) as coord:
+            sharded = coord.build_catalog(dfg, 4, config=CFG)
+        assert catalog_bits(sharded) == reference
+
+    def test_mixed_local_and_remote_shards(self, servers):
+        dfg = radix2_fft(16)
+        cfg = SelectionConfig(span_limit=1, max_pattern_size=3)
+        reference = catalog_bits(fused_catalog(dfg, 5, cfg))
+        with SchedulerService() as local:
+            with ShardCoordinator([local, servers[0].url]) as coord:
+                sharded = coord.build_catalog(dfg, 5, config=cfg)
+        assert catalog_bits(sharded) == reference
+
+    def test_remote_enumeration_limit_is_typed(self, servers):
+        cfg = SelectionConfig(span_limit=2, max_antichains=50, adaptive_span=False)
+        dfg = layered_dag(3, layers=2, width=8, edge_prob=0.3)
+        with ShardCoordinator([servers[0].url]) as coord:
+            with pytest.raises(EnumerationLimitError):
+                coord.build_catalog(dfg, 5, config=cfg)
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end submit through the coordinator
+# --------------------------------------------------------------------------- #
+class TestCoordinatorSubmit:
+    def _request(self, **kwargs):
+        kwargs.setdefault("workload", "3dft")
+        kwargs.setdefault("config", CFG)
+        return JobRequest(capacity=5, pdef=4, **kwargs)
+
+    def test_submit_matches_single_instance_answer(self):
+        with SchedulerService() as single:
+            expected = single.submit(self._request())
+        with ShardCoordinator.local(3) as coord:
+            sharded = coord.submit(self._request())
+        a, b = expected.to_dict(), sharded.to_dict()
+        # Wall-clock timings are the only legitimately different field:
+        # the sharded catalog stage runs outside the completion submit.
+        a.pop("timings")
+        b.pop("timings")
+        assert json.dumps(a) == json.dumps(b)
+
+    def test_submit_primes_completion_caches(self):
+        with ShardCoordinator.local(2) as coord:
+            first = coord.submit_outcome(self._request())
+            assert first.cache == "catalog"  # catalog primed, rest computed
+            tasks_after_first = sum(
+                s.service.stats.shard_tasks
+                for s in coord.shards
+                if isinstance(s, LocalShard)
+            )
+            second = coord.submit_outcome(self._request())
+        assert second.cache == "result"
+        assert second.result.to_json() == first.result.to_json()
+        # The warm submit generated no new shard traffic.
+        tasks_after_second = sum(
+            s.service.stats.shard_tasks
+            for s in coord.shards
+            if isinstance(s, LocalShard)
+        )
+        assert tasks_after_second == tasks_after_first
+
+    def test_rejects_non_request(self):
+        with ShardCoordinator.local(1) as coord:
+            with pytest.raises(JobValidationError, match="JobRequest"):
+                coord.submit("nope")
+
+    def test_local_kwargs_reach_the_completion_service(self, tmp_path):
+        # The completion service is the side that reads/writes the cache
+        # stores, so .local(n, cache_dir=...) must configure it too — a
+        # fresh coordinator on the same directory answers from disk.
+        with ShardCoordinator.local(2, cache_dir=tmp_path) as coord:
+            assert coord.service.cache_dir == tmp_path
+            cold = coord.submit_outcome(self._request())
+            assert cold.cache == "catalog"
+        with ShardCoordinator.local(2, cache_dir=tmp_path) as coord:
+            warm = coord.submit_outcome(self._request())
+        assert warm.cache == "result"
+        assert warm.result.to_json() == cold.result.to_json()
+
+    def test_pipeline_hook_runs_sharded_catalog_stage(self):
+        dfg = three_point_dft_paper()
+        with ShardCoordinator.local(2) as coord:
+            pipe = coord.pipeline(5, 4, config=CFG)
+            result = pipe.run(dfg)
+        reference = fused_catalog(dfg, 5)
+        assert catalog_bits(result.catalog) == catalog_bits(reference)
+        assert "catalog" in result.timings
+
+    def test_coordinator_needs_shards(self):
+        with pytest.raises(ServiceError, match="at least one shard"):
+            ShardCoordinator([])
+        with pytest.raises(ServiceError, match="n ≥ 1"):
+            ShardCoordinator.local(0)
+
+    def test_rejects_unshardable_handles(self):
+        with pytest.raises(ServiceError, match="cannot use"):
+            ShardCoordinator([42])
+
+
+# --------------------------------------------------------------------------- #
+# the wire format
+# --------------------------------------------------------------------------- #
+class TestShardTask:
+    def test_round_trip(self):
+        task = ShardTask(
+            size=3,
+            span_limit=1,
+            max_count=1000,
+            seeds=(0, 1, 2),
+            workload="3dft",
+        )
+        again = ShardTask.from_dict(json.loads(task.to_json()))
+        assert again == task
+
+    def test_inline_graph_round_trip(self):
+        dfg = three_point_dft_paper()
+        task = ShardTask(
+            size=2,
+            span_limit=None,
+            max_count=None,
+            seeds=(1, 3),
+            dfg=dfg,
+        )
+        again = ShardTask.from_dict(task.to_dict())
+        assert again.dfg.nodes == dfg.nodes
+        assert again.seeds == (1, 3)
+
+    @pytest.mark.parametrize(
+        "kwargs,field",
+        [
+            (dict(size=0, span_limit=1, max_count=None, seeds=(0,)), "size"),
+            (
+                dict(size=2, span_limit=-1, max_count=None, seeds=(0,)),
+                "span_limit",
+            ),
+            (
+                dict(size=2, span_limit=1, max_count=0, seeds=(0,)),
+                "max_count",
+            ),
+            (dict(size=2, span_limit=1, max_count=None, seeds=()), "seeds"),
+        ],
+    )
+    def test_validation(self, kwargs, field):
+        kwargs.setdefault("workload", "3dft")
+        with pytest.raises(JobValidationError) as exc:
+            ShardTask(**kwargs)
+        assert exc.value.field == field
+
+    def test_requires_exactly_one_graph_source(self):
+        with pytest.raises(JobValidationError, match="exactly one"):
+            ShardTask(size=2, span_limit=1, max_count=None, seeds=(0,))
+
+    def test_from_dict_rejects_unknown_fields(self):
+        payload = {"size": 2, "seeds": [0], "workload": "3dft", "zap": 1}
+        with pytest.raises(JobValidationError, match="unknown shard task"):
+            ShardTask.from_dict(payload)
+
+    def test_out_of_range_seed_is_typed(self):
+        # A seed index past the graph is a GraphError from the enumerator,
+        # surfaced as a 422 over HTTP — not a crash.
+        with SchedulerService() as service:
+            task = ShardTask(
+                size=2,
+                span_limit=1,
+                max_count=None,
+                seeds=(999,),
+                workload="3dft",
+            )
+            from repro.exceptions import GraphError
+
+            with pytest.raises(GraphError, match="out of range"):
+                service.classify_shard(task)
+
+
+def test_merge_of_manual_parts_equals_fused():
+    # Drive merge_classified_parts directly with service-produced parts
+    # (the exact wire shape) and check against the fused catalog.
+    dfg = radix2_fft(8)
+    cfg = SelectionConfig(span_limit=1)
+    reference = fused_catalog(dfg, 4, cfg)
+    with SchedulerService() as service:
+        parts = []
+        for seeds in plan_seed_partitions(dfg, 3):
+            task = ShardTask(
+                size=4,
+                span_limit=1,
+                max_count=cfg.max_antichains,
+                seeds=tuple(seeds),
+                dfg=dfg,
+            )
+            parts.append(service.classify_shard(task))
+    merged = merge_classified_parts(
+        dfg, parts, capacity=4, span_limit=1, max_count=cfg.max_antichains
+    )
+    assert catalog_bits(merged) == catalog_bits(reference)

@@ -1,0 +1,264 @@
+"""Cache-store seam tests: LRU semantics, disk persistence, corruption.
+
+Pins the :mod:`repro.service.store` contract:
+
+* :class:`MemoryCacheStore` preserves the historical LRU eviction order
+  through the :class:`CacheStore` interface;
+* :class:`DiskCacheStore` round-trips a :class:`JobResult` bit-identically
+  (bytes-equal JSON) and survives a "restart" (a fresh store instance on
+  the same directory);
+* corrupt / truncated / foreign cache files are treated as misses, never
+  errors;
+* two services sharing one ``cache_dir`` serve each other's warm hits —
+  including over HTTP across a server restart (``X-Repro-Cache: result``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SelectionConfig
+from repro.exceptions import ServiceError
+from repro.service import (
+    JobRequest,
+    SchedulerService,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.service.jobs import JobResult
+from repro.service.store import (
+    DiskCacheStore,
+    MemoryCacheStore,
+    open_cache_stores,
+)
+
+CFG = SelectionConfig(span_limit=1)
+
+
+def _job(pdef=4, **kwargs):
+    kwargs.setdefault("workload", "3dft")
+    kwargs.setdefault("config", CFG)
+    return JobRequest(capacity=5, pdef=pdef, **kwargs)
+
+
+def _result_store(tmp_path) -> DiskCacheStore:
+    return DiskCacheStore(
+        tmp_path,
+        "result",
+        encode=lambda r: r.to_dict(),
+        decode=JobResult.from_dict,
+        memory_size=4,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# memory store: the historical LRU, behind the seam
+# --------------------------------------------------------------------------- #
+class TestMemoryCacheStore:
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ServiceError, match="cache size"):
+            MemoryCacheStore(0)
+
+    def test_evicts_least_recently_used(self):
+        store = MemoryCacheStore(2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.put("c", 3)
+        assert store.get("a") is None
+        assert store.keys() == ["b", "c"]
+
+    def test_get_refreshes_recency(self):
+        store = MemoryCacheStore(2)
+        store.put("a", 1)
+        store.put("b", 2)
+        assert store.get("a") == 1  # a becomes most recent
+        store.put("c", 3)
+        assert store.get("b") is None
+        assert store.get("a") == 1 and store.get("c") == 3
+
+    def test_put_refreshes_recency(self):
+        store = MemoryCacheStore(2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.put("a", 10)  # overwrite refreshes too
+        store.put("c", 3)
+        assert store.get("b") is None
+        assert store.get("a") == 10
+
+    def test_len_contains_clear(self):
+        store = MemoryCacheStore(4)
+        store.put(("k", 1), "v")
+        assert len(store) == 1 and ("k", 1) in store
+        store.clear()
+        assert len(store) == 0 and ("k", 1) not in store
+
+    def test_describe(self):
+        store = MemoryCacheStore(4)
+        assert store.describe() == {"kind": "memory", "size": 0, "max": 4}
+
+
+# --------------------------------------------------------------------------- #
+# disk store
+# --------------------------------------------------------------------------- #
+class TestDiskCacheStore:
+    @pytest.fixture()
+    def result(self):
+        with SchedulerService() as service:
+            return service.submit(_job())
+
+    def test_job_result_round_trips_bytes_equal(self, tmp_path, result):
+        store = _result_store(tmp_path)
+        store.put(result.job_key, result)
+        again = store.get(result.job_key)
+        assert again.to_json() == result.to_json()
+
+    def test_survives_restart(self, tmp_path, result):
+        _result_store(tmp_path).put(result.job_key, result)
+        # A fresh store instance = a restarted process: the memory front
+        # is cold, the file is the source of truth.
+        again = _result_store(tmp_path).get(result.job_key)
+        assert again is not None
+        assert again.to_json() == result.to_json()
+
+    def test_miss_returns_none(self, tmp_path):
+        assert _result_store(tmp_path).get("absent") is None
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            b"not json at all {{{",
+            b"",  # zero-byte file (e.g. a crashed writer)
+            b'{"format": 1, "namespace": "result"',  # truncated
+            b'{"format": 99, "namespace": "result", "value": {}}',
+            b'{"format": 1, "namespace": "catalog", "value": {}}',
+            b'{"format": 1, "namespace": "result", "value": {"nope": 1}}',
+            b"[1, 2, 3]",
+        ],
+    )
+    def test_corrupt_or_foreign_files_are_misses(self, tmp_path, result, garbage):
+        store = _result_store(tmp_path)
+        store.put(result.job_key, result)
+        store.path_for(result.job_key).write_bytes(garbage)
+        fresh = _result_store(tmp_path)  # cold memory front
+        assert fresh.get(result.job_key) is None
+        # ...and a re-put heals the entry atomically.
+        fresh.put(result.job_key, result)
+        assert fresh.get(result.job_key).to_json() == result.to_json()
+
+    def test_contains_len_clear(self, tmp_path, result):
+        store = _result_store(tmp_path)
+        store.put(result.job_key, result)
+        assert result.job_key in store and len(store) == 1
+        assert store.describe()["kind"] == "disk"
+        store.clear()
+        assert result.job_key not in store and len(store) == 0
+
+    def test_namespaces_are_disjoint(self, tmp_path, result):
+        a = _result_store(tmp_path)
+        b = DiskCacheStore(
+            tmp_path,
+            "other",
+            encode=lambda r: r.to_dict(),
+            decode=JobResult.from_dict,
+        )
+        a.put("k", result)
+        assert b.get("k") is None
+
+    def test_open_cache_stores_kinds(self, tmp_path):
+        mem = open_cache_stores(None, catalog_size=2, selection_size=2, result_size=2)
+        assert all(isinstance(s, MemoryCacheStore) for s in mem)
+        disk = open_cache_stores(
+            tmp_path, catalog_size=2, selection_size=2, result_size=2
+        )
+        assert [s.namespace for s in disk] == [
+            "catalog",
+            "selection",
+            "result",
+        ]
+
+
+# --------------------------------------------------------------------------- #
+# the service against a disk cache
+# --------------------------------------------------------------------------- #
+class TestServiceWithDiskCache:
+    def test_restart_serves_result_from_disk(self, tmp_path):
+        with SchedulerService(cache_dir=tmp_path) as first:
+            cold = first.submit_outcome(_job())
+            assert cold.cache == "none"
+        with SchedulerService(cache_dir=tmp_path) as second:
+            warm = second.submit_outcome(_job())
+        assert warm.cache == "result"
+        assert warm.result.to_json() == cold.result.to_json()
+        # Nothing was recomputed: a result hit carries no fresh timings.
+        assert second.stats.catalog_misses == 0
+
+    def test_restart_reuses_catalog_and_selection_levels(self, tmp_path):
+        with SchedulerService(cache_dir=tmp_path) as first:
+            first.submit(_job())
+        with SchedulerService(cache_dir=tmp_path) as second:
+            # Same catalog+selection, different scheduler priority: the
+            # result key misses but the selection level answers from disk.
+            outcome = second.submit_outcome(_job(priority="f1"))
+            assert outcome.cache == "selection"
+            # Different pdef: selection misses, catalog level answers.
+            outcome = second.submit_outcome(_job(pdef=2))
+            assert outcome.cache == "catalog"
+        assert second.stats.catalog_misses == 0
+
+    def test_two_services_share_one_cache_dir(self, tmp_path):
+        with SchedulerService(cache_dir=tmp_path) as writer:
+            with SchedulerService(cache_dir=tmp_path) as reader:
+                cold = writer.submit_outcome(_job())
+                warm = reader.submit_outcome(_job())
+        assert cold.cache == "none" and warm.cache == "result"
+        assert warm.result.to_json() == cold.result.to_json()
+
+    def test_describe_reports_disk_stores(self, tmp_path):
+        with SchedulerService(cache_dir=tmp_path) as service:
+            service.submit(_job())
+            info = service.describe()
+        assert info["caches"]["result"]["kind"] == "disk"
+        assert info["caches"]["result"]["size"] == 1
+        assert info["cache_dir"] == str(tmp_path)
+
+
+# --------------------------------------------------------------------------- #
+# acceptance: warm restart over HTTP
+# --------------------------------------------------------------------------- #
+class TestHTTPRestartWarm:
+    def test_restarted_server_serves_cache_hit(self, tmp_path):
+        server = ServiceServer(port=0, cache_dir=tmp_path)
+        server.start_background()
+        try:
+            client = ServiceClient(server.url, timeout=30)
+            cold = client.submit(_job())
+            assert client.last_cache == "none"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        # A brand-new server process-equivalent on the same cache dir.
+        server = ServiceServer(port=0, cache_dir=tmp_path)
+        server.start_background()
+        try:
+            client = ServiceClient(server.url, timeout=30)
+            warm = client.submit(_job())
+            assert client.last_cache == "result"
+            assert warm.to_json() == cold.to_json()
+            stats = client.stats()
+            assert stats["stats"]["catalog_misses"] == 0
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+# --------------------------------------------------------------------------- #
+# stable key encoding sanity (full coverage in test_dfg_io.py)
+# --------------------------------------------------------------------------- #
+def test_same_key_same_file_across_store_instances(tmp_path):
+    a = _result_store(tmp_path)
+    b = _result_store(tmp_path)
+    key = ("digest", 5, None, SelectionConfig(span_limit=1))
+    assert a.path_for(key) == b.path_for(key)
+    other = ("digest", 5, 1, SelectionConfig(span_limit=1))
+    assert a.path_for(key) != a.path_for(other)

@@ -152,3 +152,80 @@ def test_missing_service_section_is_skipped(tmp_path, capsys):
     )
     assert diff_bench.main([str(new)]) == 0
     assert "service gate skipped" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# multi-core gates (process / shard rows)
+# --------------------------------------------------------------------------- #
+def _multicore_report(cpus, *, shard_speedup=None, process_speedup=None):
+    report = _report([("FFT-64", "enumeration+classify", 5.0)])
+    report["cpus"] = cpus
+    if process_speedup is not None:
+        row = report["stages"][0]
+        row["process_s"] = row["fast_s"] / process_speedup
+        row["process_jobs"] = 4
+        row["process_speedup_vs_fast"] = process_speedup
+    if shard_speedup is not None:
+        report["stages"].append(
+            {
+                "workload": "FFT-64",
+                "stage": "shard catalog",
+                "reference_s": 1.0,
+                "fast_s": 1.0 / shard_speedup,
+                "speedup": shard_speedup,
+                "shards": 4,
+            }
+        )
+    return report
+
+
+def test_shard_row_not_gated_on_single_cpu(tmp_path, capsys):
+    new = _write(
+        tmp_path, "new.json", _multicore_report(1, shard_speedup=0.3)
+    )
+    assert diff_bench.main([str(new)]) == 0
+    assert "overhead only; not gated" in capsys.readouterr().out
+
+
+def test_shard_row_gated_on_multicore(tmp_path, capsys):
+    new = _write(
+        tmp_path, "new.json", _multicore_report(4, shard_speedup=0.3)
+    )
+    assert diff_bench.main([str(new)]) == 1
+    assert "shard speedup 0.3x" in capsys.readouterr().err
+
+
+def test_shard_row_passes_floor_on_multicore(tmp_path):
+    new = _write(
+        tmp_path, "new.json", _multicore_report(4, shard_speedup=2.1)
+    )
+    assert diff_bench.main([str(new)]) == 0
+
+
+def test_process_row_not_gated_on_single_cpu(tmp_path, capsys):
+    new = _write(
+        tmp_path, "new.json", _multicore_report(1, process_speedup=0.8)
+    )
+    assert diff_bench.main([str(new)]) == 0
+    assert "overhead only; not gated" in capsys.readouterr().out
+
+
+def test_process_row_gated_on_multicore(tmp_path, capsys):
+    new = _write(
+        tmp_path, "new.json", _multicore_report(4, process_speedup=0.8)
+    )
+    assert diff_bench.main([str(new)]) == 1
+    assert "process speedup 0.8x" in capsys.readouterr().err
+
+
+def test_shard_relative_diff_needs_multicore_both_sides(tmp_path, capsys):
+    old = _write(
+        tmp_path, "old.json", _multicore_report(1, shard_speedup=2.0)
+    )
+    new = _write(
+        tmp_path, "new.json", _multicore_report(4, shard_speedup=1.05)
+    )
+    # 1.05x vs a 2.0x baseline would regress, but the baseline was a
+    # single-CPU overhead measurement — it must be skipped, not compared.
+    assert diff_bench.main([str(new), "--baseline", str(old)]) == 0
+    assert "needs multi-core both sides" in capsys.readouterr().out
