@@ -14,10 +14,14 @@ engine is recorded.  With ``--shards N`` the sharded-enumeration path is
 timed too: N real ``repro serve`` subprocesses are spawned and a
 :class:`~repro.service.shard.ShardCoordinator` fans the catalog build
 out over them via ``POST /v1/catalog:shard``, verifying the merged
-catalog bit-identical to the fused one.  Multi-core speedup obviously
-requires multiple cores; the report records the machine's CPU count
-alongside, and ``scripts/diff_bench.py`` only gates process/shard rows
-when ``cpus > 1``.
+catalog bit-identical to the fused one — a cold row (every cache level
+cleared per repeat) plus a ``shard catalog warm`` row measuring the
+content-addressed shard-partial caches (coordinator-side and
+server-side ``X-Repro-Cache: shard``; zero shard DFS verified).
+Multi-core speedup obviously requires multiple cores; the report
+records the machine's CPU count alongside, and ``scripts/diff_bench.py``
+only gates process and cold-shard rows when ``cpus > 1`` (warm-shard
+rows skip no DFS either way and are gated whenever present).
 
 Usage::
 
@@ -195,12 +199,18 @@ def bench_workload(name, dfg, config, capacity, pdef, repeats, process_jobs):
     return rows
 
 
-def _spawn_shard_servers(n: int) -> tuple[list, list[str]]:
+def _spawn_shard_servers(
+    n: int, cache_dir: "str | None" = None
+) -> tuple[list, list[str]]:
     """Spawn ``n`` real ``repro serve`` subprocesses on OS-assigned ports.
 
     Subprocesses (not threads) so the shard benchmark measures genuine
     multi-core fan-out — each server enumerates in its own interpreter.
-    Returns ``(procs, urls)``; callers must terminate the procs.
+    With ``cache_dir`` the instances share one disk-backed cache
+    directory, so a shard partial computed by any of them answers the
+    same partition on every other (the production multi-instance
+    layout).  Returns ``(procs, urls)``; callers must terminate the
+    procs.
     """
     env = dict(os.environ)
     src = str(Path(__file__).resolve().parent.parent / "src")
@@ -208,9 +218,12 @@ def _spawn_shard_servers(n: int) -> tuple[list, list[str]]:
     procs, urls = [], []
     try:
         for _ in range(n):
+            cmd = [sys.executable, "-u", "-m", "repro.cli", "serve",
+                   "--port", "0"]
+            if cache_dir is not None:
+                cmd += ["--cache-dir", cache_dir]
             proc = subprocess.Popen(
-                [sys.executable, "-u", "-m", "repro.cli", "serve",
-                 "--port", "0"],
+                cmd,
                 stdout=subprocess.PIPE,
                 stderr=subprocess.DEVNULL,
                 env=env,
@@ -239,18 +252,47 @@ def _spawn_shard_servers(n: int) -> tuple[list, list[str]]:
 def bench_shards(shards, workloads, repeats_override=None):
     """Sharded catalog build over real server subprocesses vs fused.
 
-    One ``shard catalog`` row per workload: ``reference_s`` is the fused
-    single-instance catalog build, ``fast_s`` the coordinator fanning the
-    same build out over ``shards`` ``repro serve`` subprocesses.  The
-    merged catalog is checked bit-identical before any number is
-    reported.
+    Two rows per workload:
+
+    ``shard catalog``
+        ``reference_s`` is the fused single-instance catalog build,
+        ``fast_s`` the coordinator fanning the same build out **cold**
+        over ``shards`` ``repro serve`` subprocesses — every cache level
+        (coordinator-side and server-side) is cleared before each cold
+        repeat so the row keeps measuring real fan-out.
+
+    ``shard catalog warm``
+        ``reference_s`` is that cold shard build, ``fast_s`` the same
+        build repeated with the content-addressed shard-partial caches
+        hot: the coordinator answers every partition from its own partial
+        store, so no shard (or DFS) runs at all.  Verified: server-side
+        ``shard_misses`` must not move during the warm pass, and a
+        *fresh* coordinator over the still-warm servers must have every
+        dispatched partition answered ``X-Repro-Cache: shard``
+        (``remote_warm_s`` records that pass).  ``scripts/diff_bench.py``
+        gates the warm speedup ≥ ``--warm-shard-floor`` (default 5x).
+
+    Every catalog is checked bit-identical to the fused build before any
+    number is reported.
     """
-    from repro.service import ShardCoordinator
+    import tempfile
+
+    from repro.service import ServiceClient, ShardCoordinator
     from repro.service.serialize import catalog_to_dict
 
     rows = []
-    procs, urls = _spawn_shard_servers(shards)
+    # The shard instances share one disk cache directory — the
+    # production multi-instance layout — so a partial computed by any
+    # server answers the same partition on every other, regardless of
+    # which shard the steal loop hands it to.
+    shared_cache = tempfile.TemporaryDirectory(prefix="repro-shard-bench-")
+    procs, urls = _spawn_shard_servers(shards, cache_dir=shared_cache.name)
     try:
+        clients = [ServiceClient(url) for url in urls]
+
+        def server_shard_misses():
+            return sum(c.stats()["stats"]["shard_misses"] for c in clients)
+
         with ShardCoordinator(urls) as coord:
             for name, dfg, config, capacity, _pdef, repeats in workloads:
                 repeats = repeats_override or repeats
@@ -258,34 +300,98 @@ def bench_shards(shards, workloads, repeats_override=None):
                 fused_s, fused_cat = _best_of(
                     lambda: selector.build_catalog(dfg), repeats
                 )
-                shard_s, shard_cat = _best_of(
-                    lambda: coord.build_catalog(
-                        dfg, capacity, config=config
-                    ),
-                    repeats,
-                )
+                fused_bits = json.dumps(catalog_to_dict(fused_cat))
+
+                cold_s = float("inf")
+                for _ in range(repeats):
+                    coord.service.clear_caches()
+                    for client in clients:
+                        client.clear_caches()
+                    gc.collect()
+                    t0 = time.perf_counter()
+                    shard_cat = coord.build_catalog(dfg, capacity, config=config)
+                    cold_s = min(cold_s, time.perf_counter() - t0)
                 _check(
-                    json.dumps(catalog_to_dict(shard_cat))
-                    == json.dumps(catalog_to_dict(fused_cat)),
+                    json.dumps(catalog_to_dict(shard_cat)) == fused_bits,
                     f"sharded catalog not bit-identical ({name})",
                 )
-                speedup = (
-                    round(fused_s / shard_s, 2) if shard_s > 0 else None
+
+                # Warm pass: partial caches are hot from the last cold
+                # run; the coordinator must answer without shard traffic.
+                misses_before = server_shard_misses()
+                warm_s, warm_cat = _best_of(
+                    lambda: coord.build_catalog(dfg, capacity, config=config),
+                    max(2, repeats),
+                )
+                _check(
+                    json.dumps(catalog_to_dict(warm_cat)) == fused_bits,
+                    f"warm sharded catalog not bit-identical ({name})",
+                )
+                _check(
+                    server_shard_misses() == misses_before,
+                    f"warm shard pass ran a shard-side DFS ({name})",
+                )
+
+                # A fresh coordinator (cold coordinator-side cache) over
+                # the still-warm servers: every dispatched partition must
+                # come back X-Repro-Cache: shard — zero shard-side DFS.
+                with ShardCoordinator(urls) as fresh:
+                    gc.collect()
+                    t0 = time.perf_counter()
+                    remote_cat = fresh.build_catalog(
+                        dfg, capacity, config=config
+                    )
+                    remote_warm_s = time.perf_counter() - t0
+                    fresh_stats = fresh.stats
+                _check(
+                    json.dumps(catalog_to_dict(remote_cat)) == fused_bits,
+                    f"remote-warm sharded catalog not bit-identical ({name})",
+                )
+                _check(
+                    fresh_stats.dispatched > 0
+                    and fresh_stats.remote_partial_hits
+                    == fresh_stats.dispatched,
+                    f"remote-warm dispatches not served from the shard "
+                    f"partial cache ({name}): {fresh_stats.to_dict()}",
+                )
+
+                speedup = round(fused_s / cold_s, 2) if cold_s > 0 else None
+                warm_speedup = (
+                    round(cold_s / warm_s, 2) if warm_s > 0 else None
                 )
                 rows.append(
                     {
                         "workload": name,
                         "stage": "shard catalog",
                         "reference_s": round(fused_s, 6),
-                        "fast_s": round(shard_s, 6),
+                        "fast_s": round(cold_s, 6),
                         "speedup": speedup,
                         "shards": shards,
+                    }
+                )
+                rows.append(
+                    {
+                        "workload": name,
+                        "stage": "shard catalog warm",
+                        "reference_s": round(cold_s, 6),
+                        "fast_s": round(warm_s, 6),
+                        "speedup": warm_speedup,
+                        "shards": shards,
+                        "remote_warm_s": round(remote_warm_s, 6),
+                        "remote_partial_hits": fresh_stats.remote_partial_hits,
                     }
                 )
                 print(
                     f"  {name:>8} {'shard catalog':<24} "
                     f"fused {fused_s:8.4f}s   "
-                    f"x{shards} shards {shard_s:8.4f}s   {speedup:6.2f}x"
+                    f"x{shards} shards {cold_s:8.4f}s   {speedup:6.2f}x"
+                )
+                print(
+                    f"  {name:>8} {'shard catalog warm':<24} "
+                    f"cold {cold_s:8.4f}s   "
+                    f"warm {warm_s:8.4f}s   {warm_speedup:6.2f}x "
+                    f"(remote-warm {remote_warm_s:.4f}s, "
+                    f"{fresh_stats.remote_partial_hits} partial hits)"
                 )
     finally:
         for proc in procs:
@@ -295,6 +401,7 @@ def bench_shards(shards, workloads, repeats_override=None):
                 proc.wait(timeout=10)
             except subprocess.TimeoutExpired:
                 proc.kill()
+        shared_cache.cleanup()
     return rows
 
 
@@ -468,7 +575,7 @@ def main(argv=None) -> int:
 
     pipeline = {}
     for row in rows:
-        if row["stage"] == "shard catalog":
+        if row["stage"].startswith("shard catalog"):
             continue  # an alternative strategy, not a pipeline stage sum
         agg = pipeline.setdefault(
             row["workload"], {"reference_s": 0.0, "fast_s": 0.0}

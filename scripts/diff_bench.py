@@ -18,15 +18,21 @@ floor:
   must keep a warm speedup ≥ ``--service-floor`` (default 10x, the
   acceptance bar for the content-addressed result cache) and must have
   built the pdef-sweep catalog exactly once;
-* multi-core gates — process-backend and sharded-enumeration rows are
-  only meaningful on real multi-core hardware, so they are gated **only
-  when the report says ``cpus > 1``**: the process backend must then beat
-  the fused engine on enumeration+classify by ≥ ``--process-floor``
-  (default 1.05x) and the ``shard catalog`` rows must reach
-  ≥ ``--shard-floor`` (default 1.0x) over the fused build.  On a
-  single-CPU machine those rows measure fan-out overhead only and are
-  reported, never gated (and they are excluded from the relative
-  regression compare unless both reports are multi-core).
+* multi-core gates — process-backend and cold sharded-enumeration rows
+  are only meaningful on real multi-core hardware, so they are gated
+  **only when the report says ``cpus > 1``**: the process backend must
+  then beat the fused engine on enumeration+classify by ≥
+  ``--process-floor`` (default 1.05x) and the ``shard catalog`` rows
+  must reach ≥ ``--shard-floor`` (default 1.0x) over the fused build.
+  On a single-CPU machine those rows measure fan-out overhead only and
+  are reported, never gated (and they are excluded from the relative
+  regression compare unless both reports are multi-core);
+* warm-shard gate — ``shard catalog warm`` rows (warm-vs-cold rebuild
+  through the content-addressed shard-partial cache, which runs **no**
+  DFS and therefore does not need extra cores) must keep a speedup ≥
+  ``--warm-shard-floor`` (default 5x).  Like the process rows the gate
+  only applies when the report carries such rows — reports produced
+  without ``--shards`` skip it.
 
 Stages present on only one side (new workloads, removed workloads) are
 reported but never fail the run; a report without a ``service`` section
@@ -56,7 +62,8 @@ def _multicore(report: dict) -> bool:
 
 
 #: Stages whose speedups depend on core count: gated and diffed only on
-#: multi-core reports.
+#: multi-core reports.  "shard catalog warm" is deliberately absent —
+#: a warm rebuild runs no DFS, so its speedup holds on any core count.
 _PARALLEL_STAGES = {"shard catalog"}
 
 
@@ -89,6 +96,12 @@ def main(argv=None) -> int:
         "--shard-floor", type=float, default=1.0,
         help="minimum shard-vs-fused catalog speedup, gated only when "
         "the report's cpus > 1 (default 1.0)",
+    )
+    parser.add_argument(
+        "--warm-shard-floor", type=float, default=5.0,
+        help="minimum warm-vs-cold sharded catalog rebuild speedup "
+        "through the shard-partial cache, gated whenever the report "
+        "carries 'shard catalog warm' rows (default 5.0)",
     )
     args = parser.parse_args(argv)
 
@@ -131,6 +144,19 @@ def main(argv=None) -> int:
                     f"{new.get('cpus')}-cpu machine "
                     f"({row.get('shards')} shards)"
                 )
+        if stage == "shard catalog warm":
+            warm_speedup = row.get("speedup") or 0
+            if warm_speedup < args.warm_shard_floor:
+                failures.append(
+                    f"{workload}/{stage}: warm shard rebuild speedup "
+                    f"{warm_speedup}x below the {args.warm_shard_floor}x "
+                    f"floor ({row.get('shards')} shards)"
+                )
+            print(
+                f"  {workload:>8} {stage:<24} "
+                f"cold {row.get('reference_s', 0):8.4f}s   "
+                f"warm {row.get('fast_s', 0):8.4f}s   {warm_speedup:6.2f}x"
+            )
 
     service = new.get("service")
     if service is not None:

@@ -13,7 +13,11 @@ caller would, and checks the service contract:
 5. a malformed request comes back as a typed HTTP 400, not a stack trace;
 6. the server can act as a remote shard: a catalog built through
    ``POST /v1/catalog:shard`` partitions merges bit-identical to the
-   in-process fused catalog.
+   in-process fused catalog;
+7. shard partials are content-addressed: repeating a shard task is
+   answered ``X-Repro-Cache: shard`` with identical buckets, and a fresh
+   coordinator over the warm server rebuilds the catalog bit-identically
+   with zero server-side DFS.
 
 Usage::
 
@@ -121,6 +125,44 @@ def main() -> int:
             catalog_to_dict(reference)
         ), "remote shard catalog is not bit-identical"
         print("remote shard ok: merged catalog bit-identical to fused")
+
+        # Warm shard partials: repeating a shard task must be answered
+        # from the server's content-addressed partial cache
+        # (X-Repro-Cache: shard) with byte-identical buckets.
+        from repro.service import ShardTask
+
+        task = ShardTask(
+            size=2, span_limit=1, max_count=None, seeds=(0, 1, 2),
+            workload="3dft",
+        )
+        first_buckets = client.classify_shard(task)
+        cold_level = client.last_cache
+        warm_buckets = client.classify_shard(task)
+        assert client.last_cache == "shard", (cold_level, client.last_cache)
+        assert warm_buckets == first_buckets, "cached partial differs"
+        stats = client.stats()["stats"]
+        assert stats["shard_hits"] >= 1, stats
+
+        # A fresh coordinator over the warm server: bit-identical catalog,
+        # every dispatched partition a remote partial hit, zero new DFS.
+        misses_before = stats["shard_misses"]
+        with ShardCoordinator([server.url]) as coord:
+            rebuilt = coord.build_catalog(dfg, 5, config=cfg, workload="3dft")
+            coord_stats = coord.stats
+        assert json.dumps(catalog_to_dict(rebuilt)) == json.dumps(
+            catalog_to_dict(reference)
+        ), "warm shard catalog is not bit-identical"
+        assert coord_stats.dispatched > 0, coord_stats.to_dict()
+        assert (
+            coord_stats.remote_partial_hits == coord_stats.dispatched
+        ), coord_stats.to_dict()
+        assert client.stats()["stats"]["shard_misses"] == misses_before, (
+            "warm shard rebuild ran a server-side DFS"
+        )
+        print(
+            f"warm shard ok: {coord_stats.dispatched} partitions served "
+            f"from the partial cache (X-Repro-Cache: shard), zero DFS"
+        )
     finally:
         server.shutdown()
         server.server_close()

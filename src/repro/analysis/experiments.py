@@ -284,9 +284,11 @@ def f1_vs_f2(
     """
     rows = []
     for lib in libraries:
-        l1 = MultiPatternScheduler(lib, priority=PatternPriority.F1).schedule(dfg).length
-        l2 = MultiPatternScheduler(lib, priority=PatternPriority.F2).schedule(dfg).length
-        rows.append((lib.as_strings(), l1, l2))
+        f1 = MultiPatternScheduler(lib, priority=PatternPriority.F1)
+        f2 = MultiPatternScheduler(lib, priority=PatternPriority.F2)
+        rows.append(
+            (lib.as_strings(), f1.schedule(dfg).length, f2.schedule(dfg).length)
+        )
     return rows
 
 

@@ -11,7 +11,9 @@
     repro pipeline fft64 --shards 4 --cache-dir ~/.cache/repro
     repro serve --port 8350 --backend process --jobs 4
     repro serve --cache-dir /var/cache/repro --max-pending 64
+    repro serve --cache-dir /var/cache/repro --cache-max-bytes 256M
     repro submit fft64 --url http://127.0.0.1:8350 --pdef 5
+    repro cache-gc /var/cache/repro --max-bytes 64M
     repro compile examples.prog --pdef 3
     repro workloads              # list built-in workloads
     repro backends               # list execution backends
@@ -151,8 +153,13 @@ def _tables(args: argparse.Namespace) -> None:
 
 
 _TABLE_DISPATCH: dict[int, Callable[[argparse.Namespace], None]] = {
-    1: _table1, 2: _table2, 3: _table3, 4: _table4,
-    5: _table5, 6: _table6, 7: _table7,
+    1: _table1,
+    2: _table2,
+    3: _table3,
+    4: _table4,
+    5: _table5,
+    6: _table6,
+    7: _table7,
 }
 
 
@@ -251,6 +258,21 @@ def _cmd_pipeline(args: argparse.Namespace) -> None:
     _print_job_result(outcome.result, outcome.cache, timings=args.timings)
 
 
+def _parse_bytes(text: str) -> int:
+    """Parse a byte budget like ``67108864``, ``64M``, ``1.5G`` (binary units)."""
+    import re
+
+    m = re.fullmatch(
+        r"\s*(\d+(?:\.\d+)?)\s*([kKmMgG]?)(?:i?[bB])?\s*", text
+    )
+    if not m:
+        raise ReproError(
+            f"cannot parse byte size {text!r}; use e.g. 67108864, 64M or 2G"
+        )
+    scale = {"": 1, "k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+    return int(float(m.group(1)) * scale[m.group(2).lower()])
+
+
 def _cmd_serve(args: argparse.Namespace) -> None:
     from repro.service import serve
 
@@ -260,7 +282,28 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         backend=args.backend,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        cache_max_bytes=(
+            _parse_bytes(args.cache_max_bytes)
+            if args.cache_max_bytes is not None
+            else None
+        ),
         max_pending=args.max_pending,
+    )
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> None:
+    from repro.service.store import gc_cache_dir
+
+    stats = gc_cache_dir(
+        args.cache_dir,
+        max_bytes=_parse_bytes(args.max_bytes),
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"cache-gc {stats['directory']}: {stats['files']} files, "
+        f"{stats['bytes']} bytes; {verb} {stats['removed']} files "
+        f"({stats['removed_bytes']} bytes), keeping {stats['kept_bytes']} bytes"
     )
 
 
@@ -405,13 +448,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=8350)
     p.add_argument("--cache-dir", default=None,
                    help="disk-backed cache directory: catalogs/selections/"
-                        "results survive restarts and can be shared between "
-                        "instances")
+                        "results/shard partials survive restarts and can be "
+                        "shared between instances")
+    p.add_argument("--cache-max-bytes", default=None,
+                   help="per-namespace byte budget for --cache-dir (e.g. "
+                        "256M): each write prunes least-recently-used "
+                        "entries back under it")
     p.add_argument("--max-pending", type=int, default=None,
                    help="admission bound: reject (HTTP 429) when this many "
                         "submissions are already pending")
     add_backend_args(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "cache-gc",
+        help="prune a service cache directory to a byte budget "
+             "(least-recently-used first, across all namespaces)",
+    )
+    p.add_argument("cache_dir", help="the --cache-dir to prune")
+    p.add_argument("--max-bytes", required=True,
+                   help="byte budget to prune down to (e.g. 67108864, 64M, 2G)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without deleting")
+    p.set_defaults(fn=_cmd_cache_gc)
 
     p = sub.add_parser(
         "submit", help="submit a workload job to a running 'repro serve'"

@@ -531,7 +531,9 @@ def enumerate_antichains(
     """
     enum = AntichainEnumerator(dfg)
     return list(
-        enum.iter_antichains(max_size, span_limit, min_size=min_size, max_count=max_count)
+        enum.iter_antichains(
+            max_size, span_limit, min_size=min_size, max_count=max_count
+        )
     )
 
 

@@ -173,15 +173,21 @@ def _stable_form(value: Any) -> Any:
     (keys stringified, so int and str keys cannot collide silently — the
     original type is part of the emitted key), dataclasses to
     ``[class name, field dict]`` (a :class:`SelectionConfig` inside a
-    selection key hashes by *content*, not ``repr``), and sets to their
-    sorted element list.  Scalars pass through; ``bool`` is kept distinct
-    from ``int`` by tagging.  Anything else is rejected loudly — silent
-    ``str()`` fallbacks would let two distinct keys collide.
+    selection key hashes by *content*, not ``repr``), sets to their
+    sorted element list, and ``range`` objects to a tagged
+    ``[start, stop, step]`` triple — deliberately *not* expanded to their
+    elements, so a contiguous seed range inside a shard-partial cache key
+    (:meth:`repro.service.shard.ShardTask.partial_key`) stays O(1) bytes
+    on arbitrarily large graphs.  Scalars pass through; ``bool`` is kept
+    distinct from ``int`` by tagging.  Anything else is rejected loudly —
+    silent ``str()`` fallbacks would let two distinct keys collide.
     """
     if value is None or isinstance(value, (int, float, str)):
         if isinstance(value, bool):
             return ["__bool__", value]
         return value
+    if isinstance(value, range):
+        return ["__range__", value.start, value.stop, value.step]
     if isinstance(value, (tuple, list)):
         return [_stable_form(v) for v in value]
     if dataclasses.is_dataclass(value) and not isinstance(value, type):

@@ -27,7 +27,9 @@ Workers are plain ``multiprocessing.Pool`` processes primed once per
 worker with the *graph* via the pool initializer; tasks carry a
 contiguous seed-index range plus the call's enumeration parameters.
 Seed subtrees are heavily skewed (low seeds own the largest subtrees),
-so the ranges are cut much finer than the worker count and scheduled
+so the ranges are weight-balanced against a per-seed cost model
+(:func:`estimate_seed_weights`, from the memoized comparability
+bitmasks), cut much finer than the worker count and scheduled
 dynamically.  ``jobs`` defaults to ``os.cpu_count()``; with one job (or
 a single seed) the backend degrades to the fused in-process path rather
 than paying pool overhead for nothing.
@@ -68,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ProcessBackend",
+    "estimate_seed_weights",
     "plan_seed_partitions",
     "merge_classified_parts",
 ]
@@ -137,11 +140,80 @@ def _split_contiguous(seeds: Sequence[int], partitions: int) -> list[list[int]]:
     ]
 
 
+def estimate_seed_weights(
+    dfg: "DFG",
+    seeds: Sequence[int],
+    *,
+    allowed_mask: int | None = None,
+) -> list[int]:
+    """Relative DFS-subtree cost estimate per seed node.
+
+    The antichain subtree rooted at seed ``i`` extends over the nodes
+    above ``i`` (higher index) that are incomparable with it, so its size
+    grows combinatorially in that count ``k``.  The estimate
+    ``1 + k + k·(k-1)/2`` (the size-≤3 prefix of ``C(k, ·)``) is cheap,
+    overflow-free and monotone in ``k`` — exactly what weight-balanced
+    partitioning (:func:`plan_seed_partitions`) needs; it deliberately is
+    *not* an antichain count.  ``k`` comes from the comparability
+    bitmasks, which are already memoized on the graph's analysis cache
+    (:func:`repro.dfg.traversal.comparability_masks`), so repeated
+    planning against one graph pays the mask cost once.
+    """
+    from repro.dfg.traversal import comparability_masks
+
+    comp = comparability_masks(dfg)
+    universe = (1 << dfg.n_nodes) - 1
+    if allowed_mask is not None:
+        universe &= allowed_mask
+    weights = []
+    for i in seeds:
+        above = universe >> (i + 1) << (i + 1)
+        k = (above & ~comp[i]).bit_count()
+        weights.append(1 + k + k * (k - 1) // 2)
+    return weights
+
+
+def _split_weighted(
+    seeds: Sequence[int], weights: Sequence[int], partitions: int
+) -> list[list[int]]:
+    """Split ``seeds`` into ≤ ``partitions`` weight-balanced contiguous runs.
+
+    Greedy linear partitioning: each group takes seeds until stopping is
+    at least as close to the even share of the *remaining* weight as
+    taking one more would be, while always leaving at least one seed for
+    every group still to come.  Coverage, contiguity and ascending order
+    are identical to :func:`_split_contiguous`; only the cut points move.
+    """
+    n_groups = min(len(seeds), max(1, partitions))
+    if n_groups == 0:
+        return []
+    parts: list[list[int]] = []
+    start = 0
+    remaining = float(sum(weights))
+    for g in range(n_groups):
+        groups_left = n_groups - g
+        if groups_left == 1:
+            parts.append(list(seeds[start:]))
+            break
+        hard_stop = len(seeds) - (groups_left - 1)
+        target = remaining / groups_left
+        acc = weights[start]
+        end = start + 1
+        while end < hard_stop and acc + weights[end] / 2 <= target:
+            acc += weights[end]
+            end += 1
+        parts.append(list(seeds[start:end]))
+        remaining -= acc
+        start = end
+    return parts
+
+
 def plan_seed_partitions(
     dfg: "DFG",
     partitions: int,
     *,
     restrict_to: Iterable[str] | None = None,
+    skew_aware: bool = True,
 ) -> list[list[int]]:
     """Contiguous ascending seed-node partitions of ``dfg``'s DFS.
 
@@ -154,6 +226,16 @@ def plan_seed_partitions(
     coordinator (:mod:`repro.service.shard`) uses the same planner to
     fan partitions out across *service instances* instead of worker
     processes.
+
+    Seed subtrees are heavily skewed — low seeds own far larger subtrees
+    — so by default the cut points balance *estimated subtree weight*
+    (:func:`estimate_seed_weights`) rather than seed count, which
+    tightens the critical path of any static assignment and narrows the
+    weight spread dynamic schedulers have to absorb.  ``skew_aware=False``
+    restores the historical even-seed-count split (the comparison
+    baseline in the tests).  Either way the partitions cover the same
+    seeds in the same ascending contiguous order, so the choice can never
+    affect merged-output bits.
 
     Returns at most ``partitions`` non-empty lists of node indices;
     ``restrict_to`` narrows the seed universe the same way it narrows the
@@ -169,7 +251,10 @@ def plan_seed_partitions(
     if allowed is not None:
         full_mask &= allowed
     seeds = [i for i in range(n) if full_mask >> i & 1]
-    return _split_contiguous(seeds, partitions)
+    if not skew_aware:
+        return _split_contiguous(seeds, partitions)
+    weights = estimate_seed_weights(dfg, seeds, allowed_mask=full_mask)
+    return _split_weighted(seeds, weights, partitions)
 
 
 def merge_classified_parts(

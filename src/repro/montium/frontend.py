@@ -131,7 +131,9 @@ class _Lowering:
     # -------------------------------------------------------------- #
     # precedence-climbing parser
     # -------------------------------------------------------------- #
-    def parse_expr(self, toks: list[Token], pos: int, min_prec: int = 1) -> tuple[_Ref, int]:
+    def parse_expr(
+        self, toks: list[Token], pos: int, min_prec: int = 1
+    ) -> tuple[_Ref, int]:
         lhs, pos = self.parse_atom(toks, pos)
         while True:
             tok = toks[pos]

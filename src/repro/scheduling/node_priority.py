@@ -112,7 +112,9 @@ def node_priorities(
     return out
 
 
-def priority_rank_key(dfg: "DFG", levels: LevelAnalysis | None = None) -> dict[str, tuple[int, int, int]]:
+def priority_rank_key(
+    dfg: "DFG", levels: LevelAnalysis | None = None
+) -> dict[str, tuple[int, int, int]]:
     """The lexicographic key ``(height, #ds, #as)`` underlying Eq. 4.
 
     Sorting by this tuple descending is equivalent to sorting by strict-mode

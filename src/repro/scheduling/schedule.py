@@ -127,7 +127,9 @@ class Schedule:
                 ]
             )
         widths = [
-            max(len(headers[c]), *(len(r[c]) for r in rows)) if rows else len(headers[c])
+            max(len(headers[c]), *(len(r[c]) for r in rows))
+            if rows
+            else len(headers[c])
             for c in range(len(headers))
         ]
         fmt = "  ".join(f"{{:<{w}}}" for w in widths)

@@ -35,12 +35,18 @@ from repro.service.http import ServiceClient, ServiceServer, serve
 from repro.service.jobs import JobRequest, JobResult
 from repro.service.service import SchedulerService, ServiceStats, SubmitOutcome
 from repro.service.shard import (
+    CoordinatorStats,
     LocalShard,
     RemoteShard,
     ShardCoordinator,
     ShardTask,
 )
-from repro.service.store import CacheStore, DiskCacheStore, MemoryCacheStore
+from repro.service.store import (
+    CacheStore,
+    DiskCacheStore,
+    MemoryCacheStore,
+    gc_cache_dir,
+)
 
 __all__ = [
     "JobRequest",
@@ -55,7 +61,9 @@ __all__ = [
     "ShardTask",
     "LocalShard",
     "RemoteShard",
+    "CoordinatorStats",
     "CacheStore",
     "MemoryCacheStore",
     "DiskCacheStore",
+    "gc_cache_dir",
 ]

@@ -10,6 +10,7 @@ method     path                  body → response
 ``POST``   ``/v1/jobs``          job request JSON → job result JSON
 ``POST``   ``/v1/jobs:batch``    ``{"jobs": [...]}`` → ``{"results": [...]}``
 ``POST``   ``/v1/catalog:shard`` shard task JSON → ``{"buckets": [...]}``
+``POST``   ``/v1/caches:clear``  (empty body) → ``{"cleared": true}``
 ``GET``    ``/healthz``          liveness + backend description
 ``GET``    ``/stats``            :meth:`SchedulerService.describe` output
 ``GET``    ``/workloads``        available workload names
@@ -31,7 +32,11 @@ submits internally), daemon-threaded so Ctrl-C exits cleanly.
 :class:`~repro.service.shard.ShardTask` and the response carries the
 partial classification of that task's seed partition, JSON-safe
 (``[bag_key, count, first_seen, values]`` rows in local first-visit
-order).
+order).  Its ``X-Repro-Cache`` header is ``shard`` when the
+content-addressed partial cache answered — no DFS ran server-side — and
+``none`` when this request computed (and cached) the partial.
+``/v1/caches:clear`` drops every server-side cache level (an operational
+reset; the cold-path benchmark uses it to measure honestly).
 """
 
 from __future__ import annotations
@@ -187,7 +192,7 @@ class _Handler(BaseHTTPRequestHandler):
                         f"invalid shard task JSON: {exc}"
                     ) from exc
                 task = ShardTask.from_dict(payload)
-                buckets = service.classify_shard(task)
+                buckets, cache = service.classify_shard_outcome(task)
                 self._send_json(
                     200,
                     {
@@ -196,7 +201,11 @@ class _Handler(BaseHTTPRequestHandler):
                             for key, count, order, values in buckets
                         ]
                     },
+                    headers={"X-Repro-Cache": cache},
                 )
+            elif self.path == "/v1/caches:clear":
+                service.clear_caches()
+                self._send_json(200, {"cleared": True})
             else:
                 self._send_json(
                     404,
@@ -241,8 +250,11 @@ class ServiceServer(ThreadingHTTPServer):
         Bind address; port 0 picks a free port (see :attr:`port`).
     cache_dir:
         Optional disk cache directory for the constructed service
-        (catalogs/selections/results survive restarts; see
-        :mod:`repro.service.store`).
+        (catalogs/selections/results/shard partials survive restarts;
+        see :mod:`repro.service.store`).
+    cache_max_bytes:
+        Optional per-namespace byte budget for the disk stores (LRU
+        pruning on put; see :class:`~repro.service.store.DiskCacheStore`).
     max_pending:
         Optional admission bound for the constructed service; overload
         maps to HTTP 429.
@@ -262,6 +274,7 @@ class ServiceServer(ThreadingHTTPServer):
         backend: str = "fused",
         jobs: int | None = None,
         cache_dir: "str | os.PathLike[str] | None" = None,
+        cache_max_bytes: int | None = None,
         max_pending: int | None = None,
         verbose: bool = False,
     ) -> None:
@@ -270,6 +283,7 @@ class ServiceServer(ThreadingHTTPServer):
                 backend=backend,
                 jobs=jobs,
                 cache_dir=cache_dir,
+                cache_max_bytes=cache_max_bytes,
                 max_pending=max_pending,
             )
         self.service = service
@@ -305,6 +319,7 @@ def serve(
     backend: str = "fused",
     jobs: int | None = None,
     cache_dir: "str | os.PathLike[str] | None" = None,
+    cache_max_bytes: int | None = None,
     max_pending: int | None = None,
     verbose: bool = True,
 ) -> None:
@@ -315,6 +330,7 @@ def serve(
         backend=backend,
         jobs=jobs,
         cache_dir=cache_dir,
+        cache_max_bytes=cache_max_bytes,
         max_pending=max_pending,
         verbose=verbose,
     )
@@ -421,10 +437,14 @@ class ServiceClient:
         Returns the partial classification in the in-process shape —
         ``(bag_key tuple, count, first_seen list, values list)`` rows —
         ready for :func:`repro.exec.process.merge_classified_parts`.
+        ``self.last_cache`` records the response's ``X-Repro-Cache``
+        header: ``"shard"`` means the server answered from its
+        content-addressed partial cache without running any DFS.
         """
-        body, _ = self._request(
+        body, headers = self._request(
             "/v1/catalog:shard", task.to_json().encode("utf-8")
         )
+        self.last_cache = headers.get("X-Repro-Cache")
         parsed = json.loads(body)  # type: ignore[arg-type]
         if not isinstance(parsed, dict) or not isinstance(
             parsed.get("buckets"), list
@@ -437,6 +457,10 @@ class ServiceClient:
             (tuple(key), count, order, values)
             for key, count, order, values in parsed["buckets"]
         ]
+
+    def clear_caches(self) -> None:
+        """Drop every server-side cache level (``POST /v1/caches:clear``)."""
+        self._request("/v1/caches:clear", b"{}")
 
     def health(self) -> dict[str, Any]:
         body, _ = self._request("/healthz")

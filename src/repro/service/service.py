@@ -10,7 +10,7 @@ per call, callers **submit jobs** to a resident service that
 * keys work by **content**: graphs are canonicalized and SHA-256-digested
   (:func:`repro.dfg.io.dfg_digest`), so structurally identical graphs
   share cached work no matter how or where they were built;
-* caches at **three levels**, each a keyed LRU —
+* caches at **four levels**, each a keyed LRU —
 
   ===========  ========================================================
   level        key
@@ -18,6 +18,9 @@ per call, callers **submit jobs** to a resident service that
   catalog      ``(dfg_digest, capacity, enumeration-config fields)``
   selection    ``(catalog key, pdef, full config)``
   result       ``(dfg_digest, capacity, pdef, config, priority)``
+  shard        ``(dfg_digest, seed range, capacity, bounds)`` —
+               per-partition classification partials
+               (:meth:`SchedulerService.classify_shard`)
   ===========  ========================================================
 
   so a ``pdef`` sweep re-uses one catalog, a re-submitted job returns its
@@ -84,13 +87,18 @@ class ServiceStats:
     ``submitted`` counts every job that reached :meth:`SchedulerService.submit`
     (batch members included); ``deduped`` counts batch members answered by
     an identical sibling within the same :meth:`~SchedulerService.submit_many`
-    call *without* reaching the caches at all.
+    call *without* reaching the caches at all.  ``shard_tasks`` counts
+    every :meth:`~SchedulerService.classify_shard` call; ``shard_hits`` /
+    ``shard_misses`` split those by whether the content-addressed shard
+    partial cache answered (a hit runs **no** enumeration DFS at all).
     """
 
     submitted: int = 0
     deduped: int = 0
     rejected: int = 0
     shard_tasks: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
     result_hits: int = 0
     result_misses: int = 0
     selection_hits: int = 0
@@ -104,6 +112,8 @@ class ServiceStats:
             "deduped": self.deduped,
             "rejected": self.rejected,
             "shard_tasks": self.shard_tasks,
+            "shard_hits": self.shard_hits,
+            "shard_misses": self.shard_misses,
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
             "selection_hits": self.selection_hits,
@@ -143,15 +153,24 @@ class SchedulerService:
     workloads:
         Name → zero-argument DFG builder registry for workload-by-name
         requests (default: :data:`repro.workloads.WORKLOADS`).
-    catalog_cache / selection_cache / result_cache:
-        LRU sizes of the three cache levels (with ``cache_dir``, the size
-        of each disk store's in-process memory front).
+    catalog_cache / selection_cache / result_cache / shard_cache:
+        LRU sizes of the four cache levels (with ``cache_dir``, the size
+        of each disk store's in-process memory front).  ``shard_cache``
+        holds content-addressed shard partials — the per-seed-partition
+        classification results behind :meth:`classify_shard` — keyed by
+        ``(dfg digest, seed range, capacity, enumeration bounds)``.
     cache_dir:
         Optional directory for disk-backed cache stores
         (:class:`~repro.service.store.DiskCacheStore`): catalogs,
-        selections and results persist across restarts and are shared by
-        every service instance pointed at the same directory.  Default
-        ``None`` keeps the historical in-memory LRUs.
+        selections, results and shard partials persist across restarts
+        and are shared by every service instance pointed at the same
+        directory.  Default ``None`` keeps the historical in-memory LRUs.
+    cache_max_bytes:
+        Optional per-namespace byte budget for the disk stores
+        (ignored without ``cache_dir``); writes prune the namespace
+        least-recently-used-first back under the budget.  Enforcement
+        is per instance — on a cache directory shared between
+        processes, use ``repro cache-gc`` for a strict global budget.
     max_pending:
         Admission bound: maximum submissions pending at once (executing
         included); the next one is rejected with
@@ -170,7 +189,9 @@ class SchedulerService:
         catalog_cache: int = 64,
         selection_cache: int = 256,
         result_cache: int = 1024,
+        shard_cache: int = 256,
         cache_dir: "str | os.PathLike[str] | None" = None,
+        cache_max_bytes: int | None = None,
         max_pending: int | None = None,
         timer: Callable[[], float] = time.perf_counter,
     ) -> None:
@@ -190,11 +211,18 @@ class SchedulerService:
             )
         self._workloads = workloads
         self.cache_dir = cache_dir
-        self._catalogs, self._selections, self._results = open_cache_stores(
+        (
+            self._catalogs,
+            self._selections,
+            self._results,
+            self._shard_parts,
+        ) = open_cache_stores(
             cache_dir,
             catalog_size=catalog_cache,
             selection_size=selection_cache,
             result_size=result_cache,
+            shard_size=shard_cache,
+            max_bytes=cache_max_bytes,
         )
         # digest → first-seen graph object: keeps one canonical DFG per
         # content class so the persistent pool and analysis caches warm up
@@ -454,6 +482,10 @@ class SchedulerService:
     # sharded catalog building
     # ------------------------------------------------------------------ #
     def classify_shard(self, task: "ShardTask") -> list[tuple]:
+        """Classify one seed-node partition; see :meth:`classify_shard_outcome`."""
+        return self.classify_shard_outcome(task)[0]
+
+    def classify_shard_outcome(self, task: "ShardTask") -> tuple[list[tuple], str]:
         """Classify one seed-node partition of a catalog job (shard work).
 
         The executor side of :class:`~repro.service.shard.ShardCoordinator`:
@@ -461,13 +493,22 @@ class SchedulerService:
         subtrees (``classify_by_label(roots=...)``) and returns the
         partial classification as ``(bag_key, count, first_seen, values)``
         tuples in local first-visit order — ``values`` aligned with
-        ``first_seen``, everything JSON-safe so the HTTP layer is a pipe.
-        Merging partitions in ascending-seed order
+        ``first_seen``, everything JSON-safe so the HTTP layer is a pipe —
+        plus the cache level that answered: ``"shard"`` when the
+        content-addressed partial cache (keyed by
+        :meth:`~repro.service.shard.ShardTask.partial_key` — graph
+        digest, seed range, capacity, enumeration bounds) already held the
+        result, so the DFS did not run at all, or ``"none"`` when this
+        call computed (and cached) it.  Over HTTP the level travels as
+        the ``X-Repro-Cache`` header.  Merging partitions in
+        ascending-seed order
         (:func:`repro.exec.process.merge_classified_parts`) reproduces the
-        single-instance fused catalog bit for bit.
+        single-instance fused catalog bit for bit — a cached partial is
+        the stored bit-identical value, disk round trips included.
 
         Shard tasks are real enumeration work and therefore take an
-        admission slot like any submit.
+        admission slot like any submit (cache hits included: admission
+        bounds queueing, not compute).
         """
         from repro.service.shard import ShardTask
 
@@ -477,7 +518,13 @@ class SchedulerService:
             )
         with self._admitted(), self._lock:
             self.stats.shard_tasks += 1
-            dfg, _ = self._resolve_input(task.workload, task.dfg)
+            dfg, digest = self._resolve_input(task.workload, task.dfg)
+            key = task.partial_key(digest)
+            cached = self._shard_parts.get(key)
+            if cached is not None:
+                self.stats.shard_hits += 1
+                return cached, "shard"
+            self.stats.shard_misses += 1
             enum = AntichainEnumerator(dfg)
             labels = dfg.color_labels()[0]
             buckets = enum.classify_by_label(
@@ -488,17 +535,34 @@ class SchedulerService:
                 roots=task.seeds,
             )
             out: list[tuple] = []
-            for key, cls in buckets.items():
+            for key_, cls in buckets.items():
                 freq = cls.frequencies
                 out.append(
                     (
-                        key,
+                        key_,
                         cls.count,
                         list(cls.first_seen),
                         [int(freq[i]) for i in cls.first_seen],
                     )
                 )
-            return out
+            self._shard_parts.put(key, out)
+            return out, "none"
+
+    def get_shard_partial(self, key: tuple) -> "list[tuple] | None":
+        """A cached shard partial for ``key``, or ``None`` (coordinator side).
+
+        The :class:`~repro.service.shard.ShardCoordinator` probes its
+        completion service's partial store *before* dispatching a
+        partition to any shard — a warm coordinator rebuild generates
+        zero shard traffic, local or remote.
+        """
+        with self._lock:
+            return self._shard_parts.get(key)
+
+    def put_shard_partial(self, key: tuple, buckets: list[tuple]) -> None:
+        """Install a shard partial under ``key`` (coordinator side)."""
+        with self._lock:
+            self._shard_parts.put(key, buckets)
 
     def prime_catalog(
         self, request: JobRequest, catalog: "PatternCatalog"
@@ -527,6 +591,7 @@ class SchedulerService:
                 "catalog": self._catalogs.describe(),
                 "selection": self._selections.describe(),
                 "result": self._results.describe(),
+                "shard": self._shard_parts.describe(),
             },
             "cache_dir": (
                 str(self.cache_dir) if self.cache_dir is not None else None
@@ -540,11 +605,12 @@ class SchedulerService:
         }
 
     def clear_caches(self) -> None:
-        """Drop all cached catalogs, selections and results."""
+        """Drop all cached catalogs, selections, results and shard partials."""
         with self._lock:
             self._catalogs.clear()
             self._selections.clear()
             self._results.clear()
+            self._shard_parts.clear()
             self._graphs.clear()
             self._named_graphs.clear()
 

@@ -11,14 +11,27 @@ partitions out beyond one machine:
 .. code-block:: text
 
                          ShardCoordinator
-                        /   |         \\
-           plan_seed_partitions (ascending, contiguous)
-                      /     |           \\
+                               |
+           plan_seed_partitions (ascending, contiguous,
+            weight-balanced, ~4x finer than shard count)
+                               |
+                 ┌─────────────▼─────────────┐
+                 │ shard-partial cache probe │  hit → no shard traffic
+                 │ (completion service's     │  (memory LRU, disk with
+                 │  content-addressed store) │   cache_dir)
+                 └─────────────┬─────────────┘
+                        misses │ → steal queue (dynamic dispatch:
+                               │   idle shard takes next range)
+                      /        |           \\
             LocalShard   RemoteShard   RemoteShard
-        (SchedulerService) (HTTP /v1/catalog:shard ...)
-                      \\     |           /
+        (SchedulerService) (HTTP /v1/catalog:shard,
+                            X-Repro-Cache: shard on a warm partial)
+                      \\        |           /
+           results land by partition index; every fresh
+           partial written back through the cache seam
+                               |
           merge_classified_parts (ascending-seed order)
-                            |
+                               |
           bit-identical PatternCatalog → prime completion
           service's catalog cache → selection + scheduling
 
@@ -28,31 +41,45 @@ in-process :class:`~repro.service.service.SchedulerService`
 through :class:`~repro.service.http.ServiceClient`
 (:class:`RemoteShard`, ``POST /v1/catalog:shard``).  The coordinator
 plans the same contiguous ascending partitions the process backend uses
-(:func:`repro.exec.process.plan_seed_partitions`), dispatches them
-concurrently, merges the per-shard int frequency arrays in ascending-seed
-order (:func:`repro.exec.process.merge_classified_parts`) and completes
+(:func:`repro.exec.process.plan_seed_partitions`) — weight-balanced
+against the per-seed subtree cost model and cut
+:data:`PARTITIONS_PER_SHARD`× finer than the shard count — probes each
+against the completion service's **content-addressed partial cache**
+(key: graph digest + seed range + capacity + enumeration bounds; see
+:meth:`ShardTask.partial_key`), hands the misses to whichever shard
+frees up first (work stealing), merges the per-shard int frequency
+arrays in ascending-seed order
+(:func:`repro.exec.process.merge_classified_parts`) and completes
 selection + scheduling through a local *completion service*, priming its
 catalog cache with the merged catalog — so every downstream cache level
 (and the disk :class:`~repro.service.store.CacheStore`, when configured)
-behaves exactly as if the catalog had been built in-process.
+behaves exactly as if the catalog had been built in-process.  Shard
+*servers* cache the same partials under the same keys on their side, so
+a repeated partition answers ``X-Repro-Cache: shard`` with zero DFS —
+and with a shared ``--cache-dir``, partials computed by any instance
+answer every instance, restarts included.
 
 Bit-identity is the contract, not an aspiration: the merged catalog —
 pattern set, antichain counts, per-node frequencies and every Counter's
-insertion order — equals the single-instance fused catalog, pinned by
-``tests/test_service_shard.py`` across shard counts.
+insertion order — equals the single-instance fused catalog, for every
+shard count, any completion order (the steal loop makes ordering
+timing-dependent; the index-addressed merge makes it irrelevant) and
+through partial-cache hits, memory or disk — pinned by
+``tests/test_service_shard.py``.
 """
 
 from __future__ import annotations
 
 import json
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+import threading
+from collections import deque
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.core.config import SelectionConfig
 from repro.core.selection import PatternSelector
 from repro.dfg.graph import DFG
-from repro.dfg.io import from_payload, to_payload
+from repro.dfg.io import dfg_digest, from_payload, to_payload
 from repro.exceptions import JobValidationError, PatternError, ServiceError
 from repro.service.http import ServiceClient
 from repro.service.jobs import JobRequest, JobResult
@@ -66,7 +93,14 @@ __all__ = [
     "LocalShard",
     "RemoteShard",
     "ShardCoordinator",
+    "CoordinatorStats",
 ]
+
+#: Partitions planned per shard: enough steal granularity for the
+#: dynamic dispatch loop to absorb residual subtree skew (the skew-aware
+#: planner flattens most of it statically) without drowning remote
+#: shards in request round-trips.
+PARTITIONS_PER_SHARD = 4
 
 _TASK_FIELDS = {"size", "span_limit", "max_count", "seeds", "workload", "dfg"}
 
@@ -168,6 +202,33 @@ class ShardTask:
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
 
+    def partial_key(self, digest: str) -> tuple:
+        """The content-addressed cache key of this task's classification.
+
+        ``(dfg digest, seed range, capacity, enumeration bounds)`` — the
+        same structured key on the coordinator and on the
+        ``/v1/catalog:shard`` server side, so a partial computed anywhere
+        (and persisted through a :class:`~repro.service.store.CacheStore`)
+        answers the identical task everywhere,
+        :func:`repro.dfg.io.stable_key_digest`-addressable on disk.
+        Contiguous seed tuples — the only kind the planner emits —
+        collapse to a ``range`` so the key stays O(1) bytes on large
+        graphs; non-contiguous seeds (hand-built tasks) stay explicit.
+        The backend never appears: partials are bit-identical by
+        contract, exactly like the service's other cache levels.
+        """
+        seeds: "tuple[int, ...] | range" = self.seeds
+        if seeds == tuple(range(seeds[0], seeds[-1] + 1)):
+            seeds = range(seeds[0], seeds[-1] + 1)
+        return (
+            "shard-partial",
+            digest,
+            self.size,
+            self.span_limit,
+            self.max_count,
+            seeds,
+        )
+
     @classmethod
     def from_dict(cls, payload: Any) -> "ShardTask":
         """Inverse of :meth:`to_dict`; unknown fields are rejected."""
@@ -256,6 +317,48 @@ def _as_shard(shard: Any) -> "LocalShard | RemoteShard":
 
 
 # --------------------------------------------------------------------------- #
+@dataclass
+class CoordinatorStats:
+    """Partial-cache and dispatch accounting for one :class:`ShardCoordinator`.
+
+    ``planned`` counts every partition the planner produced (across all
+    classify attempts, adaptive-span retries included); ``partial_hits``
+    of them were answered by the coordinator-side partial cache without
+    any shard traffic, and the remaining ``partial_misses`` were
+    ``dispatched`` to whichever shard freed up first.
+    ``remote_partial_hits`` counts dispatched tasks a *remote* shard
+    answered from its own partial cache (``X-Repro-Cache: shard`` — no
+    DFS ran anywhere).  ``tasks_per_shard`` records how the dynamic loop
+    actually spread the work; :meth:`steals` derives how many tasks ran
+    on a shard beyond its even share — the work stealing at work.
+    """
+
+    planned: int = 0
+    partial_hits: int = 0
+    partial_misses: int = 0
+    dispatched: int = 0
+    remote_partial_hits: int = 0
+    tasks_per_shard: list[int] = field(default_factory=list)
+
+    def steals(self) -> int:
+        """Dispatched tasks beyond the even per-shard share."""
+        if not self.dispatched or not self.tasks_per_shard:
+            return 0
+        share = -(-self.dispatched // len(self.tasks_per_shard))
+        return sum(max(0, c - share) for c in self.tasks_per_shard)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "planned": self.planned,
+            "partial_hits": self.partial_hits,
+            "partial_misses": self.partial_misses,
+            "dispatched": self.dispatched,
+            "remote_partial_hits": self.remote_partial_hits,
+            "tasks_per_shard": list(self.tasks_per_shard),
+            "steals": self.steals(),
+        }
+
+
 class ShardCoordinator:
     """Fan a catalog build out over shards; merge bit-identically.
 
@@ -263,11 +366,18 @@ class ShardCoordinator:
     ----------
     shards:
         Shard handles (or anything :func:`_as_shard` coerces: services,
-        clients, URLs).  Partition count equals shard count; partition
-        *i* goes to shard *i*.
+        clients, URLs).  The planner cuts ~:data:`PARTITIONS_PER_SHARD`×
+        more weight-balanced partitions than there are shards; a dynamic
+        dispatch loop hands each to whichever shard frees up first, so an
+        idle shard steals the next unclaimed range instead of waiting on
+        a static assignment.  Completion order cannot matter: results
+        land by partition index and merge in ascending-seed order.
     service:
         The completion service that runs selection + scheduling against
-        the merged catalog (and owns the result/selection caches).  A
+        the merged catalog, owns the result/selection caches **and** the
+        coordinator-side shard-partial cache — with ``cache_dir`` set, a
+        restarted coordinator (or a sibling on the same directory)
+        answers warm partitions from disk without any shard traffic.  A
         private one is created — and closed with the coordinator — when
         omitted.
 
@@ -291,6 +401,7 @@ class ShardCoordinator:
         self._owns_service = service is None
         self._owned_shards: list[SchedulerService] = []
         self.service = service if service is not None else SchedulerService()
+        self.stats = CoordinatorStats(tasks_per_shard=[0] * len(self.shards))
 
     @classmethod
     def local(
@@ -341,6 +452,7 @@ class ShardCoordinator:
         return {
             "shards": [s.describe() for s in self.shards],
             "service": self.service.describe()["backend"],
+            "stats": self.stats.to_dict(),
         }
 
     # ------------------------------------------------------------------ #
@@ -388,13 +500,25 @@ class ShardCoordinator:
         max_count: int | None,
         workload: str | None,
     ) -> "PatternCatalog":
-        """One sharded classify attempt at a concrete (size, span)."""
+        """One sharded classify attempt at a concrete (size, span).
+
+        Weight-balanced partitions are cut ~:data:`PARTITIONS_PER_SHARD`×
+        finer than the shard count; each is first probed against the
+        completion service's content-addressed partial cache (a warm
+        rebuild dispatches nothing), the misses go through the dynamic
+        steal loop (:meth:`_dispatch`), and every freshly computed
+        partial is written back through the cache seam.  Results land by
+        partition index, so the ascending-seed merge — and therefore the
+        catalog's every bit — is independent of completion order.
+        """
         from repro.exec.process import (
             merge_classified_parts,
             plan_seed_partitions,
         )
 
-        partitions = plan_seed_partitions(dfg, len(self.shards))
+        partitions = plan_seed_partitions(
+            dfg, len(self.shards) * PARTITIONS_PER_SHARD
+        )
         tasks = [
             ShardTask(
                 size=size,
@@ -406,21 +530,21 @@ class ShardCoordinator:
             )
             for seeds in partitions
         ]
-        if not tasks:
-            parts: list[list[tuple]] = []
-        elif len(tasks) == 1:
-            parts = [self.shards[0].classify(tasks[0])]
-        else:
-            # One thread per task: local shards release no GIL but remote
-            # shards overlap fully; either way results come back in
-            # partition order, which the merge requires for bit-identity.
-            with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
-                parts = list(
-                    pool.map(
-                        lambda pair: self.shards[pair[0]].classify(pair[1]),
-                        enumerate(tasks),
-                    )
-                )
+        self.stats.planned += len(tasks)
+        digest = dfg_digest(dfg)
+        keys = [task.partial_key(digest) for task in tasks]
+        parts: list[list[tuple] | None] = [None] * len(tasks)
+        pending: deque[int] = deque()
+        for i, key in enumerate(keys):
+            cached = self.service.get_shard_partial(key)
+            if cached is not None:
+                parts[i] = cached
+                self.stats.partial_hits += 1
+            else:
+                pending.append(i)
+                self.stats.partial_misses += 1
+        if pending:
+            self._dispatch(tasks, keys, parts, pending)
         return merge_classified_parts(
             dfg,
             parts,
@@ -428,6 +552,83 @@ class ShardCoordinator:
             span_limit=span_limit,
             max_count=max_count,
         )
+
+    def _dispatch(
+        self,
+        tasks: list[ShardTask],
+        keys: list[tuple],
+        parts: "list[list[tuple] | None]",
+        pending: "deque[int]",
+    ) -> None:
+        """Run the pending tasks over the shards, stealing dynamically.
+
+        One worker thread per shard pulls the next unclaimed partition
+        index from the shared queue — a fast (or partial-cache-warm)
+        shard simply comes back for more while a slow one is still
+        classifying, which is exactly the process backend's fine-grained
+        dynamic queue lifted to service instances.  Local shards release
+        no GIL but remote shards overlap fully.
+
+        Error behaviour is deterministic regardless of thread timing:
+        after a failure, workers keep claiming only partitions *below*
+        the lowest failed index (``pending`` is ascending, so one
+        front-of-queue check suffices) — every lower partition is always
+        attempted, higher ones are abandoned — and the error of the
+        lowest-index failing partition is re-raised.  A transient fault
+        on a late partition therefore cannot mask an earlier partition's
+        :class:`~repro.exceptions.EnumerationLimitError`, which the
+        adaptive-span loop must see as itself to retry.
+        """
+        lock = threading.Lock()
+        failures: list[tuple[int, BaseException]] = []
+
+        def worker(shard_index: int) -> None:
+            shard = self.shards[shard_index]
+            while True:
+                with lock:
+                    if not pending:
+                        return
+                    if failures and pending[0] > min(
+                        pair[0] for pair in failures
+                    ):
+                        return
+                    i = pending.popleft()
+                    self.stats.dispatched += 1
+                    self.stats.tasks_per_shard[shard_index] += 1
+                try:
+                    buckets = shard.classify(tasks[i])
+                    parts[i] = buckets
+                    # The write-back is inside the try: a failing cache
+                    # store (disk full, permissions) must surface as this
+                    # partition's failure, not silently kill the worker
+                    # and leave the merge a None part.
+                    self.service.put_shard_partial(keys[i], buckets)
+                    remote_hit = (
+                        isinstance(shard, RemoteShard)
+                        and shard.client.last_cache == "shard"
+                    )
+                except BaseException as exc:
+                    with lock:
+                        failures.append((i, exc))
+                    return
+                if remote_hit:
+                    with lock:
+                        self.stats.remote_partial_hits += 1
+
+        n_workers = min(len(self.shards), len(pending))
+        if n_workers <= 1:
+            worker(0)
+        else:
+            threads = [
+                threading.Thread(target=worker, args=(s,), daemon=True)
+                for s in range(n_workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        if failures:
+            raise min(failures, key=lambda pair: pair[0])[1]
 
     # ------------------------------------------------------------------ #
     # job submission

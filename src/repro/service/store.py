@@ -19,13 +19,19 @@ turns that storage decision into a seam:
     restarts and can be shared between shard instances via a common
     cache directory.  Corrupt or truncated cache files are treated as
     misses, never errors; the next ``put`` atomically replaces them.
+    With ``max_bytes`` set, each ``put`` prunes the namespace back under
+    its byte budget, least-recently-used first (disk reads refresh the
+    file's mtime, so recency survives process restarts); without it the
+    directory grows without bound and :func:`gc_cache_dir` (CLI:
+    ``repro cache-gc``) is the out-of-band pruner.
 
 Values are domain objects (:class:`~repro.patterns.enumeration.PatternCatalog`,
 :class:`~repro.core.selection.SelectionResult`,
-:class:`~repro.service.jobs.JobResult`); the disk store serialises them
-through the same lossless converters as the HTTP wire format
-(:mod:`repro.service.serialize`), so a value read back from disk is
-bit-identical to the one computed — Counter insertion order included.
+:class:`~repro.service.jobs.JobResult`, shard partial-classification
+bucket lists); the disk store serialises them through the same lossless
+converters as the HTTP wire format (:mod:`repro.service.serialize`), so
+a value read back from disk is bit-identical to the one computed —
+Counter insertion order included.
 """
 
 from __future__ import annotations
@@ -52,6 +58,7 @@ __all__ = [
     "MemoryCacheStore",
     "DiskCacheStore",
     "open_cache_stores",
+    "gc_cache_dir",
 ]
 
 #: On-disk payload format version; bump to invalidate old cache files.
@@ -150,6 +157,15 @@ class DiskCacheStore(CacheStore):
     memory_size:
         Size of the in-process LRU front (decoded objects; a warm hit in
         the same process never re-reads the file).
+    max_bytes:
+        Optional byte budget for this namespace's directory.  When this
+        instance's writes push the directory past it, the least recently
+        *used* files (by mtime — refreshed on every hit) are pruned
+        until the directory fits again.  Enforcement is per instance:
+        on a directory shared between processes, another instance's
+        writes are only counted when a prune's directory scan runs —
+        use :func:`gc_cache_dir` (``repro cache-gc``) for a strict
+        multi-writer budget.  ``None`` (default) never prunes.
     """
 
     _tmp_ids = itertools.count()
@@ -162,13 +178,29 @@ class DiskCacheStore(CacheStore):
         encode: Callable[[Any], dict],
         decode: Callable[[dict], Any],
         memory_size: int = 64,
+        max_bytes: int | None = None,
     ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ServiceError(
+                f"max_bytes must be ≥ 1 (or None), got {max_bytes}"
+            )
         self.directory = Path(directory) / namespace
         self.namespace = namespace
         self.maxsize = memory_size
+        self.max_bytes = max_bytes
         self._encode = encode
         self._decode = decode
         self._memory = MemoryCacheStore(memory_size)
+        # Running namespace-size estimate for max_bytes enforcement
+        # (None = not yet scanned).  Overwrites over-count (prune early,
+        # never late); sibling instances writing to a shared directory
+        # are invisible until the next prune, whose full directory scan
+        # re-syncs the estimate with reality — so the budget is enforced
+        # strictly per instance and only eventually for a shared
+        # directory (`gc_cache_dir` / `repro cache-gc` is the strict
+        # multi-writer pruner).  The walk runs when the estimate crosses
+        # the budget, not on every put.
+        self._disk_bytes: int | None = None
         self.directory.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
@@ -176,9 +208,29 @@ class DiskCacheStore(CacheStore):
         """The cache file a key maps to (stable across processes)."""
         return self.directory / f"{stable_key_digest(key)}.json"
 
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh a cache file's mtime (missing/unwritable = no-op).
+
+        Every hit — memory front included — touches the file so
+        LRU-by-mtime pruning (this store's ``max_bytes``, a sibling
+        instance's, or an out-of-band ``repro cache-gc``) sees recency
+        across processes and restarts.  Were only disk reads to touch,
+        the hottest entries (always answered by the memory front) would
+        look coldest on disk and be pruned first.
+        """
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
     def get(self, key: Any) -> Any | None:
-        value = self._memory.get(key)
-        if value is not None:
+        # The memory front stores (path, value): the resolved path rides
+        # along so a warm hit pays one utime, not a key re-digest.
+        entry = self._memory.get(key)
+        if entry is not None:
+            path, value = entry
+            self._touch(path)
             return value
         path = self.path_for(key)
         try:
@@ -196,17 +248,18 @@ class DiskCacheStore(CacheStore):
             # Corrupt, truncated or foreign file: a miss, never an error.
             # The next put for this key atomically replaces it.
             return None
-        self._memory.put(key, value)
+        self._touch(path)
+        self._memory.put(key, (path, value))
         return value
 
     def put(self, key: Any, value: Any) -> None:
-        self._memory.put(key, value)
+        path = self.path_for(key)
+        self._memory.put(key, (path, value))
         payload = {
             "format": DISK_FORMAT,
             "namespace": self.namespace,
             "value": self._encode(value),
         }
-        path = self.path_for(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.{next(self._tmp_ids)}.tmp")
         body = json.dumps(payload, separators=(",", ":"))
         try:
@@ -216,6 +269,22 @@ class DiskCacheStore(CacheStore):
             tmp.unlink(missing_ok=True)
             msg = f"cannot persist cache entry to {path}: {exc}"
             raise ServiceError(msg) from exc
+        if self.max_bytes is not None:
+            if self._disk_bytes is None:
+                total = 0
+                for p in self.directory.glob("*.json"):
+                    try:
+                        total += p.stat().st_size
+                    except OSError:
+                        continue
+                self._disk_bytes = total
+            else:
+                self._disk_bytes += len(body)
+            if self._disk_bytes > self.max_bytes:
+                stats = _prune_lru(
+                    self.directory.glob("*.json"), self.max_bytes
+                )
+                self._disk_bytes = stats["kept_bytes"]
 
     def __len__(self) -> int:
         return sum(1 for _ in self.directory.glob("*.json"))
@@ -227,14 +296,92 @@ class DiskCacheStore(CacheStore):
         self._memory.clear()
         for path in self.directory.glob("*.json"):
             path.unlink(missing_ok=True)
+        self._disk_bytes = 0 if self.max_bytes is not None else None
 
     def describe(self) -> dict[str, Any]:
         return {
             "kind": "disk",
             "size": len(self),
             "max": self.maxsize,
+            "max_bytes": self.max_bytes,
             "directory": str(self.directory),
         }
+
+
+# --------------------------------------------------------------------------- #
+# eviction / GC
+# --------------------------------------------------------------------------- #
+def _prune_lru(
+    paths: "Any", max_bytes: int, *, dry_run: bool = False
+) -> dict[str, int]:
+    """Prune ``paths`` oldest-mtime-first until their total fits ``max_bytes``.
+
+    Files that vanish mid-scan (a concurrent writer's ``os.replace``, a
+    parallel GC) are skipped, never errors.  Returns counters:
+    ``files``/``bytes`` scanned, ``removed``/``removed_bytes`` pruned
+    (with ``dry_run`` nothing is unlinked but the counters report what
+    would have been).
+    """
+    entries: list[tuple[float, str, int, Path]] = []
+    total = 0
+    for path in paths:
+        try:
+            st = path.stat()
+        except OSError:
+            continue
+        # Path as the mtime tie-break keeps pruning deterministic on
+        # filesystems with coarse timestamps.
+        entries.append((st.st_mtime, str(path), st.st_size, path))
+        total += st.st_size
+    entries.sort()
+    removed = removed_bytes = 0
+    kept = total
+    for _mtime, _name, size, path in entries:
+        if kept <= max_bytes:
+            break
+        if not dry_run:
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                continue
+        removed += 1
+        removed_bytes += size
+        kept -= size
+    return {
+        "files": len(entries),
+        "bytes": total,
+        "removed": removed,
+        "removed_bytes": removed_bytes,
+        "kept_bytes": kept,
+    }
+
+
+def gc_cache_dir(
+    directory: "str | os.PathLike[str]",
+    max_bytes: int,
+    *,
+    dry_run: bool = False,
+) -> dict[str, Any]:
+    """Prune a whole service cache directory to a byte budget (CLI backend).
+
+    Walks every namespace subdirectory under ``directory`` (catalog /
+    selection / result / shard — anything holding ``*.json`` cache
+    files) and deletes least-recently-used files across all of them until
+    the combined size fits ``max_bytes``; a hot shard partial outlives a
+    cold catalog regardless of namespace.  Safe against live services on
+    the same directory: a pruned entry is simply that service's next
+    cache miss.  Returns the :func:`_prune_lru` counters plus the
+    directory.
+    """
+    if max_bytes < 0:
+        raise ServiceError(f"max_bytes must be ≥ 0, got {max_bytes}")
+    root = Path(directory)
+    if not root.is_dir():
+        raise ServiceError(f"cache directory {root} does not exist")
+    stats = _prune_lru(root.rglob("*.json"), max_bytes, dry_run=dry_run)
+    stats["directory"] = str(root)
+    stats["dry_run"] = dry_run
+    return stats
 
 
 # --------------------------------------------------------------------------- #
@@ -267,25 +414,51 @@ def _decode_selection(payload: dict) -> Any:
     )
 
 
+# Shard partials are already wire-shaped: ``(bag_key, count, first_seen,
+# values)`` tuples of ints (see SchedulerService.classify_shard), so the
+# codec only swaps tuples ↔ lists.  No graph payload is embedded — the
+# cache key carries the dfg digest, and a partial is only ever merged
+# against the graph it was keyed under.
+def _encode_shard_parts(buckets: Any) -> dict:
+    return {
+        "buckets": [
+            [list(key), count, list(order), list(values)]
+            for key, count, order, values in buckets
+        ]
+    }
+
+
+def _decode_shard_parts(payload: dict) -> Any:
+    return [
+        (tuple(key), count, list(order), list(values))
+        for key, count, order, values in payload["buckets"]
+    ]
+
+
 def open_cache_stores(
     cache_dir: "str | os.PathLike[str] | None",
     *,
     catalog_size: int,
     selection_size: int,
     result_size: int,
-) -> tuple[CacheStore, CacheStore, CacheStore]:
-    """The service's three cache stores, disk-backed when ``cache_dir`` is set.
+    shard_size: int = 256,
+    max_bytes: int | None = None,
+) -> tuple[CacheStore, CacheStore, CacheStore, CacheStore]:
+    """The service's four cache stores, disk-backed when ``cache_dir`` is set.
 
-    Returns ``(catalogs, selections, results)``.  With ``cache_dir=None``
-    each level is a plain :class:`MemoryCacheStore` (the historical
-    behaviour); otherwise each level is a :class:`DiskCacheStore` under
-    its own namespace with the LRU size as its memory front.
+    Returns ``(catalogs, selections, results, shard_parts)``.  With
+    ``cache_dir=None`` each level is a plain :class:`MemoryCacheStore`
+    (the historical behaviour); otherwise each level is a
+    :class:`DiskCacheStore` under its own namespace with the LRU size as
+    its memory front and ``max_bytes`` (when set) as each namespace's
+    byte budget.
     """
     if cache_dir is None:
         return (
             MemoryCacheStore(catalog_size),
             MemoryCacheStore(selection_size),
             MemoryCacheStore(result_size),
+            MemoryCacheStore(shard_size),
         )
     return (
         DiskCacheStore(
@@ -294,6 +467,7 @@ def open_cache_stores(
             encode=_encode_catalog,
             decode=_decode_catalog,
             memory_size=catalog_size,
+            max_bytes=max_bytes,
         ),
         DiskCacheStore(
             cache_dir,
@@ -301,6 +475,7 @@ def open_cache_stores(
             encode=_encode_selection,
             decode=_decode_selection,
             memory_size=selection_size,
+            max_bytes=max_bytes,
         ),
         DiskCacheStore(
             cache_dir,
@@ -308,5 +483,14 @@ def open_cache_stores(
             encode=lambda r: r.to_dict(),
             decode=JobResult.from_dict,
             memory_size=result_size,
+            max_bytes=max_bytes,
+        ),
+        DiskCacheStore(
+            cache_dir,
+            "shard",
+            encode=_encode_shard_parts,
+            decode=_decode_shard_parts,
+            memory_size=shard_size,
+            max_bytes=max_bytes,
         ),
     )

@@ -73,7 +73,10 @@ PAPER_FIG4_PRIORITIES_ROUND1 = {"a": 26.0, "b": 24.0, "aa": 88.0, "bb": 84.0}
 #: Table 7 — published cycle counts (Random is a 10-trial mean).
 PAPER_TABLE7 = {
     "3dft": {"random": [12.4, 10.5, 8.7, 7.9, 6.5], "selected": [8, 7, 7, 7, 6]},
-    "5dft": {"random": [23.4, 22.0, 20.4, 15.8, 15.8], "selected": [19, 16, 16, 15, 15]},
+    "5dft": {
+        "random": [23.4, 22.0, 20.4, 15.8, 15.8],
+        "selected": [19, 16, 16, 15, 15],
+    },
 }
 
 

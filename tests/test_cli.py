@@ -113,6 +113,53 @@ class TestCompile:
         assert main(["compile", str(src), "--pdef", "1", "--fuse-mac"]) == 0
 
 
+class TestCacheGc:
+    def _fill(self, tmp_path):
+        from repro.service import JobRequest, SchedulerService
+
+        with SchedulerService(cache_dir=tmp_path) as service:
+            service.submit(JobRequest(capacity=5, pdef=4, workload="3dft"))
+
+    def test_gc_prunes_to_budget(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["cache-gc", str(tmp_path), "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "removed" in out and "keeping 0 bytes" in out
+        assert not list(tmp_path.rglob("*.json"))
+
+    def test_gc_dry_run_keeps_files(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        before = sorted(tmp_path.rglob("*.json"))
+        assert main(
+            ["cache-gc", str(tmp_path), "--max-bytes", "0", "--dry-run"]
+        ) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert sorted(tmp_path.rglob("*.json")) == before
+
+    def test_gc_accepts_size_suffixes(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["cache-gc", str(tmp_path), "--max-bytes", "1G"]) == 0
+        assert "removed 0 files" in capsys.readouterr().out
+
+    def test_gc_bad_size_is_clean_error(self, tmp_path, capsys):
+        assert main(["cache-gc", str(tmp_path), "--max-bytes", "lots"]) == 1
+        assert "cannot parse byte size" in capsys.readouterr().err
+
+    def test_gc_missing_dir_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["cache-gc", str(missing), "--max-bytes", "1M"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_parse_bytes_forms(self):
+        from repro.cli import _parse_bytes
+
+        assert _parse_bytes("123") == 123
+        assert _parse_bytes("4K") == 4096
+        assert _parse_bytes("1.5M") == int(1.5 * (1 << 20))
+        assert _parse_bytes("2g") == 2 << 30
+        assert _parse_bytes("64MiB") == 64 << 20
+
+
 class TestMisc:
     def test_workloads_listing(self, capsys):
         assert main(["workloads"]) == 0

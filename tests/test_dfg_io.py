@@ -95,7 +95,13 @@ class TestEdgeList:
             from_edge_list("a b c\n")
 
 
-def _abc_graph(*, node_order=("a1", "b2", "c3"), edge_order=(("a1", "b2"), ("a1", "c3")), attr_order="forward", name="g"):
+def _abc_graph(
+    *,
+    node_order=("a1", "b2", "c3"),
+    edge_order=(("a1", "b2"), ("a1", "c3")),
+    attr_order="forward",
+    name="g",
+):
     """One structural content, many construction orders."""
     colors = {"a1": "a", "b2": "b", "c3": "c"}
     attrs = {"op": "add", "weight": 2}
@@ -223,6 +229,18 @@ class TestStableKeyEncoding:
     def test_sets_are_order_independent(self):
         assert stable_key_json({3, 1, 2}) == stable_key_json({2, 3, 1})
         assert stable_key_json(frozenset({1})) == stable_key_json({1})
+
+    def test_ranges_encode_compactly_and_distinctly(self):
+        # A range is deliberately NOT its element list (shard-partial
+        # keys rely on the O(1) form staying small on huge graphs)...
+        assert stable_key_json(range(3)) != stable_key_json([0, 1, 2])
+        assert len(stable_key_json(range(10**6))) < 40
+        # ...but is deterministic and content-addressed like any key.
+        assert stable_key_digest(range(2, 9)) == stable_key_digest(range(2, 9))
+        assert stable_key_digest(range(2, 9)) != stable_key_digest(range(2, 8))
+        assert stable_key_digest(range(0, 6, 2)) != stable_key_digest(
+            range(0, 6, 3)
+        )
 
     def test_unencodable_component_is_loud(self):
         with pytest.raises(GraphError, match="no stable encoding"):

@@ -10,10 +10,17 @@ Pins the :mod:`repro.service.store` contract:
 * corrupt / truncated / foreign cache files are treated as misses, never
   errors;
 * two services sharing one ``cache_dir`` serve each other's warm hits —
-  including over HTTP across a server restart (``X-Repro-Cache: result``).
+  including over HTTP across a server restart (``X-Repro-Cache: result``);
+* ``max_bytes`` eviction prunes least-recently-used files (mtime order,
+  refreshed by disk reads) and :func:`repro.service.store.gc_cache_dir`
+  does the same across every namespace of a cache directory (CLI:
+  ``repro cache-gc``).
 """
 
 from __future__ import annotations
+
+import os
+import time
 
 import pytest
 
@@ -29,6 +36,7 @@ from repro.service.jobs import JobResult
 from repro.service.store import (
     DiskCacheStore,
     MemoryCacheStore,
+    gc_cache_dir,
     open_cache_stores,
 )
 
@@ -174,7 +182,162 @@ class TestDiskCacheStore:
             "catalog",
             "selection",
             "result",
+            "shard",
         ]
+
+
+# --------------------------------------------------------------------------- #
+# eviction and GC
+# --------------------------------------------------------------------------- #
+def _int_store(tmp_path, **kwargs) -> DiskCacheStore:
+    return DiskCacheStore(
+        tmp_path,
+        "ints",
+        encode=lambda v: {"v": v},
+        decode=lambda d: d["v"],
+        memory_size=2,
+        **kwargs,
+    )
+
+
+def _age(path, seconds) -> None:
+    """Backdate a cache file's mtime (mtime-resolution-proof recency)."""
+    stamp = time.time() - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestDiskEviction:
+    def test_rejects_non_positive_budget(self, tmp_path):
+        with pytest.raises(ServiceError, match="max_bytes"):
+            _int_store(tmp_path, max_bytes=0)
+
+    def test_put_prunes_least_recently_used(self, tmp_path):
+        store = _int_store(tmp_path)
+        for k in range(3):
+            store.put(k, k)
+            _age(store.path_for(k), seconds=300 - k)
+        one_file = store.path_for(0).stat().st_size
+        capped = _int_store(tmp_path, max_bytes=2 * one_file + 1)
+        capped.put(3, 3)
+        # Budget fits two files: the oldest entries went first.
+        assert len(capped) == 2
+        assert not capped.path_for(0).exists()
+        assert not capped.path_for(1).exists()
+        assert capped.path_for(3).exists()
+
+    def test_memory_front_hit_refreshes_recency(self, tmp_path):
+        # A hot entry is always answered by the in-process memory front;
+        # its file's mtime must still advance, or pruning (here or in a
+        # sibling instance / cache-gc) would evict the hottest entries
+        # first.
+        store = _int_store(tmp_path)
+        store.put("hot", 1)
+        store.put("cold", 2)
+        _age(store.path_for("hot"), seconds=600)
+        _age(store.path_for("cold"), seconds=300)
+        assert store.get("hot") == 1  # memory-front hit
+        assert (
+            store.path_for("hot").stat().st_mtime
+            > store.path_for("cold").stat().st_mtime
+        )
+
+    def test_disk_read_refreshes_recency(self, tmp_path):
+        store = _int_store(tmp_path)
+        store.put("old", 1)
+        store.put("newer", 2)
+        _age(store.path_for("old"), seconds=600)
+        _age(store.path_for("newer"), seconds=300)
+        # A cold-front read of "old" must bump it ahead of "newer".
+        fresh = _int_store(tmp_path)
+        assert fresh.get("old") == 1
+        one_file = store.path_for("old").stat().st_size
+        capped = _int_store(tmp_path, max_bytes=2 * one_file + 1)
+        capped.put("k", 3)
+        assert capped.path_for("old").exists()
+        assert not capped.path_for("newer").exists()
+
+    def test_describe_reports_budget(self, tmp_path):
+        assert _int_store(tmp_path).describe()["max_bytes"] is None
+        assert _int_store(tmp_path, max_bytes=10).describe()["max_bytes"] == 10
+
+
+class TestGcCacheDir:
+    def _populate(self, tmp_path) -> list:
+        paths = []
+        for ns in ("catalog", "shard"):
+            store = DiskCacheStore(
+                tmp_path, ns,
+                encode=lambda v: {"v": v},
+                decode=lambda d: d["v"],
+            )
+            for k in range(2):
+                store.put(k, f"{ns}-{k}")
+                paths.append(store.path_for(k))
+        for age, path in enumerate(paths):
+            _age(path, seconds=600 - 100 * age)
+        return paths
+
+    def test_prunes_across_namespaces_oldest_first(self, tmp_path):
+        paths = self._populate(tmp_path)
+        sizes = [p.stat().st_size for p in paths]
+        stats = gc_cache_dir(tmp_path, max_bytes=sum(sizes[2:]))
+        assert stats["files"] == 4 and stats["removed"] == 2
+        # The two oldest files died regardless of namespace.
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+        assert stats["kept_bytes"] <= sum(sizes[2:])
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        paths = self._populate(tmp_path)
+        stats = gc_cache_dir(tmp_path, max_bytes=0, dry_run=True)
+        assert stats["removed"] == 4 and stats["dry_run"] is True
+        assert all(p.exists() for p in paths)
+
+    def test_zero_budget_empties_the_dir(self, tmp_path):
+        paths = self._populate(tmp_path)
+        stats = gc_cache_dir(tmp_path, max_bytes=0)
+        assert stats["removed"] == 4 and stats["kept_bytes"] == 0
+        assert not any(p.exists() for p in paths)
+
+    def test_missing_directory_is_typed(self, tmp_path):
+        with pytest.raises(ServiceError, match="does not exist"):
+            gc_cache_dir(tmp_path / "nope", max_bytes=10)
+
+    def test_pruned_entry_is_just_a_miss(self, tmp_path):
+        store = _int_store(tmp_path)
+        store.put("k", 42)
+        gc_cache_dir(tmp_path, max_bytes=0)
+        fresh = _int_store(tmp_path)  # cold memory front
+        assert fresh.get("k") is None
+        fresh.put("k", 42)
+        assert fresh.get("k") == 42
+
+
+# --------------------------------------------------------------------------- #
+# shard-partial namespace codec
+# --------------------------------------------------------------------------- #
+def test_shard_partials_round_trip_bytes_equal(tmp_path):
+    from repro.service import ShardTask
+
+    with SchedulerService() as service:
+        task = ShardTask(
+            size=3, span_limit=1, max_count=None, seeds=(0, 1, 2, 3),
+            workload="3dft",
+        )
+        buckets = service.classify_shard(task)
+    _, _, _, shard_store = open_cache_stores(
+        tmp_path, catalog_size=2, selection_size=2, result_size=2
+    )
+    shard_store.put(("k",), buckets)
+    # A fresh store (cold memory front) decodes the exact wire shape:
+    # tuple bag keys, int counts, list orders/values.
+    _, _, _, fresh = open_cache_stores(
+        tmp_path, catalog_size=2, selection_size=2, result_size=2
+    )
+    again = fresh.get(("k",))
+    assert again == buckets
+    assert all(isinstance(row, tuple) and isinstance(row[0], tuple)
+               for row in again)
 
 
 # --------------------------------------------------------------------------- #
