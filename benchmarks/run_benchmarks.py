@@ -23,6 +23,15 @@ records the machine's CPU count alongside, and ``scripts/diff_bench.py``
 only gates process and cold-shard rows when ``cpus > 1`` (warm-shard
 rows skip no DFS either way and are gated whenever present).
 
+Every run also emits the **edit-churn scenario** — ``warm edit rebuild``
+rows timing a single-node recolor submitted through
+``SchedulerService.submit_edit`` against a cold full rebuild of the
+edited graph.  Only partitions whose subgraph digest changed
+re-enumerate; the rest are served bit-identically from the
+partition-granular shard-partial store.  Like warm-shard rows, the
+speedup is machine-independent (it elides DFS, not cores) and is gated
+by ``scripts/diff_bench.py --warm-edit-floor`` on any machine.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # serial vs fused
@@ -405,6 +414,138 @@ def bench_shards(shards, workloads, repeats_override=None):
     return rows
 
 
+def _pick_edit(dfg):
+    """The benchmark's single-node edit: an earliest interning-stable recolor.
+
+    Picks the lowest-index node that is not the first occurrence of its
+    color and recolors it to a color that already appeared earlier, so
+    ``color_labels`` interning order is provably unchanged.  Support sets
+    only look *upward* (``higher(s) & ~comp[s]``), so the earliest legal
+    recolor yields the smallest honest dirty region — the edit an editor
+    loop would actually make, not a degenerate no-op.
+    """
+    from repro.dfg.edit import DfgEdit
+
+    labels, colors = dfg.color_labels()
+    names = list(dfg.nodes)
+    first: dict[str, int] = {}
+    for i in range(dfg.n_nodes):
+        first.setdefault(colors[labels[i]], i)
+    for i in range(dfg.n_nodes):
+        old = colors[labels[i]]
+        if first[old] == i:
+            continue
+        for cand in colors:
+            if cand != old and first[cand] < i:
+                return DfgEdit.recolor(names[i], cand)
+    raise RuntimeError(f"workload {dfg.name!r} has no interning-stable recolor")
+
+
+def bench_edit(workloads, repeats_override=None):
+    """Warm edit rebuild vs cold full rebuild — the edit-churn scenario.
+
+    For each workload: apply a single-node recolor (:func:`_pick_edit`)
+    to the graph and measure the end-to-end edit-to-schedule latency two
+    ways, per repeat:
+
+    ``reference_s`` (cold full rebuild)
+        Every cache level cleared, then the edited graph submitted as a
+        fresh job — catalog, selection and scheduling all recompute.
+
+    ``fast_s`` (warm edit rebuild)
+        Every cache level cleared, the *base* job submitted (priming the
+        partition-granular shard-partial store with base-graph partials
+        only), completion caches dropped again
+        (``clear_caches(keep_shard_partials=True)``), then the edit
+        submitted through ``submit_edit`` — only partitions whose
+        subgraph digest the edit changed re-enumerate; the clean ones
+        are served from the partial store.
+
+    The warm result is checked bit-identical (``answer_dict``: selection,
+    schedule, metrics, Counter order — timings and backend excluded) to
+    the cold rebuild, the cache level must report ``edit``, and at least
+    one partition must have been reused.  ``scripts/diff_bench.py`` gates
+    the speedup ≥ ``--warm-edit-floor`` (default 5x) on any machine —
+    like the warm-shard floor, no DFS is saved by core count.
+    """
+    import dataclasses
+
+    from repro.dfg.edit import apply_edits
+    from repro.service import EditRequest
+
+    rows = []
+    for name, dfg, config, capacity, pdef, repeats in workloads:
+        repeats = repeats_override or repeats
+        edit_op = _pick_edit(dfg)
+        edited = apply_edits(dfg, [edit_op])
+        base_job = JobRequest(
+            capacity=capacity, pdef=pdef, dfg=dfg, config=config
+        )
+        edited_job = dataclasses.replace(base_job, dfg=edited)
+        edit_request = EditRequest(job=base_job, edits=(edit_op,))
+
+        with SchedulerService() as service:
+            cold_s = float("inf")
+            for _ in range(repeats):
+                service.clear_caches()
+                gc.collect()
+                t0 = time.perf_counter()
+                cold_outcome = service.submit_outcome(edited_job)
+                cold_s = min(cold_s, time.perf_counter() - t0)
+            _check(
+                cold_outcome.cache == "none",
+                f"cold edited rebuild hit a cache ({name})",
+            )
+
+            warm_s = float("inf")
+            for _ in range(max(2, repeats)):
+                # Prime the partial store with *base-graph* partials only,
+                # then drop the completion caches — the state an editor
+                # loop is in right after an edit.
+                service.clear_caches()
+                service.submit(base_job)
+                service.clear_caches(keep_shard_partials=True)
+                hits_before = service.stats.partition_hits
+                gc.collect()
+                t0 = time.perf_counter()
+                warm_outcome = service.submit_edit_outcome(edit_request)
+                warm_s = min(warm_s, time.perf_counter() - t0)
+                partition_hits = service.stats.partition_hits - hits_before
+            _check(
+                warm_outcome.cache == "edit",
+                f"warm edit rebuild did not reuse any partition ({name})",
+            )
+            _check(
+                partition_hits > 0,
+                f"warm edit rebuild reports zero partition hits ({name})",
+            )
+            _check(
+                warm_outcome.result.answer_dict()
+                == cold_outcome.result.answer_dict(),
+                f"warm edit rebuild not bit-identical to cold ({name})",
+            )
+
+        speedup = round(cold_s / warm_s, 2) if warm_s > 0 else None
+        rows.append(
+            {
+                "workload": name,
+                "stage": "warm edit rebuild",
+                "reference_s": round(cold_s, 6),
+                "fast_s": round(warm_s, 6),
+                "speedup": speedup,
+                "edit": edit_op.to_dict(),
+                "partition_hits": partition_hits,
+            }
+        )
+        print(
+            f"  {name:>8} {'warm edit rebuild':<24} "
+            f"cold {cold_s:8.4f}s   warm {warm_s:8.4f}s   {speedup:6.2f}x "
+            f"({partition_hits} partitions reused, "
+            f"edit {edit_op.op} {edit_op.node}->{edit_op.color})"
+        )
+    return rows
+
+
 def bench_service(warm_repeats: int = 3) -> dict:
     """Cold vs warm submit of one FFT-64 job through the service.
 
@@ -570,12 +711,21 @@ def main(argv=None) -> int:
         )
         rows.extend(bench_shards(args.shards, workloads))
 
+    print(
+        "edit benchmark: warm edit rebuild vs cold full rebuild "
+        "(dirty-region re-classification)"
+    )
+    rows.extend(bench_edit(workloads))
+
     print("service benchmark: cold vs warm submit (content-addressed caches)")
     service_section = bench_service()
 
     pipeline = {}
     for row in rows:
-        if row["stage"].startswith("shard catalog"):
+        if (
+            row["stage"].startswith("shard catalog")
+            or row["stage"] == "warm edit rebuild"
+        ):
             continue  # an alternative strategy, not a pipeline stage sum
         agg = pipeline.setdefault(
             row["workload"], {"reference_s": 0.0, "fast_s": 0.0}

@@ -8,6 +8,9 @@
 # run's report when one is available under $BENCH_BASELINE_DIR (CI restores
 # it from the actions cache; any stage whose speedup halves fails loudly),
 # then stored back as the next run's baseline and uploaded as an artifact.
+# The committed full BENCH_engine.json is additionally gated on the
+# warm-edit floor — incremental re-classification elides DFS rather than
+# using more cores, so its recorded speedup must hold on any machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,7 +31,11 @@ if [[ "${1:-}" != "--fast" ]]; then
 
     echo "== stage-level bench regression diff =="
     python scripts/diff_bench.py "$SMOKE" \
-        --baseline "$BASELINE_DIR/BENCH_engine_smoke.json"
+        --baseline "$BASELINE_DIR/BENCH_engine_smoke.json" \
+        --warm-edit-floor 5.0
+
+    echo "== committed full-report gate (warm edit >= 5x, any machine) =="
+    python scripts/diff_bench.py BENCH_engine.json --warm-edit-floor 5.0
 
     mkdir -p "$BASELINE_DIR"
     cp "$SMOKE" "$BASELINE_DIR/BENCH_engine_smoke.json"

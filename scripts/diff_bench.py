@@ -32,7 +32,16 @@ floor:
   DFS and therefore does not need extra cores) must keep a speedup ≥
   ``--warm-shard-floor`` (default 5x).  Like the process rows the gate
   only applies when the report carries such rows — reports produced
-  without ``--shards`` skip it.
+  without ``--shards`` skip it;
+* warm-edit gate — ``warm edit rebuild`` rows (a single-node edit
+  submitted through ``SchedulerService.submit_edit`` vs a cold full
+  rebuild of the edited graph) must keep a speedup ≥
+  ``--warm-edit-floor`` (default 5x).  The warm path elides the DFS of
+  every partition whose subgraph digest the edit left unchanged, so
+  like the warm-shard gate the floor holds on **any** core count —
+  but only on full reports: ``--quick`` smoke workloads are too small
+  to amortise the fixed selection/scheduling cost, so their edit rows
+  are printed, never gated.
 
 Stages present on only one side (new workloads, removed workloads) are
 reported but never fail the run; a report without a ``service`` section
@@ -103,6 +112,13 @@ def main(argv=None) -> int:
         "through the shard-partial cache, gated whenever the report "
         "carries 'shard catalog warm' rows (default 5.0)",
     )
+    parser.add_argument(
+        "--warm-edit-floor", type=float, default=5.0,
+        help="minimum warm-edit-vs-cold-full-rebuild speedup through "
+        "partition-granular shard partials, gated on any machine "
+        "whenever a full (non --quick) report carries "
+        "'warm edit rebuild' rows (default 5.0)",
+    )
     args = parser.parse_args(argv)
 
     new = json.loads(args.new.read_text())
@@ -143,6 +159,26 @@ def main(argv=None) -> int:
                     f"vs fused below the {args.shard_floor}x floor on a "
                     f"{new.get('cpus')}-cpu machine "
                     f"({row.get('shards')} shards)"
+                )
+        if stage == "warm edit rebuild":
+            edit_speedup = row.get("speedup") or 0
+            if new.get("quick"):
+                print(
+                    f"  {workload:>8} {stage} {edit_speedup}x — quick "
+                    f"smoke workload (fixed-cost bound); not gated"
+                )
+            elif edit_speedup < args.warm_edit_floor:
+                failures.append(
+                    f"{workload}/{stage}: warm edit rebuild speedup "
+                    f"{edit_speedup}x below the {args.warm_edit_floor}x "
+                    f"floor ({row.get('partition_hits')} partitions reused)"
+                )
+            if not new.get("quick"):
+                print(
+                    f"  {workload:>8} {stage:<24} "
+                    f"cold {row.get('reference_s', 0):8.4f}s   "
+                    f"warm {row.get('fast_s', 0):8.4f}s   "
+                    f"{edit_speedup:6.2f}x"
                 )
         if stage == "shard catalog warm":
             warm_speedup = row.get("speedup") or 0

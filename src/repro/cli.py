@@ -13,6 +13,7 @@
     repro serve --cache-dir /var/cache/repro --max-pending 64
     repro serve --cache-dir /var/cache/repro --cache-max-bytes 256M
     repro submit fft64 --url http://127.0.0.1:8350 --pdef 5
+    repro edit fft64 --recolor n17=a --pdef 5   # incremental re-schedule
     repro cache-gc /var/cache/repro --max-bytes 64M
     repro compile examples.prog --pdef 3
     repro workloads              # list built-in workloads
@@ -243,7 +244,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> None:
         # Fan the catalog stage out over N in-process shard services; a
         # shared --cache-dir lets them reuse each other's disk entries.
         with ShardCoordinator.local(
-            args.shards, service=service, cache_dir=args.cache_dir
+            args.shards,
+            service=service,
+            claim_batch=args.claim_batch,
+            cache_dir=args.cache_dir,
         ) as coord, service:
             outcome = coord.submit_outcome(request)
         via = f"{args.shards} local shards + {service.backend.describe()}"
@@ -327,6 +331,66 @@ def _cmd_submit(args: argparse.Namespace) -> None:
     print(
         f"job {args.workload!r} via {args.url} "
         f"(C={args.capacity}, Pdef={args.pdef}):"
+    )
+    _print_job_result(result, client.last_cache or "?", timings=args.timings)
+
+
+def _parse_edits(args: argparse.Namespace) -> list:
+    """Build the DfgEdit list from the repeatable ``repro edit`` flags."""
+    from repro.dfg.edit import DfgEdit
+
+    def split_pair(text: str, sep: str, what: str) -> tuple[str, str]:
+        left, _, right = text.partition(sep)
+        if not left or not right:
+            raise ReproError(
+                f"cannot parse {what} {text!r}; expected LEFT{sep}RIGHT"
+            )
+        return left, right
+
+    edits: list[DfgEdit] = []
+    for spec in args.recolor or ():
+        node, color = split_pair(spec, "=", "--recolor")
+        edits.append(DfgEdit.recolor(node, color))
+    for spec in args.add_node or ():
+        node, color = split_pair(spec, "=", "--add-node")
+        edits.append(DfgEdit.add_node(node, color))
+    for node in args.remove_node or ():
+        edits.append(DfgEdit.remove_node(node))
+    for spec in args.add_edge or ():
+        u, v = split_pair(spec, ":", "--add-edge")
+        edits.append(DfgEdit.add_edge(u, v))
+    for spec in args.remove_edge or ():
+        u, v = split_pair(spec, ":", "--remove-edge")
+        edits.append(DfgEdit.remove_edge(u, v))
+    if not edits:
+        raise ReproError(
+            "no edits given; use --recolor/--add-node/--remove-node/"
+            "--add-edge/--remove-edge (repeatable)"
+        )
+    return edits
+
+
+def _cmd_edit(args: argparse.Namespace) -> None:
+    from repro.service import EditRequest, JobRequest, ServiceClient
+
+    cfg = SelectionConfig(
+        span_limit=args.span_limit,
+        max_pattern_size=args.max_pattern_size,
+        widen_to_capacity=args.widen,
+    )
+    job = JobRequest(
+        capacity=args.capacity,
+        pdef=args.pdef,
+        workload=args.workload,
+        config=cfg,
+        priority=args.priority,
+    )
+    request = EditRequest(job=job, edits=tuple(_parse_edits(args)))
+    client = ServiceClient(args.url, timeout=args.timeout)
+    result = client.submit_edit(request)
+    print(
+        f"edited job {args.workload!r} (+{len(request.edits)} edit(s)) "
+        f"via {args.url} (C={args.capacity}, Pdef={args.pdef}):"
     )
     _print_job_result(result, client.last_cache or "?", timings=args.timings)
 
@@ -430,6 +494,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=None,
                    help="fan the catalog stage out over N in-process shard "
                         "services (see repro.service.shard)")
+    p.add_argument("--claim-batch", type=int, default=2,
+                   help="with --shards: unclaimed partitions a remote shard "
+                        "may claim per steal-loop round trip (default 2)")
     p.add_argument("--cache-dir", default=None,
                    help="disk-backed cache directory: catalogs/selections/"
                         "results persist across invocations")
@@ -488,6 +555,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timings", action="store_true",
                    help="print per-stage wall-clock timings")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "edit",
+        help="submit a graph edit of a workload job to a running "
+             "'repro serve' — clean partitions are reused incrementally",
+    )
+    p.add_argument("workload")
+    p.add_argument("--url", default="http://127.0.0.1:8350",
+                   help="base URL of the service")
+    p.add_argument("--recolor", action="append", metavar="NODE=COLOR",
+                   help="recolor a node (repeatable)")
+    p.add_argument("--add-node", action="append", metavar="NAME=COLOR",
+                   help="append a node (repeatable)")
+    p.add_argument("--remove-node", action="append", metavar="NAME",
+                   help="remove a node and its incident edges (repeatable)")
+    p.add_argument("--add-edge", action="append", metavar="U:V",
+                   help="add a dependence edge (repeatable)")
+    p.add_argument("--remove-edge", action="append", metavar="U:V",
+                   help="remove a dependence edge (repeatable)")
+    p.add_argument("--pdef", type=int, default=4)
+    p.add_argument("--capacity", type=int, default=5)
+    p.add_argument("--span-limit", type=int, default=1)
+    p.add_argument("--max-pattern-size", type=int, default=None)
+    p.add_argument("--widen", action="store_true")
+    p.add_argument("--priority", default="f2", choices=["f1", "f2"])
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.add_argument("--timings", action="store_true",
+                   help="print per-stage wall-clock timings")
+    p.set_defaults(fn=_cmd_edit)
 
     p = sub.add_parser("compile", help="compile an expression program")
     p.add_argument("source", help="path to a program file")

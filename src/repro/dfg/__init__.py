@@ -10,6 +10,7 @@ This package provides the DFG model used throughout the library:
 * :mod:`~repro.dfg.antichains` — bounded antichain enumeration with span
   pruning (paper §5.1),
 * :mod:`~repro.dfg.io` — JSON / edge-list / DOT (de)serialisation,
+* :mod:`~repro.dfg.edit` — functional graph edits and dirty-region analysis,
 * :mod:`~repro.dfg.validate` — structural validation helpers.
 """
 
@@ -32,6 +33,7 @@ from repro.dfg.antichains import (
     is_antichain,
     is_executable,
 )
+from repro.dfg.edit import DfgEdit, apply_edits, dirty_mask
 from repro.dfg.validate import check_acyclic, check_colors, validate_dfg
 
 __all__ = [
@@ -58,6 +60,9 @@ __all__ = [
     "count_antichains_by_size",
     "is_antichain",
     "is_executable",
+    "DfgEdit",
+    "apply_edits",
+    "dirty_mask",
     "check_acyclic",
     "check_colors",
     "validate_dfg",

@@ -263,7 +263,14 @@ class DFG:
         assigned in first-appearance order (so ``id_colors`` equals
         :meth:`colors`).  The int-level fast paths (fused classification,
         scheduler hot loop) share this so the interning cannot drift.
+
+        Memoized on the analysis cache (the edit path digests many seed
+        partitions of one graph back to back); the returned ``labels``
+        list is shared — treat it as read-only.
         """
+        cached = self._analysis_cache.get("color_labels")
+        if cached is not None:
+            return cached
         ids: dict[str, int] = {}
         labels: list[int] = []
         nodes = self._g.nodes
@@ -273,7 +280,9 @@ class DFG:
             if cid is None:
                 cid = ids[c] = len(ids)
             labels.append(cid)
-        return labels, tuple(ids)
+        result = (labels, tuple(ids))
+        self._analysis_cache["color_labels"] = result
+        return result
 
     def is_acyclic(self) -> bool:
         """``True`` iff the graph is a DAG."""

@@ -31,6 +31,7 @@ __all__ = [
     "from_payload",
     "canonical_json",
     "dfg_digest",
+    "subgraph_digest",
     "stable_key_json",
     "stable_key_digest",
     "to_edge_list",
@@ -163,6 +164,86 @@ def dfg_digest(dfg: DFG) -> str:
     digest = hashlib.sha256(canonical_json(dfg).encode("utf-8")).hexdigest()
     if cache is not None:
         cache["dfg_digest"] = digest
+    return digest
+
+
+def subgraph_digest(dfg: DFG, seeds) -> str:
+    """Content id of the enumeration-relevant subgraph for a seed range.
+
+    The antichain DFS subtree rooted at seed ``s`` depends only on the
+    *support* of ``s`` — ``s`` itself plus higher-index nodes incomparable
+    with it (:func:`repro.dfg.traversal.seed_subtree_support`) — and, for
+    each support node: its absolute index (extension order and
+    ``first_seen`` rows), its name (pattern frequency ``Counter`` keys),
+    its interned color label *and* the color that label denotes (bag-key
+    bucketing plus decode at merge time), its ASAP/ALAP levels (span
+    pruning), and its comparability restricted to the support (the DFS
+    never consults comparability bits outside it).  Hashing exactly those
+    facts — no more — yields a digest that is invariant under any edit
+    outside the support, so partition-granular cache entries keyed by it
+    (:func:`repro.service.service.shard_partial_key`) survive graph edits
+    bit-identically while any edit that could change the classified output
+    changes the key.
+
+    The total node count is deliberately excluded: support indices are
+    absolute, so trailing additions/removals outside the support cannot
+    alias.  Memoized per seed range on the graph's analysis cache.
+
+    The encoding streams straight into SHA-256 — a length-prefixed field
+    row per support node (the static per-node part is built once per
+    graph and memoized) followed by the node's support-masked
+    comparability in hex.  The edit path digests every partition of the
+    plan per submit, so this is a measured hot path: JSON-encoding the
+    same facts costs more than the dirty region's DFS on large graphs.
+    """
+    from repro.dfg.levels import LevelAnalysis
+    from repro.dfg.traversal import comparability_masks, seed_subtree_support
+
+    seeds = tuple(seeds)
+    if seeds and seeds == tuple(range(seeds[0], seeds[-1] + 1)):
+        seeds_key: Any = ("range", seeds[0], seeds[-1] + 1)
+    else:
+        seeds_key = seeds
+    cache = getattr(dfg, "_analysis_cache", None)
+    memo = None
+    if cache is not None:
+        memo = cache.setdefault("subgraph_digest", {})
+        cached = memo.get(seeds_key)
+        if cached is not None:
+            return cached
+    support = seed_subtree_support(dfg, seeds)
+    comp = comparability_masks(dfg)
+    rows = cache.get("subgraph_digest_rows") if cache is not None else None
+    if rows is None:
+        labels, id_colors = dfg.color_labels()
+        levels = LevelAnalysis.of(dfg)
+        rows = []
+        for i in range(dfg.n_nodes):
+            name = dfg.name_of(i)
+            color = id_colors[labels[i]]
+            # Variable-length strings are length-prefixed so a name (or
+            # color) containing the field separator cannot alias another
+            # row's field layout.
+            rows.append(
+                f"{i}\x1f{len(name)}\x1f{name}\x1f{labels[i]}"
+                f"\x1f{len(color)}\x1f{color}"
+                f"\x1f{levels.asap[name]}\x1f{levels.alap[name]}\x1f".encode()
+            )
+        if cache is not None:
+            cache["subgraph_digest_rows"] = rows
+    h = hashlib.sha256()
+    h.update(repr(seeds_key).encode())
+    mask = support
+    while mask:
+        low = mask & -mask
+        i = low.bit_length() - 1
+        mask ^= low
+        h.update(rows[i])
+        h.update(format(comp[i] & support, "x").encode())
+        h.update(b"\x1e")
+    digest = h.hexdigest()
+    if memo is not None:
+        memo[seeds_key] = digest
     return digest
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "followers",
     "is_follower",
     "parallelizable",
+    "seed_subtree_support",
 ]
 
 
@@ -114,6 +115,34 @@ def followers(dfg: "DFG", name: str) -> frozenset[str]:
 def is_follower(dfg: "DFG", n: str, m: str) -> bool:
     """``True`` iff ``n`` is a follower of ``m`` (path ``m -> … -> n``)."""
     return bool(descendant_masks(dfg)[dfg.index(m)] >> dfg.index(n) & 1)
+
+
+def seed_subtree_support(dfg: "DFG", seeds) -> int:
+    """Bitmask of every node the enumeration subtrees of ``seeds`` can touch.
+
+    The ascending-index antichain DFS rooted at seed ``s`` only ever visits
+    ``s`` itself plus nodes above ``s`` that are incomparable with it: the
+    seed frame's allowed mask is ``higher(s) & ~comp[s]`` and extensions only
+    shrink it.  The union of those per-seed sets is the *support* of the seed
+    range — the only nodes whose identity, levels, or mutual comparability
+    can influence the classified output for those seeds.  Used to build
+    content-addressed partition keys (:func:`repro.dfg.io.subgraph_digest`)
+    and edit-time dirty masks (:func:`repro.dfg.edit.dirty_mask`).
+    """
+    from repro.exceptions import GraphError
+
+    comp = comparability_masks(dfg)
+    n = dfg.n_nodes
+    full = (1 << n) - 1
+    support = 0
+    for s in seeds:
+        if not isinstance(s, int) or not 0 <= s < n:
+            raise GraphError(
+                f"seed index {s!r} out of range for a {n}-node graph"
+            )
+        higher = full & ~((1 << (s + 1)) - 1)
+        support |= (1 << s) | (higher & ~comp[s])
+    return support
 
 
 def parallelizable(dfg: "DFG", n1: str, n2: str) -> bool:

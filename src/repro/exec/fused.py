@@ -15,6 +15,15 @@ Two capability notes, inherited from the fast engines it wraps:
   priority, so custom ``priority_fn`` callables (whose scores may depend
   on global pool state) are routed to the reference loop automatically —
   same outputs, without the cache.
+
+The roots-restricted form of the fused classifier
+(``classify_by_label(..., roots=seeds)``) is also the unit of work for
+every partitioned build: the process backend's jobs, the shard
+coordinator's partitions and the service's incremental warm-edit rebuild
+(:meth:`repro.service.service.SchedulerService.submit_edit`) all
+re-enumerate per-seed subtrees through this same DFS and merge in
+ascending-seed order — which is why their catalogs are bit-identical to
+a fused single pass.
 """
 
 from __future__ import annotations

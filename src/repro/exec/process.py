@@ -70,6 +70,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "ProcessBackend",
+    "classify_partition_rows",
     "estimate_seed_weights",
     "plan_seed_partitions",
     "merge_classified_parts",
@@ -127,6 +128,44 @@ def _classify_seeds(task):
     return out
 
 
+def classify_partition_rows(
+    enum: AntichainEnumerator,
+    labels: Sequence[int],
+    seeds: Sequence[int],
+    size: int,
+    span_limit: int | None,
+    max_count: int | None,
+) -> list[tuple]:
+    """Classify one seed partition into JSON-safe sparse bucket rows.
+
+    The in-process flavour of :func:`_classify_seeds`, shared by the
+    service's shard endpoint and its edit-path partitioned rebuild: rows
+    are ``(bag_key, count, first_seen, values)`` with ``values`` aligned
+    to ``first_seen`` — always sparse plain ints, so a row list can be
+    cached on disk, shipped over HTTP, and fed straight back to
+    :func:`merge_classified_parts` on any instance.
+    """
+    buckets = enum.classify_by_label(
+        labels,
+        size,
+        span_limit,
+        max_count=max_count,
+        roots=seeds,
+    )
+    out = []
+    for key, cls in buckets.items():
+        freq = cls.frequencies
+        out.append(
+            (
+                key,
+                cls.count,
+                list(cls.first_seen),
+                [int(freq[i]) for i in cls.first_seen],
+            )
+        )
+    return out
+
+
 def _split_contiguous(seeds: Sequence[int], partitions: int) -> list[list[int]]:
     """Split ``seeds`` into ≤ ``partitions`` contiguous non-empty runs."""
     n_groups = min(len(seeds), max(1, partitions))
@@ -181,8 +220,13 @@ def _split_weighted(
     Greedy linear partitioning: each group takes seeds until stopping is
     at least as close to the even share of the *remaining* weight as
     taking one more would be, while always leaving at least one seed for
-    every group still to come.  Coverage, contiguity and ascending order
-    are identical to :func:`_split_contiguous`; only the cut points move.
+    every group still to come.  Greedy is not optimal — on some weight
+    profiles an early overshoot cascades and the plain even-count split
+    ends up flatter — so the result is compared against
+    :func:`_split_contiguous` on max group weight and the better split
+    wins (greedy on ties, preserving historical plans).  Coverage,
+    contiguity and ascending order are identical either way; only the
+    cut points move.
     """
     n_groups = min(len(seeds), max(1, partitions))
     if n_groups == 0:
@@ -205,6 +249,18 @@ def _split_weighted(
         parts.append(list(seeds[start:end]))
         remaining -= acc
         start = end
+
+    def max_group_weight(split: list[list[int]]) -> int:
+        i = 0
+        worst = 0
+        for group in split:
+            worst = max(worst, sum(weights[i:i + len(group)]))
+            i += len(group)
+        return worst
+
+    even = _split_contiguous(seeds, n_groups)
+    if max_group_weight(even) < max_group_weight(parts):
+        return even
     return parts
 
 

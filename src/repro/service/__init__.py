@@ -14,6 +14,11 @@ results in keyed LRUs::
     result.schedule.length          # cycles
     service.stats.result_hits      # cache accounting
 
+Graph edits are first-class: an :class:`EditRequest` wraps a base job
+with :class:`~repro.dfg.edit.DfgEdit` operations, and
+:meth:`SchedulerService.submit_edit` rebuilds only the partitions whose
+subgraph digest the edit actually changed (cache level ``edit``).
+
 Over the wire the same API is ``repro serve`` + :class:`ServiceClient`
 (see :mod:`repro.service.http`).  Requests and results round-trip
 losslessly through JSON; malformed payloads raise
@@ -32,7 +37,7 @@ Scaling seams layered on top:
 """
 
 from repro.service.http import ServiceClient, ServiceServer, serve
-from repro.service.jobs import JobRequest, JobResult
+from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.service import SchedulerService, ServiceStats, SubmitOutcome
 from repro.service.shard import (
     CoordinatorStats,
@@ -49,6 +54,7 @@ from repro.service.store import (
 )
 
 __all__ = [
+    "EditRequest",
     "JobRequest",
     "JobResult",
     "SchedulerService",

@@ -9,7 +9,10 @@ method     path                  body → response
 =========  ====================  =========================================
 ``POST``   ``/v1/jobs``          job request JSON → job result JSON
 ``POST``   ``/v1/jobs:batch``    ``{"jobs": [...]}`` → ``{"results": [...]}``
-``POST``   ``/v1/catalog:shard`` shard task JSON → ``{"buckets": [...]}``
+``POST``   ``/v1/jobs:edit``     edit request JSON → job result JSON
+``POST``   ``/v1/catalog:shard`` shard task JSON → ``{"buckets": [...]}``;
+                                 batched ``{"tasks": [...]}`` →
+                                 ``{"results": [...]}``
 ``POST``   ``/v1/caches:clear``  (empty body) → ``{"cleared": true}``
 ``GET``    ``/healthz``          liveness + backend description
 ``GET``    ``/stats``            :meth:`SchedulerService.describe` output
@@ -18,8 +21,13 @@ method     path                  body → response
 
 Every job response carries an ``X-Repro-Cache`` header naming the deepest
 cache level that answered (``result`` / ``selection`` / ``catalog`` /
-``none``) — cache behaviour is observable without perturbing the
-bit-identical result body.  Validation failures map to HTTP 400 with a
+``edit`` / ``none``) — cache behaviour is observable without perturbing
+the bit-identical result body.  ``/v1/jobs:edit`` takes an
+:class:`~repro.service.jobs.EditRequest` (a base job plus
+:class:`~repro.dfg.edit.DfgEdit` operations), applies the edits
+server-side and reports ``X-Repro-Cache: edit`` when the rebuild reused
+cached partition partials for the clean region.  Validation failures
+map to HTTP 400 with a
 typed error payload ``{"error", "message", "field"}``; an admission
 rejection (the service's bounded pending queue is full) to HTTP 429 with
 a ``Retry-After`` hint; unexpected failures to 500.  The server is
@@ -34,7 +42,12 @@ partial classification of that task's seed partition, JSON-safe
 (``[bag_key, count, first_seen, values]`` rows in local first-visit
 order).  Its ``X-Repro-Cache`` header is ``shard`` when the
 content-addressed partial cache answered — no DFS ran server-side — and
-``none`` when this request computed (and cached) the partial.
+``none`` when this request computed (and cached) the partial.  The
+batched form ``{"tasks": [...]}`` classifies several claimed partitions
+in one round trip (the steal loop's ``claim_batch``); the response is
+``{"results": [...]}`` with one ``{"buckets": ..., "cache": ...}`` or
+``{"error", "message", "field"}`` object per task — failures stay
+slot-local so one bad partition cannot void its batch-mates.
 ``/v1/caches:clear`` drops every server-side cache level (an operational
 reset; the cold-path benchmark uses it to measure honestly).
 """
@@ -56,7 +69,7 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
 )
-from repro.service.jobs import JobRequest, JobResult
+from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.service import SchedulerService
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -182,6 +195,14 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(
                     200, {"results": [r.to_dict() for r in results]}
                 )
+            elif self.path == "/v1/jobs:edit":
+                request = EditRequest.from_json(body.decode("utf-8"))
+                outcome = service.submit_edit_outcome(request)
+                self._send_json(
+                    200,
+                    outcome.result.to_json(),
+                    headers={"X-Repro-Cache": outcome.cache},
+                )
             elif self.path == "/v1/catalog:shard":
                 from repro.service.shard import ShardTask
 
@@ -191,18 +212,53 @@ class _Handler(BaseHTTPRequestHandler):
                     raise JobValidationError(
                         f"invalid shard task JSON: {exc}"
                     ) from exc
-                task = ShardTask.from_dict(payload)
-                buckets, cache = service.classify_shard_outcome(task)
-                self._send_json(
-                    200,
-                    {
-                        "buckets": [
-                            [list(key), count, order, values]
-                            for key, count, order, values in buckets
-                        ]
-                    },
-                    headers={"X-Repro-Cache": cache},
-                )
+                if isinstance(payload, dict) and "tasks" in payload:
+                    if not isinstance(payload["tasks"], list):
+                        raise JobValidationError(
+                            "batched shard payload needs a 'tasks' list",
+                            field="tasks",
+                        )
+                    results = []
+                    for item in payload["tasks"]:
+                        # Per-task isolation: a failing partition answers
+                        # its own slot; its batch-mates still classify.
+                        try:
+                            task = ShardTask.from_dict(item)
+                            buckets, cache = service.classify_shard_outcome(
+                                task
+                            )
+                        except ReproError as exc:
+                            results.append(
+                                {
+                                    "error": type(exc).__name__,
+                                    "message": str(exc),
+                                    "field": getattr(exc, "field", None),
+                                }
+                            )
+                        else:
+                            results.append(
+                                {
+                                    "buckets": [
+                                        [list(key), count, order, values]
+                                        for key, count, order, values in buckets
+                                    ],
+                                    "cache": cache,
+                                }
+                            )
+                    self._send_json(200, {"results": results})
+                else:
+                    task = ShardTask.from_dict(payload)
+                    buckets, cache = service.classify_shard_outcome(task)
+                    self._send_json(
+                        200,
+                        {
+                            "buckets": [
+                                [list(key), count, order, values]
+                                for key, count, order, values in buckets
+                            ]
+                        },
+                        headers={"X-Repro-Cache": cache},
+                    )
             elif self.path == "/v1/caches:clear":
                 service.clear_caches()
                 self._send_json(200, {"cleared": True})
@@ -424,6 +480,19 @@ class ServiceClient:
         self.last_cache = headers.get("X-Repro-Cache")
         return JobResult.from_json(body)  # type: ignore[arg-type]
 
+    def submit_edit(self, request: "EditRequest") -> JobResult:
+        """Submit an edit of a known job (``POST /v1/jobs:edit``).
+
+        ``self.last_cache`` records the cache level; ``"edit"`` means the
+        server rebuilt incrementally, reusing cached partition partials
+        for everything outside the edit's dirty region.
+        """
+        body, headers = self._request(
+            "/v1/jobs:edit", request.to_json().encode("utf-8")
+        )
+        self.last_cache = headers.get("X-Repro-Cache")
+        return JobResult.from_json(body)  # type: ignore[arg-type]
+
     def submit_many(self, requests: "list[JobRequest]") -> list[JobResult]:
         """Submit a batch (service-side dedup applies)."""
         payload = json.dumps({"jobs": [r.to_dict() for r in requests]})
@@ -457,6 +526,65 @@ class ServiceClient:
             (tuple(key), count, order, values)
             for key, count, order, values in parsed["buckets"]
         ]
+
+    def classify_shard_many(
+        self, tasks: "list[ShardTask]"
+    ) -> "list[tuple[list[tuple], str | None] | ReproError]":
+        """Run a claimed batch in one trip (batched ``/v1/catalog:shard``).
+
+        Returns one entry per task, in order: ``(rows, cache)`` on
+        success — ``cache == "shard"`` meaning the server's partial cache
+        answered with zero DFS — or a typed exception *instance* (not
+        raised) for a slot-local failure, so the steal loop can attribute
+        each failure to its own partition index.
+        """
+        payload = json.dumps({"tasks": [t.to_dict() for t in tasks]})
+        body, _ = self._request("/v1/catalog:shard", payload.encode("utf-8"))
+        parsed = json.loads(body)  # type: ignore[arg-type]
+        if not isinstance(parsed, dict) or not isinstance(
+            parsed.get("results"), list
+        ):
+            raise ServiceError(
+                "malformed batched shard response: expected an object "
+                "with a 'results' list"
+            )
+        if len(parsed["results"]) != len(tasks):
+            raise ServiceError(
+                f"batched shard response has {len(parsed['results'])} "
+                f"results for {len(tasks)} tasks"
+            )
+        out: "list[tuple[list[tuple], str | None] | ReproError]" = []
+        for item in parsed["results"]:
+            if not isinstance(item, dict):
+                raise ServiceError(
+                    "malformed batched shard response: each result must "
+                    "be an object"
+                )
+            if "error" in item:
+                message = item.get("message", "shard task failed")
+                name = item.get("error", "")
+                if name == "JobValidationError":
+                    out.append(
+                        JobValidationError(message, field=item.get("field"))
+                    )
+                    continue
+                typed = _TYPED_ERRORS.get(name)
+                if typed is not None:
+                    out.append(typed(message))
+                    continue
+                out.append(ServiceError(f"shard task failed: {message}"))
+                continue
+            if not isinstance(item.get("buckets"), list):
+                raise ServiceError(
+                    "malformed batched shard response: result needs a "
+                    "'buckets' list or an 'error'"
+                )
+            rows = [
+                (tuple(key), count, order, values)
+                for key, count, order, values in item["buckets"]
+            ]
+            out.append((rows, item.get("cache")))
+        return out
 
     def clear_caches(self) -> None:
         """Drop every server-side cache level (``POST /v1/caches:clear``)."""

@@ -2,11 +2,14 @@
 
 A :class:`JobRequest` names a scheduling problem: a workload (by registry
 name or as an inline DFG) plus ``capacity``/``pdef``/``config``/
-``priority``/``backend``.  A :class:`JobResult` carries everything one
-submit produced — the schedule trace, full selection diagnostics, metrics
-and per-stage timings — and both round-trip losslessly through
-``to_json``/``from_json`` (the service's HTTP layer is a thin pipe around
-exactly these strings).
+``priority``/``backend``.  An :class:`EditRequest` is a base job plus a
+sequence of :class:`~repro.dfg.edit.DfgEdit` mutations — the service
+applies the edits and runs the derived job incrementally
+(:meth:`~repro.service.SchedulerService.submit_edit`).  A
+:class:`JobResult` carries everything one submit produced — the schedule
+trace, full selection diagnostics, metrics and per-stage timings — and
+all three round-trip losslessly through ``to_json``/``from_json`` (the
+service's HTTP layer is a thin pipe around exactly these strings).
 
 Validation is eager and typed: malformed payloads raise
 :class:`~repro.exceptions.JobValidationError` naming the offending field,
@@ -22,9 +25,10 @@ from typing import Any
 
 from repro.core.config import SelectionConfig
 from repro.core.selection import SelectionResult
+from repro.dfg.edit import DfgEdit
 from repro.dfg.graph import DFG
 from repro.dfg.io import canonical_json, dfg_digest, from_payload, to_payload
-from repro.exceptions import JobValidationError
+from repro.exceptions import GraphError, JobValidationError
 from repro.scheduling.pattern_priority import PatternPriority
 from repro.scheduling.schedule import Schedule
 from repro.service.serialize import (
@@ -36,7 +40,7 @@ from repro.service.serialize import (
     selection_result_to_dict,
 )
 
-__all__ = ["JobRequest", "JobResult"]
+__all__ = ["EditRequest", "JobRequest", "JobResult"]
 
 _REQUEST_FIELDS = {
     "workload",
@@ -274,6 +278,107 @@ class JobRequest:
         return cls.from_dict(payload)
 
 
+_EDIT_REQUEST_FIELDS = {"job", "edits"}
+
+
+@dataclass(frozen=True)
+class EditRequest:
+    """A base job plus graph edits to apply before running it.
+
+    The wire form of the service's incremental edit path
+    (``POST /v1/jobs:edit``): ``job`` names the *base* graph (workload
+    name or inline DFG) and its scheduling knobs; ``edits`` is the
+    ordered :class:`~repro.dfg.edit.DfgEdit` sequence to apply.  The
+    service derives an ordinary :class:`JobRequest` for the edited graph
+    (:meth:`~repro.service.SchedulerService.resolve_edit`), so the answer
+    is keyed by — and bit-identical to a cold submit of — the edited
+    graph's content.
+    """
+
+    job: JobRequest
+    edits: tuple[DfgEdit, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.job, JobRequest):
+            raise JobValidationError(
+                f"job must be a JobRequest, got {type(self.job).__name__}",
+                field="job",
+            )
+        try:
+            edits = tuple(self.edits)
+        except TypeError:
+            raise JobValidationError(
+                f"edits must be a sequence of DfgEdit, "
+                f"got {type(self.edits).__name__}",
+                field="edits",
+            ) from None
+        object.__setattr__(self, "edits", edits)
+        if not edits:
+            raise JobValidationError(
+                "an edit request needs at least one edit", field="edits"
+            )
+        for edit in edits:
+            if not isinstance(edit, DfgEdit):
+                raise JobValidationError(
+                    f"edits must be DfgEdit instances, "
+                    f"got {type(edit).__name__}",
+                    field="edits",
+                )
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job": self.job.to_dict(),
+            "edits": [edit.to_dict() for edit in self.edits],
+        }
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "EditRequest":
+        """Inverse of :meth:`to_dict`; unknown fields are rejected."""
+        if not isinstance(payload, dict):
+            raise JobValidationError(
+                f"malformed edit request: expected an object, "
+                f"got {type(payload).__name__}"
+            )
+        unknown = set(payload) - _EDIT_REQUEST_FIELDS
+        if unknown:
+            raise JobValidationError(
+                f"unknown edit request field(s) {sorted(unknown)}",
+                field=sorted(unknown)[0],
+            )
+        for req in ("job", "edits"):
+            if req not in payload:
+                raise JobValidationError(
+                    f"edit request is missing {req!r}", field=req
+                )
+        if not isinstance(payload["edits"], list):
+            raise JobValidationError(
+                "edit request 'edits' must be a list", field="edits"
+            )
+        try:
+            edits = tuple(
+                DfgEdit.from_dict(item) for item in payload["edits"]
+            )
+        except GraphError as exc:
+            raise JobValidationError(
+                f"invalid edit: {exc}", field="edits"
+            ) from exc
+        return cls(job=JobRequest.from_dict(payload["job"]), edits=edits)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EditRequest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise JobValidationError(
+                f"invalid edit request JSON: {exc}"
+            ) from exc
+        return cls.from_dict(payload)
+
+
 @dataclass(frozen=True)
 class JobResult:
     """Everything one service submit produced.
@@ -341,6 +446,20 @@ class JobResult:
 
     def to_json(self, *, indent: int | None = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)
+
+    def answer_dict(self) -> dict[str, Any]:
+        """:meth:`to_dict` minus the per-submit echo fields.
+
+        ``timings`` and ``backend`` describe the submit that *computed*
+        a result, not its answer — two bit-identical answers computed on
+        different runs (or backends) differ in exactly these fields.
+        Cross-run bit-identity checks (the edit-path benchmark, smoke
+        and property tests) therefore compare this form.
+        """
+        out = self.to_dict()
+        del out["timings"]
+        del out["backend"]
+        return out
 
     @classmethod
     def from_dict(cls, payload: Any) -> "JobResult":

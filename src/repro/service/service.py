@@ -18,14 +18,24 @@ per call, callers **submit jobs** to a resident service that
   catalog      ``(dfg_digest, capacity, enumeration-config fields)``
   selection    ``(catalog key, pdef, full config)``
   result       ``(dfg_digest, capacity, pdef, config, priority)``
-  shard        ``(dfg_digest, seed range, capacity, bounds)`` —
-               per-partition classification partials
-               (:meth:`SchedulerService.classify_shard`)
+  shard        ``(subgraph digest of the partition's seed range,
+               seed range, capacity, bounds)`` — per-partition
+               classification partials (:func:`shard_partial_key`),
+               shared by :meth:`SchedulerService.classify_shard` and
+               the edit path
   ===========  ========================================================
 
   so a ``pdef`` sweep re-uses one catalog, a re-submitted job returns its
   bit-identical :class:`~repro.service.jobs.JobResult` from the result
   cache, and an edited config invalidates exactly the levels it touches;
+* rebuilds **incrementally after graph edits**: cold fused catalog builds
+  run partition by partition against the shard-partial cache, whose keys
+  are content-addressed at *partition* granularity
+  (:func:`repro.dfg.io.subgraph_digest` hashes only the facts a
+  partition's DFS subtrees can observe) — so after a
+  :meth:`SchedulerService.submit_edit`, untouched partitions are served
+  bit-identically from cache (on disk and across instances) and only the
+  dirty region is re-enumerated, reported as cache level ``"edit"``;
 * batches: :meth:`SchedulerService.submit_many` dedups identical jobs
   (same job key → computed once, result shared) before running, so a
   sweep submitted as one batch does no duplicate work even intra-batch;
@@ -46,6 +56,7 @@ later ``fused`` request for the same job.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import threading
 import time
@@ -56,8 +67,9 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 from repro.analysis.metrics import schedule_stats
 from repro.core.selection import PatternSelector, SelectionResult
 from repro.dfg.antichains import AntichainEnumerator
+from repro.dfg.edit import apply_edits
 from repro.dfg.graph import DFG
-from repro.dfg.io import dfg_digest
+from repro.dfg.io import dfg_digest, subgraph_digest
 from repro.dfg.validate import validate_dfg
 from repro.exceptions import (
     JobValidationError,
@@ -65,19 +77,66 @@ from repro.exceptions import (
     ServiceOverloadedError,
 )
 from repro.exec import ExecutionBackend, get_backend
-from repro.exec.process import ProcessBackend
+from repro.exec.process import (
+    ProcessBackend,
+    classify_partition_rows,
+    merge_classified_parts,
+    plan_seed_partitions,
+)
 from repro.scheduling.scheduler import MultiPatternScheduler
-from repro.service.jobs import JobRequest, JobResult
+from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.store import MemoryCacheStore, open_cache_stores
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.patterns.enumeration import PatternCatalog
     from repro.service.shard import ShardTask
 
-__all__ = ["SchedulerService", "ServiceStats", "SubmitOutcome"]
+__all__ = [
+    "SchedulerService",
+    "ServiceStats",
+    "SubmitOutcome",
+    "shard_partial_key",
+]
 
 #: Cache levels, deepest first — the level names reported per submit.
-CACHE_LEVELS = ("result", "selection", "catalog", "none")
+#: ``"edit"`` marks a catalog rebuilt incrementally: at least one seed
+#: partition was served from the content-addressed partial cache instead
+#: of re-running its enumeration DFS.
+CACHE_LEVELS = ("result", "selection", "catalog", "edit", "none")
+
+#: Seed-partition count for in-service incremental catalog builds.  Finer
+#: partitions shrink the re-enumerated region after an edit but hash and
+#: cache more partials; 16 matches the process backend's per-worker task
+#: granularity (:data:`repro.exec.process._GROUPS_PER_JOB`).
+EDIT_PARTITIONS = 16
+
+
+def shard_partial_key(
+    dfg: DFG,
+    seeds: Sequence[int],
+    size: int,
+    span_limit: int | None,
+    max_count: int | None,
+) -> tuple:
+    """The content-addressed cache key of one seed partition's partial.
+
+    Keyed by :func:`repro.dfg.io.subgraph_digest` of the partition's seed
+    range — which hashes only the facts the partition's DFS subtrees can
+    observe — rather than the whole-graph digest, so an edit outside the
+    partition's support leaves its key (and therefore its cached partial,
+    on disk and across instances) intact.  Contiguous seed ranges collapse
+    to a ``range`` so the key stays O(1) bytes on arbitrarily large graphs
+    (:func:`repro.dfg.io.stable_key_json` encodes ranges structurally).
+    Shared by the shard endpoint (:meth:`SchedulerService.classify_shard`),
+    the coordinator's dispatch probe, and the edit path's incremental
+    catalog build.
+    """
+    seeds = tuple(seeds)
+    digest = subgraph_digest(dfg, seeds)
+    key_seeds: "Sequence[int] | range" = seeds
+    if seeds and seeds == tuple(range(seeds[0], seeds[-1] + 1)):
+        key_seeds = range(seeds[0], seeds[-1] + 1)
+    return ("shard-partial", digest, size, span_limit, max_count, key_seeds)
 
 
 @dataclass
@@ -91,14 +150,21 @@ class ServiceStats:
     every :meth:`~SchedulerService.classify_shard` call; ``shard_hits`` /
     ``shard_misses`` split those by whether the content-addressed shard
     partial cache answered (a hit runs **no** enumeration DFS at all).
+    ``edit_jobs`` counts :meth:`~SchedulerService.submit_edit` calls;
+    ``partition_hits`` / ``partition_misses`` account the per-partition
+    probes of in-service incremental catalog builds the same way
+    ``shard_hits`` / ``shard_misses`` do for shard tasks.
     """
 
     submitted: int = 0
     deduped: int = 0
     rejected: int = 0
+    edit_jobs: int = 0
     shard_tasks: int = 0
     shard_hits: int = 0
     shard_misses: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
     result_hits: int = 0
     result_misses: int = 0
     selection_hits: int = 0
@@ -111,9 +177,12 @@ class ServiceStats:
             "submitted": self.submitted,
             "deduped": self.deduped,
             "rejected": self.rejected,
+            "edit_jobs": self.edit_jobs,
             "shard_tasks": self.shard_tasks,
             "shard_hits": self.shard_hits,
             "shard_misses": self.shard_misses,
+            "partition_hits": self.partition_hits,
+            "partition_misses": self.partition_misses,
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
             "selection_hits": self.selection_hits,
@@ -130,7 +199,9 @@ class SubmitOutcome:
     ``cache`` is the deepest cache level that answered: ``"result"`` (the
     whole job), ``"selection"`` (catalog + selection reused, schedule
     recomputed — only reachable for jobs differing in ``priority``),
-    ``"catalog"`` (catalog reused) or ``"none"`` (cold).
+    ``"catalog"`` (catalog reused), ``"edit"`` (catalog rebuilt
+    incrementally — at least one seed partition served from the
+    content-addressed partial cache) or ``"none"`` (cold).
     """
 
     result: JobResult
@@ -157,8 +228,10 @@ class SchedulerService:
         LRU sizes of the four cache levels (with ``cache_dir``, the size
         of each disk store's in-process memory front).  ``shard_cache``
         holds content-addressed shard partials — the per-seed-partition
-        classification results behind :meth:`classify_shard` — keyed by
-        ``(dfg digest, seed range, capacity, enumeration bounds)``.
+        classification results behind :meth:`classify_shard` and the
+        edit path's incremental builds — keyed by
+        ``(partition subgraph digest, seed range, capacity, enumeration
+        bounds)`` (:func:`shard_partial_key`).
     cache_dir:
         Optional directory for disk-backed cache stores
         (:class:`~repro.service.store.DiskCacheStore`): catalogs,
@@ -406,9 +479,13 @@ class SchedulerService:
                 else:
                     self.stats.catalog_misses += 1
                     t0 = self.timer()
-                    catalog = selector.build_catalog(dfg, backend=backend)
+                    catalog, partition_hits = self._build_catalog(
+                        dfg, selector, backend
+                    )
                     timings["catalog"] = self.timer() - t0
                     self._catalogs.put(catalog_key, catalog)
+                    if partition_hits:
+                        cache_level = "edit"
                 t0 = self.timer()
                 selection = selector.select(
                     dfg, request.pdef, catalog=catalog, backend=backend
@@ -442,6 +519,123 @@ class SchedulerService:
             )
             self._results.put(job_key, result)
             return SubmitOutcome(result=result, cache=cache_level)
+
+    def _build_catalog(
+        self,
+        dfg: DFG,
+        selector: PatternSelector,
+        backend: ExecutionBackend,
+    ) -> "tuple[PatternCatalog, int]":
+        """Build a catalog, incrementally when the partial cache can help.
+
+        For the fused backend (the service default) the build runs seed
+        partition by seed partition against the content-addressed shard
+        partial cache: partitions whose
+        :func:`~repro.dfg.io.subgraph_digest`-keyed partial is already
+        cached — because an *edited* graph shares them with its
+        predecessor, another instance computed them, or they survived on
+        disk — are served with **zero** enumeration DFS, and only the
+        rest are classified, with the merge in ascending-seed order
+        reproducing the monolithic fused build bit for bit
+        (:func:`repro.exec.process.merge_classified_parts`).  Returns the
+        catalog plus the number of partition cache hits (``> 0`` is what
+        :data:`CACHE_LEVELS` reports as ``"edit"``).
+
+        Other backends (process pools own their own partitioning;
+        ``store_antichains`` needs the serial path) fall through to the
+        monolithic :meth:`~repro.core.selection.PatternSelector.build_catalog`.
+        """
+        config = selector.config
+        if getattr(backend, "name", None) != "fused" or config.store_antichains:
+            return selector.build_catalog(dfg, backend=backend), 0
+
+        hits = 0
+        state: dict[str, Any] = {}
+
+        def classify(size: int, span: "int | None") -> "PatternCatalog":
+            nonlocal hits
+            parts: list[list[tuple]] = []
+            for seeds in plan_seed_partitions(dfg, EDIT_PARTITIONS):
+                key = shard_partial_key(
+                    dfg, seeds, size, span, config.max_antichains
+                )
+                cached = self._shard_parts.get(key)
+                if cached is not None:
+                    self.stats.partition_hits += 1
+                    hits += 1
+                    parts.append(cached)
+                    continue
+                self.stats.partition_misses += 1
+                if "enum" not in state:
+                    state["enum"] = AntichainEnumerator(dfg)
+                    state["labels"] = dfg.color_labels()[0]
+                rows = classify_partition_rows(
+                    state["enum"],
+                    state["labels"],
+                    seeds,
+                    size,
+                    span,
+                    config.max_antichains,
+                )
+                self._shard_parts.put(key, rows)
+                parts.append(rows)
+            return merge_classified_parts(
+                dfg,
+                parts,
+                capacity=size,
+                span_limit=span,
+                max_count=config.max_antichains,
+            )
+
+        return selector.build_catalog_with(dfg, classify), hits
+
+    # ------------------------------------------------------------------ #
+    # graph edits
+    # ------------------------------------------------------------------ #
+    def resolve_edit(self, request: EditRequest) -> JobRequest:
+        """The derived :class:`JobRequest` an edit request denotes.
+
+        Resolves the base graph (workload name or inline), applies the
+        edits functionally (:func:`repro.dfg.edit.apply_edits`) and
+        returns the base job re-targeted at the edited graph — which is
+        then an ordinary job keyed by the edited graph's content, so
+        submitting it (here or on a :class:`~repro.service.shard.ShardCoordinator`)
+        reuses every untouched partition's cached partial.
+        """
+        if not isinstance(request, EditRequest):
+            raise JobValidationError(
+                f"expected an EditRequest, got {type(request).__name__}"
+            )
+        with self._lock:
+            base, _ = self._resolve_input(
+                request.job.workload, request.job.dfg
+            )
+            edited = apply_edits(base, request.edits)
+            self._validate_once(edited)
+            return dataclasses.replace(
+                request.job, workload=None, dfg=edited
+            )
+
+    def submit_edit(self, request: EditRequest) -> JobResult:
+        """Run a job against an edited graph; see :meth:`submit_edit_outcome`."""
+        return self.submit_edit_outcome(request).result
+
+    def submit_edit_outcome(self, request: EditRequest) -> SubmitOutcome:
+        """Apply ``request.edits`` to its base graph and submit the result.
+
+        The edit-to-schedule fast path: the derived job's cold catalog
+        build runs partition by partition (:meth:`_build_catalog`), so
+        partitions untouched by the edits are served bit-identically from
+        the content-addressed partial cache and only the dirty region is
+        re-enumerated — O(dirty region) latency, reported as cache level
+        ``"edit"`` (``X-Repro-Cache: edit`` over HTTP).  The result is
+        bit-identical to a cold full rebuild of the edited graph.
+        """
+        derived = self.resolve_edit(request)
+        with self._admitted():
+            with self._lock:
+                self.stats.edit_jobs += 1
+                return self._submit_outcome(derived)
 
     def submit_many(
         self, requests: "Sequence[JobRequest] | Iterable[JobRequest]"
@@ -496,10 +690,11 @@ class SchedulerService:
         ``first_seen``, everything JSON-safe so the HTTP layer is a pipe —
         plus the cache level that answered: ``"shard"`` when the
         content-addressed partial cache (keyed by
-        :meth:`~repro.service.shard.ShardTask.partial_key` — graph
-        digest, seed range, capacity, enumeration bounds) already held the
-        result, so the DFS did not run at all, or ``"none"`` when this
-        call computed (and cached) it.  Over HTTP the level travels as
+        :func:`shard_partial_key` — the *partition's* subgraph digest,
+        seed range, capacity, enumeration bounds, so partials survive
+        edits outside the partition's support) already held the result,
+        so the DFS did not run at all, or ``"none"`` when this call
+        computed (and cached) it.  Over HTTP the level travels as
         the ``X-Repro-Cache`` header.  Merging partitions in
         ascending-seed order
         (:func:`repro.exec.process.merge_classified_parts`) reproduces the
@@ -518,33 +713,21 @@ class SchedulerService:
             )
         with self._admitted(), self._lock:
             self.stats.shard_tasks += 1
-            dfg, digest = self._resolve_input(task.workload, task.dfg)
-            key = task.partial_key(digest)
+            dfg, _ = self._resolve_input(task.workload, task.dfg)
+            key = task.partial_key(dfg)
             cached = self._shard_parts.get(key)
             if cached is not None:
                 self.stats.shard_hits += 1
                 return cached, "shard"
             self.stats.shard_misses += 1
-            enum = AntichainEnumerator(dfg)
-            labels = dfg.color_labels()[0]
-            buckets = enum.classify_by_label(
-                labels,
+            out = classify_partition_rows(
+                AntichainEnumerator(dfg),
+                dfg.color_labels()[0],
+                task.seeds,
                 task.size,
                 task.span_limit,
-                max_count=task.max_count,
-                roots=task.seeds,
+                task.max_count,
             )
-            out: list[tuple] = []
-            for key_, cls in buckets.items():
-                freq = cls.frequencies
-                out.append(
-                    (
-                        key_,
-                        cls.count,
-                        list(cls.first_seen),
-                        [int(freq[i]) for i in cls.first_seen],
-                    )
-                )
             self._shard_parts.put(key, out)
             return out, "none"
 
@@ -604,13 +787,21 @@ class SchedulerService:
             "workloads": sorted(self._workloads),
         }
 
-    def clear_caches(self) -> None:
-        """Drop all cached catalogs, selections, results and shard partials."""
+    def clear_caches(self, *, keep_shard_partials: bool = False) -> None:
+        """Drop all cached catalogs, selections, results and shard partials.
+
+        ``keep_shard_partials=True`` retains the content-addressed
+        partition partials while dropping every derived level — the
+        operational shape of "invalidate my answers but keep the reusable
+        enumeration work" (the edit-churn benchmark measures exactly
+        this regime).
+        """
         with self._lock:
             self._catalogs.clear()
             self._selections.clear()
             self._results.clear()
-            self._shard_parts.clear()
+            if not keep_shard_partials:
+                self._shard_parts.clear()
             self._graphs.clear()
             self._named_graphs.clear()
 

@@ -45,9 +45,13 @@ plans the same contiguous ascending partitions the process backend uses
 against the per-seed subtree cost model and cut
 :data:`PARTITIONS_PER_SHARD`× finer than the shard count — probes each
 against the completion service's **content-addressed partial cache**
-(key: graph digest + seed range + capacity + enumeration bounds; see
-:meth:`ShardTask.partial_key`), hands the misses to whichever shard
-frees up first (work stealing), merges the per-shard int frequency
+(key: the *partition's* subgraph digest + seed range + capacity +
+enumeration bounds; see
+:func:`repro.service.service.shard_partial_key`, so partials survive
+graph edits outside a partition's support and only dirty partitions are
+ever dispatched), hands the misses to whichever shard frees up first
+(work stealing; remote shards claim up to ``claim_batch`` unclaimed
+ranges per HTTP round trip), merges the per-shard int frequency
 arrays in ascending-seed order
 (:func:`repro.exec.process.merge_classified_parts`) and completes
 selection + scheduling through a local *completion service*, priming its
@@ -79,11 +83,15 @@ from typing import TYPE_CHECKING, Any, Sequence
 from repro.core.config import SelectionConfig
 from repro.core.selection import PatternSelector
 from repro.dfg.graph import DFG
-from repro.dfg.io import dfg_digest, from_payload, to_payload
+from repro.dfg.io import from_payload, to_payload
 from repro.exceptions import JobValidationError, PatternError, ServiceError
 from repro.service.http import ServiceClient
-from repro.service.jobs import JobRequest, JobResult
-from repro.service.service import SchedulerService, SubmitOutcome
+from repro.service.jobs import EditRequest, JobRequest, JobResult
+from repro.service.service import (
+    SchedulerService,
+    SubmitOutcome,
+    shard_partial_key,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.patterns.enumeration import PatternCatalog
@@ -202,31 +210,24 @@ class ShardTask:
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
 
-    def partial_key(self, digest: str) -> tuple:
+    def partial_key(self, dfg: DFG) -> tuple:
         """The content-addressed cache key of this task's classification.
 
-        ``(dfg digest, seed range, capacity, enumeration bounds)`` — the
-        same structured key on the coordinator and on the
+        Delegates to :func:`repro.service.service.shard_partial_key`:
+        ``(partition subgraph digest, seed range, capacity, enumeration
+        bounds)`` — the same structured key on the coordinator and on the
         ``/v1/catalog:shard`` server side, so a partial computed anywhere
         (and persisted through a :class:`~repro.service.store.CacheStore`)
         answers the identical task everywhere,
-        :func:`repro.dfg.io.stable_key_digest`-addressable on disk.
-        Contiguous seed tuples — the only kind the planner emits —
-        collapse to a ``range`` so the key stays O(1) bytes on large
-        graphs; non-contiguous seeds (hand-built tasks) stay explicit.
-        The backend never appears: partials are bit-identical by
+        :func:`repro.dfg.io.stable_key_digest`-addressable on disk.  The
+        digest covers only the facts this task's DFS subtrees can observe
+        (:func:`repro.dfg.io.subgraph_digest`), so a graph edit outside
+        the partition's support leaves the key — and the cached partial —
+        intact.  The backend never appears: partials are bit-identical by
         contract, exactly like the service's other cache levels.
         """
-        seeds: "tuple[int, ...] | range" = self.seeds
-        if seeds == tuple(range(seeds[0], seeds[-1] + 1)):
-            seeds = range(seeds[0], seeds[-1] + 1)
-        return (
-            "shard-partial",
-            digest,
-            self.size,
-            self.span_limit,
-            self.max_count,
-            seeds,
+        return shard_partial_key(
+            dfg, self.seeds, self.size, self.span_limit, self.max_count
         )
 
     @classmethod
@@ -275,11 +276,33 @@ class ShardTask:
 class LocalShard:
     """An in-process :class:`SchedulerService` acting as one shard."""
 
+    #: Batched claims only pay off when a claim has round-trip cost; an
+    #: in-process shard claims one partition at a time so the dynamic
+    #: queue keeps its finest stealing granularity.
+    batch_limit = 1
+
     def __init__(self, service: SchedulerService) -> None:
         self.service = service
 
     def classify(self, task: ShardTask) -> list[tuple]:
         return self.service.classify_shard(task)
+
+    def classify_many(
+        self, tasks: "Sequence[ShardTask]"
+    ) -> "list[tuple[list[tuple], str | None] | BaseException]":
+        """Classify a claimed batch, one ``(rows, cache)`` or error per task.
+
+        Routes through :meth:`classify` so subclasses (test shims) keep
+        their per-task behaviour; a per-task failure becomes that slot's
+        exception instead of aborting the rest of the batch.
+        """
+        out: "list[tuple[list[tuple], str | None] | BaseException]" = []
+        for task in tasks:
+            try:
+                out.append((self.classify(task), None))
+            except Exception as exc:  # noqa: BLE001 — slot-local failure
+                out.append(exc)
+        return out
 
     def describe(self) -> str:
         return f"local({self.service.backend.describe()})"
@@ -288,6 +311,11 @@ class LocalShard:
 class RemoteShard:
     """A remote ``repro serve`` instance acting as one shard."""
 
+    #: Remote claims cost an HTTP round trip each, so the steal loop may
+    #: hand a remote shard up to ``ShardCoordinator.claim_batch`` ranges
+    #: per trip; ``None`` defers to the coordinator's setting.
+    batch_limit: "int | None" = None
+
     def __init__(self, client: "ServiceClient | str") -> None:
         if isinstance(client, str):
             client = ServiceClient(client)
@@ -295,6 +323,18 @@ class RemoteShard:
 
     def classify(self, task: ShardTask) -> list[tuple]:
         return self.client.classify_shard(task)
+
+    def classify_many(
+        self, tasks: "Sequence[ShardTask]"
+    ) -> "list[tuple[list[tuple], str | None] | BaseException]":
+        """Classify a claimed batch in **one** HTTP round trip.
+
+        Uses the batched ``{"tasks": [...]}`` form of
+        ``POST /v1/catalog:shard``; per-task failures come back as typed
+        exception instances in their slot
+        (:meth:`~repro.service.http.ServiceClient.classify_shard_many`).
+        """
+        return self.client.classify_shard_many(tasks)
 
     def describe(self) -> str:
         return f"remote({self.client.base_url})"
@@ -328,15 +368,19 @@ class CoordinatorStats:
     ``dispatched`` to whichever shard freed up first.
     ``remote_partial_hits`` counts dispatched tasks a *remote* shard
     answered from its own partial cache (``X-Repro-Cache: shard`` — no
-    DFS ran anywhere).  ``tasks_per_shard`` records how the dynamic loop
-    actually spread the work; :meth:`steals` derives how many tasks ran
-    on a shard beyond its even share — the work stealing at work.
+    DFS ran anywhere).  ``claim_rounds`` counts steal-loop claim trips:
+    a remote shard claims up to ``claim_batch`` unclaimed ranges per
+    round trip, so ``dispatched / claim_rounds`` is the realised batch
+    factor.  ``tasks_per_shard`` records how the dynamic loop actually
+    spread the work; :meth:`steals` derives how many tasks ran on a
+    shard beyond its even share — the work stealing at work.
     """
 
     planned: int = 0
     partial_hits: int = 0
     partial_misses: int = 0
     dispatched: int = 0
+    claim_rounds: int = 0
     remote_partial_hits: int = 0
     tasks_per_shard: list[int] = field(default_factory=list)
 
@@ -353,6 +397,7 @@ class CoordinatorStats:
             "partial_hits": self.partial_hits,
             "partial_misses": self.partial_misses,
             "dispatched": self.dispatched,
+            "claim_rounds": self.claim_rounds,
             "remote_partial_hits": self.remote_partial_hits,
             "tasks_per_shard": list(self.tasks_per_shard),
             "steals": self.steals(),
@@ -394,13 +439,19 @@ class ShardCoordinator:
         shards: Sequence[Any],
         *,
         service: SchedulerService | None = None,
+        claim_batch: int = 2,
     ) -> None:
         if not shards:
             raise ServiceError("need at least one shard")
+        if not isinstance(claim_batch, int) or claim_batch < 1:
+            raise ServiceError(
+                f"claim_batch must be an int ≥ 1, got {claim_batch!r}"
+            )
         self.shards: list[LocalShard | RemoteShard] = [_as_shard(s) for s in shards]
         self._owns_service = service is None
         self._owned_shards: list[SchedulerService] = []
         self.service = service if service is not None else SchedulerService()
+        self.claim_batch = claim_batch
         self.stats = CoordinatorStats(tasks_per_shard=[0] * len(self.shards))
 
     @classmethod
@@ -409,6 +460,7 @@ class ShardCoordinator:
         n: int,
         *,
         service: SchedulerService | None = None,
+        claim_batch: int = 2,
         **service_kwargs: Any,
     ) -> "ShardCoordinator":
         """A coordinator over ``n`` fresh in-process shard services.
@@ -426,10 +478,10 @@ class ShardCoordinator:
         owned = [SchedulerService(**service_kwargs) for _ in range(n)]
         if service is None:
             completion = SchedulerService(**service_kwargs)
-            coord = cls(owned, service=completion)
+            coord = cls(owned, service=completion, claim_batch=claim_batch)
             coord._owns_service = True
         else:
-            coord = cls(owned, service=service)
+            coord = cls(owned, service=service, claim_batch=claim_batch)
         coord._owned_shards = owned
         return coord
 
@@ -531,8 +583,7 @@ class ShardCoordinator:
             for seeds in partitions
         ]
         self.stats.planned += len(tasks)
-        digest = dfg_digest(dfg)
-        keys = [task.partial_key(digest) for task in tasks]
+        keys = [task.partial_key(dfg) for task in tasks]
         parts: list[list[tuple] | None] = [None] * len(tasks)
         pending: deque[int] = deque()
         for i, key in enumerate(keys):
@@ -569,6 +620,13 @@ class ShardCoordinator:
         dynamic queue lifted to service instances.  Local shards release
         no GIL but remote shards overlap fully.
 
+        Remote shards amortise the claim round trip: each claim takes up
+        to ``claim_batch`` consecutive unclaimed indices and classifies
+        them in one batched ``/v1/catalog:shard`` request
+        (:meth:`RemoteShard.classify_many`); local shards keep claiming
+        one at a time — there is no trip to amortise and single claims
+        keep stealing at its finest granularity.
+
         Error behaviour is deterministic regardless of thread timing:
         after a failure, workers keep claiming only partitions *below*
         the lowest failed index (``pending`` is ascending, so one
@@ -577,43 +635,76 @@ class ShardCoordinator:
         lowest-index failing partition is re-raised.  A transient fault
         on a late partition therefore cannot mask an earlier partition's
         :class:`~repro.exceptions.EnumerationLimitError`, which the
-        adaptive-span loop must see as itself to retry.
+        adaptive-span loop must see as itself to retry.  Within a batch,
+        failures stay slot-local: the other claimed partitions' results
+        are kept.
         """
         lock = threading.Lock()
         failures: list[tuple[int, BaseException]] = []
 
         def worker(shard_index: int) -> None:
             shard = self.shards[shard_index]
+            batch_limit = shard.batch_limit or self.claim_batch
             while True:
                 with lock:
                     if not pending:
                         return
-                    if failures and pending[0] > min(
-                        pair[0] for pair in failures
-                    ):
-                        return
-                    i = pending.popleft()
-                    self.stats.dispatched += 1
-                    self.stats.tasks_per_shard[shard_index] += 1
-                try:
-                    buckets = shard.classify(tasks[i])
-                    parts[i] = buckets
-                    # The write-back is inside the try: a failing cache
-                    # store (disk full, permissions) must surface as this
-                    # partition's failure, not silently kill the worker
-                    # and leave the merge a None part.
-                    self.service.put_shard_partial(keys[i], buckets)
-                    remote_hit = (
-                        isinstance(shard, RemoteShard)
-                        and shard.client.last_cache == "shard"
+                    fail_floor = (
+                        min(pair[0] for pair in failures) if failures else None
                     )
+                    if fail_floor is not None and pending[0] > fail_floor:
+                        return
+                    claimed = []
+                    while pending and len(claimed) < batch_limit:
+                        if fail_floor is not None and pending[0] > fail_floor:
+                            break
+                        claimed.append(pending.popleft())
+                    self.stats.claim_rounds += 1
+                    self.stats.dispatched += len(claimed)
+                    self.stats.tasks_per_shard[shard_index] += len(claimed)
+                try:
+                    results = shard.classify_many([tasks[i] for i in claimed])
+                    if len(results) != len(claimed):
+                        raise ServiceError(
+                            f"shard returned {len(results)} results for "
+                            f"{len(claimed)} claimed tasks"
+                        )
                 except BaseException as exc:
+                    # A whole-call failure (transport, malformed response)
+                    # is attributed to the lowest claimed index so the
+                    # deterministic lowest-failure re-raise still holds.
                     with lock:
-                        failures.append((i, exc))
+                        failures.append((claimed[0], exc))
                     return
-                if remote_hit:
+                remote_hits = 0
+                failed_here = False
+                for i, item in zip(claimed, results):
+                    if isinstance(item, BaseException):
+                        with lock:
+                            failures.append((i, item))
+                        failed_here = True
+                        continue
+                    buckets, cache = item
+                    try:
+                        parts[i] = buckets
+                        # The write-back is inside the try: a failing
+                        # cache store (disk full, permissions) must
+                        # surface as this partition's failure, not
+                        # silently kill the worker and leave the merge a
+                        # None part.
+                        self.service.put_shard_partial(keys[i], buckets)
+                    except BaseException as exc:
+                        with lock:
+                            failures.append((i, exc))
+                        failed_here = True
+                        continue
+                    if isinstance(shard, RemoteShard) and cache == "shard":
+                        remote_hits += 1
+                if remote_hits:
                     with lock:
-                        self.stats.remote_partial_hits += 1
+                        self.stats.remote_partial_hits += remote_hits
+                if failed_here:
+                    return
 
         n_workers = min(len(self.shards), len(pending))
         if n_workers <= 1:
@@ -669,6 +760,23 @@ class ShardCoordinator:
         caches under the same keys.
         """
         return self.submit_outcome(request).result
+
+    def submit_edit_outcome(self, request: EditRequest) -> SubmitOutcome:
+        """Run an edited job; only *dirty* partitions reach the shards.
+
+        The completion service resolves the base graph and applies the
+        edits (:meth:`SchedulerService.resolve_edit`); the derived job
+        then goes through the ordinary sharded submit, where every
+        partition whose subgraph digest survived the edit is answered by
+        the partial cache without any shard traffic — the coordinator
+        dispatches only the dirty partitions.
+        """
+        return self.submit_outcome(self.service.resolve_edit(request))
+
+    def submit_edit(self, request: EditRequest) -> JobResult:
+        """Submit an edit of a previously known job; see
+        :meth:`submit_edit_outcome`."""
+        return self.submit_edit_outcome(request).result
 
     # ------------------------------------------------------------------ #
     def pipeline(

@@ -32,6 +32,15 @@ bucket lists); the disk store serialises them through the same lossless
 converters as the HTTP wire format (:mod:`repro.service.serialize`), so
 a value read back from disk is bit-identical to the one computed —
 Counter insertion order included.
+
+Shard partials deserve a note on their keys: they are addressed by the
+*partition's* subgraph digest
+(:func:`repro.service.service.shard_partial_key`, built on
+:func:`repro.dfg.io.subgraph_digest`) rather than the whole graph's
+digest, so a graph edit invalidates only the partitions whose DFS
+subtrees can observe it — the rest keep answering from memory, disk and
+sibling instances bit-identically.  That partition-granular survival is
+what makes the service's warm-edit rebuild O(dirty region).
 """
 
 from __future__ import annotations

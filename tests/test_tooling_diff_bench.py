@@ -218,6 +218,59 @@ def test_process_row_gated_on_multicore(tmp_path, capsys):
     assert "process speedup 0.8x" in capsys.readouterr().err
 
 
+# --------------------------------------------------------------------------- #
+# warm-edit gate (any-machine, full reports only)
+# --------------------------------------------------------------------------- #
+def _edit_report(speedup, *, quick=False, cpus=1):
+    report = _report([("FFT-16", "enumeration+classify", 5.0)])
+    report["quick"] = quick
+    report["cpus"] = cpus
+    report["stages"].append(
+        {
+            "workload": "FFT-16",
+            "stage": "warm edit rebuild",
+            "reference_s": 1.0,
+            "fast_s": 1.0 / speedup,
+            "speedup": speedup,
+            "partition_hits": 15,
+        }
+    )
+    return report
+
+
+def test_warm_edit_gated_on_single_cpu_full_report(tmp_path, capsys):
+    # Unlike shard/process rows the edit gate is any-machine: the warm
+    # path elides DFS instead of parallelising it.
+    new = _write(tmp_path, "new.json", _edit_report(3.0, cpus=1))
+    assert diff_bench.main([str(new)]) == 1
+    assert "warm edit rebuild speedup 3.0x" in capsys.readouterr().err
+
+
+def test_warm_edit_passes_at_floor(tmp_path, capsys):
+    new = _write(tmp_path, "new.json", _edit_report(6.2))
+    assert diff_bench.main([str(new)]) == 0
+    assert "warm edit rebuild" in capsys.readouterr().out
+
+
+def test_warm_edit_floor_is_configurable(tmp_path):
+    new = _write(tmp_path, "new.json", _edit_report(6.2))
+    assert diff_bench.main([str(new), "--warm-edit-floor", "8.0"]) == 1
+
+
+def test_warm_edit_not_gated_on_quick_smoke(tmp_path, capsys):
+    new = _write(tmp_path, "new.json", _edit_report(2.2, quick=True))
+    assert diff_bench.main([str(new)]) == 0
+    assert "not gated" in capsys.readouterr().out
+
+
+def test_report_without_edit_rows_skips_the_gate(tmp_path):
+    new = _write(
+        tmp_path, "new.json",
+        _report([("FFT-16", "enumeration+classify", 5.0)]),
+    )
+    assert diff_bench.main([str(new)]) == 0
+
+
 def test_shard_relative_diff_needs_multicore_both_sides(tmp_path, capsys):
     old = _write(
         tmp_path, "old.json", _multicore_report(1, shard_speedup=2.0)
