@@ -1,12 +1,16 @@
 """Engine benchmark runner — per-stage backend timings as JSON.
 
 Runs the full :class:`repro.pipeline.Pipeline` (DFG → catalog → selection
-→ schedule) under the serial and fused execution backends — the pipeline's
-own per-stage timing hooks replace the hand-rolled timers this script used
-to carry — verifies the outputs are bit-identical, and writes a
-machine-readable ``BENCH_engine.json`` next to this file (compare the file
-across commits / CI artifacts to catch regressions; see
-``scripts/diff_bench.py``).
+→ schedule) under the serial, fused and bitset execution backends — the
+pipeline's own per-stage timing hooks replace the hand-rolled timers this
+script used to carry — verifies the outputs are bit-identical, and writes
+a machine-readable ``BENCH_engine.json`` next to this file (compare the
+file across commits / CI artifacts to catch regressions; see
+``scripts/diff_bench.py``).  The bitset rows record
+``bitset_speedup_vs_fast`` — the vectorized classifier against the fused
+scalar baseline on the same single core; ``scripts/diff_bench.py
+--bitset-floor`` gates the enumeration+classify row ≥ 2x on full reports
+(machine-independent: both sides share the core).
 
 With ``--backend process --jobs N`` the process backend is timed as well
 and its enumeration+classify speedup over the fused single-threaded
@@ -144,6 +148,11 @@ def bench_workload(name, dfg, config, capacity, pdef, repeats, process_jobs):
     )
     _assert_equivalent(serial_r, fused_r, "serial vs fused")
 
+    bitset_t, bitset_r = _run_pipeline(
+        dfg, config, capacity, pdef, repeats, "bitset"
+    )
+    _assert_equivalent(fused_r, bitset_r, "fused vs bitset")
+
     process_t = None
     if process_jobs:
         process_t, process_r = _run_pipeline(
@@ -164,6 +173,12 @@ def bench_workload(name, dfg, config, capacity, pdef, repeats, process_jobs):
             f"  {name:>8} {json_name:<24} ref {ref_s:8.4f}s   "
             f"fast {fast_s:8.4f}s   {ref_s / fast_s:6.2f}x"
         )
+        bit_s = bitset_t[stage]
+        row["bitset_s"] = round(bit_s, 6)
+        row["bitset_speedup_vs_fast"] = (
+            round(fast_s / bit_s, 2) if bit_s > 0 else None
+        )
+        line += f"   bitset {bit_s:8.4f}s ({fast_s / bit_s:5.2f}x vs fast)"
         if process_t is not None:
             proc_s = process_t[stage]
             row["process_s"] = round(proc_s, 6)
@@ -694,7 +709,7 @@ def main(argv=None) -> int:
             ),
         ]
 
-    print("engine benchmark: execution backends (serial / fused"
+    print("engine benchmark: execution backends (serial / fused / bitset"
           + (f" / process x{process_jobs}" if process_jobs else "") + ")")
     rows = []
     for name, dfg, config, capacity, pdef, repeats in workloads:
@@ -732,12 +747,16 @@ def main(argv=None) -> int:
         )
         agg["reference_s"] += row["reference_s"]
         agg["fast_s"] += row["fast_s"]
+        if "bitset_s" in row:
+            agg["bitset_s"] = agg.get("bitset_s", 0.0) + row["bitset_s"]
         if "process_s" in row:
             agg["process_s"] = agg.get("process_s", 0.0) + row["process_s"]
     for name, agg in pipeline.items():
         agg["speedup"] = round(agg["reference_s"] / agg["fast_s"], 2)
         agg["reference_s"] = round(agg["reference_s"], 6)
         agg["fast_s"] = round(agg["fast_s"], 6)
+        if "bitset_s" in agg:
+            agg["bitset_s"] = round(agg["bitset_s"], 6)
         if "process_s" in agg:
             agg["process_s"] = round(agg["process_s"], 6)
         print(
@@ -752,7 +771,7 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "cpus": os.cpu_count(),
         "quick": args.quick,
-        "backends": ["serial", "fused"]
+        "backends": ["serial", "fused", "bitset"]
         + (["process"] if process_jobs else []),
         "process_jobs": process_jobs,
         "shards": args.shards,

@@ -9,15 +9,40 @@
 # it from the actions cache; any stage whose speedup halves fails loudly),
 # then stored back as the next run's baseline and uploaded as an artifact.
 # The committed full BENCH_engine.json is additionally gated on the
-# warm-edit floor — incremental re-classification elides DFS rather than
-# using more cores, so its recorded speedup must hold on any machine.
+# warm-edit and bitset floors — both are machine-independent (incremental
+# re-classification elides DFS rather than using more cores; the bitset
+# speedup compares two code paths on the same single core), so their
+# recorded speedups must hold on any machine.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== optional bitset extension build (best effort) =="
+# The Extension is marked optional=True: a missing compiler degrades to
+# the pure numpy expansion path with identical output, never a failure.
+python setup.py build_ext --inplace >/dev/null 2>&1 \
+    || echo "  (build failed; bitset backend will use the numpy expansion path)"
+python - <<'EOF'
+from repro.exec.bitset import bitset_availability
+print(f"  bitset availability: {bitset_availability()}")
+EOF
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== bitset equivalence without the compiled extension =="
+# Re-run the bitset suite with the native kernel forced away so both the
+# compiled and the pure numpy expansion paths stay pinned bit-identical.
+REPRO_NO_NATIVE=1 python -m pytest tests/test_exec_bitset.py -x -q
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff (matches the CI lint job) =="
+    ruff check .
+    ruff format --check .
+else
+    echo "== ruff not installed locally; lint runs in the CI lint job =="
+fi
 
 if [[ "${1:-}" != "--fast" ]]; then
     SMOKE=/tmp/BENCH_engine_smoke.json
@@ -34,8 +59,15 @@ if [[ "${1:-}" != "--fast" ]]; then
         --baseline "$BASELINE_DIR/BENCH_engine_smoke.json" \
         --warm-edit-floor 5.0
 
-    echo "== committed full-report gate (warm edit >= 5x, any machine) =="
-    python scripts/diff_bench.py BENCH_engine.json --warm-edit-floor 5.0
+    # Warm-edit floor is 1.0 (never slower than cold), not the historical
+    # 5.0: the bitset backend cut the cold partitioned rebuild ~6x, so on
+    # size-2 workloads the edit row now mostly measures fixed cost
+    # (digests + selection + scheduling) on both sides.  The semantic
+    # checks — cache level "edit", partition reuse, bit-identity — are
+    # asserted inside run_benchmarks.py itself.
+    echo "== committed full-report gate (warm edit >= 1x, bitset >= 2x) =="
+    python scripts/diff_bench.py BENCH_engine.json \
+        --warm-edit-floor 1.0 --bitset-floor 2.0
 
     mkdir -p "$BASELINE_DIR"
     cp "$SMOKE" "$BASELINE_DIR/BENCH_engine_smoke.json"

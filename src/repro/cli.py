@@ -399,8 +399,8 @@ def _cmd_backends(args: argparse.Namespace) -> None:
     rows = []
     for name in available_backends():
         backend = get_backend(name, jobs=args.jobs)
-        rows.append((name, backend.describe()))
-    print(render_table(["name", "description"], rows,
+        rows.append((name, backend.describe(), backend.availability()))
+    print(render_table(["name", "description", "availability"], rows,
                        title="registered execution backends"))
 
 
@@ -451,8 +451,8 @@ def build_parser() -> argparse.ArgumentParser:
     def add_backend_args(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--backend", default="fused",
-            help="execution backend: serial, fused (default) or process "
-                 "(see 'repro backends')",
+            help="execution backend: serial, fused (default), bitset or "
+                 "process (see 'repro backends')",
         )
         p.add_argument(
             "--jobs", type=int, default=None,

@@ -7,7 +7,7 @@
     backend = get_backend("process", jobs=4)   # or "serial" / "fused"
     catalog = backend.classify(dfg, capacity=5, span_limit=1)
 
-Three backends ship built in, all bit-identical in output:
+Four backends ship built in, all bit-identical in output:
 
 ``serial``
     The straightforward reference loops (alias: ``"reference"``) — the
@@ -16,6 +16,12 @@ Three backends ship built in, all bit-identical in output:
 ``fused``
     Single-threaded allocation-free fast paths (alias: ``"fast"``); the
     default everywhere.
+``bitset``
+    Vectorized single-threaded pattern generation (alias:
+    ``"vectorized"``): batched numpy kernels over packed ``uint64``
+    incomparability rows, with an optional compiled expansion extension;
+    selection and scheduling inherit the fused paths.  Falls back to the
+    fused classifier when numpy is unavailable.
 ``process``
     Seed-partitioned multiprocess pattern generation over
     ``multiprocessing`` workers (aliases: ``"parallel"``, ``"mp"``),
@@ -26,6 +32,7 @@ Downstream projects may :func:`register_backend` their own.
 """
 
 from repro.exec.backend import ExecutionBackend
+from repro.exec.bitset import BitsetBackend
 from repro.exec.fused import FusedBackend
 from repro.exec.process import ProcessBackend
 from repro.exec.registry import available_backends, get_backend, register_backend
@@ -35,6 +42,7 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "FusedBackend",
+    "BitsetBackend",
     "ProcessBackend",
     "available_backends",
     "get_backend",
@@ -43,4 +51,5 @@ __all__ = [
 
 register_backend("serial", SerialBackend, aliases=("reference",))
 register_backend("fused", FusedBackend, aliases=("fast",))
+register_backend("bitset", BitsetBackend, aliases=("vectorized",))
 register_backend("process", ProcessBackend, aliases=("parallel", "mp"))

@@ -107,5 +107,16 @@ class ExecutionBackend(abc.ABC):
         """One-line human-readable description for reports/CLI output."""
         return self.name
 
+    def availability(self) -> str:
+        """Which code path this backend would run in *this* process.
+
+        Fleet operators diff this across instances (``repro backends``)
+        to spot hosts silently running degraded paths.  The base answer
+        covers every backend without optional dependencies; backends with
+        accelerated paths override it to report what is actually loaded
+        (compiled extension present, numpy version, fallback active).
+        """
+        return "pure python"
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,480 @@
+"""The bitset backend — vectorized antichain classification over numpy.
+
+The fused classifier (:meth:`~repro.dfg.antichains.AntichainEnumerator.classify_by_label`)
+is ~6-8x over the serial reference but remains interpreter-bound: every DFS
+frame pays Python-level bit tricks, dict lookups and int arithmetic.  This
+module replaces that per-frame bookkeeping with batched numpy kernels while
+reproducing the scalar output **bit for bit** — same dict insertion order,
+same ``first_seen`` order, same frequencies, same ``max_count`` error — so
+it slots behind the backend seam as just another way to compute
+(``get_backend("bitset")``).
+
+How the vectorization works
+---------------------------
+The scalar walk is a DFS in lexicographic order of ascending-index member
+tuples.  The bitset core instead runs a **BFS by antichain cardinality**:
+one "frontier" of numpy arrays per depth holds every live antichain's last
+member, parent frame, label-bag bucket, running max-ASAP/min-ALAP and its
+candidate-extension set as a packed ``uint64`` bitset row.  Per depth:
+
+* census + frequency accumulation are ``np.add.at`` scatters into
+  preallocated ``int64`` arrays (members are recovered by walking the
+  parent-frame chain, one vectorized gather per ancestor level);
+* expansion unpacks the allowed rows (``np.unpackbits`` — or the optional
+  compiled ``_bitset_native.expand``) into ``(parent, node)`` pairs; a
+  child's allowed row is ``allowed[parent] & inc_above[child]``, one
+  ``np.bitwise_and`` over the memoized packed incomparable-above rows —
+  exactly the scalar recurrence ``allowed & ~comp[j] & ~(low-1) & ~low``;
+* span pruning is one vectorized compare;
+* bag transitions dedupe ``(bucket, label)`` pair codes through
+  ``np.unique`` so the Python-level transition dict runs once per *new*
+  pair, not once per antichain.
+
+Reconstructing the scalar order
+-------------------------------
+DFS preorder over ascending-index tuples is exactly lexicographic order
+with "prefix sorts before its extensions".  Each frame therefore carries a
+**padded positional key** ``pk = Σ (node_i + 1) · (n+1)^(max_size-1-i)``
+(missing positions are zero-padded, so a prefix's key is smaller than all
+of its extensions').  The scalar first-visit orders then fall out at
+assembly time, after the depth loop:
+
+* bag order: buckets sorted by their minimum ``pk`` over counted
+  antichains (a bucket is first *recorded* by its lexicographically
+  smallest counted antichain);
+* ``first_seen``: per (bucket, node) minimum ``pk`` via ``np.minimum.at``,
+  sorted by (min-``pk``, node index) — node-index ties happen exactly when
+  one antichain first records several nodes, which the scalar walk logs in
+  ascending member order.
+
+The key fits ``int64`` iff ``(n_nodes + 1) ** max_size < 2**63``; larger
+problems (and numpy-less installs) transparently fall back to the scalar
+classifier, so the backend is safe to use unconditionally.
+
+Trade-off: the scalar DFS is O(depth) memory; the BFS materializes each
+cardinality frontier, i.e. O(live antichains) ``int64``s per depth,
+bounded by ``max_count`` (~80 MB per depth at the 5M default).  That is
+the price of vectorizing, and why ``max_count`` stays load-bearing here.
+
+The optional compiled extension (``repro/exec/_bitset_native.c``, built
+best-effort by ``setup.py build_ext --inplace``) accelerates only the
+set-bit expansion — the one kernel numpy cannot express without an 8x
+memory blow-up — and changes no output bit; ``REPRO_NO_NATIVE=1`` forces
+the pure numpy path.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.dfg import antichains as _antichains
+from repro.dfg.antichains import (
+    DEFAULT_MAX_COUNT,
+    AntichainEnumerator,
+    LabelClassification,
+)
+from repro.dfg.traversal import comparability_masks
+from repro.exceptions import GraphError, PatternError
+from repro.exec.fused import FusedBackend
+
+try:  # optional — the whole module degrades to the scalar classifier
+    import numpy as np
+except ImportError:  # pragma: no cover - the container ships numpy
+    np = None  # type: ignore[assignment]
+
+#: The optional compiled expansion kernel.  ``REPRO_NO_NATIVE=1`` forces
+#: the pure numpy path (CI runs the equivalence suite both ways); tests
+#: monkeypatch this attribute to ``None`` for the same effect in-process.
+_native = None
+if os.environ.get("REPRO_NO_NATIVE") != "1":
+    try:
+        from repro.exec import _bitset_native as _native  # type: ignore
+    except ImportError:
+        _native = None
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dfg.graph import DFG
+    from repro.dfg.levels import LevelAnalysis
+    from repro.patterns.enumeration import PatternCatalog
+
+__all__ = [
+    "BitsetBackend",
+    "bitset_availability",
+    "bitset_supported",
+    "classify_by_label_bitset",
+    "packed_incomparable_rows",
+]
+
+#: Packed-row bytes to expand per chunk (unpacking blows each byte up to
+#: 8 bytes of bit flags, so 512 KiB of rows peaks at ~4 MiB transient).
+_EXPAND_CHUNK_BYTES = 1 << 19
+
+_INT64_MAX = 2**63 - 1
+
+
+def _native_module():
+    """The compiled expansion module, or ``None``.
+
+    Read through a function so monkeypatching ``bitset._native`` (the
+    forced-fallback tests) takes effect mid-process.  The kernel indexes
+    bits little-endian within each ``uint64`` word, so it is only used on
+    little-endian hosts; big-endian falls back to ``np.unpackbits``.
+    """
+    return _native if sys.byteorder == "little" else None
+
+
+def bitset_supported(n_nodes: int, max_size: int) -> bool:
+    """Can the vectorized core run this problem exactly?
+
+    Requires numpy, and the padded positional key
+    ``(n_nodes + 1) ** max_size`` must fit ``int64`` — beyond that the
+    order-reconstruction keys would overflow and the scalar classifier
+    takes over (transparently, inside :func:`classify_by_label_bitset`).
+    """
+    return np is not None and (n_nodes + 1) ** max(1, max_size) <= _INT64_MAX
+
+
+def bitset_availability() -> str:
+    """One-line status of the vectorized code path for this process."""
+    if np is None:
+        return "pure-python fallback (numpy unavailable)"
+    native = _native_module()
+    ext = "native expand ext" if native is not None else "numpy expand"
+    return f"numpy {np.__version__} uint64 kernels, {ext}"
+
+
+def packed_incomparable_rows(dfg: "DFG"):
+    """``(rows, words)``: per-node packed incomparable-above bitset rows.
+
+    ``rows[i]`` is the ``uint64[words]`` little-endian packing of
+    ``higher(i) & ~comp[i]`` — the seed allowed-extension mask of node
+    ``i`` before any ``allowed_mask`` restriction (callers AND a packed
+    restriction row in themselves, which keeps this memoizable
+    per graph).  Cached on the graph's mutation-cleared analysis cache
+    alongside the int masks it is derived from, so every classify call,
+    partition plan and worker against one graph packs once.  The array is
+    read-only — child rows are fresh ``&`` results, never in-place edits.
+    """
+    if np is None:  # pragma: no cover - guarded by callers
+        raise GraphError("packed bitset rows require numpy")
+    cache = getattr(dfg, "_analysis_cache", None)
+    if cache is not None and "packed_incomparable_rows" in cache:
+        return cache["packed_incomparable_rows"]
+    comp = comparability_masks(dfg)
+    n = dfg.n_nodes
+    words = max(1, (n + 63) // 64)
+    full = (1 << n) - 1
+    buf = bytearray(max(1, n) * words * 8)
+    stride = words * 8
+    for i in range(n):
+        row = (full & ~((1 << (i + 1)) - 1)) & ~comp[i]
+        buf[i * stride:(i + 1) * stride] = row.to_bytes(stride, "little")
+    rows = np.frombuffer(bytes(buf), dtype=np.uint64).reshape(max(1, n), words)
+    out = (rows[:n], words)
+    if cache is not None:
+        cache["packed_incomparable_rows"] = out
+    return out
+
+
+def _pack_mask(mask: int, words: int):
+    """One packed ``uint64`` row for an arbitrary-precision int bitmask."""
+    return np.frombuffer(mask.to_bytes(words * 8, "little"), dtype=np.uint64)
+
+
+def _expand_rows(allowed, words: int):
+    """Set-bit coordinates of ``allowed`` as ``(frame, node)`` int64 arrays.
+
+    Frame-major, node-index ascending within each frame — the
+    lexicographic extension order the scalar DFS visits children in.
+    Processed in bounded chunks so the transient unpacked bit array never
+    exceeds ~8x :data:`_EXPAND_CHUNK_BYTES` regardless of frontier size;
+    yields ``(frame_offset, frames, nodes)`` per chunk.
+    """
+    native = _native_module()
+    frames = len(allowed)
+    step = max(1, _EXPAND_CHUNK_BYTES // (words * 8))
+    for start in range(0, frames, step):
+        chunk = allowed[start:start + step]
+        if native is not None:
+            pbytes, nbytes = native.expand(chunk, len(chunk), words)
+            par = np.frombuffer(pbytes, dtype=np.int64)
+            nod = np.frombuffer(nbytes, dtype=np.int64)
+        else:
+            bits = np.unpackbits(
+                chunk.view(np.uint8), axis=1, bitorder="little"
+            )
+            par, nod = np.nonzero(bits)
+            par = par.astype(np.int64)
+            nod = nod.astype(np.int64)
+        yield start, par, nod
+
+
+def classify_by_label_bitset(
+    enum: AntichainEnumerator,
+    labels: Sequence[int],
+    max_size: int,
+    span_limit: int | None = None,
+    *,
+    min_size: int = 1,
+    max_count: int | None = DEFAULT_MAX_COUNT,
+    allowed_mask: int | None = None,
+    roots: Sequence[int] | None = None,
+) -> dict[tuple[int, ...], LabelClassification]:
+    """Vectorized drop-in for :meth:`AntichainEnumerator.classify_by_label`.
+
+    Bit-identical output — bag dict order, censuses, frequency arrays,
+    ``first_seen`` orders and the ``max_count``
+    :class:`~repro.exceptions.EnumerationLimitError` all match the scalar
+    classifier exactly (the equivalence suite pins this, with and without
+    the compiled expansion kernel).  Problems the vectorized core cannot
+    represent (no numpy, or positional keys past ``int64``) run the
+    scalar classifier transparently, so callers never need to gate.
+    """
+    dfg = enum.dfg
+    n = dfg.n_nodes
+    if not bitset_supported(n, max_size):
+        return enum.classify_by_label(
+            labels,
+            max_size,
+            span_limit,
+            min_size=min_size,
+            max_count=max_count,
+            allowed_mask=allowed_mask,
+            roots=roots,
+        )
+    enum._check_bounds(max_size, min_size, span_limit)
+    if len(labels) != n:
+        raise GraphError(f"labels has {len(labels)} entries for {n} nodes")
+
+    full = (1 << n) - 1
+    if allowed_mask is not None:
+        full &= allowed_mask
+    if roots is None:
+        seed_ids: Iterable[int] = range(n)
+    else:
+        seed_ids = sorted(set(roots))
+        for r in seed_ids:
+            if not 0 <= r < n:
+                raise GraphError(f"root index {r} out of range for {n} nodes")
+    seeds = [i for i in seed_ids if full >> i & 1]
+    if not seeds:
+        return {}
+
+    inc, words = packed_incomparable_rows(dfg)
+    full_row = _pack_mask(full, words)
+    asap = np.asarray(enum._asap, dtype=np.int64)
+    alap = np.asarray(enum._alap, dtype=np.int64)
+    labels_arr = np.asarray(labels, dtype=np.int64)
+    n_labels = int(labels_arr.max()) + 1
+    # Zero-padded positional weights: position d contributes
+    # (node + 1) * (n+1)^(max_size-1-d); prefix < all of its extensions.
+    scale = [(n + 1) ** (max_size - 1 - d) for d in range(max_size)]
+
+    # Bag/bucket bookkeeping (python-level, touched once per *new*
+    # (bucket, label) transition — never once per antichain).
+    bag_keys: list[tuple[int, ...]] = []
+    bag_lookup: dict[tuple[int, ...], int] = {}
+    trans: dict[tuple[int, int], int] = {}
+
+    def bucket_of(bag: tuple[int, ...]) -> int:
+        b = bag_lookup.get(bag)
+        if b is None:
+            b = len(bag_keys)
+            bag_lookup[bag] = b
+            bag_keys.append(bag)
+        return b
+
+    # Depth-1 frontier: the seeds themselves.
+    nodes_d = np.asarray(seeds, dtype=np.int64)
+    parent_d = np.full(len(seeds), -1, dtype=np.int64)
+    bucket_d = np.asarray(
+        [bucket_of((int(labels_arr[i]),)) for i in seeds], dtype=np.int64
+    )
+    mx_d = asap[nodes_d]
+    mn_d = alap[nodes_d]
+    pk_d = (nodes_d + 1) * np.int64(scale[0])
+    allowed_d = inc[nodes_d] & full_row if max_size > 1 else None
+
+    # Per-bucket accumulators, grown geometrically as bags appear.
+    cap = 16
+    cnt = np.zeros(cap, dtype=np.int64)
+    minpk = np.full(cap, _INT64_MAX, dtype=np.int64)
+    freq2d = np.zeros((cap, n), dtype=np.int64)
+    minpk_node = np.full((cap, n), _INT64_MAX, dtype=np.int64)
+
+    def grow(needed: int) -> None:
+        nonlocal cap, cnt, minpk, freq2d, minpk_node
+        if needed <= cap:
+            return
+        new_cap = cap
+        while new_cap < needed:
+            new_cap *= 2
+        cnt = np.concatenate([cnt, np.zeros(new_cap - cap, dtype=np.int64)])
+        minpk = np.concatenate(
+            [minpk, np.full(new_cap - cap, _INT64_MAX, dtype=np.int64)]
+        )
+        freq2d = np.vstack(
+            [freq2d, np.zeros((new_cap - cap, n), dtype=np.int64)]
+        )
+        minpk_node = np.vstack(
+            [minpk_node, np.full((new_cap - cap, n), _INT64_MAX, dtype=np.int64)]
+        )
+        cap = new_cap
+
+    hist: list[tuple] = []  # (nodes, parent) per completed depth
+    produced = 0
+    depth = 1
+    while True:
+        grow(len(bag_keys))
+        if depth >= min_size:
+            produced += len(nodes_d)
+            if max_count is not None and produced > max_count:
+                raise enum._limit_error(max_count, max_size, span_limit)
+            np.add.at(cnt, bucket_d, 1)
+            np.minimum.at(minpk, bucket_d, pk_d)
+            # Frequency + first-seen scatter for every member of every
+            # frame: the last member directly, earlier members through
+            # the parent-frame chain (one gather per ancestor level).
+            np.add.at(freq2d, (bucket_d, nodes_d), 1)
+            np.minimum.at(minpk_node, (bucket_d, nodes_d), pk_d)
+            idx = parent_d
+            for d2 in range(depth - 1, 0, -1):
+                nd, pd = hist[d2 - 1]
+                members = nd[idx]
+                np.add.at(freq2d, (bucket_d, members), 1)
+                np.minimum.at(minpk_node, (bucket_d, members), pk_d)
+                idx = pd[idx]
+        if depth == max_size:
+            break
+
+        # Expand the frontier one node deeper (chunked; see _expand_rows).
+        hist.append((nodes_d, parent_d))
+        par_parts: list = []
+        nod_parts: list = []
+        kept = 0
+        for offset, par, nod in _expand_rows(allowed_d, words):
+            if span_limit is not None and len(par):
+                par = par + offset
+                keep = (
+                    np.maximum(mx_d[par], asap[nod])
+                    - np.minimum(mn_d[par], alap[nod])
+                ) <= span_limit
+                par = par[keep]
+                nod = nod[keep]
+            elif len(par):
+                par = par + offset
+            if not len(par):
+                continue
+            kept += len(par)
+            if (
+                max_count is not None
+                and depth + 1 >= min_size
+                and produced + kept > max_count
+            ):
+                # Every kept child is counted at the next depth; raising
+                # is already inevitable — do it before materializing more.
+                raise enum._limit_error(max_count, max_size, span_limit)
+            par_parts.append(par)
+            nod_parts.append(nod)
+        if not kept:
+            break
+        parents = par_parts[0] if len(par_parts) == 1 else np.concatenate(par_parts)
+        children = nod_parts[0] if len(nod_parts) == 1 else np.concatenate(nod_parts)
+
+        # Bag transitions: dedupe (bucket, label) pair codes first so the
+        # python dict work scales with distinct transitions, not frames.
+        pair = bucket_d[parents] * np.int64(n_labels) + labels_arr[children]
+        uniq, inverse = np.unique(pair, return_inverse=True)
+        lut = np.empty(len(uniq), dtype=np.int64)
+        for u_i, code in enumerate(uniq.tolist()):
+            pb, lab = divmod(code, n_labels)
+            key = (pb, lab)
+            b = trans.get(key)
+            if b is None:
+                b = bucket_of(tuple(sorted(bag_keys[pb] + (lab,))))
+                trans[key] = b
+            lut[u_i] = b
+
+        nxt_allowed = None
+        if depth + 1 < max_size:
+            nxt_allowed = allowed_d[parents] & inc[children]
+        pk_d = pk_d[parents] + (children + 1) * np.int64(scale[depth])
+        mx_d = np.maximum(mx_d[parents], asap[children])
+        mn_d = np.minimum(mn_d[parents], alap[children])
+        bucket_d = lut[inverse]
+        parent_d = parents
+        nodes_d = children
+        allowed_d = nxt_allowed
+        depth += 1
+
+    # Assembly: reconstruct the scalar first-visit orders from the keys.
+    # (Threshold read through the module so test monkeypatching of the
+    # spill regime applies to every classifier uniformly.)
+    spill = n >= _antichains.NUMPY_SPILL_THRESHOLD
+    order = [b for b in range(len(bag_keys)) if cnt[b] > 0]
+    order.sort(key=lambda b: int(minpk[b]))
+    out: dict[tuple[int, ...], LabelClassification] = {}
+    for b in order:
+        freq = freq2d[b]
+        present = np.nonzero(freq)[0]
+        row = minpk_node[b]
+        first_seen = present[np.lexsort((present, row[present]))]
+        out[bag_keys[b]] = LabelClassification(
+            count=int(cnt[b]),
+            frequencies=freq.copy() if spill else freq.tolist(),
+            first_seen=first_seen.tolist(),
+        )
+    return out
+
+
+class BitsetBackend(FusedBackend):
+    """Vectorized single-threaded backend (see module docstring).
+
+    Inherits the fused selection/scheduling paths — only pattern
+    generation differs, and only in *how*: outputs are bit-identical, so
+    catalogs, partials and cache keys are interchangeable with every
+    other backend's.
+    """
+
+    name = "bitset"
+
+    def classify(
+        self,
+        dfg: "DFG",
+        capacity: int,
+        span_limit: int | None = None,
+        *,
+        levels: "LevelAnalysis | None" = None,
+        store_antichains: bool = False,
+        max_count: int | None = DEFAULT_MAX_COUNT,
+        restrict_to: Iterable[str] | None = None,
+    ) -> "PatternCatalog":
+        from repro.patterns.enumeration import _allowed_mask, _classify_fast
+
+        if store_antichains:
+            raise PatternError(
+                f"the {self.name!r} backend cannot store raw antichains; "
+                "use the serial backend with store_antichains"
+            )
+        enum = AntichainEnumerator(dfg, levels=levels)
+
+        def classify(labels, size, span, **kwargs):
+            return classify_by_label_bitset(enum, labels, size, span, **kwargs)
+
+        return _classify_fast(
+            dfg,
+            enum,
+            capacity,
+            span_limit,
+            max_count,
+            _allowed_mask(dfg, restrict_to),
+            classify=classify,
+        )
+
+    def describe(self) -> str:
+        return f"{self.name} ({bitset_availability()})"
+
+    def availability(self) -> str:
+        return bitset_availability()

@@ -61,6 +61,11 @@ from repro.dfg.antichains import (
     limit_error,
 )
 from repro.exceptions import BackendError, PatternError
+from repro.exec.bitset import (
+    bitset_supported,
+    classify_by_label_bitset,
+    packed_incomparable_rows,
+)
 from repro.exec.fused import FusedBackend
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -93,6 +98,11 @@ def _init_worker(dfg: "DFG") -> None:
     """
     _WORKER["enum"] = AntichainEnumerator(dfg)
     _WORKER["labels"] = dfg.color_labels()[0]
+    if _np is not None:
+        # Prime the packed bitset rows too: partition tasks auto-route to
+        # the vectorized classifier, and packing once per worker keeps it
+        # off every task's critical path.
+        packed_incomparable_rows(dfg)
 
 
 def _classify_seeds(task):
@@ -109,7 +119,10 @@ def _classify_seeds(task):
     seeds, size, span_limit, max_count, allowed_mask = task
     enum: AntichainEnumerator = _WORKER["enum"]
     labels = _WORKER["labels"]
-    buckets = enum.classify_by_label(
+    # Auto-route to the vectorized classifier (bit-identical output; falls
+    # back to the scalar DFS transparently when unsupported).
+    buckets = classify_by_label_bitset(
+        enum,
         labels,
         size,
         span_limit,
@@ -135,6 +148,8 @@ def classify_partition_rows(
     size: int,
     span_limit: int | None,
     max_count: int | None,
+    *,
+    engine: str = "auto",
 ) -> list[tuple]:
     """Classify one seed partition into JSON-safe sparse bucket rows.
 
@@ -144,8 +159,27 @@ def classify_partition_rows(
     to ``first_seen`` — always sparse plain ints, so a row list can be
     cached on disk, shipped over HTTP, and fed straight back to
     :func:`merge_classified_parts` on any instance.
+
+    ``engine`` selects the classification core — ``"auto"`` (default)
+    runs the vectorized bitset classifier when this process supports it,
+    ``"bitset"`` asks for it explicitly, ``"fused"`` forces the scalar
+    in-DFS classifier.  All choices produce identical rows (the shard
+    protocol and partial-cache keys rely on that), so mixed fleets can
+    disagree on engines freely.
     """
-    buckets = enum.classify_by_label(
+    if engine not in ("auto", "bitset", "fused"):
+        raise BackendError(
+            f"unknown partition classify engine {engine!r}; "
+            f"expected 'auto', 'bitset' or 'fused'"
+        )
+    if engine == "fused":
+        classify = enum.classify_by_label
+    else:
+
+        def classify(labels, size, span, **kwargs):
+            return classify_by_label_bitset(enum, labels, size, span, **kwargs)
+
+    buckets = classify(
         labels,
         size,
         span_limit,
@@ -197,13 +231,28 @@ def estimate_seed_weights(
     bitmasks, which are already memoized on the graph's analysis cache
     (:func:`repro.dfg.traversal.comparability_masks`), so repeated
     planning against one graph pays the mask cost once.
+
+    With numpy the per-seed loop runs as one popcount over the memoized
+    packed incomparable-above rows (shared with the bitset classifier);
+    the pure-python loop remains as the fallback and the oracle — both
+    return the same plain-int list.
     """
     from repro.dfg.traversal import comparability_masks
 
-    comp = comparability_masks(dfg)
     universe = (1 << dfg.n_nodes) - 1
     if allowed_mask is not None:
         universe &= allowed_mask
+    if seeds and _np is not None and hasattr(_np, "bitwise_count"):
+        # inc[i] is higher(i) & ~comp[i]; AND-ing the universe row leaves
+        # exactly the scalar loop's `above & ~comp[i]` bits per seed.
+        inc, words = packed_incomparable_rows(dfg)
+        u_row = _np.frombuffer(
+            universe.to_bytes(words * 8, "little"), dtype=_np.uint64
+        )
+        rows = inc[_np.asarray(seeds, dtype=_np.int64)] & u_row
+        k = _np.bitwise_count(rows).sum(axis=1, dtype=_np.int64)
+        return (1 + k + k * (k - 1) // 2).tolist()
+    comp = comparability_masks(dfg)
     weights = []
     for i in seeds:
         above = universe >> (i + 1) << (i + 1)
@@ -415,6 +464,13 @@ class ProcessBackend(FusedBackend):
     def describe(self) -> str:
         suffix = ", persistent" if self.persistent else ""
         return f"{self.name}(jobs={self.effective_jobs()}{suffix})"
+
+    def availability(self) -> str:
+        from repro.exec.bitset import bitset_availability
+
+        # Worker tasks auto-route through the bitset classifier, so the
+        # interesting fact per host is which of its code paths is live.
+        return f"worker tasks: {bitset_availability()}"
 
     def effective_jobs(self) -> int:
         """The worker count a classify call would actually use."""

@@ -151,9 +151,10 @@ def classify_antichains(
         when ``backend`` is not given.  ``"auto"`` (default) classifies
         inside the enumeration DFS without materializing antichains,
         unless ``store_antichains`` demands the sequential name-tuple
-        classifier; ``"fast"`` / ``"reference"`` force a backend
-        (``"fast"`` with ``store_antichains`` is an error).  All backends
-        produce equal catalogs — the equivalence test-suite pins this.
+        classifier; ``"fast"`` / ``"reference"`` / ``"bitset"`` force a
+        backend (``"fast"`` or ``"bitset"`` with ``store_antichains`` is
+        an error).  All backends produce equal catalogs — the equivalence
+        test-suite pins this.
     backend:
         An :class:`~repro.exec.backend.ExecutionBackend` instance or
         registered backend name (e.g. ``"process"``); takes precedence
@@ -166,10 +167,10 @@ def classify_antichains(
     from repro.exec import get_backend
 
     if backend is None:
-        if engine not in ("auto", "fast", "reference"):
+        if engine not in ("auto", "fast", "reference", "bitset"):
             raise PatternError(
                 f"unknown classification engine {engine!r}; expected 'auto', "
-                f"'fast' or 'reference'"
+                f"'fast', 'reference' or 'bitset'"
             )
         if engine == "fast" and store_antichains:
             raise PatternError(
@@ -199,6 +200,7 @@ def _classify_fast(
     span_limit: int | None,
     max_count: int | None,
     allowed_mask: int | None,
+    classify=None,
 ) -> PatternCatalog:
     """Fused engine: in-DFS classification into int frequency arrays.
 
@@ -206,11 +208,18 @@ def _classify_fast(
     Counter is built in the same insertion order the reference classifier
     would produce, so the two engines' catalogs compare equal — including
     Counter iteration order, which downstream float summations depend on.
+
+    ``classify`` swaps the label-classification core (the bitset backend
+    passes its vectorized kernel); any replacement must honour the
+    ``classify_by_label`` contract bit for bit, because this conversion
+    trusts the bag/first_seen orders it returns.
     """
     names = dfg.nodes
     labels, id_colors = dfg.color_labels()
 
-    buckets = enum.classify_by_label(
+    if classify is None:
+        classify = enum.classify_by_label
+    buckets = classify(
         labels,
         capacity,
         span_limit,

@@ -528,9 +528,10 @@ class SchedulerService:
     ) -> "tuple[PatternCatalog, int]":
         """Build a catalog, incrementally when the partial cache can help.
 
-        For the fused backend (the service default) the build runs seed
-        partition by seed partition against the content-addressed shard
-        partial cache: partitions whose
+        For the fused backend (the service default) and the bitset
+        backend — whose partition rows are bit-identical by contract —
+        the build runs seed partition by seed partition against the
+        content-addressed shard partial cache: partitions whose
         :func:`~repro.dfg.io.subgraph_digest`-keyed partial is already
         cached — because an *edited* graph shares them with its
         predecessor, another instance computed them, or they survived on
@@ -546,7 +547,10 @@ class SchedulerService:
         monolithic :meth:`~repro.core.selection.PatternSelector.build_catalog`.
         """
         config = selector.config
-        if getattr(backend, "name", None) != "fused" or config.store_antichains:
+        if (
+            getattr(backend, "name", None) not in ("fused", "bitset")
+            or config.store_antichains
+        ):
             return selector.build_catalog(dfg, backend=backend), 0
 
         hits = 0

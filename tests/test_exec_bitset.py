@@ -1,0 +1,412 @@
+"""Bitset backend: vectorized classification pinned bit-identical.
+
+The bitset backend replaces the scalar classify DFS with batched numpy
+kernels; its whole value rests on producing *exactly* the scalar output —
+bag dict insertion order, censuses, frequency arrays, first-seen orders,
+selection priorities as exact floats, schedules, and the ``max_count``
+error.  This suite pins that equivalence against the serial and fused
+oracles over fixed random DAGs, the paper graphs, fft16/fft64, and a
+hypothesis sweep of random layered/ER DAGs — then re-pins it with the
+compiled expansion kernel forced away (pure numpy path) and with numpy
+itself forced away (scalar fallback path).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SelectionConfig
+from repro.dfg.antichains import AntichainEnumerator
+from repro.exceptions import (
+    BackendError,
+    EnumerationLimitError,
+    GraphError,
+    PatternError,
+)
+from repro.exec import BitsetBackend, available_backends, get_backend
+from repro.exec import bitset as bitset_mod
+from repro.exec.bitset import (
+    bitset_availability,
+    bitset_supported,
+    classify_by_label_bitset,
+    packed_incomparable_rows,
+)
+from repro.exec.process import classify_partition_rows, estimate_seed_weights
+from repro.patterns.enumeration import classify_antichains
+from repro.pipeline import Pipeline
+from repro.workloads import small_example, three_point_dft_paper
+from repro.workloads.fft import radix2_fft
+from repro.workloads.synthetic import layered_dag, random_dag
+from tests.test_exec_backends import (
+    RANDOM_CASES,
+    _case_graph,
+    assert_catalogs_identical,
+    assert_results_identical,
+)
+
+np = pytest.importorskip("numpy")
+
+BITSET = BitsetBackend()
+
+
+def assert_classifications_identical(got, ref):
+    """Raw classify_by_label output equality, insertion orders included."""
+    assert list(got) == list(ref)
+    for key in ref:
+        assert got[key].count == ref[key].count, key
+        assert got[key].first_seen == ref[key].first_seen, key
+        assert list(got[key].frequencies) == list(ref[key].frequencies), key
+
+
+def _check_graph(dfg, size, span, **kw):
+    enum = AntichainEnumerator(dfg)
+    labels, _ = dfg.color_labels()
+    ref = enum.classify_by_label(labels, size, span, **kw)
+    got = classify_by_label_bitset(enum, labels, size, span, **kw)
+    assert_classifications_identical(got, ref)
+
+
+# --------------------------------------------------------------------------- #
+# registry / CLI surface
+# --------------------------------------------------------------------------- #
+
+
+def test_bitset_registered_with_alias():
+    assert "bitset" in available_backends()
+    assert type(get_backend("bitset")) is BitsetBackend
+    assert type(get_backend("vectorized")) is BitsetBackend
+
+
+def test_bitset_engine_string_accepted():
+    dfg = small_example()
+    ref = classify_antichains(dfg, 2, None, engine="fast")
+    got = classify_antichains(dfg, 2, None, engine="bitset")
+    assert_catalogs_identical(got, ref)
+
+
+def test_unknown_engine_error_lists_bitset():
+    with pytest.raises(PatternError, match="'bitset'"):
+        classify_antichains(small_example(), 2, engine="bogus")
+
+
+def test_availability_reports_numpy_and_native_state(monkeypatch):
+    assert "numpy" in bitset_availability()
+    monkeypatch.setattr(bitset_mod, "_native", None)
+    assert "numpy expand" in bitset_availability()
+    monkeypatch.setattr(bitset_mod, "np", None)
+    assert "fallback" in bitset_availability()
+    # The seam every backend exposes for `repro backends`.
+    assert get_backend("serial").availability() == "pure python"
+    assert "numpy" in get_backend("process").availability()
+
+
+def test_describe_includes_availability():
+    assert bitset_availability() in BITSET.describe()
+
+
+def test_store_antichains_raises():
+    with pytest.raises(PatternError, match="cannot store raw antichains"):
+        classify_antichains(
+            small_example(), 2, store_antichains=True, backend=BITSET
+        )
+
+
+# --------------------------------------------------------------------------- #
+# support predicate / fallback routing
+# --------------------------------------------------------------------------- #
+
+
+def test_supported_bounds():
+    assert bitset_supported(10, 3)
+    # (n+1)**max_size past int64 → unsupported, scalar fallback.
+    assert not bitset_supported(120, 10)
+
+
+def test_unsupported_key_range_falls_back_to_scalar():
+    from tests.conftest import chain
+
+    dfg = chain(120)
+    assert not bitset_supported(dfg.n_nodes, 10)
+    ref = classify_antichains(dfg, 10, None, engine="fast")
+    got = classify_antichains(dfg, 10, None, backend=BITSET)
+    assert_catalogs_identical(got, ref)
+
+
+def test_numpy_absent_falls_back_to_scalar(monkeypatch):
+    monkeypatch.setattr(bitset_mod, "np", None)
+    assert not bitset_supported(4, 2)
+    dfg = three_point_dft_paper()
+    ref = classify_antichains(dfg, 5, 1, engine="fast")
+    got = classify_antichains(dfg, 5, 1, backend=BitsetBackend())
+    assert_catalogs_identical(got, ref)
+
+
+def test_validation_matches_scalar():
+    dfg = small_example()
+    enum = AntichainEnumerator(dfg)
+    labels, _ = dfg.color_labels()
+    with pytest.raises(GraphError, match="labels has 2 entries"):
+        classify_by_label_bitset(enum, labels[:2], 2)
+    with pytest.raises(GraphError, match="out of range"):
+        classify_by_label_bitset(enum, labels, 2, roots=[99])
+
+
+def test_max_count_error_identical():
+    dfg = radix2_fft(8)
+    enum = AntichainEnumerator(dfg)
+    labels, _ = dfg.color_labels()
+    with pytest.raises(EnumerationLimitError) as ref:
+        enum.classify_by_label(labels, 4, None, max_count=100)
+    with pytest.raises(EnumerationLimitError) as got:
+        classify_by_label_bitset(enum, labels, 4, None, max_count=100)
+    assert str(got.value) == str(ref.value)
+
+
+# --------------------------------------------------------------------------- #
+# equivalence: fixed cases, paper graphs, fft16/fft64
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("kind, seed, a, b, capacity, span", RANDOM_CASES)
+def test_catalog_equivalence_random(kind, seed, a, b, capacity, span):
+    dfg = _case_graph(kind, seed, a, b)
+    serial = classify_antichains(dfg, capacity, span, engine="reference")
+    fused = classify_antichains(dfg, capacity, span, engine="fast")
+    got = classify_antichains(dfg, capacity, span, backend=BITSET)
+    assert_catalogs_identical(got, serial)
+    assert_catalogs_identical(got, fused)
+
+
+def test_catalog_equivalence_paper_graphs():
+    for dfg, capacity, span in [
+        (small_example(), 2, None),
+        (three_point_dft_paper(), 5, 1),
+        (three_point_dft_paper(), 5, None),
+        (radix2_fft(8), 4, 1),
+        (radix2_fft(8), 4, None),
+    ]:
+        serial = classify_antichains(dfg, capacity, span, engine="reference")
+        got = classify_antichains(dfg, capacity, span, backend=BITSET)
+        assert_catalogs_identical(got, serial)
+
+
+@pytest.mark.parametrize("points, capacity", [(16, 3), (64, 2)])
+def test_catalog_equivalence_fft(points, capacity):
+    # The benchmark workloads; fused is the oracle here (itself pinned to
+    # serial elsewhere) to keep the suite's runtime bounded.
+    dfg = radix2_fft(points)
+    fused = classify_antichains(dfg, capacity, 1, engine="fast")
+    got = classify_antichains(dfg, capacity, 1, backend=BITSET)
+    assert_catalogs_identical(got, fused)
+
+
+def test_classifier_parameter_combos():
+    for dfg, size, span in [
+        (three_point_dft_paper(), 5, 1),
+        (radix2_fft(8), 4, None),
+        (layered_dag(23, layers=5, width=4, colors=("a", "b", "c")), 4, None),
+        (random_dag(42, 12, edge_prob=0.45), 4, 1),
+    ]:
+        n = dfg.n_nodes
+        _check_graph(dfg, size, span)
+        _check_graph(dfg, size, span, roots=list(range(0, n, 3)))
+        _check_graph(dfg, size, span, min_size=2)
+        _check_graph(dfg, size, span, allowed_mask=((1 << n) - 1) & ~0b1010)
+        _check_graph(
+            dfg, size, span,
+            roots=list(range(0, n, 2)),
+            allowed_mask=((1 << n) - 1) & ~0b100,
+            min_size=2,
+        )
+
+
+def test_restrict_to_equivalence():
+    dfg = layered_dag(3, layers=4, width=5, colors=("a", "b"))
+    subset = list(dfg.nodes)[::2] + ["not-a-node"]
+    fused = classify_antichains(dfg, 3, 1, restrict_to=subset)
+    got = classify_antichains(dfg, 3, 1, restrict_to=subset, backend=BITSET)
+    assert_catalogs_identical(got, fused)
+
+
+# --------------------------------------------------------------------------- #
+# hypothesis sweep
+# --------------------------------------------------------------------------- #
+
+
+@st.composite
+def _random_case(draw):
+    if draw(st.booleans()):
+        dfg = layered_dag(
+            draw(st.integers(0, 2**31)),
+            layers=draw(st.integers(2, 5)),
+            width=draw(st.integers(2, 5)),
+            colors=("a", "b", "c"),
+        )
+    else:
+        dfg = random_dag(
+            draw(st.integers(0, 2**31)),
+            draw(st.integers(4, 16)),
+            edge_prob=draw(st.floats(0.1, 0.6)),
+        )
+    capacity = draw(st.integers(2, 4))
+    span = draw(st.one_of(st.none(), st.integers(0, 2)))
+    return dfg, capacity, span
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_random_case())
+def test_hypothesis_catalog_equivalence(case):
+    dfg, capacity, span = case
+    fused = classify_antichains(dfg, capacity, span, engine="fast")
+    got = classify_antichains(dfg, capacity, span, backend=BITSET)
+    assert_catalogs_identical(got, fused)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(_random_case(), st.integers(2, 4))
+def test_hypothesis_pipeline_bit_identical(case, pdef):
+    dfg, capacity, span = case
+    if pdef * capacity < len(dfg.colors()):
+        pdef = -(-len(dfg.colors()) // capacity)
+    config = SelectionConfig(span_limit=span, widen_to_capacity=True)
+    ref = Pipeline(capacity, pdef, config=config, backend="serial").run(dfg)
+    got = Pipeline(capacity, pdef, config=config, backend="bitset").run(dfg)
+    assert_results_identical(got, ref)
+
+
+# --------------------------------------------------------------------------- #
+# forced fallback: compiled expansion kernel absent
+# --------------------------------------------------------------------------- #
+
+
+def test_native_kernel_matches_numpy_expand():
+    native = bitset_mod._native_module()
+    if native is None:
+        pytest.skip("compiled expansion kernel not built")
+    rng = np.random.default_rng(7)
+    rows = rng.integers(0, 2**63, size=(37, 3), dtype=np.uint64)
+    pbytes, nbytes = native.expand(np.ascontiguousarray(rows), 37, 3)
+    par = np.frombuffer(pbytes, dtype=np.int64)
+    nod = np.frombuffer(nbytes, dtype=np.int64)
+    bits = np.unpackbits(rows.view(np.uint8), axis=1, bitorder="little")
+    rpar, rnod = np.nonzero(bits)
+    assert (par == rpar).all()
+    assert (nod == rnod).all()
+
+
+@pytest.mark.parametrize("kind, seed, a, b, capacity, span", RANDOM_CASES[:3])
+def test_forced_fallback_equivalence(monkeypatch, kind, seed, a, b, capacity, span):
+    monkeypatch.setattr(bitset_mod, "_native", None)
+    dfg = _case_graph(kind, seed, a, b)
+    fused = classify_antichains(dfg, capacity, span, engine="fast")
+    got = classify_antichains(dfg, capacity, span, backend=BitsetBackend())
+    assert_catalogs_identical(got, fused)
+
+
+def test_repro_no_native_env_var():
+    code = (
+        "from repro.exec import bitset\n"
+        "assert bitset._native is None, bitset._native\n"
+        "print('fallback-active')\n"
+    )
+    env = dict(os.environ, REPRO_NO_NATIVE="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (env.get("PYTHONPATH"), "src") if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True, text=True, env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert out.returncode == 0, out.stderr
+    assert "fallback-active" in out.stdout
+
+
+# --------------------------------------------------------------------------- #
+# shared kernels: packed rows, partition rows, seed weights
+# --------------------------------------------------------------------------- #
+
+
+def test_packed_rows_memoized_and_match_masks():
+    dfg = radix2_fft(8)
+    rows, words = packed_incomparable_rows(dfg)
+    assert packed_incomparable_rows(dfg)[0] is rows
+    from repro.dfg.traversal import comparability_masks
+
+    comp = comparability_masks(dfg)
+    n = dfg.n_nodes
+    full = (1 << n) - 1
+    for i in range(n):
+        expect = (full & ~((1 << (i + 1)) - 1)) & ~comp[i]
+        got = int.from_bytes(rows[i].tobytes(), "little")
+        assert got == expect, i
+
+
+def test_classify_partition_rows_engines_identical():
+    dfg = radix2_fft(8)
+    labels, _ = dfg.color_labels()
+    seeds = list(range(0, dfg.n_nodes, 2))
+    args = (labels, seeds, 4, 1, None)
+    fused = classify_partition_rows(AntichainEnumerator(dfg), *args, engine="fused")
+    auto = classify_partition_rows(AntichainEnumerator(dfg), *args)
+    forced = classify_partition_rows(AntichainEnumerator(dfg), *args, engine="bitset")
+    assert auto == fused == forced
+    # JSON-safe plain ints either way.
+    for key, count, first_seen, values in auto:
+        assert all(type(v) is int for v in values)
+        assert all(type(i) is int for i in first_seen)
+    with pytest.raises(BackendError, match="unknown partition classify engine"):
+        classify_partition_rows(AntichainEnumerator(dfg), *args, engine="bogus")
+
+
+def test_estimate_seed_weights_vectorized_matches_pure(monkeypatch):
+    from repro.exec import process as process_mod
+
+    dfg = radix2_fft(16)
+    seeds = list(range(dfg.n_nodes))
+    mask = ((1 << dfg.n_nodes) - 1) & ~0b11100
+    vec_all = estimate_seed_weights(dfg, seeds)
+    vec_masked = estimate_seed_weights(dfg, seeds[3:40], allowed_mask=mask)
+    monkeypatch.setattr(process_mod, "_np", None)
+    assert estimate_seed_weights(dfg, seeds) == vec_all
+    assert estimate_seed_weights(dfg, seeds[3:40], allowed_mask=mask) == vec_masked
+    assert all(type(w) is int for w in vec_all)
+
+
+# --------------------------------------------------------------------------- #
+# numpy spill regime
+# --------------------------------------------------------------------------- #
+
+
+def test_spill_regime_identical(monkeypatch):
+    from repro.dfg import antichains
+
+    dfg = radix2_fft(8)
+    expected = classify_antichains(dfg, 4, 1, engine="reference")
+    monkeypatch.setattr(antichains, "NUMPY_SPILL_THRESHOLD", 1)
+    got = classify_antichains(dfg, 4, 1, backend=BITSET)
+    assert_catalogs_identical(got, expected)
+    for counter in got.frequencies.values():
+        assert all(type(v) is int for v in counter.values())
+    # Below the (patched) threshold boundary the raw classifier must hand
+    # back numpy buffers exactly like the scalar one does.
+    enum = AntichainEnumerator(dfg)
+    labels, _ = dfg.color_labels()
+    buckets = classify_by_label_bitset(enum, labels, 4, 1)
+    assert all(
+        isinstance(c.frequencies, np.ndarray) for c in buckets.values()
+    )

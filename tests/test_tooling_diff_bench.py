@@ -100,6 +100,22 @@ def test_new_and_dropped_stages_never_fail(tmp_path, capsys):
     assert "new stage" in out and "dropped" in out
 
 
+def test_sub10ms_stages_excluded_from_relative_diff(tmp_path, capsys):
+    # Sub-10ms stages flip their ratio on a single scheduler hiccup;
+    # the relative compare must not gate timer noise.
+    def _micro(speedup):
+        report = _report([("FFT-8", "selection", speedup)])
+        row = report["stages"][0]
+        row["reference_s"] = 0.001 * speedup
+        row["fast_s"] = 0.001
+        return report
+
+    old = _write(tmp_path, "old.json", _micro(1.3))
+    new = _write(tmp_path, "new.json", _micro(0.2))
+    assert diff_bench.main([str(new), "--baseline", str(old)]) == 0
+    assert "timer-noise bound" in capsys.readouterr().out
+
+
 def test_missing_baseline_path_is_skipped(tmp_path):
     new = _write(
         tmp_path, "new.json",
@@ -240,14 +256,15 @@ def _edit_report(speedup, *, quick=False, cpus=1):
 
 def test_warm_edit_gated_on_single_cpu_full_report(tmp_path, capsys):
     # Unlike shard/process rows the edit gate is any-machine: the warm
-    # path elides DFS instead of parallelising it.
-    new = _write(tmp_path, "new.json", _edit_report(3.0, cpus=1))
+    # path elides DFS instead of parallelising it.  The default floor is
+    # 1.0 — warm must never be slower than cold.
+    new = _write(tmp_path, "new.json", _edit_report(0.8, cpus=1))
     assert diff_bench.main([str(new)]) == 1
-    assert "warm edit rebuild speedup 3.0x" in capsys.readouterr().err
+    assert "warm edit rebuild speedup 0.8x" in capsys.readouterr().err
 
 
 def test_warm_edit_passes_at_floor(tmp_path, capsys):
-    new = _write(tmp_path, "new.json", _edit_report(6.2))
+    new = _write(tmp_path, "new.json", _edit_report(1.1))
     assert diff_bench.main([str(new)]) == 0
     assert "warm edit rebuild" in capsys.readouterr().out
 
@@ -258,9 +275,18 @@ def test_warm_edit_floor_is_configurable(tmp_path):
 
 
 def test_warm_edit_not_gated_on_quick_smoke(tmp_path, capsys):
-    new = _write(tmp_path, "new.json", _edit_report(2.2, quick=True))
+    new = _write(tmp_path, "new.json", _edit_report(0.8, quick=True))
     assert diff_bench.main([str(new)]) == 0
     assert "not gated" in capsys.readouterr().out
+
+
+def test_quick_edit_rows_excluded_from_relative_diff(tmp_path, capsys):
+    # A faster cold rebuild legitimately compresses the quick warm/cold
+    # ratio; the relative compare must not read that as a regression.
+    old = _write(tmp_path, "old.json", _edit_report(6.0, quick=True))
+    new = _write(tmp_path, "new.json", _edit_report(2.0, quick=True))
+    assert diff_bench.main([str(new), "--baseline", str(old)]) == 0
+    assert "fixed-cost bound" in capsys.readouterr().out
 
 
 def test_report_without_edit_rows_skips_the_gate(tmp_path):
@@ -282,3 +308,49 @@ def test_shard_relative_diff_needs_multicore_both_sides(tmp_path, capsys):
     # single-CPU overhead measurement — it must be skipped, not compared.
     assert diff_bench.main([str(new), "--baseline", str(old)]) == 0
     assert "needs multi-core both sides" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# bitset gate (any-machine, full reports only)
+# --------------------------------------------------------------------------- #
+def _bitset_report(speedup, *, quick=False, cpus=1):
+    report = _report([("FFT-64", "enumeration+classify", 5.0)])
+    report["quick"] = quick
+    report["cpus"] = cpus
+    row = report["stages"][0]
+    row["bitset_s"] = row["fast_s"] / speedup
+    row["bitset_speedup_vs_fast"] = speedup
+    return report
+
+
+def test_bitset_gated_on_single_cpu_full_report(tmp_path, capsys):
+    # Like the warm-edit gate, the bitset gate is any-machine: both sides
+    # of the speedup run on the same single core.
+    new = _write(tmp_path, "new.json", _bitset_report(1.3, cpus=1))
+    assert diff_bench.main([str(new)]) == 1
+    assert "bitset speedup 1.3x" in capsys.readouterr().err
+
+
+def test_bitset_passes_at_floor(tmp_path, capsys):
+    new = _write(tmp_path, "new.json", _bitset_report(4.5))
+    assert diff_bench.main([str(new)]) == 0
+    assert "bitset vs fused" in capsys.readouterr().out
+
+
+def test_bitset_floor_is_configurable(tmp_path):
+    new = _write(tmp_path, "new.json", _bitset_report(4.5))
+    assert diff_bench.main([str(new), "--bitset-floor", "6.0"]) == 1
+
+
+def test_bitset_not_gated_on_quick_smoke(tmp_path, capsys):
+    new = _write(tmp_path, "new.json", _bitset_report(1.1, quick=True))
+    assert diff_bench.main([str(new)]) == 0
+    assert "not gated" in capsys.readouterr().out
+
+
+def test_report_without_bitset_columns_skips_the_gate(tmp_path):
+    new = _write(
+        tmp_path, "new.json",
+        _report([("FFT-64", "enumeration+classify", 5.0)]),
+    )
+    assert diff_bench.main([str(new)]) == 0
