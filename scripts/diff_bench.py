@@ -53,6 +53,13 @@ floor:
   would measure that fixed cost, not partition reuse.  The semantic
   reuse checks (cache level ``edit``, partition hits > 0,
   bit-identical results) are asserted inside ``run_benchmarks.py``;
+* policy gate — ``policy auto`` rows (the pipeline under ``--policy
+  auto`` with a warm disk profile store vs the best fixed backend it
+  chooses between) must keep a speedup ≥ ``--policy-floor`` (default
+  0.9x) on full reports.  Both sides ran on the same core moments
+  apart, so the gate is machine-independent; it bounds the overhead of
+  the decision plumbing (signature, store read, dispatch), not raw
+  engine speed.  ``--quick`` smoke rows are printed, never gated;
 * bitset gate — enumeration+classify rows carrying
   ``bitset_speedup_vs_fast`` (the vectorized bitset backend against the
   fused scalar baseline, same single core — machine-independent) must
@@ -144,6 +151,15 @@ def main(argv=None) -> int:
         "slower than cold — the vectorized cold rebuild leaves both "
         "sides fixed-cost bound on size-2 workloads)",
     )
+    parser.add_argument(
+        "--policy-floor", type=float, default=0.9,
+        help="minimum warm-auto-vs-best-fixed-backend speedup, gated on "
+        "any machine whenever a full (non --quick) report carries "
+        "'policy auto' rows (default 0.9: a warm auto run reads the "
+        "profile store and dispatches to the stored winner, so more "
+        "than ~10%% overhead over that winner means the decision "
+        "plumbing regressed)",
+    )
     args = parser.parse_args(argv)
 
     new = json.loads(args.new.read_text())
@@ -224,6 +240,28 @@ def main(argv=None) -> int:
                     f"warm {row.get('fast_s', 0):8.4f}s   "
                     f"{edit_speedup:6.2f}x"
                 )
+        if stage == "policy auto":
+            auto_speedup = row.get("speedup") or 0
+            if new.get("quick"):
+                print(
+                    f"  {workload:>8} {stage} {auto_speedup}x — quick "
+                    f"smoke workload (fixed-cost bound); not gated"
+                )
+            elif auto_speedup < args.policy_floor:
+                failures.append(
+                    f"{workload}/{stage}: warm auto speedup {auto_speedup}x "
+                    f"vs the best fixed backend below the "
+                    f"{args.policy_floor}x floor "
+                    f"(selected {row.get('selected')})"
+                )
+            else:
+                print(
+                    f"  {workload:>8} {stage:<24} "
+                    f"best-fixed {row.get('reference_s', 0):8.4f}s   "
+                    f"auto {row.get('fast_s', 0):8.4f}s   "
+                    f"{auto_speedup:6.2f}x "
+                    f"(selected {row.get('selected')})"
+                )
         if stage == "shard catalog warm":
             warm_speedup = row.get("speedup") or 0
             if warm_speedup < args.warm_shard_floor:
@@ -276,13 +314,13 @@ def main(argv=None) -> int:
                 print(f"  skipped (needs multi-core both sides): "
                       f"{key[0]}/{key[1]}")
                 continue
-            if key[1] == "warm edit rebuild" and (
+            if key[1] in ("warm edit rebuild", "policy auto") and (
                 new.get("quick") or baseline.get("quick")
             ):
-                # Quick edit rows are fixed-cost bound (tiny workloads),
-                # so their warm/cold ratio moves with unrelated changes
-                # to the cold path — same reason the floor skips them.
-                print(f"  skipped (quick edit rows are fixed-cost "
+                # Quick edit/policy rows are fixed-cost bound (tiny
+                # workloads), so their ratio moves with unrelated changes
+                # to the other path — same reason the floors skip them.
+                print(f"  skipped (quick rows are fixed-cost "
                       f"bound): {key[0]}/{key[1]}")
                 continue
             old_speedup, new_speedup = old.get("speedup"), row.get("speedup")

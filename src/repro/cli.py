@@ -18,6 +18,9 @@
     repro compile examples.prog --pdef 3
     repro workloads              # list built-in workloads
     repro backends               # list execution backends
+    repro policy                 # list scheduling policies
+    repro policy --cache-dir /var/cache/repro           # + stored profiles
+    repro pipeline fft64 --policy auto --cache-dir ~/.cache/repro
 
 Compute-heavy commands accept ``--backend`` (``serial``/``fused``/
 ``process``; default ``fused``) and ``--jobs`` (worker count for the
@@ -207,6 +210,8 @@ def _cmd_schedule(args: argparse.Namespace) -> None:
 
 def _print_job_result(result, cache: str, *, timings: bool) -> None:
     print(f"  library: {' '.join(result.selection.library.as_strings())}")
+    if getattr(result, "policy", None) is not None:
+        print(f"  policy:  {result.policy}")
     print(f"  cycles:  {result.schedule.length}  "
           f"(lower bound {result.metrics['lower_bound']}, "
           f"gap {result.metrics['optimality_gap']})")
@@ -238,7 +243,10 @@ def _cmd_pipeline(args: argparse.Namespace) -> None:
         capacity=args.capacity, pdef=args.pdef, dfg=dfg, config=cfg
     )
     service = SchedulerService(
-        backend=args.backend, jobs=args.jobs, cache_dir=args.cache_dir
+        backend=args.backend,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        policy=args.policy,
     )
     if args.shards is not None:
         # Fan the catalog stage out over N in-process shard services; a
@@ -248,6 +256,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> None:
             service=service,
             claim_batch=args.claim_batch,
             cache_dir=args.cache_dir,
+            policy=args.policy,
         ) as coord, service:
             outcome = coord.submit_outcome(request)
         via = f"{args.shards} local shards + {service.backend.describe()}"
@@ -292,6 +301,7 @@ def _cmd_serve(args: argparse.Namespace) -> None:
             else None
         ),
         max_pending=args.max_pending,
+        policy=args.policy,
     )
 
 
@@ -325,6 +335,7 @@ def _cmd_submit(args: argparse.Namespace) -> None:
         workload=args.workload,
         config=cfg,
         priority=args.priority,
+        policy=args.policy,
     )
     client = ServiceClient(args.url, timeout=args.timeout)
     result = client.submit(request)
@@ -396,12 +407,57 @@ def _cmd_edit(args: argparse.Namespace) -> None:
 
 
 def _cmd_backends(args: argparse.Namespace) -> None:
+    from repro.policy import WorkloadSignature, decide
+
+    # Which named workloads a *cold* `auto` policy (no profile store)
+    # would route to each backend — the selected-by-auto column.
+    routed: dict[str, list[str]] = {}
+    for wl in sorted(WORKLOADS):
+        decision = decide("auto", WorkloadSignature.of(WORKLOADS[wl]()))
+        if decision.backend is not None:
+            routed.setdefault(decision.backend, []).append(wl)
     rows = []
     for name in available_backends():
         backend = get_backend(name, jobs=args.jobs)
-        rows.append((name, backend.describe(), backend.availability()))
-    print(render_table(["name", "description", "availability"], rows,
-                       title="registered execution backends"))
+        rows.append(
+            (name, backend.describe(), backend.availability(),
+             " ".join(routed.get(name, ())) or "-")
+        )
+    print(render_table(
+        ["name", "description", "availability", "selected by auto (cold)"],
+        rows, title="registered execution backends",
+    ))
+
+
+def _cmd_policy(args: argparse.Namespace) -> None:
+    from repro.policy import ProfileStore, available_policies, get_policy
+
+    rows = [(name, get_policy(name).description)
+            for name in available_policies()]
+    print(render_table(["name", "description"], rows,
+                       title="registered scheduling policies"))
+    if args.cache_dir is None:
+        if args.clear:
+            raise ReproError("--clear requires --cache-dir")
+        return
+    store = ProfileStore.open(args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"\ncleared {removed} stored profile(s) from {args.cache_dir}")
+        return
+    entries = store.entries()
+    if not entries:
+        print(f"\nno stored profiles in {args.cache_dir}")
+        return
+    prof_rows = [
+        (" ".join(str(part) for part in sig_key[1:]), policy,
+         entry.get("count", 0), f"{entry.get('mean_s', 0.0) * 1000:.2f}")
+        for sig_key, policy, entry in entries
+    ]
+    print(render_table(
+        ["signature", "policy", "count", "mean ms"],
+        prof_rows, title=f"stored profiles ({args.cache_dir})",
+    ))
 
 
 def _cmd_compile(args: argparse.Namespace) -> None:
@@ -500,6 +556,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir", default=None,
                    help="disk-backed cache directory: catalogs/selections/"
                         "results persist across invocations")
+    p.add_argument("--policy", default=None,
+                   help="scheduling policy (see 'repro policy'); 'auto' "
+                        "picks per workload from stored profiles")
     add_backend_args(p)
     p.set_defaults(fn=_cmd_pipeline)
 
@@ -524,6 +583,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pending", type=int, default=None,
                    help="admission bound: reject (HTTP 429) when this many "
                         "submissions are already pending")
+    p.add_argument("--policy", default=None,
+                   help="default scheduling policy for submitted jobs "
+                        "(see 'repro policy'); per-request backend/policy "
+                        "fields still win")
     add_backend_args(p)
     p.set_defaults(fn=_cmd_serve)
 
@@ -551,6 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-pattern-size", type=int, default=None)
     p.add_argument("--widen", action="store_true")
     p.add_argument("--priority", default="f2", choices=["f1", "f2"])
+    p.add_argument("--policy", default=None,
+                   help="scheduling policy applied by the service "
+                        "(see 'repro policy')")
     p.add_argument("--timeout", type=float, default=60.0)
     p.add_argument("--timings", action="store_true",
                    help="print per-stage wall-clock timings")
@@ -593,6 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("workloads", help="list built-in workloads")
     p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser(
+        "policy",
+        help="list scheduling policies and inspect stored profiles",
+    )
+    p.add_argument("--cache-dir", default=None,
+                   help="show profiles stored under this cache directory")
+    p.add_argument("--clear", action="store_true",
+                   help="with --cache-dir: drop all stored profiles")
+    p.set_defaults(fn=_cmd_policy)
     return parser
 
 

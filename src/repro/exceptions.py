@@ -23,6 +23,7 @@ __all__ = [
     "SelectionError",
     "EnumerationLimitError",
     "BackendError",
+    "PolicyError",
     "FrontendError",
     "AllocationError",
     "ServiceError",
@@ -93,6 +94,10 @@ class EnumerationLimitError(ReproError):
 
 class BackendError(ReproError):
     """An execution backend was unknown or configured inconsistently."""
+
+
+class PolicyError(ReproError):
+    """A scheduling policy was unknown or configured inconsistently."""
 
 
 class FrontendError(ReproError):

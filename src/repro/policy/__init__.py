@@ -1,0 +1,61 @@
+"""Adaptive policy selection: signatures → registry → decisions → profiles.
+
+The system has competing strategies at several layers — serial / fused /
+bitset / process execution backends, even-split vs skew-aware partition
+planning, partition fineness, steal-loop claim batching — all
+bit-identical in output by contract.  This package lets the system pick
+between them *per workload* instead of by hard-coded default:
+
+:mod:`~repro.policy.signature`
+    :class:`WorkloadSignature` — the cheap deterministic shape of a
+    graph (node count, width, depth, color diversity, measured
+    partition-weight skew), memoized on the analysis cache.
+
+:mod:`~repro.policy.registry`
+    Named policies binding the existing knobs into
+    :class:`PolicyDecision` objects, plus the ``auto`` policy that
+    consults the profile store.
+
+:mod:`~repro.policy.profiles`
+    :class:`ProfileStore` — observed per-stage timings keyed by
+    ``(signature, policy)``, persisted through the service's
+    :class:`~repro.service.store.CacheStore` seam (memory, or disk via
+    ``--cache-dir``), with explore/exploit selection and decay.
+
+Consumers: :class:`~repro.service.SchedulerService` (``policy=`` /
+``JobRequest.policy``), :class:`~repro.service.shard.ShardCoordinator`
+(partition multiplier, claim batch, skew-awareness),
+:class:`~repro.pipeline.Pipeline` (``policy=`` / ``profiles=``) and the
+CLI (``--policy``, ``repro policy``).  Policies change *when and where*
+work runs, never output bits — forced over the equivalence suites by
+``tests/test_policy.py``.
+"""
+
+from repro.policy.profiles import PROFILE_ALPHA, ProfileStore
+from repro.policy.registry import (
+    AUTO_CANDIDATES,
+    REGISTRY,
+    Policy,
+    PolicyDecision,
+    PolicyRegistry,
+    available_policies,
+    decide,
+    get_policy,
+    policy_for_backend,
+)
+from repro.policy.signature import WorkloadSignature
+
+__all__ = [
+    "AUTO_CANDIDATES",
+    "PROFILE_ALPHA",
+    "Policy",
+    "PolicyDecision",
+    "PolicyRegistry",
+    "ProfileStore",
+    "REGISTRY",
+    "WorkloadSignature",
+    "available_policies",
+    "decide",
+    "get_policy",
+    "policy_for_backend",
+]

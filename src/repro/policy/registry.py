@@ -1,0 +1,303 @@
+"""The named policy registry and its decisions.
+
+A *policy* binds the system's existing strategy knobs — execution
+backend, skew-aware vs even-split partition planning, partition
+fineness, steal-loop claim batching — into one named
+:class:`PolicyDecision`.  The registry follows the ``algoname →
+algorithm`` shape of Uberun's ``SSScheduler``: fixed policies return a
+constant decision, and the ``auto`` policy consults a
+:class:`~repro.policy.profiles.ProfileStore` (exploit the best observed
+fixed policy when warm, fall back to a static signature heuristic when
+cold).
+
+The hard invariant, inherited from the backend seam it drives: **a
+policy changes when and where work runs, never output bits**.  Every
+decision field is a strategy the equivalence suites already pin as
+bit-identical (backends, ``skew_aware``, partition counts, claim
+batching), policies never participate in any cache key, and
+``tests/test_policy.py`` forces every registered policy over the
+equivalence workloads to keep it that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.exceptions import PolicyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.policy.profiles import ProfileStore
+    from repro.policy.signature import WorkloadSignature
+
+__all__ = [
+    "Policy",
+    "PolicyDecision",
+    "PolicyRegistry",
+    "REGISTRY",
+    "AUTO_CANDIDATES",
+    "available_policies",
+    "get_policy",
+    "policy_for_backend",
+]
+
+#: Default knob values — one source of truth with the subsystems that
+#: historically hard-coded them (:data:`repro.service.shard.PARTITIONS_PER_SHARD`,
+#: ``ShardCoordinator(claim_batch=2)``).
+DEFAULT_PARTITION_MULTIPLIER = 4
+DEFAULT_CLAIM_BATCH = 2
+
+#: The fixed policies ``auto`` selects between.  Deliberately only the
+#: single-process classifiers: ``fixed-serial`` is the reference oracle
+#: (never competitive) and ``fixed-process`` pays pool startup per cold
+#: build — both stay selectable by name, just not auto-explored.
+AUTO_CANDIDATES = ("fixed-fused", "fixed-bitset")
+
+#: Signature threshold for the cold ``auto`` heuristic: below this node
+#: count the numpy batch setup of the bitset classifier costs more than
+#: the fused DFS it replaces (see PERFORMANCE.md's crossover numbers).
+AUTO_BITSET_MIN_NODES = 24
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """One policy's answer for one workload signature.
+
+    Attributes
+    ----------
+    policy:
+        Name of the *concrete* policy this decision came from — for
+        ``auto`` that is the selected candidate (e.g. ``fixed-bitset``),
+        so profile observations always accrue to the policy that actually
+        ran.
+    backend:
+        Execution backend name to run the compute stages on, or ``None``
+        to keep the caller's resident backend.
+    skew_aware:
+        Whether seed partition planning weight-balances
+        (:func:`repro.exec.process.plan_seed_partitions`).
+    partition_multiplier:
+        Partitions planned per shard by the
+        :class:`~repro.service.shard.ShardCoordinator` (steal
+        granularity).
+    claim_batch:
+        Unclaimed partitions a remote shard may claim per steal-loop
+        round trip.
+    """
+
+    policy: str
+    backend: "str | None" = None
+    skew_aware: bool = True
+    partition_multiplier: int = DEFAULT_PARTITION_MULTIPLIER
+    claim_batch: int = DEFAULT_CLAIM_BATCH
+
+    def __post_init__(self) -> None:
+        if (
+            not isinstance(self.partition_multiplier, int)
+            or self.partition_multiplier < 1
+        ):
+            raise PolicyError(
+                f"partition_multiplier must be an int ≥ 1, "
+                f"got {self.partition_multiplier!r}"
+            )
+        if not isinstance(self.claim_batch, int) or self.claim_batch < 1:
+            raise PolicyError(
+                f"claim_batch must be an int ≥ 1, got {self.claim_batch!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "backend": self.backend,
+            "skew_aware": self.skew_aware,
+            "partition_multiplier": self.partition_multiplier,
+            "claim_batch": self.claim_batch,
+        }
+
+
+class Policy:
+    """One named strategy: signature (+ optional profiles) → decision."""
+
+    def __init__(self, name: str, description: str) -> None:
+        self.name = name
+        self.description = description
+
+    def decide(
+        self,
+        signature: "WorkloadSignature",
+        profiles: "ProfileStore | None" = None,
+    ) -> PolicyDecision:
+        raise NotImplementedError
+
+
+class FixedPolicy(Policy):
+    """A constant decision regardless of signature or profiles."""
+
+    def __init__(
+        self, name: str, description: str, decision: PolicyDecision
+    ) -> None:
+        super().__init__(name, description)
+        self._decision = decision
+
+    def decide(
+        self,
+        signature: "WorkloadSignature",
+        profiles: "ProfileStore | None" = None,
+    ) -> PolicyDecision:
+        return self._decision
+
+
+def _numpy_available() -> bool:
+    try:
+        import numpy  # noqa: F401
+    except Exception:  # pragma: no cover - numpy is a pinned dependency
+        return False
+    return True
+
+
+class AutoPolicy(Policy):
+    """Pick the best fixed policy: from profiles when warm, heuristics when cold.
+
+    Warm path: :meth:`ProfileStore.choose` over :data:`AUTO_CANDIDATES` —
+    exploit the lowest observed mean, exploring each unmeasured candidate
+    once.  Cold path (no store, empty store, corrupt store — all
+    equivalent by the store's miss semantics): the bitset classifier for
+    graphs wide enough to amortize its batch setup
+    (:data:`AUTO_BITSET_MIN_NODES` nodes, numpy importable), fused
+    otherwise.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "auto",
+            "profile-driven selection over the fixed policies "
+            f"({', '.join(AUTO_CANDIDATES)})",
+        )
+
+    def decide(
+        self,
+        signature: "WorkloadSignature",
+        profiles: "ProfileStore | None" = None,
+    ) -> PolicyDecision:
+        choice = None
+        if profiles is not None:
+            choice = profiles.choose(signature.key(), AUTO_CANDIDATES)
+        if choice is None:
+            wide_enough = signature.n_nodes >= AUTO_BITSET_MIN_NODES
+            choice = (
+                "fixed-bitset"
+                if wide_enough and _numpy_available()
+                else "fixed-fused"
+            )
+        return get_policy(choice).decide(signature, profiles)
+
+
+class PolicyRegistry:
+    """Name → :class:`Policy` mapping (the ``SSScheduler`` dispatch shape)."""
+
+    def __init__(self) -> None:
+        self._policies: dict[str, Policy] = {}
+
+    def register(self, policy: Policy) -> Policy:
+        if policy.name in self._policies:
+            raise PolicyError(f"policy {policy.name!r} is already registered")
+        self._policies[policy.name] = policy
+        return policy
+
+    def get(self, name: str) -> Policy:
+        policy = self._policies.get(name)
+        if policy is None:
+            raise PolicyError(
+                f"unknown policy {name!r}; available: {self.available()}"
+            )
+        return policy
+
+    def available(self) -> list[str]:
+        return sorted(self._policies)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._policies
+
+
+#: The process-wide default registry (mirrors the backend registry shape).
+REGISTRY = PolicyRegistry()
+
+
+def get_policy(name: str) -> Policy:
+    """Resolve a policy name in the default registry."""
+    if not isinstance(name, str):
+        raise PolicyError(
+            f"policy must be a registered name, got {type(name).__name__}"
+        )
+    return REGISTRY.get(name)
+
+
+def available_policies() -> list[str]:
+    """Registered policy names, sorted."""
+    return REGISTRY.available()
+
+
+def policy_for_backend(backend_name: str) -> "str | None":
+    """The fixed policy a bare backend choice corresponds to, if any.
+
+    Lets the service file profile observations from ordinary
+    (policy-less) traffic under the matching ``fixed-*`` policy, so the
+    store warms up without anyone opting into ``--policy``.
+    """
+    name = f"fixed-{backend_name}"
+    return name if name in REGISTRY else None
+
+
+def decide(
+    name: str,
+    signature: "WorkloadSignature",
+    profiles: "ProfileStore | None" = None,
+) -> PolicyDecision:
+    """Convenience: resolve ``name`` and decide for ``signature``."""
+    return get_policy(name).decide(signature, profiles)
+
+
+# --------------------------------------------------------------------------- #
+# built-in policies
+# --------------------------------------------------------------------------- #
+def _register_defaults() -> None:
+    for backend in ("serial", "fused", "bitset", "process"):
+        REGISTRY.register(
+            FixedPolicy(
+                f"fixed-{backend}",
+                f"always run compute stages on the {backend!r} backend",
+                PolicyDecision(policy=f"fixed-{backend}", backend=backend),
+            )
+        )
+    REGISTRY.register(
+        FixedPolicy(
+            "even-split",
+            "fused backend with even (non-weight-balanced) partition "
+            "planning — the pre-skew-aware baseline",
+            PolicyDecision(policy="even-split", backend="fused", skew_aware=False),
+        )
+    )
+    REGISTRY.register(
+        FixedPolicy(
+            "fine-steal",
+            "8x partitions per shard, single-partition claims — finest "
+            "steal granularity for skewed graphs on fast links",
+            PolicyDecision(
+                policy="fine-steal", partition_multiplier=8, claim_batch=1
+            ),
+        )
+    )
+    REGISTRY.register(
+        FixedPolicy(
+            "coarse-batch",
+            "2x partitions per shard, 4-partition claims — fewest round "
+            "trips for balanced graphs on slow links",
+            PolicyDecision(
+                policy="coarse-batch", partition_multiplier=2, claim_batch=4
+            ),
+        )
+    )
+    REGISTRY.register(AutoPolicy())
+
+
+_register_defaults()

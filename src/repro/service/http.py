@@ -314,6 +314,10 @@ class ServiceServer(ThreadingHTTPServer):
     max_pending:
         Optional admission bound for the constructed service; overload
         maps to HTTP 429.
+    policy:
+        Optional default scheduling policy for the constructed service
+        (e.g. ``"auto"``); per-request ``policy``/``backend`` fields
+        still win (see :class:`SchedulerService`).
     verbose:
         Log one line per request to stderr (off by default; tests stay
         quiet).
@@ -332,6 +336,7 @@ class ServiceServer(ThreadingHTTPServer):
         cache_dir: "str | os.PathLike[str] | None" = None,
         cache_max_bytes: int | None = None,
         max_pending: int | None = None,
+        policy: str | None = None,
         verbose: bool = False,
     ) -> None:
         if service is None:
@@ -341,6 +346,7 @@ class ServiceServer(ThreadingHTTPServer):
                 cache_dir=cache_dir,
                 cache_max_bytes=cache_max_bytes,
                 max_pending=max_pending,
+                policy=policy,
             )
         self.service = service
         self.verbose = verbose
@@ -377,6 +383,7 @@ def serve(
     cache_dir: "str | os.PathLike[str] | None" = None,
     cache_max_bytes: int | None = None,
     max_pending: int | None = None,
+    policy: str | None = None,
     verbose: bool = True,
 ) -> None:
     """Blocking entry point behind ``repro serve``."""
@@ -388,6 +395,7 @@ def serve(
         cache_dir=cache_dir,
         cache_max_bytes=cache_max_bytes,
         max_pending=max_pending,
+        policy=policy,
         verbose=verbose,
     )
     extras = ""
@@ -395,6 +403,8 @@ def serve(
         extras += f", cache_dir={cache_dir}"
     if max_pending is not None:
         extras += f", max_pending={max_pending}"
+    if policy is not None:
+        extras += f", policy={policy}"
     print(
         f"repro service listening on {server.url} "
         f"(backend {server.service.backend.describe()}{extras}); "

@@ -83,6 +83,9 @@ from repro.exec.process import (
     merge_classified_parts,
     plan_seed_partitions,
 )
+from repro.policy.profiles import ProfileStore
+from repro.policy.registry import get_policy, policy_for_backend
+from repro.policy.signature import WorkloadSignature
 from repro.scheduling.scheduler import MultiPatternScheduler
 from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.store import MemoryCacheStore, open_cache_stores
@@ -154,6 +157,14 @@ class ServiceStats:
     ``partition_hits`` / ``partition_misses`` account the per-partition
     probes of in-service incremental catalog builds the same way
     ``shard_hits`` / ``shard_misses`` do for shard tasks.
+
+    ``stage_seconds`` / ``stage_counts`` aggregate the per-stage
+    wall-clock of every *computed* stage (the same numbers each
+    :class:`~repro.service.jobs.JobResult` carries per submit) — cache
+    hits contribute nothing, so the ``X-Repro-Cache`` miss path is
+    directly observable in ``GET /stats``.  ``policy_decisions`` counts
+    submits per concrete policy that drove them (``auto`` resolves to
+    its selected candidate before counting).
     """
 
     submitted: int = 0
@@ -171,8 +182,19 @@ class ServiceStats:
     selection_misses: int = 0
     catalog_hits: int = 0
     catalog_misses: int = 0
+    stage_seconds: dict[str, float] = dataclasses.field(default_factory=dict)
+    stage_counts: dict[str, int] = dataclasses.field(default_factory=dict)
+    policy_decisions: dict[str, int] = dataclasses.field(default_factory=dict)
 
-    def to_dict(self) -> dict[str, int]:
+    def record_stages(self, timings: "dict[str, float]") -> None:
+        """Fold one submit's computed-stage timings into the aggregates."""
+        for stage, seconds in timings.items():
+            self.stage_seconds[stage] = (
+                self.stage_seconds.get(stage, 0.0) + seconds
+            )
+            self.stage_counts[stage] = self.stage_counts.get(stage, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
         return {
             "submitted": self.submitted,
             "deduped": self.deduped,
@@ -189,6 +211,9 @@ class ServiceStats:
             "selection_misses": self.selection_misses,
             "catalog_hits": self.catalog_hits,
             "catalog_misses": self.catalog_misses,
+            "stage_seconds": dict(self.stage_seconds),
+            "stage_counts": dict(self.stage_counts),
+            "policy_decisions": dict(self.policy_decisions),
         }
 
 
@@ -249,6 +274,14 @@ class SchedulerService:
         included); the next one is rejected with
         :class:`~repro.exceptions.ServiceOverloadedError`.  ``None``
         (default) admits everything.
+    policy:
+        Optional default scheduling policy name
+        (:mod:`repro.policy.registry`; e.g. ``"auto"``): jobs without an
+        explicit ``backend``/``policy`` of their own have their backend
+        picked per workload signature by this policy.  Policies are pure
+        strategy — they never enter a cache key and cannot change output
+        bits.  ``None`` (default) keeps the resident backend for every
+        job.
     timer:
         Stage clock (injectable for tests).
     """
@@ -266,6 +299,7 @@ class SchedulerService:
         cache_dir: "str | os.PathLike[str] | None" = None,
         cache_max_bytes: int | None = None,
         max_pending: int | None = None,
+        policy: str | None = None,
         timer: Callable[[], float] = time.perf_counter,
     ) -> None:
         owns = isinstance(backend, str)
@@ -303,6 +337,14 @@ class SchedulerService:
         self._graphs = MemoryCacheStore(catalog_cache)
         self._named_graphs: dict[str, DFG] = {}
         self._overrides: dict[str, ExecutionBackend] = {}
+        if policy is not None:
+            get_policy(policy)  # fail fast on unknown names
+        self.policy = policy
+        # Observed stage timings keyed by (workload signature, policy) —
+        # the 'auto' policy's memory.  Shares the service's cache
+        # directory (namespace "profile"), so profiles survive restarts
+        # and are shared across instances exactly like the other levels.
+        self.profiles = ProfileStore.open(cache_dir, max_bytes=cache_max_bytes)
         self.stats = ServiceStats()
         self.timer = timer
         self._lock = threading.RLock()
@@ -417,14 +459,49 @@ class SchedulerService:
             seen = dfg
         return seen, digest
 
-    def _backend_for(self, request: JobRequest) -> ExecutionBackend:
-        if request.backend is None:
-            return self.backend
-        override = self._overrides.get(request.backend)
+    def _backend_for(
+        self, request: JobRequest, dfg: DFG
+    ) -> "tuple[ExecutionBackend, str | None]":
+        """The backend this job runs on, plus the policy label to file
+        profile observations under.
+
+        Precedence: an explicit ``request.backend`` wins outright, then
+        ``request.policy``, then the service-wide default policy, then
+        the resident backend.  The label is always the *concrete* policy
+        (``auto`` resolves to its selected candidate first; a bare
+        backend maps to its ``fixed-*`` twin when one exists), so the
+        profile store accrues observations to what actually ran.
+        """
+        name = request.backend
+        policy_name = None
+        if name is None:
+            policy_name = (
+                request.policy if request.policy is not None else self.policy
+            )
+        if policy_name is not None:
+            decision = get_policy(policy_name).decide(
+                WorkloadSignature.of(dfg), self.profiles
+            )
+            label = decision.policy
+            self.stats.policy_decisions[label] = (
+                self.stats.policy_decisions.get(label, 0) + 1
+            )
+            if decision.backend is None:
+                return self.backend, label
+            name = decision.backend
+        else:
+            label = policy_for_backend(
+                name if name is not None else self.backend.name
+            )
+        if name is None:
+            return self.backend, label
+        if name == self.backend.name:
+            return self.backend, label
+        override = self._overrides.get(name)
         if override is None:
-            override = get_backend(request.backend)
-            self._overrides[request.backend] = override
-        return override
+            override = get_backend(name)
+            self._overrides[name] = override
+        return override, label
 
     # ------------------------------------------------------------------ #
     # submission
@@ -446,6 +523,12 @@ class SchedulerService:
         """:meth:`submit_outcome` inside an already-held admission slot."""
         with self._lock:
             self.stats.submitted += 1
+            if request.policy is not None:
+                # Fail fast on unknown names even when the answer is
+                # cached — policies never enter the job key, so without
+                # this a warm hit would silently accept a typo that a
+                # cold submit rejects.
+                get_policy(request.policy)
             dfg, digest = self._resolve_graph(request)
             job_key = request.job_key(digest)
 
@@ -455,7 +538,7 @@ class SchedulerService:
                 return SubmitOutcome(result=cached, cache="result")
             self.stats.result_misses += 1
 
-            backend = self._backend_for(request)
+            backend, policy_label = self._backend_for(request, dfg)
             timings: dict[str, float] = {}
             config = request.config
             selector = PatternSelector(request.capacity, config=config)
@@ -503,6 +586,16 @@ class SchedulerService:
             metrics = schedule_stats(schedule)
             timings["metrics"] = self.timer() - t0
 
+            self.stats.record_stages(timings)
+            if policy_label is not None and "catalog" in timings:
+                # Every cold build feeds the profile store — ordinary
+                # traffic warms 'auto' without anyone opting in.  Warm
+                # submits are skipped: their timings describe cache
+                # plumbing, not the strategy under measurement.
+                self.profiles.record(
+                    WorkloadSignature.of(dfg).key(), policy_label, timings
+                )
+
             result = JobResult(
                 job_key=job_key,
                 dfg_digest=digest,
@@ -516,6 +609,7 @@ class SchedulerService:
                 metrics=metrics,
                 timings=timings,
                 backend=backend.name,
+                policy=policy_label,
             )
             self._results.put(job_key, result)
             return SubmitOutcome(result=result, cache=cache_level)
@@ -787,6 +881,10 @@ class SchedulerService:
                 "max_pending": self.max_pending,
                 "pending": self.pending,
             },
+            "policy": {
+                "default": self.policy,
+                "profiles": self.profiles.describe(),
+            },
             "stats": self.stats.to_dict(),
             "workloads": sorted(self._workloads),
         }
@@ -820,7 +918,7 @@ class SchedulerService:
         """Convenience: build a request from loose arguments and submit it.
 
         ``kwargs`` are the optional :class:`JobRequest` fields
-        (``config``, ``priority``, ``backend``).
+        (``config``, ``priority``, ``backend``, ``policy``).
         """
         if isinstance(workload_or_dfg, str):
             request = JobRequest(

@@ -85,6 +85,8 @@ from repro.core.selection import PatternSelector
 from repro.dfg.graph import DFG
 from repro.dfg.io import from_payload, to_payload
 from repro.exceptions import JobValidationError, PatternError, ServiceError
+from repro.policy.registry import PolicyDecision, get_policy
+from repro.policy.signature import WorkloadSignature
 from repro.service.http import ServiceClient
 from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.service import (
@@ -425,6 +427,16 @@ class ShardCoordinator:
         answers warm partitions from disk without any shard traffic.  A
         private one is created — and closed with the coordinator — when
         omitted.
+    claim_batch:
+        Default unclaimed partitions a remote shard may claim per
+        steal-loop round trip (overridable per workload by ``policy``).
+    policy:
+        Optional scheduling-policy name (:mod:`repro.policy.registry`).
+        When set, each catalog build takes its fan-out knobs — partition
+        multiplier, claim batch and skew-aware planning — from the
+        policy's :class:`~repro.policy.PolicyDecision` for the graph's
+        signature instead of the constructor defaults.  Fan-out knobs are
+        pure strategy: any setting merges bit-identically.
 
     Examples
     --------
@@ -440,6 +452,7 @@ class ShardCoordinator:
         *,
         service: SchedulerService | None = None,
         claim_batch: int = 2,
+        policy: str | None = None,
     ) -> None:
         if not shards:
             raise ServiceError("need at least one shard")
@@ -447,11 +460,14 @@ class ShardCoordinator:
             raise ServiceError(
                 f"claim_batch must be an int ≥ 1, got {claim_batch!r}"
             )
+        if policy is not None:
+            get_policy(policy)  # fail fast on unknown names
         self.shards: list[LocalShard | RemoteShard] = [_as_shard(s) for s in shards]
         self._owns_service = service is None
         self._owned_shards: list[SchedulerService] = []
         self.service = service if service is not None else SchedulerService()
         self.claim_batch = claim_batch
+        self.policy = policy
         self.stats = CoordinatorStats(tasks_per_shard=[0] * len(self.shards))
 
     @classmethod
@@ -461,6 +477,7 @@ class ShardCoordinator:
         *,
         service: SchedulerService | None = None,
         claim_batch: int = 2,
+        policy: str | None = None,
         **service_kwargs: Any,
     ) -> "ShardCoordinator":
         """A coordinator over ``n`` fresh in-process shard services.
@@ -478,10 +495,15 @@ class ShardCoordinator:
         owned = [SchedulerService(**service_kwargs) for _ in range(n)]
         if service is None:
             completion = SchedulerService(**service_kwargs)
-            coord = cls(owned, service=completion, claim_batch=claim_batch)
+            coord = cls(
+                owned, service=completion, claim_batch=claim_batch,
+                policy=policy,
+            )
             coord._owns_service = True
         else:
-            coord = cls(owned, service=service, claim_batch=claim_batch)
+            coord = cls(
+                owned, service=service, claim_batch=claim_batch, policy=policy
+            )
         coord._owned_shards = owned
         return coord
 
@@ -504,6 +526,7 @@ class ShardCoordinator:
         return {
             "shards": [s.describe() for s in self.shards],
             "service": self.service.describe()["backend"],
+            "policy": self.policy,
             "stats": self.stats.to_dict(),
         }
 
@@ -555,7 +578,9 @@ class ShardCoordinator:
         """One sharded classify attempt at a concrete (size, span).
 
         Weight-balanced partitions are cut ~:data:`PARTITIONS_PER_SHARD`×
-        finer than the shard count; each is first probed against the
+        finer than the shard count (with ``policy`` set, the decision's
+        ``partition_multiplier``/``skew_aware``/``claim_batch`` replace
+        the defaults for this graph); each is first probed against the
         completion service's content-addressed partial cache (a warm
         rebuild dispatches nothing), the misses go through the dynamic
         steal loop (:meth:`_dispatch`), and every freshly computed
@@ -568,8 +593,11 @@ class ShardCoordinator:
             plan_seed_partitions,
         )
 
+        decision = self._decision_for(dfg)
         partitions = plan_seed_partitions(
-            dfg, len(self.shards) * PARTITIONS_PER_SHARD
+            dfg,
+            len(self.shards) * decision.partition_multiplier,
+            skew_aware=decision.skew_aware,
         )
         tasks = [
             ShardTask(
@@ -595,7 +623,9 @@ class ShardCoordinator:
                 pending.append(i)
                 self.stats.partial_misses += 1
         if pending:
-            self._dispatch(tasks, keys, parts, pending)
+            self._dispatch(
+                tasks, keys, parts, pending, claim_batch=decision.claim_batch
+            )
         return merge_classified_parts(
             dfg,
             parts,
@@ -604,12 +634,26 @@ class ShardCoordinator:
             max_count=max_count,
         )
 
+    def _decision_for(self, dfg: DFG) -> PolicyDecision:
+        """The fan-out knobs for this graph: policy-driven or defaults."""
+        if self.policy is None:
+            return PolicyDecision(
+                policy="default",
+                partition_multiplier=PARTITIONS_PER_SHARD,
+                claim_batch=self.claim_batch,
+            )
+        return get_policy(self.policy).decide(
+            WorkloadSignature.of(dfg), self.service.profiles
+        )
+
     def _dispatch(
         self,
         tasks: list[ShardTask],
         keys: list[tuple],
         parts: "list[list[tuple] | None]",
         pending: "deque[int]",
+        *,
+        claim_batch: "int | None" = None,
     ) -> None:
         """Run the pending tasks over the shards, stealing dynamically.
 
@@ -641,10 +685,13 @@ class ShardCoordinator:
         """
         lock = threading.Lock()
         failures: list[tuple[int, BaseException]] = []
+        coordinator_batch = (
+            claim_batch if claim_batch is not None else self.claim_batch
+        )
 
         def worker(shard_index: int) -> None:
             shard = self.shards[shard_index]
-            batch_limit = shard.batch_limit or self.claim_batch
+            batch_limit = shard.batch_limit or coordinator_batch
             while True:
                 with lock:
                     if not pending:
