@@ -36,6 +36,15 @@ partition-granular shard-partial store.  Like warm-shard rows, the
 speedup is machine-independent (it elides DFS, not cores) and is gated
 by ``scripts/diff_bench.py --warm-edit-floor`` on any machine.
 
+Every run also emits the **serve scenario** — a ``serve`` section timing
+concurrent warm submits through one live ``repro serve`` subprocess (the
+default asyncio core): N persistent-connection clients hammer the same
+result-cached job, and the report records the warm p50/p99 per-request
+latency plus aggregate requests/sec.  ``scripts/diff_bench.py
+--serve-floor`` gates the throughput on full multi-core reports only
+(single-core runs measure client/server CPU contention, not the
+service).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # serial vs fused
@@ -732,6 +741,114 @@ def bench_service(warm_repeats: int = 3) -> dict:
     return section
 
 
+def bench_serve(clients: int = 4, requests_per_client: int = 50,
+                quick: bool = False) -> dict:
+    """Warm-submit latency/throughput through a live ``repro serve``.
+
+    Spawns one real server subprocess (the default asyncio core), primes
+    the result cache with a cold submit, then ``clients`` threads — each
+    holding one persistent keep-alive :class:`ServiceClient` — submit
+    the same warm job ``requests_per_client`` times.  Records the warm
+    per-request p50/p99 latency and the aggregate requests/sec, checking
+    every response bit-identical to the cold result.
+    ``scripts/diff_bench.py --serve-floor`` gates the throughput on full
+    multi-core reports only: on a single core the server and all client
+    threads fight for the same CPU, so the number measures contention,
+    not the service.
+    """
+    from repro.service import ServiceClient
+
+    if quick:
+        clients, requests_per_client = 2, 20
+    request = JobRequest(capacity=5, pdef=4, workload="3dft")
+    procs, urls = _spawn_shard_servers(1)
+    try:
+        url = urls[0]
+        with ServiceClient(url, timeout=30) as primer:
+            gc.collect()
+            t0 = time.perf_counter()
+            cold_result = primer.submit(request)
+            cold_s = time.perf_counter() - t0
+            warm_check = primer.submit(request)
+            _check(
+                primer.last_cache == "result" and warm_check == cold_result,
+                "serve warm-up submit did not hit the result cache",
+            )
+
+        latencies: list[float] = []
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(clients + 1)
+
+        def worker():
+            try:
+                with ServiceClient(url, timeout=30) as client:
+                    client.health()  # open the pooled connection up front
+                    barrier.wait()
+                    mine = []
+                    for _ in range(requests_per_client):
+                        t0 = time.perf_counter()
+                        result = client.submit(request)
+                        mine.append(time.perf_counter() - t0)
+                        if result != cold_result:
+                            raise AssertionError(
+                                "warm serve result not bit-identical"
+                            )
+                with lock:
+                    latencies.extend(mine)
+            except BaseException as exc:
+                with lock:
+                    failures.append(exc)
+                try:
+                    barrier.abort()
+                except threading.BrokenBarrierError:
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(clients)]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        wall0 = time.perf_counter()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall0
+        if failures:
+            raise failures[0]
+
+        total = clients * requests_per_client
+        _check(len(latencies) == total, "serve benchmark lost requests")
+        ordered = sorted(latencies)
+        p50 = ordered[len(ordered) // 2]
+        p99 = ordered[min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))]
+        rps = total / wall if wall > 0 else None
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    section = {
+        "workload": "3dft",
+        "core": "async",
+        "clients": clients,
+        "requests": total,
+        "cold_s": round(cold_s, 6),
+        "warm_p50_ms": round(p50 * 1e3, 3),
+        "warm_p99_ms": round(p99 * 1e3, 3),
+        "requests_per_s": round(rps, 1) if rps else None,
+    }
+    print(
+        f"  {'3dft':>8} {'serve warm submit':<24} "
+        f"{clients} clients x {requests_per_client}   "
+        f"p50 {p50 * 1e3:7.2f}ms   p99 {p99 * 1e3:7.2f}ms   "
+        f"{rps:8.1f} req/s"
+    )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -840,6 +957,10 @@ def main(argv=None) -> int:
     print("service benchmark: cold vs warm submit (content-addressed caches)")
     service_section = bench_service()
 
+    print("serve benchmark: concurrent warm submits through a live "
+          "'repro serve' (async core)")
+    serve_section = bench_serve(quick=args.quick)
+
     pipeline = {}
     for row in rows:
         if (
@@ -883,6 +1004,7 @@ def main(argv=None) -> int:
         "stages": rows,
         "pipeline": pipeline,
         "service": service_section,
+        "serve": serve_section,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

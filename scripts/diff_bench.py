@@ -60,6 +60,13 @@ floor:
   apart, so the gate is machine-independent; it bounds the overhead of
   the decision plumbing (signature, store read, dispatch), not raw
   engine speed.  ``--quick`` smoke rows are printed, never gated;
+* serve gate — the report's ``serve`` section (concurrent warm submits
+  through one live ``repro serve`` subprocess on the asyncio core, warm
+  p50/p99 latency + requests/sec) must keep ≥ ``--serve-floor`` (default
+  20 req/s) on full reports with ``cpus > 1``.  Quick and single-core
+  reports print the numbers but never gate — with one core the client
+  threads and the server contend for the same CPU, so the throughput
+  measures the machine, not the service;
 * bitset gate — enumeration+classify rows carrying
   ``bitset_speedup_vs_fast`` (the vectorized bitset backend against the
   fused scalar baseline, same single core — machine-independent) must
@@ -119,6 +126,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--service-floor", type=float, default=10.0,
         help="minimum warm-vs-cold service submit speedup (default 10.0)",
+    )
+    parser.add_argument(
+        "--serve-floor", type=float, default=20.0,
+        help="minimum warm requests/sec through a live 'repro serve' "
+        "(the report's 'serve' section), gated only on full (non "
+        "--quick) reports with cpus > 1 — single-core runs measure "
+        "client/server CPU contention, not the service (default 20.0)",
     )
     parser.add_argument(
         "--process-floor", type=float, default=1.05,
@@ -297,6 +311,33 @@ def main(argv=None) -> int:
         )
     else:
         print("  (no service section; service gate skipped)")
+
+    serve = new.get("serve")
+    if serve is not None:
+        rps = serve.get("requests_per_s") or 0
+        line = (
+            f"  {serve.get('workload', '?'):>8} {'serve warm submit':<24} "
+            f"p50 {serve.get('warm_p50_ms', 0):7.2f}ms   "
+            f"p99 {serve.get('warm_p99_ms', 0):7.2f}ms   "
+            f"{rps:8.1f} req/s ({serve.get('clients')} clients)"
+        )
+        if new.get("quick"):
+            print(line + " — quick report; not gated")
+        elif not multicore:
+            print(
+                line + f" — single-CPU report (cpus={new.get('cpus')}), "
+                f"contention only; not gated"
+            )
+        else:
+            print(line)
+            if rps < args.serve_floor:
+                failures.append(
+                    f"{serve.get('workload', '?')}/serve: warm throughput "
+                    f"{rps} req/s below the {args.serve_floor} req/s floor "
+                    f"on a {new.get('cpus')}-cpu machine"
+                )
+    else:
+        print("  (no serve section; serve gate skipped)")
 
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())

@@ -21,7 +21,12 @@ caller would, and checks the service contract:
 8. graph edits are incremental: recoloring one node of a submitted job
    through ``POST /v1/jobs:edit`` is answered ``X-Repro-Cache: edit``
    (only dirty partitions re-enumerated) and the answer is bit-identical
-   to a fresh server cold-rebuilding the edited graph.
+   to a fresh server cold-rebuilding the edited graph;
+9. the asyncio core (``AsyncServiceServer``) speaks the same wire
+   protocol: warm submits over one persistent keep-alive connection,
+   streamed shard slots bit-identical to the batched route, per-client
+   quota 429 with ``Retry-After``, and graceful drain (503 for new work,
+   reads keep serving).
 
 Usage::
 
@@ -105,10 +110,10 @@ def main() -> int:
             )
         except urllib.error.HTTPError as exc:
             assert exc.code == 400, exc.code
-            detail = json.loads(exc.read())
-            assert detail["error"] == "JobValidationError", detail
+            detail = json.loads(exc.read())["error"]
+            assert detail["type"] == "JobValidationError", detail
             assert detail["field"] == "capacity", detail
-            print(f"validation ok: typed 400 ({detail['message']})")
+            print(f"validation ok: typed 400 envelope ({detail['message']})")
         else:
             raise AssertionError("malformed request was accepted")
 
@@ -220,8 +225,100 @@ def main() -> int:
     finally:
         server.shutdown()
         server.server_close()
+    async_leg()
     print("http smoke OK")
     return 0
+
+
+def async_leg() -> None:
+    """The same wire contract against the asyncio core, plus what only
+    it offers: persistent-connection reuse, server-push shard streaming,
+    per-client quotas (429 + Retry-After) and graceful drain."""
+    from repro.core.config import SelectionConfig
+    from repro.exceptions import ServiceOverloadedError, ServiceUnavailableError
+    from repro.exec.process import plan_seed_partitions
+    from repro.service import AsyncServiceServer, ShardTask
+    from repro.workloads import three_point_dft_paper
+
+    server = AsyncServiceServer(port=0, quota_rps=0.1, quota_burst=4)
+    server.start_background()
+    try:
+        client = ServiceClient(server.url, timeout=30, client_id="smoke")
+        with client:
+            health = client.health()
+            assert health["status"] == "ok", health
+            print(f"async healthz ok ({health['backend']}) at {server.url}")
+
+            request = JobRequest(capacity=5, pdef=4, workload="3dft")
+            cold = client.submit(request)
+            cold.schedule.verify()
+            warm = client.submit(request)
+            assert client.last_cache == "result", client.last_cache
+            assert warm == cold
+            # Both submits (and the health check) rode one pooled
+            # keep-alive connection.
+            assert len(client._conns) == 1, len(client._conns)
+            print("async submit ok: warm result bit-identical over one "
+                  "persistent connection")
+
+            # Streamed shard frames carry the same rows as the batched
+            # route, slot for slot.
+            cfg = SelectionConfig(span_limit=1)
+            dfg = three_point_dft_paper()
+            tasks = [
+                ShardTask(
+                    size=5, span_limit=cfg.span_limit, max_count=None,
+                    seeds=tuple(part), workload="3dft",
+                )
+                for part in plan_seed_partitions(dfg, 3)
+            ]
+            batched = client.classify_shard_many(tasks)
+            streamed = {
+                slot: rows
+                for slot, rows, _cache in client.classify_shard_stream(tasks)
+            }
+            assert sorted(streamed) == list(range(len(tasks)))
+            for slot, outcome in enumerate(batched):
+                rows, _cache = outcome
+                assert streamed[slot] == rows, f"slot {slot} differs"
+            print(f"async stream ok: {len(tasks)} streamed slots "
+                  f"bit-identical to the batched route")
+
+            # Burst exhausted → typed 429 with a retry hint; another
+            # client id still gets through.
+            overloaded = None
+            for _ in range(8):
+                try:
+                    client.submit(JobRequest(capacity=5, pdef=3,
+                                             workload="3dft"))
+                except ServiceOverloadedError as exc:
+                    overloaded = exc
+                    break
+            assert overloaded is not None, "quota never tripped"
+            assert overloaded.http_status == 429
+            assert overloaded.retry_after and overloaded.retry_after > 0
+            with ServiceClient(server.url, timeout=30,
+                               client_id="other") as other:
+                other.submit(JobRequest(capacity=5, pdef=3, workload="3dft"))
+            print(f"async quota ok: 429 after burst "
+                  f"(Retry-After {overloaded.retry_after}s), other clients "
+                  f"unaffected")
+
+            # Drain: flush + refuse new work with 503, reads keep serving.
+            info = client.drain()
+            assert info["draining"] is True, info
+            try:
+                with ServiceClient(server.url, timeout=30) as late:
+                    late.submit(request)
+            except ServiceUnavailableError as exc:
+                assert exc.http_status == 503
+            else:
+                raise AssertionError("drained server accepted work")
+            assert client.health()["status"] == "draining"
+            print(f"async drain ok: flushed {info['flushed']}, new work "
+                  f"answers 503, reads still served")
+    finally:
+        server.shutdown()
 
 
 if __name__ == "__main__":

@@ -287,9 +287,7 @@ def _parse_bytes(text: str) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> None:
-    from repro.service import serve
-
-    serve(
+    kwargs = dict(
         host=args.host,
         port=args.port,
         backend=args.backend,
@@ -302,6 +300,34 @@ def _cmd_serve(args: argparse.Namespace) -> None:
         ),
         max_pending=args.max_pending,
         policy=args.policy,
+    )
+    if args.threaded:
+        if args.quota_rps is not None or args.quota_burst is not None:
+            raise ReproError(
+                "per-client quotas (--quota-rps/--quota-burst) need the "
+                "async core; drop --threaded"
+            )
+        from repro.service.http import serve
+
+        serve(**kwargs)
+    else:
+        from repro.service.aio import serve as serve_async
+
+        serve_async(
+            quota_rps=args.quota_rps, quota_burst=args.quota_burst, **kwargs
+        )
+
+
+def _cmd_drain(args: argparse.Namespace) -> None:
+    from repro.service import ServiceClient
+
+    with ServiceClient(args.url, timeout=args.timeout) as client:
+        info = client.drain()
+    print(
+        f"service at {args.url} is draining "
+        f"(flushed {info.get('flushed', 0)} profile entr"
+        f"{'y' if info.get('flushed', 0) == 1 else 'ies'}); "
+        f"new work now answers 503"
     )
 
 
@@ -337,13 +363,14 @@ def _cmd_submit(args: argparse.Namespace) -> None:
         priority=args.priority,
         policy=args.policy,
     )
-    client = ServiceClient(args.url, timeout=args.timeout)
-    result = client.submit(request)
+    with ServiceClient(args.url, timeout=args.timeout) as client:
+        result = client.submit(request)
+        cache = client.last_cache
     print(
         f"job {args.workload!r} via {args.url} "
         f"(C={args.capacity}, Pdef={args.pdef}):"
     )
-    _print_job_result(result, client.last_cache or "?", timings=args.timings)
+    _print_job_result(result, cache or "?", timings=args.timings)
 
 
 def _parse_edits(args: argparse.Namespace) -> list:
@@ -397,13 +424,14 @@ def _cmd_edit(args: argparse.Namespace) -> None:
         priority=args.priority,
     )
     request = EditRequest(job=job, edits=tuple(_parse_edits(args)))
-    client = ServiceClient(args.url, timeout=args.timeout)
-    result = client.submit_edit(request)
+    with ServiceClient(args.url, timeout=args.timeout) as client:
+        result = client.submit_edit(request)
+        cache = client.last_cache
     print(
         f"edited job {args.workload!r} (+{len(request.edits)} edit(s)) "
         f"via {args.url} (C={args.capacity}, Pdef={args.pdef}):"
     )
-    _print_job_result(result, client.last_cache or "?", timings=args.timings)
+    _print_job_result(result, cache or "?", timings=args.timings)
 
 
 def _cmd_backends(args: argparse.Namespace) -> None:
@@ -587,8 +615,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default scheduling policy for submitted jobs "
                         "(see 'repro policy'); per-request backend/policy "
                         "fields still win")
+    p.add_argument("--threaded", action="store_true",
+                   help="use the thread-per-connection core instead of the "
+                        "default asyncio core (no per-client quotas or "
+                        "priority scheduling)")
+    p.add_argument("--quota-rps", type=float, default=None,
+                   help="per-client token-bucket rate for work routes "
+                        "(requests/second, keyed by X-Repro-Client or peer "
+                        "address); async core only")
+    p.add_argument("--quota-burst", type=float, default=None,
+                   help="per-client burst size (defaults to 2x --quota-rps)")
     add_backend_args(p)
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "drain",
+        help="gracefully drain a running 'repro serve': stop accepting "
+             "new work, finish in-flight jobs, flush profile state",
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8350",
+                   help="base URL of the service")
+    p.add_argument("--timeout", type=float, default=60.0)
+    p.set_defaults(fn=_cmd_drain)
 
     p = sub.add_parser(
         "cache-gc",

@@ -228,7 +228,7 @@ class PatternSelector:
         pdef: int,
         *,
         catalog: PatternCatalog | None = None,
-        engine: str = "auto",
+        engine: "str | None" = None,
         backend: "object | None" = None,
     ) -> SelectionResult:
         """Run Fig. 7 and return the selected library plus diagnostics.
@@ -243,8 +243,9 @@ class PatternSelector:
         catalog:
             Optional pre-built catalog (reused across ``pdef`` sweeps).
         engine:
-            Legacy engine-name alias, resolved through the backend
-            registry when ``backend`` is not given.  ``"auto"`` (default)
+            **Deprecated** engine-name alias (explicit ``"fast"`` /
+            ``"reference"`` emit a :class:`DeprecationWarning`; use
+            ``backend=``).  Omitted — or the legacy literal ``"auto"`` —
             uses the incremental fast loop when the selector runs the
             stock Eq. 8 priority and the reference loop for custom
             ``priority_fn`` callables (whose scores may depend on global
@@ -262,11 +263,17 @@ class PatternSelector:
         if pdef < 1:
             raise SelectionError(f"pdef must be ≥ 1, got {pdef}")
         if backend is None:
-            if engine not in ("auto", "fast", "reference"):
+            if engine is None:
+                engine = "auto"
+            elif engine not in ("auto", "fast", "reference"):
                 raise SelectionError(
                     f"unknown selection engine {engine!r}; expected 'auto', "
                     f"'fast' or 'reference'"
                 )
+            elif engine != "auto":
+                from repro.exec.registry import warn_legacy_engine_alias
+
+                warn_legacy_engine_alias(engine)
             if engine == "auto":
                 engine = "fast" if self.priority_fn is raw_priority else "reference"
             elif engine == "fast" and self.priority_fn is not raw_priority:
@@ -274,7 +281,9 @@ class PatternSelector:
                     "the fast selection engine supports only the stock Eq. 8 "
                     "priority; use engine='reference' with custom priority_fn"
                 )
-            exec_backend = get_backend(engine)
+            exec_backend = get_backend(
+                "fused" if engine == "fast" else "serial"
+            )
             catalog_backend = None  # preserve historical auto resolution
         else:
             exec_backend = get_backend(backend)  # type: ignore[arg-type]

@@ -28,6 +28,7 @@ __all__ = [
     "AllocationError",
     "ServiceError",
     "ServiceOverloadedError",
+    "ServiceUnavailableError",
     "JobValidationError",
 ]
 
@@ -149,7 +150,33 @@ class ServiceOverloadedError(ServiceError):
         *,
         pending: int | None = None,
         max_pending: int | None = None,
+        retry_after: float | None = None,
     ) -> None:
         super().__init__(message)
         self.pending = pending
         self.max_pending = max_pending
+        #: Suggested back-off in seconds (the HTTP ``Retry-After`` hint);
+        #: quota rejections compute it from the client's token bucket.
+        self.retry_after = retry_after
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service is draining and no longer accepts new work.
+
+    Raised (and mapped to HTTP 503) once graceful drain has begun —
+    ``SIGTERM`` or ``POST /v1/admin:drain`` — while in-flight jobs run to
+    completion.  Unlike :class:`ServiceOverloadedError` this is not a
+    transient backpressure signal: the instance is going away, so a
+    well-behaved client re-resolves its endpoint before retrying.
+
+    Attributes
+    ----------
+    retry_after:
+        Suggested seconds before retrying (against another instance).
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -8,15 +8,52 @@ through this registry unchanged.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable
 
 from repro.exceptions import BackendError
 from repro.exec.backend import ExecutionBackend
 
-__all__ = ["available_backends", "get_backend", "register_backend"]
+__all__ = [
+    "available_backends",
+    "canonical_backend_name",
+    "get_backend",
+    "register_backend",
+    "warn_legacy_engine_alias",
+]
 
 _FACTORIES: dict[str, Callable[..., ExecutionBackend]] = {}
 _ALIASES: dict[str, str] = {}
+
+#: The pre-registry ``engine=`` strings.  Only these draw the deprecation
+#: warning — newer aliases (``"vectorized"``) are conveniences, not
+#: holdovers.
+_LEGACY_ENGINE_NAMES = frozenset({"reference", "fast", "parallel", "mp"})
+
+
+def canonical_backend_name(name: str) -> str:
+    """The canonical name an alias resolves to (identity otherwise)."""
+    return _ALIASES.get(name, name)
+
+
+def warn_legacy_engine_alias(
+    name: str, *, param: str = "backend", stacklevel: int = 3
+) -> None:
+    """The one ``DeprecationWarning`` for legacy ``engine=`` aliases.
+
+    Every surface that still accepts the pre-registry engine strings
+    (``engine=`` keyword arguments, the ``engine`` wire field, alias
+    names through :func:`get_backend`) funnels through here, so the
+    message — pointing callers at ``backend=``/``policy=`` — stays in
+    one place.
+    """
+    canonical = canonical_backend_name(name)
+    warnings.warn(
+        f"the legacy engine alias {name!r} is deprecated; pass "
+        f"{param}={canonical!r} (or select a strategy with policy=...)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
 
 
 def register_backend(
@@ -77,6 +114,8 @@ def get_backend(
             f"backend must be an ExecutionBackend or a name, got {type(spec).__name__}"
         )
     canonical = _ALIASES.get(spec, spec)
+    if spec in _LEGACY_ENGINE_NAMES:
+        warn_legacy_engine_alias(spec, stacklevel=3)
     factory = _FACTORIES.get(canonical)
     if factory is None:
         known = ", ".join(sorted(set(_FACTORIES) | set(_ALIASES)))

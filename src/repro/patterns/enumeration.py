@@ -118,7 +118,7 @@ def classify_antichains(
     store_antichains: bool = False,
     max_count: int | None = DEFAULT_MAX_COUNT,
     restrict_to: Iterable[str] | None = None,
-    engine: str = "auto",
+    engine: "str | None" = None,
     backend: object | None = None,
 ) -> PatternCatalog:
     """Enumerate antichains of ``dfg`` and classify them into patterns.
@@ -147,14 +147,15 @@ def classify_antichains(
         restriction is pushed into the enumerator as a node bitmask, so
         excluded branches of the DFS are never visited.
     engine:
-        Legacy engine-name alias, resolved through the backend registry
-        when ``backend`` is not given.  ``"auto"`` (default) classifies
-        inside the enumeration DFS without materializing antichains,
-        unless ``store_antichains`` demands the sequential name-tuple
-        classifier; ``"fast"`` / ``"reference"`` / ``"bitset"`` force a
-        backend (``"fast"`` or ``"bitset"`` with ``store_antichains`` is
-        an error).  All backends produce equal catalogs — the equivalence
-        test-suite pins this.
+        **Deprecated** engine-name alias (explicit ``"fast"`` /
+        ``"reference"`` emit a :class:`DeprecationWarning`; use
+        ``backend=``).  Omitted — or the legacy literal ``"auto"`` —
+        classifies inside the enumeration DFS without materializing
+        antichains, unless ``store_antichains`` demands the sequential
+        name-tuple classifier; ``"fast"`` / ``"reference"`` /
+        ``"bitset"`` force a backend (``"fast"`` or ``"bitset"`` with
+        ``store_antichains`` is an error).  All backends produce equal
+        catalogs — the equivalence test-suite pins this.
     backend:
         An :class:`~repro.exec.backend.ExecutionBackend` instance or
         registered backend name (e.g. ``"process"``); takes precedence
@@ -167,11 +168,17 @@ def classify_antichains(
     from repro.exec import get_backend
 
     if backend is None:
-        if engine not in ("auto", "fast", "reference", "bitset"):
+        if engine is None:
+            engine = "auto"
+        elif engine not in ("auto", "fast", "reference", "bitset"):
             raise PatternError(
                 f"unknown classification engine {engine!r}; expected 'auto', "
                 f"'fast', 'reference' or 'bitset'"
             )
+        elif engine != "auto":
+            from repro.exec.registry import warn_legacy_engine_alias
+
+            warn_legacy_engine_alias(engine)
         if engine == "fast" and store_antichains:
             raise PatternError(
                 "the fast classification engine cannot store raw antichains; "
@@ -179,7 +186,9 @@ def classify_antichains(
             )
         if engine == "auto":
             engine = "reference" if store_antichains else "fast"
-        backend = get_backend(engine)
+        backend = get_backend(
+            {"fast": "fused", "reference": "serial"}.get(engine, engine)
+        )
     else:
         backend = get_backend(backend)  # type: ignore[arg-type]
     return backend.classify(

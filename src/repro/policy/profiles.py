@@ -263,6 +263,26 @@ class ProfileStore:
         self._put(_INDEX_KEY, {"keys": [[list(k), p] for k, p in kept]})
         return dropped
 
+    def flush(self) -> int:
+        """Re-persist every live entry (and the index) through the store.
+
+        Writes during normal operation are best-effort by design
+        (:meth:`_put` swallows store failures so a full disk cannot fail
+        the submit that was merely reporting a timing) — which means a
+        transiently failing store can leave the on-disk profiles behind
+        the in-memory front.  Graceful drain calls this to give every
+        live entry one last write-through before the process exits.
+        Returns the number of entries re-written.
+        """
+        entries = self.entries()
+        for sig_key, policy, entry in entries:
+            self._put(_entry_key(sig_key, policy), entry)
+        self._put(
+            _INDEX_KEY,
+            {"keys": [[list(k), p] for k, p, _ in entries]},
+        )
+        return len(entries)
+
     def clear(self) -> int:
         """Forget every observation (the backing namespace is cleared).
 

@@ -91,7 +91,7 @@ class MultiPatternScheduler:
         dfg: "DFG",
         *,
         levels: LevelAnalysis | None = None,
-        engine: str = "fast",
+        engine: "str | None" = None,
         backend: "ExecutionBackend | str | None" = None,
     ) -> Schedule:
         """Schedule ``dfg``, returning the full :class:`Schedule` trace.
@@ -103,12 +103,14 @@ class MultiPatternScheduler:
         levels:
             Optional precomputed level analysis.
         engine:
-            Legacy engine-name alias, resolved through the backend registry
-            when ``backend`` is not given: ``"fast"`` (default) maps to the
-            fused backend's integer hot loop — color-id arrays, slot-count
-            vectors, an incrementally sorted candidate queue; ``"reference"``
-            to the serial backend's straightforward name-based loop.  Both
-            produce identical schedules (pinned by the equivalence tests).
+            **Deprecated** engine-name alias (passing it explicitly emits
+            a :class:`DeprecationWarning`; use ``backend=``): ``"fast"``
+            maps to the fused backend's integer hot loop — color-id
+            arrays, slot-count vectors, an incrementally sorted candidate
+            queue; ``"reference"`` to the serial backend's
+            straightforward name-based loop.  Both produce identical
+            schedules (pinned by the equivalence tests); omitting both
+            ``engine`` and ``backend`` runs the fused loop.
         backend:
             An :class:`~repro.exec.backend.ExecutionBackend` instance or
             registered backend name (see :func:`repro.exec.get_backend`).
@@ -121,14 +123,19 @@ class MultiPatternScheduler:
             do not cover the graph's colors).
         """
         from repro.exec import get_backend
+        from repro.exec.registry import warn_legacy_engine_alias
 
         if backend is None:
-            if engine not in ("fast", "reference"):
-                raise SchedulingError(
-                    f"unknown scheduling engine {engine!r}; expected 'fast' or "
-                    f"'reference'"
-                )
-            backend = get_backend(engine)
+            if engine is None:
+                engine = "fast"
+            else:
+                if engine not in ("fast", "reference"):
+                    raise SchedulingError(
+                        f"unknown scheduling engine {engine!r}; expected "
+                        f"'fast' or 'reference'"
+                    )
+                warn_legacy_engine_alias(engine)
+            backend = get_backend("fused" if engine == "fast" else "serial")
         else:
             backend = get_backend(backend)
         validate_dfg(dfg)

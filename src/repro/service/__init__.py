@@ -20,24 +20,43 @@ with :class:`~repro.dfg.edit.DfgEdit` operations, and
 subgraph digest the edit actually changed (cache level ``edit``).
 
 Over the wire the same API is ``repro serve`` + :class:`ServiceClient`
-(see :mod:`repro.service.http`).  Requests and results round-trip
-losslessly through JSON; malformed payloads raise
-:class:`~repro.exceptions.JobValidationError`.
+(``docs/WIRE_PROTOCOL.md`` is the normative wire description).  Two
+server cores speak it: the default asyncio core
+(:class:`AsyncServiceServer`, :mod:`repro.service.aio` — persistent
+keep-alive connections, priority scheduling, per-client token-bucket
+quotas, graceful drain, streamed shard responses with heartbeats) and
+the thread-per-connection core (:class:`ServiceServer`,
+:mod:`repro.service.http`).  :class:`ServiceClient` (sync, pooled
+keep-alive connections) and :class:`AsyncServiceClient` (asyncio) are
+interchangeable against either.  Requests and results round-trip
+losslessly through JSON; every failure crosses as the unified error
+envelope (:mod:`repro.service.errors`) and re-raises as its own typed
+exception.
 
 Scaling seams layered on top:
 
 * :class:`ShardCoordinator` (:mod:`repro.service.shard`) fans the
   catalog build out over shard services — local or remote — and merges
-  bit-identically;
-* :class:`CacheStore` (:mod:`repro.service.store`) puts the three cache
+  bit-identically; remote shards stream partials as they complete;
+* :class:`CacheStore` (:mod:`repro.service.store`) puts the cache
   levels behind pluggable storage; ``cache_dir=...`` persists them to
   disk across restarts and instances;
 * ``max_pending=...`` bounds admission
-  (:class:`~repro.exceptions.ServiceOverloadedError` → HTTP 429).
+  (:class:`~repro.exceptions.ServiceOverloadedError` → HTTP 429);
+* :func:`resolve_execution` (:mod:`repro.service.resolve`) is the one
+  seam deciding what backend/policy runs any given job.
 """
 
+from repro.service.aio import AsyncServiceClient, AsyncServiceServer
+from repro.service.errors import (
+    error_envelope,
+    error_from_envelope,
+    http_status,
+    retry_after_of,
+)
 from repro.service.http import ServiceClient, ServiceServer, serve
 from repro.service.jobs import EditRequest, JobRequest, JobResult
+from repro.service.resolve import ExecutionResolution, resolve_execution
 from repro.service.service import SchedulerService, ServiceStats, SubmitOutcome
 from repro.service.shard import (
     CoordinatorStats,
@@ -62,7 +81,15 @@ __all__ = [
     "SubmitOutcome",
     "ServiceClient",
     "ServiceServer",
+    "AsyncServiceClient",
+    "AsyncServiceServer",
     "serve",
+    "ExecutionResolution",
+    "resolve_execution",
+    "error_envelope",
+    "error_from_envelope",
+    "http_status",
+    "retry_after_of",
     "ShardCoordinator",
     "ShardTask",
     "LocalShard",

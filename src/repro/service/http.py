@@ -1,39 +1,48 @@
-"""HTTP front-end: ``repro serve`` and the thin :class:`ServiceClient`.
+"""Threaded HTTP front-end and the persistent :class:`ServiceClient`.
 
-Stdlib only (``http.server`` + ``urllib``) — the wire format is exactly
-the :class:`~repro.service.jobs.JobRequest` / ``JobResult`` JSON, so the
-HTTP layer is a pipe, not a second API:
+Stdlib only (``http.server`` + ``http.client``) — the wire format is
+exactly the :class:`~repro.service.jobs.JobRequest` / ``JobResult``
+JSON, so the HTTP layer is a pipe, not a second API.  The same ``/v1``
+routes are also served by the asyncio core (:mod:`repro.service.aio`);
+``docs/WIRE_PROTOCOL.md`` is the normative description.
 
-=========  ====================  =========================================
-method     path                  body → response
-=========  ====================  =========================================
-``POST``   ``/v1/jobs``          job request JSON → job result JSON
-``POST``   ``/v1/jobs:batch``    ``{"jobs": [...]}`` → ``{"results": [...]}``
-``POST``   ``/v1/jobs:edit``     edit request JSON → job result JSON
-``POST``   ``/v1/catalog:shard`` shard task JSON → ``{"buckets": [...]}``;
-                                 batched ``{"tasks": [...]}`` →
-                                 ``{"results": [...]}``
-``POST``   ``/v1/caches:clear``  (empty body) → ``{"cleared": true}``
-``GET``    ``/healthz``          liveness + backend description
-``GET``    ``/stats``            :meth:`SchedulerService.describe` output
-``GET``    ``/workloads``        available workload names
-=========  ====================  =========================================
+=========  ===========================  ====================================
+method     path                         body → response
+=========  ===========================  ====================================
+``POST``   ``/v1/jobs``                 job request JSON → job result JSON
+``POST``   ``/v1/jobs:batch``           ``{"jobs": [...]}`` →
+                                        ``{"results": [...]}``
+``POST``   ``/v1/jobs:edit``            edit request JSON → job result JSON
+``POST``   ``/v1/catalog:shard``        shard task JSON →
+                                        ``{"buckets": [...]}``; batched
+                                        ``{"tasks": [...]}`` →
+                                        ``{"results": [...]}``
+``POST``   ``/v1/catalog:shard:stream`` ``{"tasks": [...]}`` → chunked
+                                        NDJSON, one frame per slot as it
+                                        completes
+``POST``   ``/v1/caches:clear``         (empty body) → ``{"cleared": true}``
+``POST``   ``/v1/admin:drain``          (empty body) → ``{"draining": true,
+                                        "flushed": n}``
+``GET``    ``/healthz``                 liveness + backend + drain state
+``GET``    ``/stats``                   :meth:`SchedulerService.describe`
+``GET``    ``/workloads``               available workload names
+=========  ===========================  ====================================
 
 Every job response carries an ``X-Repro-Cache`` header naming the deepest
 cache level that answered (``result`` / ``selection`` / ``catalog`` /
-``edit`` / ``none``) — cache behaviour is observable without perturbing
-the bit-identical result body.  ``/v1/jobs:edit`` takes an
-:class:`~repro.service.jobs.EditRequest` (a base job plus
-:class:`~repro.dfg.edit.DfgEdit` operations), applies the edits
-server-side and reports ``X-Repro-Cache: edit`` when the rebuild reused
-cached partition partials for the clean region.  Validation failures
-map to HTTP 400 with a
-typed error payload ``{"error", "message", "field"}``; an admission
-rejection (the service's bounded pending queue is full) to HTTP 429 with
-a ``Retry-After`` hint; unexpected failures to 500.  The server is
-threading (one resident
-:class:`~repro.service.service.SchedulerService`, which serializes
-submits internally), daemon-threaded so Ctrl-C exits cleanly.
+``edit`` / ``shard`` / ``none``) — cache behaviour is observable without
+perturbing the bit-identical result body.
+
+Every failure, on every route, is the one envelope from
+:mod:`repro.service.errors`::
+
+    {"error": {"type": ..., "message": ..., "field"?, "retry_after"?}}
+
+with the status from :func:`~repro.service.errors.http_status` (400
+validation, 429 overload, 503 draining, 422 typed scheduling failures,
+500 defensive) and a ``Retry-After`` header whenever the error carries a
+back-off hint.  The client's :func:`~repro.service.errors.error_from_envelope`
+re-raises each as its own type — no per-route error code on either side.
 
 ``/v1/catalog:shard`` is the executor side of
 :class:`~repro.service.shard.ShardCoordinator`: the body is a
@@ -46,10 +55,27 @@ content-addressed partial cache answered — no DFS ran server-side — and
 batched form ``{"tasks": [...]}`` classifies several claimed partitions
 in one round trip (the steal loop's ``claim_batch``); the response is
 ``{"results": [...]}`` with one ``{"buckets": ..., "cache": ...}`` or
-``{"error", "message", "field"}`` object per task — failures stay
-slot-local so one bad partition cannot void its batch-mates.
-``/v1/caches:clear`` drops every server-side cache level (an operational
-reset; the cold-path benchmark uses it to measure honestly).
+``{"error": {...}}`` object per task — failures stay slot-local so one
+bad partition cannot void its batch-mates.
+
+``/v1/catalog:shard:stream`` is the server-push form of the same batch:
+a chunked ``application/x-ndjson`` response emitting each slot's frame
+*as that partition finishes* (``{"slot": i, "buckets": ..., "cache":
+...}`` or ``{"slot": i, "error": {...}}``), a ``{"heartbeat": ...}``
+frame at the server's discretion during long gaps, and a terminal
+``{"done": true}``.  The coordinator's steal loop merges early frames
+while later partitions are still classifying — overlap the batched form
+cannot offer.  Frame order is server-chosen; slot indices restore task
+order, so merged results stay bit-identical to the batched path.
+
+``/v1/admin:drain`` (or ``SIGTERM`` under :func:`serve`) starts a
+graceful drain: the server keeps serving reads but answers every new
+work submission with a 503
+:class:`~repro.exceptions.ServiceUnavailableError` envelope, finishes
+requests already in flight, and flushes best-effort state
+(:meth:`SchedulerService.flush`) so profile observations survive the
+restart.  ``/v1/caches:clear`` drops every server-side cache level (an
+operational reset; the cold-path benchmark uses it to measure honestly).
 """
 
 from __future__ import annotations
@@ -57,17 +83,23 @@ from __future__ import annotations
 import json
 import os
 import threading
-import urllib.error
-import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
+from urllib.parse import urlsplit
+
+import http.client
 
 from repro.exceptions import (
-    EnumerationLimitError,
     JobValidationError,
     ReproError,
     ServiceError,
-    ServiceOverloadedError,
+    ServiceUnavailableError,
+)
+from repro.service.errors import (
+    error_envelope,
+    error_from_envelope,
+    http_status,
+    retry_after_of,
 )
 from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.service import SchedulerService
@@ -80,13 +112,32 @@ __all__ = ["ServiceClient", "ServiceServer", "serve"]
 #: Maximum accepted request body (64 MiB) — a guard, not a quota.
 MAX_BODY_BYTES = 64 << 20
 
-#: Error types a client re-raises as themselves (not bare ServiceError)
-#: when the server reports them on a 4xx/422 — keeps remote failures
-#: actionable: the shard coordinator's adaptive-span loop, for one, must
-#: see a remote EnumerationLimitError to tighten the span and retry.
-_TYPED_ERRORS: dict[str, type[ReproError]] = {
-    "EnumerationLimitError": EnumerationLimitError,
-}
+#: Header a client sends to identify itself for per-client quotas (the
+#: asyncio core buckets by it; unset falls back to the peer address).
+CLIENT_HEADER = "X-Repro-Client"
+
+
+def _retry_after_header(exc: BaseException) -> "dict[str, str]":
+    """``Retry-After`` header for errors that carry a back-off hint."""
+    hint = retry_after_of(exc)
+    if hint is None:
+        return {}
+    return {
+        "Retry-After": str(int(hint)) if float(hint).is_integer() else str(hint)
+    }
+
+
+def shard_rows_to_wire(buckets: "list[tuple]") -> "list[list]":
+    """In-process partial rows → JSON-safe wire rows (shared by cores)."""
+    return [
+        [list(key), count, order, values]
+        for key, count, order, values in buckets
+    ]
+
+
+def shard_rows_from_wire(rows: "list[list]") -> "list[tuple]":
+    """Wire rows → the in-process shape ``merge_classified_parts`` takes."""
+    return [(tuple(key), count, order, values) for key, count, order, values in rows]
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -117,13 +168,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, exc: Exception) -> None:
-        payload = {
-            "error": type(exc).__name__,
-            "message": str(exc),
-            "field": getattr(exc, "field", None),
-        }
-        self._send_json(status, payload)
+    def _send_exception(self, exc: Exception) -> None:
+        self._send_json(
+            http_status(exc), error_envelope(exc), headers=_retry_after_header(exc)
+        )
 
     def _read_body(self) -> bytes:
         try:
@@ -146,12 +194,24 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return self.rfile.read(length)
 
+    def _check_accepting(self) -> None:
+        """Refuse new work while draining (reads still answer)."""
+        if self.server.draining:
+            raise ServiceUnavailableError(
+                "service is draining and no longer accepts new work"
+            )
+
     # ------------------------------------------------------------------ #
     def do_GET(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
         service = self.server.service
         if self.path == "/healthz":
             self._send_json(
-                200, {"status": "ok", "backend": service.backend.describe()}
+                200,
+                {
+                    "status": "draining" if self.server.draining else "ok",
+                    "backend": service.backend.describe(),
+                    "draining": self.server.draining,
+                },
             )
         elif self.path == "/stats":
             self._send_json(200, service.describe())
@@ -159,7 +219,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, {"workloads": service.describe()["workloads"]})
         else:
             self._send_json(
-                404, {"error": "NotFound", "message": f"no route {self.path!r}"}
+                404,
+                {
+                    "error": {
+                        "type": "NotFound",
+                        "message": f"no route {self.path!r}",
+                    }
+                },
             )
 
     def do_POST(self) -> None:  # noqa: N802 (BaseHTTPRequestHandler API)
@@ -167,6 +233,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             body = self._read_body()
             if self.path == "/v1/jobs":
+                self._check_accepting()
                 request = JobRequest.from_json(body.decode("utf-8"))
                 outcome = service.submit_outcome(request)
                 self._send_json(
@@ -175,6 +242,7 @@ class _Handler(BaseHTTPRequestHandler):
                     headers={"X-Repro-Cache": outcome.cache},
                 )
             elif self.path == "/v1/jobs:batch":
+                self._check_accepting()
                 try:
                     payload = json.loads(body.decode("utf-8"))
                 except json.JSONDecodeError as exc:
@@ -196,6 +264,7 @@ class _Handler(BaseHTTPRequestHandler):
                     200, {"results": [r.to_dict() for r in results]}
                 )
             elif self.path == "/v1/jobs:edit":
+                self._check_accepting()
                 request = EditRequest.from_json(body.decode("utf-8"))
                 outcome = service.submit_edit_outcome(request)
                 self._send_json(
@@ -204,6 +273,7 @@ class _Handler(BaseHTTPRequestHandler):
                     headers={"X-Repro-Cache": outcome.cache},
                 )
             elif self.path == "/v1/catalog:shard":
+                self._check_accepting()
                 from repro.service.shard import ShardTask
 
                 try:
@@ -228,20 +298,11 @@ class _Handler(BaseHTTPRequestHandler):
                                 task
                             )
                         except ReproError as exc:
-                            results.append(
-                                {
-                                    "error": type(exc).__name__,
-                                    "message": str(exc),
-                                    "field": getattr(exc, "field", None),
-                                }
-                            )
+                            results.append(error_envelope(exc))
                         else:
                             results.append(
                                 {
-                                    "buckets": [
-                                        [list(key), count, order, values]
-                                        for key, count, order, values in buckets
-                                    ],
+                                    "buckets": shard_rows_to_wire(buckets),
                                     "cache": cache,
                                 }
                             )
@@ -251,43 +312,91 @@ class _Handler(BaseHTTPRequestHandler):
                     buckets, cache = service.classify_shard_outcome(task)
                     self._send_json(
                         200,
-                        {
-                            "buckets": [
-                                [list(key), count, order, values]
-                                for key, count, order, values in buckets
-                            ]
-                        },
+                        {"buckets": shard_rows_to_wire(buckets)},
                         headers={"X-Repro-Cache": cache},
                     )
+            elif self.path == "/v1/catalog:shard:stream":
+                self._check_accepting()
+                try:
+                    payload = json.loads(body.decode("utf-8"))
+                except json.JSONDecodeError as exc:
+                    raise JobValidationError(
+                        f"invalid shard stream JSON: {exc}"
+                    ) from exc
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("tasks"), list
+                ):
+                    raise JobValidationError(
+                        "streaming shard payload needs a 'tasks' list",
+                        field="tasks",
+                    )
+                self._stream_shard(payload["tasks"])
             elif self.path == "/v1/caches:clear":
                 service.clear_caches()
                 self._send_json(200, {"cleared": True})
+            elif self.path == "/v1/admin:drain":
+                flushed = self.server.drain()
+                self._send_json(200, {"draining": True, "flushed": flushed})
             else:
                 self._send_json(
                     404,
-                    {"error": "NotFound", "message": f"no route {self.path!r}"},
+                    {
+                        "error": {
+                            "type": "NotFound",
+                            "message": f"no route {self.path!r}",
+                        }
+                    },
                 )
-        except ServiceOverloadedError as exc:
-            # Admission rejection: tell the client to back off, not that
-            # its request was wrong.
-            self._send_json(
-                429,
-                {
-                    "error": type(exc).__name__,
-                    "message": str(exc),
-                    "pending": exc.pending,
-                    "max_pending": exc.max_pending,
-                },
-                headers={"Retry-After": "1"},
-            )
-        except JobValidationError as exc:
-            self._send_error_json(400, exc)
         except ReproError as exc:
-            # A well-formed request the scheduler cannot satisfy (deadlock,
-            # enumeration limit, …) is the client's problem, not a crash.
-            self._send_error_json(422, exc)
+            self._send_exception(exc)
         except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, exc)
+            self._send_exception(exc)
+
+    # ------------------------------------------------------------------ #
+    def _write_frame(self, frame: "dict[str, Any]") -> None:
+        data = json.dumps(frame).encode("utf-8") + b"\n"
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+        self.wfile.flush()
+
+    def _stream_shard(self, items: "list[Any]") -> None:
+        """Chunked NDJSON: one frame per slot, written as it completes.
+
+        Slot failures are frames, not response errors — by the time a
+        task fails the stream is already flowing.  A failure of the
+        stream itself (a broken pipe, a defensive bug) cannot be
+        reported in-band; the chunked body is simply left unterminated
+        and the client maps truncation to a
+        :class:`~repro.exceptions.ServiceError`.
+        """
+        from repro.service.shard import ShardTask
+
+        service = self.server.service
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        try:
+            for slot, item in enumerate(items):
+                try:
+                    task = ShardTask.from_dict(item)
+                    buckets, cache = service.classify_shard_outcome(task)
+                except ReproError as exc:
+                    frame: "dict[str, Any]" = {"slot": slot}
+                    frame.update(error_envelope(exc))
+                else:
+                    frame = {
+                        "slot": slot,
+                        "buckets": shard_rows_to_wire(buckets),
+                        "cache": cache,
+                    }
+                self._write_frame(frame)
+            self._write_frame({"done": True})
+            self.wfile.write(b"0\r\n\r\n")
+            self.wfile.flush()
+        except Exception:  # pragma: no cover - client went away mid-stream
+            self.close_connection = True
 
     def log_message(self, format: str, *args: Any) -> None:
         if self.server.verbose:
@@ -350,6 +459,8 @@ class ServiceServer(ThreadingHTTPServer):
             )
         self.service = service
         self.verbose = verbose
+        #: Once set, work-submitting routes answer 503; reads still work.
+        self.draining = False
         super().__init__((host, port), _Handler)
 
     @property
@@ -369,6 +480,17 @@ class ServiceServer(ThreadingHTTPServer):
         thread.start()
         return thread
 
+    def drain(self) -> int:
+        """Stop accepting new work and flush best-effort state.
+
+        In-flight requests finish normally (their handler threads keep
+        running); every subsequent submission is answered with a 503
+        envelope carrying a ``Retry-After`` hint.  Returns the number of
+        profile entries re-persisted by the flush.
+        """
+        self.draining = True
+        return self.service.flush()
+
     def shutdown(self) -> None:
         super().shutdown()
         self.service.close()
@@ -386,7 +508,12 @@ def serve(
     policy: str | None = None,
     verbose: bool = True,
 ) -> None:
-    """Blocking entry point behind ``repro serve``."""
+    """Blocking entry point behind ``repro serve --threaded``.
+
+    ``SIGTERM`` triggers a graceful drain (finish in-flight work, flush
+    profiles, stop) so supervisors can restart the service without
+    losing best-effort state; ``Ctrl-C`` stops immediately.
+    """
     server = ServiceServer(
         host=host,
         port=port,
@@ -398,6 +525,16 @@ def serve(
         policy=policy,
         verbose=verbose,
     )
+    try:
+        import signal
+
+        def _drain_and_stop(signum: int, frame: Any) -> None:
+            server.drain()
+            threading.Thread(target=server.shutdown, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _drain_and_stop)
+    except (ImportError, ValueError):  # pragma: no cover - non-main thread
+        pass
     extras = ""
     if cache_dir is not None:
         extras += f", cache_dir={cache_dir}"
@@ -421,65 +558,169 @@ def serve(
 
 
 class ServiceClient:
-    """Thin JSON-over-HTTP client for a running ``repro serve``.
+    """Persistent JSON-over-HTTP client for a running ``repro serve``.
 
-    >>> client = ServiceClient("http://127.0.0.1:8350")   # doctest: +SKIP
-    >>> result = client.submit(JobRequest(capacity=5, pdef=4,
-    ...                                   workload="3dft"))  # doctest: +SKIP
+    >>> with ServiceClient("http://127.0.0.1:8350") as client:  # doctest: +SKIP
+    ...     result = client.submit(JobRequest(capacity=5, pdef=4,
+    ...                                       workload="3dft"))
 
-    The client re-raises server-side validation failures as
-    :class:`~repro.exceptions.JobValidationError` and everything else as
-    :class:`~repro.exceptions.ServiceError`, so callers handle local and
-    remote submission identically.
+    One keep-alive connection is held per calling thread and reused
+    across requests (the server speaks HTTP/1.1 on both cores); a stale
+    connection — the server restarted, an idle timeout fired — is
+    dropped and the request retried once on a fresh one, which is safe
+    because every route is idempotent (results are content-addressed).
+    The client is a context manager; :meth:`close` is idempotent and
+    closes every pooled connection.
+
+    Server-side failures re-raise as their own exception types — the
+    unified envelope's ``type`` field resolves through
+    :func:`~repro.service.errors.error_from_envelope` — so callers
+    handle local and remote submission identically.  Each raised error
+    additionally carries the HTTP status on ``exc.http_status``.
+
+    ``client_id`` names this client for the async core's per-client
+    quota buckets (the ``X-Repro-Client`` header); unset, the server
+    buckets by peer address.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 60.0,
+        client_id: str | None = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.client_id = client_id
         #: Cache level of the most recent single-job submit (the
         #: ``X-Repro-Cache`` response header).
         self.last_cache: str | None = None
+        split = urlsplit(self.base_url)
+        if split.scheme not in ("http", ""):
+            raise ServiceError(
+                f"unsupported service URL scheme {split.scheme!r}; "
+                f"expected http"
+            )
+        self._host = split.hostname or "127.0.0.1"
+        self._port = split.port or 80
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._conns: "list[http.client.HTTPConnection]" = []
+        self._closed = False
 
     # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close every pooled connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:  # pragma: no cover - socket already dead
+                pass
+
+    # ------------------------------------------------------------------ #
+    def _connection(self) -> "http.client.HTTPConnection":
+        if self._closed:
+            raise ServiceError("ServiceClient is closed")
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.conn = conn
+            with self._lock:
+                if self._closed:
+                    conn.close()
+                    raise ServiceError("ServiceClient is closed")
+                self._conns.append(conn)
+        return conn
+
+    def _drop_connection(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is None:
+            return
+        with self._lock:
+            try:
+                self._conns.remove(conn)
+            except ValueError:
+                pass
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover - socket already dead
+            pass
+
+    def _headers(self, has_body: bool) -> "dict[str, str]":
+        headers: "dict[str, str]" = {}
+        if has_body:
+            headers["Content-Type"] = "application/json"
+        if self.client_id is not None:
+            headers[CLIENT_HEADER] = self.client_id
+        return headers
+
+    def _open(
+        self, path: str, body: "bytes | None"
+    ) -> "http.client.HTTPResponse":
+        """Issue a request on the thread's connection, retrying once.
+
+        The retry only covers connection-level failures (the keep-alive
+        peer vanished before a response line came back); HTTP-level
+        errors return a response and are mapped by the caller.
+        """
+        method = "POST" if body is not None else "GET"
+        headers = self._headers(body is not None)
+        last_exc: "Exception | None" = None
+        for _attempt in range(2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                return conn.getresponse()
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop_connection()
+                last_exc = exc
+        raise ServiceError(
+            f"cannot reach service at {self.base_url}: {last_exc}"
+        ) from last_exc
+
+    def _error_for(self, status: int, data: bytes) -> ReproError:
+        try:
+            payload: Any = json.loads(data.decode("utf-8"))
+        except Exception:
+            payload = None
+        exc = error_from_envelope(
+            payload, default_message=f"service returned HTTP {status}"
+        )
+        exc.http_status = status  # type: ignore[attr-defined]
+        return exc
+
     def _request(
         self, path: str, body: "bytes | None" = None
-    ) -> tuple[dict[str, Any] | str, dict[str, str]]:
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=body,
-            headers={"Content-Type": "application/json"} if body else {},
-            method="POST" if body is not None else "GET",
-        )
+    ) -> tuple[str, dict[str, str]]:
+        resp = self._open(path, body)
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.read().decode("utf-8"), dict(resp.headers)
-        except urllib.error.HTTPError as exc:
-            detail: dict[str, Any] = {}
-            try:
-                detail = json.loads(exc.read().decode("utf-8"))
-            except Exception:
-                pass
-            message = detail.get("message", str(exc))
-            if exc.code == 400:
-                raise JobValidationError(
-                    message, field=detail.get("field")
-                ) from exc
-            if exc.code == 429:
-                raise ServiceOverloadedError(
-                    message,
-                    pending=detail.get("pending"),
-                    max_pending=detail.get("max_pending"),
-                ) from exc
-            typed = _TYPED_ERRORS.get(detail.get("error", ""))
-            if typed is not None:
-                raise typed(message) from exc
+            data = resp.read()
+        except (http.client.HTTPException, OSError) as exc:
+            self._drop_connection()
             raise ServiceError(
-                f"service returned HTTP {exc.code}: {message}"
+                f"connection to {self.base_url} died mid-response: {exc}"
             ) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(
-                f"cannot reach service at {self.base_url}: {exc.reason}"
-            ) from exc
+        headers = dict(resp.getheaders())
+        if resp.getheader("Connection", "").lower() == "close":
+            self._drop_connection()
+        if resp.status >= 400:
+            raise self._error_for(resp.status, data)
+        return data.decode("utf-8"), headers
 
     # ------------------------------------------------------------------ #
     def submit(self, request: JobRequest) -> JobResult:
@@ -488,7 +729,7 @@ class ServiceClient:
             "/v1/jobs", request.to_json().encode("utf-8")
         )
         self.last_cache = headers.get("X-Repro-Cache")
-        return JobResult.from_json(body)  # type: ignore[arg-type]
+        return JobResult.from_json(body)
 
     def submit_edit(self, request: "EditRequest") -> JobResult:
         """Submit an edit of a known job (``POST /v1/jobs:edit``).
@@ -501,13 +742,13 @@ class ServiceClient:
             "/v1/jobs:edit", request.to_json().encode("utf-8")
         )
         self.last_cache = headers.get("X-Repro-Cache")
-        return JobResult.from_json(body)  # type: ignore[arg-type]
+        return JobResult.from_json(body)
 
     def submit_many(self, requests: "list[JobRequest]") -> list[JobResult]:
         """Submit a batch (service-side dedup applies)."""
         payload = json.dumps({"jobs": [r.to_dict() for r in requests]})
         body, _ = self._request("/v1/jobs:batch", payload.encode("utf-8"))
-        parsed = json.loads(body)  # type: ignore[arg-type]
+        parsed = json.loads(body)
         return [JobResult.from_dict(r) for r in parsed["results"]]
 
     def classify_shard(self, task: "ShardTask") -> list[tuple]:
@@ -524,7 +765,7 @@ class ServiceClient:
             "/v1/catalog:shard", task.to_json().encode("utf-8")
         )
         self.last_cache = headers.get("X-Repro-Cache")
-        parsed = json.loads(body)  # type: ignore[arg-type]
+        parsed = json.loads(body)
         if not isinstance(parsed, dict) or not isinstance(
             parsed.get("buckets"), list
         ):
@@ -532,10 +773,7 @@ class ServiceClient:
                 "malformed shard response: expected an object with a "
                 "'buckets' list"
             )
-        return [
-            (tuple(key), count, order, values)
-            for key, count, order, values in parsed["buckets"]
-        ]
+        return shard_rows_from_wire(parsed["buckets"])
 
     def classify_shard_many(
         self, tasks: "list[ShardTask]"
@@ -550,7 +788,7 @@ class ServiceClient:
         """
         payload = json.dumps({"tasks": [t.to_dict() for t in tasks]})
         body, _ = self._request("/v1/catalog:shard", payload.encode("utf-8"))
-        parsed = json.loads(body)  # type: ignore[arg-type]
+        parsed = json.loads(body)
         if not isinstance(parsed, dict) or not isinstance(
             parsed.get("results"), list
         ):
@@ -571,43 +809,120 @@ class ServiceClient:
                     "be an object"
                 )
             if "error" in item:
-                message = item.get("message", "shard task failed")
-                name = item.get("error", "")
-                if name == "JobValidationError":
-                    out.append(
-                        JobValidationError(message, field=item.get("field"))
+                out.append(
+                    error_from_envelope(
+                        item, default_message="shard task failed"
                     )
-                    continue
-                typed = _TYPED_ERRORS.get(name)
-                if typed is not None:
-                    out.append(typed(message))
-                    continue
-                out.append(ServiceError(f"shard task failed: {message}"))
+                )
                 continue
             if not isinstance(item.get("buckets"), list):
                 raise ServiceError(
                     "malformed batched shard response: result needs a "
                     "'buckets' list or an 'error'"
                 )
-            rows = [
-                (tuple(key), count, order, values)
-                for key, count, order, values in item["buckets"]
-            ]
-            out.append((rows, item.get("cache")))
+            out.append((shard_rows_from_wire(item["buckets"]), item.get("cache")))
         return out
+
+    def classify_shard_stream(
+        self, tasks: "list[ShardTask]"
+    ) -> "Iterator[tuple[int, list[tuple] | ReproError, str | None]]":
+        """Stream a claimed batch (``POST /v1/catalog:shard:stream``).
+
+        Yields ``(slot, rows_or_error, cache)`` as the server finishes
+        each partition — in *server* completion order, not slot order;
+        the slot index maps each frame back to its task.  Errors arrive
+        as typed exception instances (not raised), mirroring
+        :meth:`classify_shard_many`.  Heartbeat frames are consumed
+        silently.  A stream that ends without the terminal frame raises
+        :class:`~repro.exceptions.ServiceError`; abandoning the
+        generator mid-stream drops the connection (its remaining bytes
+        are unread) rather than poisoning the pool.
+        """
+        payload = json.dumps({"tasks": [t.to_dict() for t in tasks]})
+        resp = self._open(
+            "/v1/catalog:shard:stream", payload.encode("utf-8")
+        )
+        if resp.status >= 400:
+            try:
+                data = resp.read()
+            except (http.client.HTTPException, OSError):
+                data = b""
+                self._drop_connection()
+            raise self._error_for(resp.status, data)
+        done = False
+        try:
+            while True:
+                try:
+                    line = resp.readline()
+                except (http.client.HTTPException, OSError) as exc:
+                    raise ServiceError(
+                        f"shard stream from {self.base_url} died: {exc}"
+                    ) from exc
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    frame = json.loads(line.decode("utf-8"))
+                except Exception as exc:
+                    raise ServiceError(
+                        f"malformed shard stream frame: {line[:200]!r}"
+                    ) from exc
+                if not isinstance(frame, dict):
+                    raise ServiceError(
+                        "malformed shard stream frame: expected an object"
+                    )
+                if "heartbeat" in frame:
+                    continue
+                if frame.get("done"):
+                    done = True
+                    break
+                slot = frame.get("slot")
+                if not isinstance(slot, int):
+                    raise ServiceError(
+                        "malformed shard stream frame: missing slot index"
+                    )
+                if "error" in frame:
+                    yield slot, error_from_envelope(
+                        frame, default_message="shard task failed"
+                    ), None
+                    continue
+                if not isinstance(frame.get("buckets"), list):
+                    raise ServiceError(
+                        "malformed shard stream frame: needs 'buckets' "
+                        "or 'error'"
+                    )
+                yield slot, shard_rows_from_wire(frame["buckets"]), frame.get(
+                    "cache"
+                )
+            if not done:
+                raise ServiceError(
+                    "shard stream ended without a terminal frame"
+                )
+            # Drain any trailing bytes so the connection is reusable.
+            resp.read()
+        finally:
+            if not done:
+                self._drop_connection()
 
     def clear_caches(self) -> None:
         """Drop every server-side cache level (``POST /v1/caches:clear``)."""
         self._request("/v1/caches:clear", b"{}")
 
+    def drain(self) -> dict[str, Any]:
+        """Start a graceful drain (``POST /v1/admin:drain``)."""
+        body, _ = self._request("/v1/admin:drain", b"{}")
+        return json.loads(body)
+
     def health(self) -> dict[str, Any]:
         body, _ = self._request("/healthz")
-        return json.loads(body)  # type: ignore[arg-type]
+        return json.loads(body)
 
     def stats(self) -> dict[str, Any]:
         body, _ = self._request("/stats")
-        return json.loads(body)  # type: ignore[arg-type]
+        return json.loads(body)
 
     def workloads(self) -> list[str]:
         body, _ = self._request("/workloads")
-        return json.loads(body)["workloads"]  # type: ignore[arg-type]
+        return json.loads(body)["workloads"]

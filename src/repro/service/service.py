@@ -84,10 +84,11 @@ from repro.exec.process import (
     plan_seed_partitions,
 )
 from repro.policy.profiles import ProfileStore
-from repro.policy.registry import get_policy, policy_for_backend
+from repro.policy.registry import get_policy
 from repro.policy.signature import WorkloadSignature
 from repro.scheduling.scheduler import MultiPatternScheduler
 from repro.service.jobs import EditRequest, JobRequest, JobResult
+from repro.service.resolve import resolve_execution
 from repro.service.store import MemoryCacheStore, open_cache_stores
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -398,6 +399,43 @@ class SchedulerService:
         for b in self._overrides.values():
             b.close()
 
+    def flush(self) -> int:
+        """Give buffered state one last write-through (graceful drain).
+
+        The disk cache stores write through atomically on every ``put``,
+        so the only state that can lag its store is the profile store's
+        best-effort writes (:meth:`~repro.policy.ProfileStore.flush`).
+        Safe to call at any time; drain calls it after the last in-flight
+        job finishes.  Returns the number of profile entries re-persisted.
+        """
+        return self.profiles.flush()
+
+    def probe_result(self, request: JobRequest) -> bool:
+        """Best-effort: would the result cache answer this request?
+
+        Never computes, never blocks: an unresolved workload name counts
+        as cold, and a contended service lock answers ``False`` rather
+        than waiting behind a running submit.  The async front-end uses
+        this to classify traffic — warm (cache-answerable) submissions
+        jump the compute queue ahead of cold builds.
+        """
+        if not isinstance(request, JobRequest):
+            return False
+        if not self._lock.acquire(blocking=False):
+            return False
+        try:
+            if request.workload is not None:
+                dfg = self._named_graphs.get(request.workload)
+            else:
+                dfg = request.dfg
+            if dfg is None:
+                return False
+            return request.job_key(dfg_digest(dfg)) in self._results
+        except Exception:  # noqa: BLE001 — a probe must never raise
+            return False
+        finally:
+            self._lock.release()
+
     def __enter__(self) -> "SchedulerService":
         return self
 
@@ -459,49 +497,39 @@ class SchedulerService:
             seen = dfg
         return seen, digest
 
+    @property
+    def execution_overrides(self) -> "dict[str, ExecutionBackend]":
+        """Name → instance cache of non-resident backends this service ran.
+
+        The override slot of the :func:`repro.service.resolve` seam; the
+        instances are owned by — and closed with — the service.
+        """
+        return self._overrides
+
     def _backend_for(
         self, request: JobRequest, dfg: DFG
     ) -> "tuple[ExecutionBackend, str | None]":
         """The backend this job runs on, plus the policy label to file
         profile observations under.
 
-        Precedence: an explicit ``request.backend`` wins outright, then
-        ``request.policy``, then the service-wide default policy, then
-        the resident backend.  The label is always the *concrete* policy
-        (``auto`` resolves to its selected candidate first; a bare
-        backend maps to its ``fixed-*`` twin when one exists), so the
-        profile store accrues observations to what actually ran.
+        Delegates the ``request.backend > request.policy > service policy
+        > resident backend`` precedence to
+        :func:`repro.service.resolve.resolve_execution` — the one seam
+        shared with :class:`~repro.pipeline.Pipeline` and
+        :class:`~repro.service.shard.ShardCoordinator`.  The label is
+        always the *concrete* policy (``auto`` resolves to its selected
+        candidate first; a bare backend maps to its ``fixed-*`` twin when
+        one exists), so the profile store accrues observations to what
+        actually ran.
         """
-        name = request.backend
-        policy_name = None
-        if name is None:
-            policy_name = (
-                request.policy if request.policy is not None else self.policy
-            )
-        if policy_name is not None:
-            decision = get_policy(policy_name).decide(
-                WorkloadSignature.of(dfg), self.profiles
-            )
-            label = decision.policy
+        resolution = resolve_execution(request, self, dfg)
+        if resolution.decision is not None:
+            label = resolution.policy_label
             self.stats.policy_decisions[label] = (
                 self.stats.policy_decisions.get(label, 0) + 1
             )
-            if decision.backend is None:
-                return self.backend, label
-            name = decision.backend
-        else:
-            label = policy_for_backend(
-                name if name is not None else self.backend.name
-            )
-        if name is None:
-            return self.backend, label
-        if name == self.backend.name:
-            return self.backend, label
-        override = self._overrides.get(name)
-        if override is None:
-            override = get_backend(name)
-            self._overrides[name] = override
-        return override, label
+        assert resolution.backend is not None  # materialized resolution
+        return resolution.backend, resolution.policy_label
 
     # ------------------------------------------------------------------ #
     # submission

@@ -84,10 +84,15 @@ from repro.core.config import SelectionConfig
 from repro.core.selection import PatternSelector
 from repro.dfg.graph import DFG
 from repro.dfg.io import from_payload, to_payload
-from repro.exceptions import JobValidationError, PatternError, ServiceError
+from repro.exceptions import (
+    JobValidationError,
+    PatternError,
+    ReproError,
+    ServiceError,
+)
 from repro.policy.registry import PolicyDecision, get_policy
-from repro.policy.signature import WorkloadSignature
 from repro.service.http import ServiceClient
+from repro.service.resolve import resolve_execution
 from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.service import (
     SchedulerService,
@@ -322,6 +327,9 @@ class RemoteShard:
         if isinstance(client, str):
             client = ServiceClient(client)
         self.client = client
+        #: Tri-state: ``None`` until the first streamed claim answers,
+        #: then whether the server speaks ``/v1/catalog:shard:stream``.
+        self._streaming: "bool | None" = None
 
     def classify(self, task: ShardTask) -> list[tuple]:
         return self.client.classify_shard(task)
@@ -337,6 +345,47 @@ class RemoteShard:
         (:meth:`~repro.service.http.ServiceClient.classify_shard_many`).
         """
         return self.client.classify_shard_many(tasks)
+
+    def classify_stream(
+        self, tasks: "Sequence[ShardTask]"
+    ):
+        """Stream a claimed batch: yield each slot *as it completes*.
+
+        Yields ``(slot, rows_or_error, cache)`` in server completion
+        order via ``POST /v1/catalog:shard:stream``
+        (:meth:`~repro.service.http.ServiceClient.classify_shard_stream`),
+        so the coordinator lands early partials — and writes them back
+        through the cache seam — while the shard is still classifying
+        its batch-mates.  A server that predates the stream route (the
+        POST answers 404) is remembered and every later claim falls back
+        to the one-shot batched form transparently; the yielded shape is
+        identical either way.
+        """
+        if self._streaming is not False:
+            stream = self.client.classify_shard_stream(list(tasks))
+            try:
+                first = next(stream)
+            except StopIteration:
+                self._streaming = True
+                return
+            except ReproError as exc:
+                if (
+                    self._streaming is None
+                    and getattr(exc, "http_status", None) == 404
+                ):
+                    self._streaming = False
+                else:
+                    raise
+            else:
+                self._streaming = True
+                yield first
+                yield from stream
+                return
+        for slot, item in enumerate(self.classify_many(tasks)):
+            if isinstance(item, BaseException):
+                yield slot, item, None
+            else:
+                yield slot, item[0], item[1]
 
     def describe(self) -> str:
         return f"remote({self.client.base_url})"
@@ -634,17 +683,60 @@ class ShardCoordinator:
             max_count=max_count,
         )
 
+    @property
+    def backend(self) -> None:
+        """The coordinator executes on its shards, never locally — the
+        :func:`~repro.service.resolve.resolve_execution` host contract's
+        "no resident backend"."""
+        return None
+
+    @property
+    def profiles(self) -> Any:
+        """The completion service's profile store (policy decisions read it)."""
+        return self.service.profiles
+
+    @property
+    def execution_overrides(self) -> dict:
+        """Unused override slot (the coordinator never materializes a
+        backend; see :meth:`backend`)."""
+        return {}
+
     def _decision_for(self, dfg: DFG) -> PolicyDecision:
-        """The fan-out knobs for this graph: policy-driven or defaults."""
-        if self.policy is None:
-            return PolicyDecision(
-                policy="default",
-                partition_multiplier=PARTITIONS_PER_SHARD,
-                claim_batch=self.claim_batch,
-            )
-        return get_policy(self.policy).decide(
-            WorkloadSignature.of(dfg), self.service.profiles
+        """The fan-out knobs for this graph: policy-driven or defaults.
+
+        Routes through :func:`~repro.service.resolve.resolve_execution`
+        (``materialize=False`` — the decision's knobs are consumed here,
+        no local backend runs), the same seam the service and the
+        pipeline resolve with.
+        """
+        resolution = resolve_execution(None, self, dfg, materialize=False)
+        if resolution.decision is not None:
+            return resolution.decision
+        return PolicyDecision(
+            policy="default",
+            partition_multiplier=PARTITIONS_PER_SHARD,
+            claim_batch=self.claim_batch,
         )
+
+    @staticmethod
+    def _results_iter(
+        shard: "LocalShard | RemoteShard", claimed_tasks: "list[ShardTask]"
+    ):
+        """Uniform ``(slot, rows_or_error, cache)`` frames for one claim.
+
+        Remote shards stream (frames arrive in completion order, each
+        landed immediately); local shards answer the whole claim at once
+        — their claims are single-partition anyway (``batch_limit=1``),
+        so there is nothing to overlap.
+        """
+        if isinstance(shard, RemoteShard):
+            yield from shard.classify_stream(claimed_tasks)
+            return
+        for slot, item in enumerate(shard.classify_many(claimed_tasks)):
+            if isinstance(item, BaseException):
+                yield slot, item, None
+            else:
+                yield slot, item[0], item[1]
 
     def _dispatch(
         self,
@@ -666,10 +758,14 @@ class ShardCoordinator:
 
         Remote shards amortise the claim round trip: each claim takes up
         to ``claim_batch`` consecutive unclaimed indices and classifies
-        them in one batched ``/v1/catalog:shard`` request
-        (:meth:`RemoteShard.classify_many`); local shards keep claiming
-        one at a time — there is no trip to amortise and single claims
-        keep stealing at its finest granularity.
+        them in one streamed ``/v1/catalog:shard:stream`` request
+        (:meth:`RemoteShard.classify_stream`) — each slot's partial
+        lands, and writes back through the cache seam, the moment the
+        server finishes it, overlapping the merge-side bookkeeping with
+        the partitions still classifying in flight.  Servers without the
+        stream route degrade to the one-shot batched form.  Local shards
+        keep claiming one at a time — there is no trip to amortise and
+        single claims keep stealing at its finest granularity.
 
         Error behaviour is deterministic regardless of thread timing:
         after a failure, workers keep claiming only partitions *below*
@@ -709,44 +805,64 @@ class ShardCoordinator:
                     self.stats.claim_rounds += 1
                     self.stats.dispatched += len(claimed)
                     self.stats.tasks_per_shard[shard_index] += len(claimed)
+                remote_hits = 0
+                failed_here = False
+                answered: set[int] = set()
                 try:
-                    results = shard.classify_many([tasks[i] for i in claimed])
-                    if len(results) != len(claimed):
+                    for slot, payload, cache in self._results_iter(
+                        shard, [tasks[i] for i in claimed]
+                    ):
+                        if not (0 <= slot < len(claimed)) or slot in answered:
+                            raise ServiceError(
+                                f"shard answered invalid or duplicate "
+                                f"slot {slot} for a {len(claimed)}-task claim"
+                            )
+                        answered.add(slot)
+                        i = claimed[slot]
+                        if isinstance(payload, BaseException):
+                            with lock:
+                                failures.append((i, payload))
+                            failed_here = True
+                            continue
+                        try:
+                            parts[i] = payload
+                            # The write-back happens per frame, while the
+                            # shard's remaining slots are still
+                            # classifying — and inside the try: a failing
+                            # cache store (disk full, permissions) must
+                            # surface as this partition's failure, not
+                            # silently kill the worker and leave the
+                            # merge a None part.
+                            self.service.put_shard_partial(keys[i], payload)
+                        except BaseException as exc:
+                            with lock:
+                                failures.append((i, exc))
+                            failed_here = True
+                            continue
+                        if isinstance(shard, RemoteShard) and cache == "shard":
+                            remote_hits += 1
+                    if len(answered) != len(claimed):
                         raise ServiceError(
-                            f"shard returned {len(results)} results for "
+                            f"shard answered {len(answered)} of "
                             f"{len(claimed)} claimed tasks"
                         )
                 except BaseException as exc:
-                    # A whole-call failure (transport, malformed response)
-                    # is attributed to the lowest claimed index so the
-                    # deterministic lowest-failure re-raise still holds.
+                    # A whole-call failure (transport death, malformed or
+                    # truncated stream) is attributed to the lowest
+                    # *unanswered* claimed index — already-landed frames
+                    # are kept — so the deterministic lowest-failure
+                    # re-raise still holds.
+                    unanswered = [
+                        claimed[s]
+                        for s in range(len(claimed))
+                        if s not in answered
+                    ]
                     with lock:
-                        failures.append((claimed[0], exc))
+                        failures.append(
+                            (min(unanswered) if unanswered else claimed[0], exc)
+                        )
+                        self.stats.remote_partial_hits += remote_hits
                     return
-                remote_hits = 0
-                failed_here = False
-                for i, item in zip(claimed, results):
-                    if isinstance(item, BaseException):
-                        with lock:
-                            failures.append((i, item))
-                        failed_here = True
-                        continue
-                    buckets, cache = item
-                    try:
-                        parts[i] = buckets
-                        # The write-back is inside the try: a failing
-                        # cache store (disk full, permissions) must
-                        # surface as this partition's failure, not
-                        # silently kill the worker and leave the merge a
-                        # None part.
-                        self.service.put_shard_partial(keys[i], buckets)
-                    except BaseException as exc:
-                        with lock:
-                            failures.append((i, exc))
-                        failed_here = True
-                        continue
-                    if isinstance(shard, RemoteShard) and cache == "shard":
-                        remote_hits += 1
                 if remote_hits:
                     with lock:
                         self.stats.remote_partial_hits += remote_hits

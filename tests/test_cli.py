@@ -85,7 +85,13 @@ class TestPipeline:
 
     def test_select_backend_flag(self, capsys):
         assert main(["select", "3dft", "--pdef", "3",
-                     "--backend", "reference"]) == 0
+                     "--backend", "serial"]) == 0
+        assert "selected patterns" in capsys.readouterr().out
+
+    def test_select_legacy_alias_warns(self, capsys):
+        with pytest.deprecated_call():
+            assert main(["select", "3dft", "--pdef", "3",
+                         "--backend", "reference"]) == 0
         assert "selected patterns" in capsys.readouterr().out
 
     def test_unknown_backend_is_clean_error(self, capsys):

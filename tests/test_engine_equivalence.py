@@ -102,7 +102,7 @@ def test_classification_equivalence_layered(params):
     dfg = layered_dag(seed, layers=layers, width=width,
                       colors=tuple("abcd"[:n_colors]))
     fast = classify_antichains(dfg, capacity, span)
-    ref = classify_antichains(dfg, capacity, span, engine="reference")
+    ref = classify_antichains(dfg, capacity, span, backend="serial")
     assert_catalogs_identical(fast, ref)
 
 
@@ -112,7 +112,7 @@ def test_classification_equivalence_random(params):
     seed, n, prob, capacity, span = params
     dfg = random_dag(seed, n, edge_prob=prob)
     fast = classify_antichains(dfg, capacity, span)
-    ref = classify_antichains(dfg, capacity, span, engine="reference")
+    ref = classify_antichains(dfg, capacity, span, backend="serial")
     assert_catalogs_identical(fast, ref)
 
 
@@ -125,7 +125,7 @@ def test_restrict_to_equivalence(params):
     subset = list(dfg.nodes)[:: 2] + ["not-a-node"]
     fast = classify_antichains(dfg, capacity, span, restrict_to=subset)
     ref = classify_antichains(dfg, capacity, span, restrict_to=subset,
-                              engine="reference")
+                              backend="serial")
     assert_catalogs_identical(fast, ref)
     for counter in fast.frequencies.values():
         assert set(counter) <= set(subset)
@@ -172,7 +172,7 @@ def test_classification_equivalence_paper_graphs():
         (radix2_fft(8), 4, 1),
     ]:
         fast = classify_antichains(dfg, capacity, span)
-        ref = classify_antichains(dfg, capacity, span, engine="reference")
+        ref = classify_antichains(dfg, capacity, span, backend="serial")
         assert_catalogs_identical(fast, ref)
 
 
@@ -191,8 +191,8 @@ def test_selection_equivalence(params):
         pdef = -(-len(dfg.colors()) // capacity)
     selector = PatternSelector(capacity, SelectionConfig(span_limit=span))
     catalog = selector.build_catalog(dfg)
-    fast = selector.select(dfg, pdef, catalog=catalog, engine="fast")
-    ref = selector.select(dfg, pdef, catalog=catalog, engine="reference")
+    fast = selector.select(dfg, pdef, catalog=catalog, backend="fused")
+    ref = selector.select(dfg, pdef, catalog=catalog, backend="serial")
     assert_selections_identical(fast, ref)
 
 
@@ -208,8 +208,8 @@ def test_selection_equivalence_paper_graphs():
     ]:
         selector = PatternSelector(capacity, config)
         catalog = selector.build_catalog(dfg)
-        fast = selector.select(dfg, pdef, catalog=catalog, engine="fast")
-        ref = selector.select(dfg, pdef, catalog=catalog, engine="reference")
+        fast = selector.select(dfg, pdef, catalog=catalog, backend="fused")
+        ref = selector.select(dfg, pdef, catalog=catalog, backend="serial")
         assert_selections_identical(fast, ref)
 
 
@@ -220,8 +220,13 @@ def test_selection_auto_uses_reference_for_custom_priority():
     selector = PatternSelector(2, priority_fn=linear_size)
     result = selector.select(dfg, 2)  # auto → reference loop; must not raise
     assert result.patterns
-    with pytest.raises(SelectionError, match="fast selection engine"):
-        selector.select(dfg, 2, engine="fast")
+    # The fused backend falls back to the reference loop for custom
+    # priorities instead of refusing; only the legacy engine= path raises.
+    via_backend = selector.select(dfg, 2, backend="fused")
+    assert_selections_identical(via_backend, result)
+    with pytest.deprecated_call():
+        with pytest.raises(SelectionError, match="fast selection engine"):
+            selector.select(dfg, 2, engine="fast")
 
 
 def test_selection_rejects_unknown_engine():
@@ -276,17 +281,17 @@ def test_full_pipeline_equivalence(params):
     ref_cat = classify_antichains(
         dfg, capacity if selector.config.max_pattern_size is None
         else min(capacity, selector.config.max_pattern_size),
-        fast_cat.span_limit, engine="reference",
+        fast_cat.span_limit, backend="serial",
     )
     assert_catalogs_identical(fast_cat, ref_cat)
 
-    fast_sel = selector.select(dfg, pdef, catalog=fast_cat, engine="fast")
-    ref_sel = selector.select(dfg, pdef, catalog=ref_cat, engine="reference")
+    fast_sel = selector.select(dfg, pdef, catalog=fast_cat, backend="fused")
+    ref_sel = selector.select(dfg, pdef, catalog=ref_cat, backend="serial")
     assert_selections_identical(fast_sel, ref_sel)
 
     scheduler = MultiPatternScheduler(fast_sel.library)
-    fast_sched = scheduler.schedule(dfg, engine="fast")
-    ref_sched = scheduler.schedule(dfg, engine="reference")
+    fast_sched = scheduler.schedule(dfg, backend="fused")
+    ref_sched = scheduler.schedule(dfg, backend="serial")
     assert_schedules_identical(fast_sched, ref_sched)
 
 
@@ -301,8 +306,8 @@ def test_scheduling_equivalence_paper_graphs(priority):
         scheduler = MultiPatternScheduler(
             patterns, capacity=capacity, priority=priority
         )
-        fast = scheduler.schedule(dfg, engine="fast")
-        ref = scheduler.schedule(dfg, engine="reference")
+        fast = scheduler.schedule(dfg, backend="fused")
+        ref = scheduler.schedule(dfg, backend="serial")
         assert_schedules_identical(fast, ref)
 
 
@@ -372,7 +377,7 @@ def test_classify_rejects_explicit_fast_with_stored_antichains():
 
     with pytest.raises(PatternError, match="cannot store raw antichains"):
         classify_antichains(
-            small_example(), 2, store_antichains=True, engine="fast"
+            small_example(), 2, store_antichains=True, backend="fused"
         )
 
 

@@ -78,7 +78,13 @@ def test_available_backends_lists_builtins():
     ],
 )
 def test_get_backend_resolves_names_and_aliases(name, cls):
-    backend = get_backend(name)
+    from repro.service.resolve import LEGACY_ENGINE_ALIASES
+
+    if name in LEGACY_ENGINE_ALIASES:
+        with pytest.deprecated_call():
+            backend = get_backend(name)
+    else:
+        backend = get_backend(name)
     assert type(backend) is cls
 
 
@@ -248,14 +254,14 @@ def test_pipeline_bit_identical_across_backends(
 def test_selector_and_scheduler_accept_backend_objects():
     dfg = three_point_dft_paper()
     selector = PatternSelector(5, SelectionConfig(span_limit=1))
-    ref = selector.select(dfg, 4, engine="reference")
+    ref = selector.select(dfg, 4, backend="serial")
     for backend in (SerialBackend(), FusedBackend(), PROCESS):
         got = selector.select(dfg, 4, backend=backend)
         assert got.library == ref.library
         from repro.scheduling.scheduler import MultiPatternScheduler
 
         sched_ref = MultiPatternScheduler(ref.library).schedule(
-            dfg, engine="reference"
+            dfg, backend="serial"
         )
         sched = MultiPatternScheduler(got.library).schedule(dfg, backend=backend)
         assert sched.cycles == sched_ref.cycles
@@ -291,7 +297,7 @@ def test_classification_identical_in_numpy_spill_regime(monkeypatch):
     if antichains._np is None:  # pragma: no cover
         pytest.skip("numpy unavailable")
     dfg = radix2_fft(8)
-    expected = classify_antichains(dfg, 4, 1, engine="reference")
+    expected = classify_antichains(dfg, 4, 1, backend="serial")
     monkeypatch.setattr(antichains, "NUMPY_SPILL_THRESHOLD", 1)
     spilled = classify_antichains(dfg, 4, 1)
     assert_catalogs_identical(spilled, expected)

@@ -85,8 +85,9 @@ def test_bitset_registered_with_alias():
 
 def test_bitset_engine_string_accepted():
     dfg = small_example()
-    ref = classify_antichains(dfg, 2, None, engine="fast")
-    got = classify_antichains(dfg, 2, None, engine="bitset")
+    ref = classify_antichains(dfg, 2, None, backend="fused")
+    with pytest.deprecated_call():
+        got = classify_antichains(dfg, 2, None, engine="bitset")
     assert_catalogs_identical(got, ref)
 
 
@@ -133,7 +134,7 @@ def test_unsupported_key_range_falls_back_to_scalar():
 
     dfg = chain(120)
     assert not bitset_supported(dfg.n_nodes, 10)
-    ref = classify_antichains(dfg, 10, None, engine="fast")
+    ref = classify_antichains(dfg, 10, None, backend="fused")
     got = classify_antichains(dfg, 10, None, backend=BITSET)
     assert_catalogs_identical(got, ref)
 
@@ -142,7 +143,7 @@ def test_numpy_absent_falls_back_to_scalar(monkeypatch):
     monkeypatch.setattr(bitset_mod, "np", None)
     assert not bitset_supported(4, 2)
     dfg = three_point_dft_paper()
-    ref = classify_antichains(dfg, 5, 1, engine="fast")
+    ref = classify_antichains(dfg, 5, 1, backend="fused")
     got = classify_antichains(dfg, 5, 1, backend=BitsetBackend())
     assert_catalogs_identical(got, ref)
 
@@ -176,8 +177,8 @@ def test_max_count_error_identical():
 @pytest.mark.parametrize("kind, seed, a, b, capacity, span", RANDOM_CASES)
 def test_catalog_equivalence_random(kind, seed, a, b, capacity, span):
     dfg = _case_graph(kind, seed, a, b)
-    serial = classify_antichains(dfg, capacity, span, engine="reference")
-    fused = classify_antichains(dfg, capacity, span, engine="fast")
+    serial = classify_antichains(dfg, capacity, span, backend="serial")
+    fused = classify_antichains(dfg, capacity, span, backend="fused")
     got = classify_antichains(dfg, capacity, span, backend=BITSET)
     assert_catalogs_identical(got, serial)
     assert_catalogs_identical(got, fused)
@@ -191,7 +192,7 @@ def test_catalog_equivalence_paper_graphs():
         (radix2_fft(8), 4, 1),
         (radix2_fft(8), 4, None),
     ]:
-        serial = classify_antichains(dfg, capacity, span, engine="reference")
+        serial = classify_antichains(dfg, capacity, span, backend="serial")
         got = classify_antichains(dfg, capacity, span, backend=BITSET)
         assert_catalogs_identical(got, serial)
 
@@ -201,7 +202,7 @@ def test_catalog_equivalence_fft(points, capacity):
     # The benchmark workloads; fused is the oracle here (itself pinned to
     # serial elsewhere) to keep the suite's runtime bounded.
     dfg = radix2_fft(points)
-    fused = classify_antichains(dfg, capacity, 1, engine="fast")
+    fused = classify_antichains(dfg, capacity, 1, backend="fused")
     got = classify_antichains(dfg, capacity, 1, backend=BITSET)
     assert_catalogs_identical(got, fused)
 
@@ -267,7 +268,7 @@ def _random_case(draw):
 @given(_random_case())
 def test_hypothesis_catalog_equivalence(case):
     dfg, capacity, span = case
-    fused = classify_antichains(dfg, capacity, span, engine="fast")
+    fused = classify_antichains(dfg, capacity, span, backend="fused")
     got = classify_antichains(dfg, capacity, span, backend=BITSET)
     assert_catalogs_identical(got, fused)
 
@@ -312,7 +313,7 @@ def test_native_kernel_matches_numpy_expand():
 def test_forced_fallback_equivalence(monkeypatch, kind, seed, a, b, capacity, span):
     monkeypatch.setattr(bitset_mod, "_native", None)
     dfg = _case_graph(kind, seed, a, b)
-    fused = classify_antichains(dfg, capacity, span, engine="fast")
+    fused = classify_antichains(dfg, capacity, span, backend="fused")
     got = classify_antichains(dfg, capacity, span, backend=BitsetBackend())
     assert_catalogs_identical(got, fused)
 
@@ -396,7 +397,7 @@ def test_spill_regime_identical(monkeypatch):
     from repro.dfg import antichains
 
     dfg = radix2_fft(8)
-    expected = classify_antichains(dfg, 4, 1, engine="reference")
+    expected = classify_antichains(dfg, 4, 1, backend="serial")
     monkeypatch.setattr(antichains, "NUMPY_SPILL_THRESHOLD", 1)
     got = classify_antichains(dfg, 4, 1, backend=BITSET)
     assert_catalogs_identical(got, expected)

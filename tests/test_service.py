@@ -335,8 +335,8 @@ class TestHTTP:
                 timeout=30,
             )
         assert exc.value.code == 400
-        detail = json.loads(exc.value.read())
-        assert detail["error"] == "JobValidationError"
+        detail = json.loads(exc.value.read())["error"]
+        assert detail["type"] == "JobValidationError"
         assert detail["field"] == "capacity"
         # The thin client re-raises the same typed exception.
         with pytest.raises(JobValidationError, match="unknown workload"):
@@ -504,8 +504,8 @@ class TestAdmissionControl:
                     )
                 assert exc.value.code == 429
                 assert exc.value.headers.get("Retry-After") == "1"
-                detail = json.loads(exc.value.read())
-                assert detail["error"] == "ServiceOverloadedError"
+                detail = json.loads(exc.value.read())["error"]
+                assert detail["type"] == "ServiceOverloadedError"
                 assert detail["max_pending"] == 1
                 # The thin client re-raises the typed exception.
                 with pytest.raises(ServiceOverloadedError):

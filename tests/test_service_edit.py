@@ -365,7 +365,7 @@ class TestEditOverHttp:
                 try:
                     urllib.request.urlopen(req)
                 except urllib.error.HTTPError as exc:
-                    detail = json.loads(exc.read().decode("utf-8"))
+                    detail = json.loads(exc.read().decode("utf-8"))["error"]
                     assert exc.code == 400
                     assert detail["field"] == "edits"
                     raise JobValidationError(
