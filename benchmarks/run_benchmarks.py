@@ -45,6 +45,15 @@ latency plus aggregate requests/sec.  ``scripts/diff_bench.py
 (single-core runs measure client/server CPU contention, not the
 service).
 
+Every run also emits the **fault scenario** — a ``faults`` section
+timing the FFT-8 sharded catalog build over four real ``repro serve``
+subprocesses all healthy vs the same build with one server SIGKILLed:
+the degraded pass must open the dead shard's circuit breaker, fail its
+partitions over to the survivors, and merge bit-identically, and the
+report records the degraded/healthy ``overhead`` ratio plus the
+retry/failover/breaker counters.  ``scripts/diff_bench.py
+--fault-overhead-ceiling`` caps the ratio on full reports.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_benchmarks.py              # serial vs fused
@@ -849,6 +858,108 @@ def bench_serve(clients: int = 4, requests_per_client: int = 50,
     return section
 
 
+def bench_faults(quick: bool = False) -> dict:
+    """Sharded catalog build with 1-of-4 shards dead vs all healthy.
+
+    Spawns four real ``repro serve`` subprocesses and times the FFT-8
+    sharded catalog build twice, each over a fresh (cold) fleet: once
+    all healthy, once with one server SIGKILLed before dispatch.  The
+    degraded pass must open the dead shard's circuit breaker, fail its
+    partitions over to the three survivors, and still merge a catalog
+    bit-identical to the fused single-instance build — ``overhead``
+    records the degraded/healthy wall-time ratio, which
+    ``scripts/diff_bench.py --fault-overhead-ceiling`` caps on full
+    reports (losing a shard must cost failover latency, not a rebuild).
+    """
+    from repro.service import RetryPolicy, ShardCoordinator
+    from repro.service.serialize import catalog_to_dict
+
+    config = SelectionConfig(span_limit=1)
+    dfg = radix2_fft(8)
+    reference = catalog_to_dict(
+        PatternSelector(5, config=config).build_catalog(dfg)
+    )
+    # One whole-call failure ejects the dead shard; the long cooldown
+    # keeps it ejected for the rest of the (short) degraded pass.
+    retry = RetryPolicy(
+        connect_timeout=2.0,
+        read_timeout=60.0,
+        retries=1,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        breaker_threshold=1,
+        breaker_cooldown=300.0,
+    )
+
+    def timed_build(kill_one: bool):
+        procs, urls = _spawn_shard_servers(4)
+        try:
+            if kill_one:
+                procs[0].kill()
+                procs[0].wait(timeout=10)
+            with ShardCoordinator(urls, retry=retry) as coord:
+                gc.collect()
+                t0 = time.perf_counter()
+                catalog = coord.build_catalog(
+                    dfg, 5, config=config, workload="fft8"
+                )
+                elapsed = time.perf_counter() - t0
+                stats = coord.stats
+                health = coord.describe()["health"]
+            _check(
+                catalog_to_dict(catalog) == reference,
+                "sharded catalog is not bit-identical to the fused build"
+                + (" (degraded fleet)" if kill_one else ""),
+            )
+            return elapsed, stats, health
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.terminate()
+            for proc in procs:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    proc.kill()
+
+    healthy_s, healthy_stats, _ = timed_build(kill_one=False)
+    degraded_s, stats, health = timed_build(kill_one=True)
+    _check(
+        healthy_stats.failovers == 0 and healthy_stats.local_fallbacks == 0,
+        "healthy fleet reported failovers",
+    )
+    _check(
+        stats.retries + stats.failovers > 0,
+        "degraded fleet never retried or failed over",
+    )
+    _check(health[0]["state"] == "open", "dead shard's breaker never opened")
+    _check(
+        stats.local_fallbacks == 0,
+        "degraded fleet fell back to in-process classification",
+    )
+
+    overhead = round(degraded_s / healthy_s, 2) if healthy_s > 0 else None
+    section = {
+        "workload": "FFT-8",
+        "shards": 4,
+        "dead": 1,
+        "healthy_s": round(healthy_s, 6),
+        "degraded_s": round(degraded_s, 6),
+        "overhead": overhead,
+        "retries": stats.retries,
+        "failovers": stats.failovers,
+        "breaker_opens": sum(h["opens"] for h in health),
+        "local_fallbacks": stats.local_fallbacks,
+    }
+    print(
+        f"  {'FFT-8':>8} {'fault overhead':<24} "
+        f"healthy {healthy_s:8.4f}s   1-dead {degraded_s:8.4f}s   "
+        f"{overhead:6.2f}x ({stats.retries} retries, "
+        f"{stats.failovers} failovers, breaker open)"
+    )
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -961,6 +1072,10 @@ def main(argv=None) -> int:
           "'repro serve' (async core)")
     serve_section = bench_serve(quick=args.quick)
 
+    print("fault benchmark: sharded build with 1-of-4 shards dead vs "
+          "all healthy")
+    faults_section = bench_faults(quick=args.quick)
+
     pipeline = {}
     for row in rows:
         if (
@@ -1005,6 +1120,7 @@ def main(argv=None) -> int:
         "pipeline": pipeline,
         "service": service_section,
         "serve": serve_section,
+        "faults": faults_section,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

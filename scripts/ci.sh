@@ -88,9 +88,10 @@ if [[ "${1:-}" != "--fast" ]]; then
     # (digests + selection + scheduling) on both sides.  The semantic
     # checks — cache level "edit", partition reuse, bit-identity — are
     # asserted inside run_benchmarks.py itself.
-    echo "== committed full-report gate (warm edit >= 1x, bitset >= 2x, policy auto >= 0.9x) =="
+    echo "== committed full-report gate (warm edit >= 1x, bitset >= 2x, policy auto >= 0.9x, fault overhead <= 3x) =="
     python scripts/diff_bench.py BENCH_engine.json \
-        --warm-edit-floor 1.0 --bitset-floor 2.0 --policy-floor 0.9
+        --warm-edit-floor 1.0 --bitset-floor 2.0 --policy-floor 0.9 \
+        --fault-overhead-ceiling 3.0
 
     mkdir -p "$BASELINE_DIR"
     cp "$SMOKE" "$BASELINE_DIR/BENCH_engine_smoke.json"

@@ -174,6 +174,13 @@ def main(argv=None) -> int:
         "than ~10%% overhead over that winner means the decision "
         "plumbing regressed)",
     )
+    parser.add_argument(
+        "--fault-overhead-ceiling", type=float, default=3.0,
+        help="maximum degraded/healthy wall-time ratio for the sharded "
+        "build with 1-of-4 shards dead (the report's 'faults' section), "
+        "gated only on full (non --quick) reports — losing a shard must "
+        "cost failover latency, not a rebuild (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     new = json.loads(args.new.read_text())
@@ -338,6 +345,35 @@ def main(argv=None) -> int:
                 )
     else:
         print("  (no serve section; serve gate skipped)")
+
+    faults = new.get("faults")
+    if faults is not None:
+        overhead = faults.get("overhead") or 0
+        line = (
+            f"  {faults.get('workload', '?'):>8} {'fault overhead':<24} "
+            f"healthy {faults.get('healthy_s', 0):8.4f}s   "
+            f"1-dead {faults.get('degraded_s', 0):8.4f}s   "
+            f"{overhead:6.2f}x ({faults.get('retries')} retries, "
+            f"{faults.get('failovers')} failovers)"
+        )
+        if not faults.get("failovers") and not faults.get("retries"):
+            failures.append(
+                f"{faults.get('workload', '?')}/faults: degraded pass "
+                f"reported no retries and no failovers — the dead shard "
+                f"was never exercised"
+            )
+        if new.get("quick"):
+            print(line + " — quick report; not gated")
+        else:
+            print(line)
+            if overhead > args.fault_overhead_ceiling:
+                failures.append(
+                    f"{faults.get('workload', '?')}/faults: degraded build "
+                    f"{overhead}x slower than healthy, above the "
+                    f"{args.fault_overhead_ceiling}x ceiling"
+                )
+    else:
+        print("  (no faults section; fault gate skipped)")
 
     if args.baseline is not None and args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())

@@ -26,7 +26,11 @@ caller would, and checks the service contract:
    protocol: warm submits over one persistent keep-alive connection,
    streamed shard slots bit-identical to the batched route, per-client
    quota 429 with ``Retry-After``, and graceful drain (503 for new work,
-   reads keep serving).
+   reads keep serving);
+10. the fleet survives losing a shard: with three real ``repro serve``
+   subprocesses, SIGKILLing one mid-job must open its circuit breaker,
+   fail its partitions over to the survivors, and still merge a catalog
+   bit-identical to the fused single-instance build.
 
 Usage::
 
@@ -226,6 +230,7 @@ def main() -> int:
         server.shutdown()
         server.server_close()
     async_leg()
+    fault_leg()
     print("http smoke OK")
     return 0
 
@@ -319,6 +324,123 @@ def async_leg() -> None:
                   f"answers 503, reads still served")
     finally:
         server.shutdown()
+
+
+def fault_leg() -> None:
+    """Kill a shard mid-job: the fleet must degrade, not fail.
+
+    Three real ``repro serve`` subprocesses behind one coordinator; the
+    first is SIGKILLed as soon as the job is genuinely in flight.  The
+    coordinator must retry, open the dead shard's breaker, fail its
+    partitions over to the two survivors, and the merged catalog must
+    still be bit-identical to the fused single-instance build.
+    """
+    import json
+    import os
+    import re
+    import signal
+    import subprocess
+    import threading
+    import time
+    from pathlib import Path
+
+    from repro.core.config import SelectionConfig
+    from repro.core.selection import PatternSelector
+    from repro.service import RetryPolicy, ShardCoordinator
+    from repro.service.serialize import catalog_to_dict
+    from repro.workloads import radix2_fft
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    procs, urls = [], []
+    try:
+        for _ in range(3):
+            proc = subprocess.Popen(
+                [sys.executable, "-u", "-m", "repro.cli", "serve",
+                 "--port", "0"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.DEVNULL,
+                env=env,
+                text=True,
+            )
+            procs.append(proc)
+            line = proc.stdout.readline()
+            m = re.search(r"http://[\d.]+:\d+", line or "")
+            assert m, f"shard server failed to start (got {line!r})"
+            urls.append(m.group(0))
+            # Drain per-request logs so the pipe never fills and blocks.
+            threading.Thread(target=proc.stdout.read, daemon=True).start()
+
+        cfg = SelectionConfig(span_limit=1)
+        dfg = radix2_fft(8)
+        reference = PatternSelector(5, config=cfg).build_catalog(dfg)
+        # threshold=1 ejects the victim on its first whole-call failure;
+        # the long cooldown keeps the breaker visibly open afterwards.
+        retry = RetryPolicy(
+            connect_timeout=2.0,
+            read_timeout=60.0,
+            retries=1,
+            backoff_base=0.01,
+            backoff_cap=0.05,
+            breaker_threshold=1,
+            breaker_cooldown=300.0,
+        )
+        outcome: dict = {}
+        with ShardCoordinator(urls, retry=retry) as coord:
+
+            def build() -> None:
+                try:
+                    outcome["catalog"] = coord.build_catalog(
+                        dfg, 5, config=cfg, workload="fft8"
+                    )
+                except BaseException as exc:  # surfaced on the main thread
+                    outcome["error"] = exc
+
+            worker = threading.Thread(target=build)
+            worker.start()
+            # Strike once the job is provably in flight (a first claim
+            # has completed somewhere) but long before it drains.
+            deadline = time.time() + 30.0
+            while (
+                time.time() < deadline
+                and sum(coord.stats.tasks_per_shard) == 0
+                and worker.is_alive()
+            ):
+                time.sleep(0.005)
+            procs[0].send_signal(signal.SIGKILL)
+            killed_at = time.time()
+            worker.join(timeout=180.0)
+            assert not worker.is_alive(), "sharded build hung after the kill"
+            stats = coord.stats
+            health = coord.describe()["health"]
+        if "error" in outcome:
+            raise outcome["error"]
+        assert json.dumps(catalog_to_dict(outcome["catalog"])) == json.dumps(
+            catalog_to_dict(reference)
+        ), "degraded catalog is not bit-identical to the fused build"
+        assert stats.retries + stats.failovers > 0, stats.to_dict()
+        assert health[0]["state"] == "open", health[0]
+        assert health[0]["opens"] >= 1, health[0]
+        # The survivors carried the job — no in-process last resort.
+        assert stats.local_fallbacks == 0, stats.to_dict()
+        assert stats.tasks_per_shard[1] + stats.tasks_per_shard[2] > 0, (
+            stats.to_dict()
+        )
+        print(
+            f"fault ok: shard killed mid-job ({time.time() - killed_at:.1f}s "
+            f"to recover), {stats.retries} retries, {stats.failovers} "
+            f"failovers, breaker open, catalog bit-identical"
+        )
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
 
 
 if __name__ == "__main__":

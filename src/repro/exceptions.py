@@ -30,6 +30,8 @@ __all__ = [
     "ServiceOverloadedError",
     "ServiceUnavailableError",
     "JobValidationError",
+    "ShardTransportError",
+    "ShardTimeoutError",
 ]
 
 
@@ -158,6 +160,30 @@ class ServiceOverloadedError(ServiceError):
         #: Suggested back-off in seconds (the HTTP ``Retry-After`` hint);
         #: quota rejections compute it from the client's token bucket.
         self.retry_after = retry_after
+
+
+class ShardTransportError(ServiceError):
+    """The transport to a service instance failed, not the work itself.
+
+    Connection refusals and resets, requests or streams that die
+    mid-flight, truncated NDJSON shard streams (no terminal ``{"done":
+    true}`` frame) and garbled frames all raise this: the *result* of the
+    request is unknown, so — every route being idempotent and every
+    result content-addressed — the request may be retried verbatim
+    against the same instance or failed over to another one without
+    changing a single output bit.  Deterministic failures
+    (:class:`JobValidationError`, :class:`~repro.exceptions.EnumerationLimitError`,
+    …) never raise this type: retrying those verbatim cannot succeed.
+    """
+
+
+class ShardTimeoutError(ShardTransportError):
+    """A connect, read or stream deadline elapsed before the peer answered.
+
+    A timeout is a transport failure with its own name so operators can
+    tell "the shard is gone" from "the shard is slower than the
+    configured :class:`~repro.service.retry.RetryPolicy` allows".
+    """
 
 
 class ServiceUnavailableError(ServiceError):

@@ -44,7 +44,16 @@ Scaling seams layered on top:
 * ``max_pending=...`` bounds admission
   (:class:`~repro.exceptions.ServiceOverloadedError` → HTTP 429);
 * :func:`resolve_execution` (:mod:`repro.service.resolve`) is the one
-  seam deciding what backend/policy runs any given job.
+  seam deciding what backend/policy runs any given job;
+* :class:`RetryPolicy` + :class:`CircuitBreaker`
+  (:mod:`repro.service.retry`) make the shard fleet fault-tolerant:
+  per-attempt timeouts, same-shard retries with deterministic-jitter
+  backoff, partition failover onto healthy shards, per-shard breakers
+  with half-open ``/healthz`` probes, and in-process last-resort
+  classification when every remote is down;
+* :class:`FaultPlan` + :class:`ChaosProxy` (:mod:`repro.service.faults`)
+  inject seeded, replayable transport faults for testing all of the
+  above deterministically.
 """
 
 from repro.service.aio import AsyncServiceClient, AsyncServiceServer
@@ -54,9 +63,11 @@ from repro.service.errors import (
     http_status,
     retry_after_of,
 )
+from repro.service.faults import ChaosProxy, FaultPlan, FaultSpec
 from repro.service.http import ServiceClient, ServiceServer, serve
 from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.resolve import ExecutionResolution, resolve_execution
+from repro.service.retry import CircuitBreaker, RetryPolicy, is_retryable
 from repro.service.service import SchedulerService, ServiceStats, SubmitOutcome
 from repro.service.shard import (
     CoordinatorStats,
@@ -95,6 +106,12 @@ __all__ = [
     "LocalShard",
     "RemoteShard",
     "CoordinatorStats",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "is_retryable",
+    "FaultSpec",
+    "FaultPlan",
+    "ChaosProxy",
     "CacheStore",
     "MemoryCacheStore",
     "DiskCacheStore",

@@ -64,6 +64,8 @@ from repro.exceptions import (
     ServiceError,
     ServiceOverloadedError,
     ServiceUnavailableError,
+    ShardTimeoutError,
+    ShardTransportError,
 )
 from repro.service.errors import (
     error_envelope,
@@ -952,12 +954,23 @@ class AsyncServiceClient:
         base_url: str,
         *,
         timeout: float = 60.0,
+        connect_timeout: "float | None" = None,
         client_id: "str | None" = None,
+        retry_after_cap: "float | None" = None,
     ) -> None:
         from urllib.parse import urlsplit
 
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        #: Seconds to establish the TCP connection (default
+        #: ``min(timeout, 5.0)``); ``timeout`` bounds each read.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else min(timeout, 5.0)
+        )
+        #: With a cap set, one polite capped wait honors a 429/503
+        #: ``Retry-After`` hint before the error reaches the caller.
+        self.retry_after_cap = retry_after_cap
         self.client_id = client_id
         self.last_cache: "str | None" = None
         split = urlsplit(self.base_url)
@@ -1002,7 +1015,7 @@ class AsyncServiceClient:
         if self._reader is None or self._writer is None:
             self._reader, self._writer = await asyncio.wait_for(
                 asyncio.open_connection(self._host, self._port),
-                timeout=self.timeout,
+                timeout=self.connect_timeout,
             )
         return self._reader, self._writer
 
@@ -1050,7 +1063,11 @@ class AsyncServiceClient:
             except (OSError, ConnectionError, ValueError, IndexError) as exc:
                 await self._drop_connection()
                 last_exc = exc
-        raise ServiceError(
+        if isinstance(last_exc, (asyncio.TimeoutError, TimeoutError)):
+            raise ShardTimeoutError(
+                f"cannot reach service at {self.base_url}: timed out"
+            ) from last_exc
+        raise ShardTransportError(
             f"cannot reach service at {self.base_url}: {last_exc}"
         ) from last_exc
 
@@ -1101,19 +1118,41 @@ class AsyncServiceClient:
     async def _request(
         self, path: str, body: "bytes | None" = None
     ) -> "tuple[str, dict[str, str]]":
-        status, headers, reader = await self._open(path, body)
-        try:
-            data = await self._read_body(headers, reader)
-        except (OSError, ConnectionError, asyncio.IncompleteReadError) as exc:
-            await self._drop_connection()
-            raise ServiceError(
-                f"connection to {self.base_url} died mid-response: {exc}"
-            ) from exc
-        if headers.get("connection", "").lower() == "close":
-            await self._drop_connection()
-        if status >= 400:
-            raise self._error_for(status, data)
-        return data.decode("utf-8"), headers
+        polite_waits = 0
+        while True:
+            status, headers, reader = await self._open(path, body)
+            try:
+                data = await self._read_body(headers, reader)
+            except (
+                OSError,
+                ConnectionError,
+                asyncio.IncompleteReadError,
+            ) as exc:
+                await self._drop_connection()
+                if isinstance(exc, (asyncio.TimeoutError, TimeoutError)):
+                    raise ShardTimeoutError(
+                        f"read from {self.base_url} timed out after "
+                        f"{self.timeout}s"
+                    ) from exc
+                raise ShardTransportError(
+                    f"connection to {self.base_url} died mid-response: {exc}"
+                ) from exc
+            if headers.get("connection", "").lower() == "close":
+                await self._drop_connection()
+            if status >= 400:
+                exc = self._error_for(status, data)
+                hint = retry_after_of(exc)
+                if (
+                    status in (429, 503)
+                    and hint is not None
+                    and self.retry_after_cap is not None
+                    and polite_waits < 1
+                ):
+                    polite_waits += 1
+                    await asyncio.sleep(min(hint, self.retry_after_cap))
+                    continue
+                raise exc
+            return data.decode("utf-8"), headers
 
     # ------------------------------------------------------------------ #
     async def submit(self, request: JobRequest) -> JobResult:
@@ -1199,14 +1238,18 @@ class AsyncServiceClient:
         return out
 
     async def classify_shard_stream(
-        self, tasks: "list[ShardTask]"
+        self, tasks: "list[ShardTask]", *, idle_timeout: "float | None" = None
     ) -> "AsyncIterator[tuple[int, list[tuple] | ReproError, str | None]]":
         """Stream a claimed batch; yields frames in completion order.
 
         Async-generator mirror of the sync client's
         ``classify_shard_stream``: ``(slot, rows_or_error, cache)`` per
-        frame, heartbeats consumed silently, truncation raising
-        :class:`~repro.exceptions.ServiceError`.
+        frame; heartbeats consumed silently unless ``idle_timeout``
+        seconds pass without a slot frame
+        (:class:`~repro.exceptions.ShardTimeoutError`); truncation —
+        no terminal ``{"done": true}`` — raises
+        :class:`~repro.exceptions.ShardTransportError`, a retryable
+        transport failure, never a short result.
         """
         payload = json.dumps({"tasks": [t.to_dict() for t in tasks]})
         status, headers, reader = await self._open(
@@ -1221,6 +1264,7 @@ class AsyncServiceClient:
             raise self._error_for(status, data)
         done = False
         buffer = b""
+        last_progress = time.monotonic()
         try:
             while True:
                 try:
@@ -1230,7 +1274,12 @@ class AsyncServiceClient:
                     ConnectionError,
                     asyncio.IncompleteReadError,
                 ) as exc:
-                    raise ServiceError(
+                    if isinstance(exc, (asyncio.TimeoutError, TimeoutError)):
+                        raise ShardTimeoutError(
+                            f"shard stream from {self.base_url} timed out "
+                            f"after {self.timeout}s without a frame"
+                        ) from exc
+                    raise ShardTransportError(
                         f"shard stream from {self.base_url} died: {exc}"
                     ) from exc
                 if chunk is None:
@@ -1241,28 +1290,43 @@ class AsyncServiceClient:
                     line = line.strip()
                     if not line:
                         continue
-                    frame = json.loads(line.decode("utf-8"))
+                    try:
+                        frame = json.loads(line.decode("utf-8"))
+                    except Exception as exc:
+                        raise ShardTransportError(
+                            f"malformed shard stream frame: {line[:200]!r}"
+                        ) from exc
                     if not isinstance(frame, dict):
-                        raise ServiceError(
+                        raise ShardTransportError(
                             "malformed shard stream frame: expected an object"
                         )
                     if "heartbeat" in frame:
+                        if (
+                            idle_timeout is not None
+                            and time.monotonic() - last_progress > idle_timeout
+                        ):
+                            raise ShardTimeoutError(
+                                f"shard stream from {self.base_url} "
+                                f"stalled: heartbeats but no slot frame "
+                                f"for {idle_timeout}s"
+                            )
                         continue
                     if frame.get("done"):
                         done = True
                         continue
                     slot = frame.get("slot")
                     if not isinstance(slot, int):
-                        raise ServiceError(
+                        raise ShardTransportError(
                             "malformed shard stream frame: missing slot index"
                         )
+                    last_progress = time.monotonic()
                     if "error" in frame:
                         yield slot, error_from_envelope(
                             frame, default_message="shard task failed"
                         ), None
                         continue
                     if not isinstance(frame.get("buckets"), list):
-                        raise ServiceError(
+                        raise ShardTransportError(
                             "malformed shard stream frame: needs 'buckets' "
                             "or 'error'"
                         )
@@ -1270,7 +1334,7 @@ class AsyncServiceClient:
                         frame["buckets"]
                     ), frame.get("cache")
             if not done:
-                raise ServiceError(
+                raise ShardTransportError(
                     "shard stream ended without a terminal frame"
                 )
         finally:

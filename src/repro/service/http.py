@@ -82,7 +82,9 @@ from __future__ import annotations
 
 import json
 import os
+import socket
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Iterator
 from urllib.parse import urlsplit
@@ -94,6 +96,8 @@ from repro.exceptions import (
     ReproError,
     ServiceError,
     ServiceUnavailableError,
+    ShardTimeoutError,
+    ShardTransportError,
 )
 from repro.service.errors import (
     error_envelope,
@@ -581,6 +585,16 @@ class ServiceClient:
     ``client_id`` names this client for the async core's per-client
     quota buckets (the ``X-Repro-Client`` header); unset, the server
     buckets by peer address.
+
+    Timeouts are split by phase: ``connect_timeout`` bounds establishing
+    the TCP connection (default ``min(timeout, 5.0)`` — a dead host
+    fails fast), ``timeout`` bounds each read on the established
+    connection.  Both map to :class:`~repro.exceptions.ShardTimeoutError`
+    (a retryable transport failure) when they fire.  With
+    ``retry_after_cap`` set, a 429/503 answer carrying a ``Retry-After``
+    hint is politely retried once after ``min(hint, cap)`` seconds
+    instead of raising immediately; unset (the default), backpressure
+    errors raise as before.
     """
 
     def __init__(
@@ -588,10 +602,17 @@ class ServiceClient:
         base_url: str,
         *,
         timeout: float = 60.0,
+        connect_timeout: float | None = None,
         client_id: str | None = None,
+        retry_after_cap: float | None = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else min(timeout, 5.0)
+        )
+        self.retry_after_cap = retry_after_cap
         self.client_id = client_id
         #: Cache level of the most recent single-job submit (the
         #: ``X-Repro-Cache`` response header).
@@ -636,7 +657,7 @@ class ServiceClient:
         conn = getattr(self._local, "conn", None)
         if conn is None:
             conn = http.client.HTTPConnection(
-                self._host, self._port, timeout=self.timeout
+                self._host, self._port, timeout=self.connect_timeout
             )
             self._local.conn = conn
             with self._lock:
@@ -644,6 +665,13 @@ class ServiceClient:
                     conn.close()
                     raise ServiceError("ServiceClient is closed")
                 self._conns.append(conn)
+        if conn.sock is None:
+            # Connect eagerly under the (short) connect timeout, then
+            # widen the socket to the per-read timeout: a dead host fails
+            # in connect_timeout seconds, a slow response gets the full
+            # read budget.
+            conn.connect()
+            conn.sock.settimeout(self.timeout)
         return conn
 
     def _drop_connection(self) -> None:
@@ -682,14 +710,19 @@ class ServiceClient:
         headers = self._headers(body is not None)
         last_exc: "Exception | None" = None
         for _attempt in range(2):
-            conn = self._connection()
             try:
+                conn = self._connection()
                 conn.request(method, path, body=body, headers=headers)
                 return conn.getresponse()
             except (http.client.HTTPException, OSError) as exc:
                 self._drop_connection()
                 last_exc = exc
-        raise ServiceError(
+        if isinstance(last_exc, (socket.timeout, TimeoutError)):
+            raise ShardTimeoutError(
+                f"cannot reach service at {self.base_url}: "
+                f"timed out after {self.connect_timeout}s"
+            ) from last_exc
+        raise ShardTransportError(
             f"cannot reach service at {self.base_url}: {last_exc}"
         ) from last_exc
 
@@ -707,20 +740,41 @@ class ServiceClient:
     def _request(
         self, path: str, body: "bytes | None" = None
     ) -> tuple[str, dict[str, str]]:
-        resp = self._open(path, body)
-        try:
-            data = resp.read()
-        except (http.client.HTTPException, OSError) as exc:
-            self._drop_connection()
-            raise ServiceError(
-                f"connection to {self.base_url} died mid-response: {exc}"
-            ) from exc
-        headers = dict(resp.getheaders())
-        if resp.getheader("Connection", "").lower() == "close":
-            self._drop_connection()
-        if resp.status >= 400:
-            raise self._error_for(resp.status, data)
-        return data.decode("utf-8"), headers
+        polite_waits = 0
+        while True:
+            resp = self._open(path, body)
+            try:
+                data = resp.read()
+            except (http.client.HTTPException, OSError) as exc:
+                self._drop_connection()
+                if isinstance(exc, (socket.timeout, TimeoutError)):
+                    raise ShardTimeoutError(
+                        f"read from {self.base_url} timed out after "
+                        f"{self.timeout}s"
+                    ) from exc
+                raise ShardTransportError(
+                    f"connection to {self.base_url} died mid-response: {exc}"
+                ) from exc
+            headers = dict(resp.getheaders())
+            if resp.getheader("Connection", "").lower() == "close":
+                self._drop_connection()
+            if resp.status >= 400:
+                exc = self._error_for(resp.status, data)
+                hint = retry_after_of(exc)
+                if (
+                    resp.status in (429, 503)
+                    and hint is not None
+                    and self.retry_after_cap is not None
+                    and polite_waits < 1
+                ):
+                    # Polite wait: honor the server's Retry-After hint,
+                    # capped, then retry once before giving the caller
+                    # the backpressure error.
+                    polite_waits += 1
+                    time.sleep(min(hint, self.retry_after_cap))
+                    continue
+                raise exc
+            return data.decode("utf-8"), headers
 
     # ------------------------------------------------------------------ #
     def submit(self, request: JobRequest) -> JobResult:
@@ -824,7 +878,7 @@ class ServiceClient:
         return out
 
     def classify_shard_stream(
-        self, tasks: "list[ShardTask]"
+        self, tasks: "list[ShardTask]", *, idle_timeout: "float | None" = None
     ) -> "Iterator[tuple[int, list[tuple] | ReproError, str | None]]":
         """Stream a claimed batch (``POST /v1/catalog:shard:stream``).
 
@@ -833,10 +887,15 @@ class ServiceClient:
         the slot index maps each frame back to its task.  Errors arrive
         as typed exception instances (not raised), mirroring
         :meth:`classify_shard_many`.  Heartbeat frames are consumed
-        silently.  A stream that ends without the terminal frame raises
-        :class:`~repro.exceptions.ServiceError`; abandoning the
-        generator mid-stream drops the connection (its remaining bytes
-        are unread) rather than poisoning the pool.
+        silently, but with ``idle_timeout`` set a stream that heartbeats
+        for longer than that without delivering a single slot frame is
+        declared stalled (:class:`~repro.exceptions.ShardTimeoutError`)
+        — heartbeats prove the connection, not progress.  A stream that
+        ends without the terminal ``{"done": true}`` frame was truncated
+        and raises :class:`~repro.exceptions.ShardTransportError` — a
+        retryable transport failure, never a short result.  Abandoning
+        the generator mid-stream drops the connection (its remaining
+        bytes are unread) rather than poisoning the pool.
         """
         payload = json.dumps({"tasks": [t.to_dict() for t in tasks]})
         resp = self._open(
@@ -850,12 +909,18 @@ class ServiceClient:
                 self._drop_connection()
             raise self._error_for(resp.status, data)
         done = False
+        last_progress = time.monotonic()
         try:
             while True:
                 try:
                     line = resp.readline()
                 except (http.client.HTTPException, OSError) as exc:
-                    raise ServiceError(
+                    if isinstance(exc, (socket.timeout, TimeoutError)):
+                        raise ShardTimeoutError(
+                            f"shard stream from {self.base_url} timed out "
+                            f"after {self.timeout}s without a frame"
+                        ) from exc
+                    raise ShardTransportError(
                         f"shard stream from {self.base_url} died: {exc}"
                     ) from exc
                 if not line:
@@ -866,30 +931,40 @@ class ServiceClient:
                 try:
                     frame = json.loads(line.decode("utf-8"))
                 except Exception as exc:
-                    raise ServiceError(
+                    raise ShardTransportError(
                         f"malformed shard stream frame: {line[:200]!r}"
                     ) from exc
                 if not isinstance(frame, dict):
-                    raise ServiceError(
+                    raise ShardTransportError(
                         "malformed shard stream frame: expected an object"
                     )
                 if "heartbeat" in frame:
+                    if (
+                        idle_timeout is not None
+                        and time.monotonic() - last_progress > idle_timeout
+                    ):
+                        raise ShardTimeoutError(
+                            f"shard stream from {self.base_url} stalled: "
+                            f"heartbeats but no slot frame for "
+                            f"{idle_timeout}s"
+                        )
                     continue
                 if frame.get("done"):
                     done = True
                     break
                 slot = frame.get("slot")
                 if not isinstance(slot, int):
-                    raise ServiceError(
+                    raise ShardTransportError(
                         "malformed shard stream frame: missing slot index"
                     )
+                last_progress = time.monotonic()
                 if "error" in frame:
                     yield slot, error_from_envelope(
                         frame, default_message="shard task failed"
                     ), None
                     continue
                 if not isinstance(frame.get("buckets"), list):
-                    raise ServiceError(
+                    raise ShardTransportError(
                         "malformed shard stream frame: needs 'buckets' "
                         "or 'error'"
                     )
@@ -897,7 +972,7 @@ class ServiceClient:
                     "cache"
                 )
             if not done:
-                raise ServiceError(
+                raise ShardTransportError(
                     "shard stream ended without a terminal frame"
                 )
             # Drain any trailing bytes so the connection is reusable.

@@ -352,6 +352,12 @@ class SchedulerService:
         self.max_pending = max_pending
         self._pending = 0
         self._pending_lock = threading.Lock()
+        # name → zero-arg callable returning a JSON-safe dict, merged
+        # into describe()["sources"]; the shard coordinator registers
+        # its dispatch/health accounting here so ``/stats`` can surface
+        # breaker state without the HTTP layer knowing coordinators
+        # exist.
+        self._stats_sources: dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # admission control
@@ -892,8 +898,34 @@ class SchedulerService:
     # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
+    def register_stats_source(self, name: str, fn: Any) -> None:
+        """Merge ``fn()`` (a JSON-safe dict) into :meth:`describe` under
+        ``sources[name]``.
+
+        The seam the :class:`~repro.service.shard.ShardCoordinator` uses
+        to surface retry/failover/circuit-breaker accounting through a
+        completion service's ``GET /v1/admin:stats`` without the HTTP
+        layer growing a coordinator dependency.  Re-registering a name
+        replaces the previous source; ``fn=None`` unregisters.
+        """
+        if not isinstance(name, str) or not name:
+            raise ServiceError(
+                f"stats source name must be a non-empty string, got {name!r}"
+            )
+        with self._lock:
+            if fn is None:
+                self._stats_sources.pop(name, None)
+            else:
+                self._stats_sources[name] = fn
+
     def describe(self) -> dict[str, Any]:
         """Service status: backend, cache occupancy, hit/miss counters."""
+        sources: dict[str, Any] = {}
+        for name, fn in list(self._stats_sources.items()):
+            try:
+                sources[name] = fn()
+            except Exception as exc:  # noqa: BLE001 — introspection must not fail
+                sources[name] = {"error": str(exc)}
         return {
             "backend": self.backend.describe(),
             "caches": {
@@ -914,6 +946,7 @@ class SchedulerService:
                 "profiles": self.profiles.describe(),
             },
             "stats": self.stats.to_dict(),
+            "sources": sources,
             "workloads": sorted(self._workloads),
         }
 

@@ -76,9 +76,10 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.core.config import SelectionConfig
 from repro.core.selection import PatternSelector
@@ -89,10 +90,12 @@ from repro.exceptions import (
     PatternError,
     ReproError,
     ServiceError,
+    ShardTransportError,
 )
 from repro.policy.registry import PolicyDecision, get_policy
 from repro.service.http import ServiceClient
 from repro.service.resolve import resolve_execution
+from repro.service.retry import CircuitBreaker, RetryPolicy, is_retryable
 from repro.service.jobs import EditRequest, JobRequest, JobResult
 from repro.service.service import (
     SchedulerService,
@@ -314,25 +317,77 @@ class LocalShard:
     def describe(self) -> str:
         return f"local({self.service.backend.describe()})"
 
+    def probe(self) -> bool:
+        """Liveness probe; an in-process service is alive by definition."""
+        return True
+
 
 class RemoteShard:
-    """A remote ``repro serve`` instance acting as one shard."""
+    """A remote ``repro serve`` instance acting as one shard.
+
+    Every call — batched and streamed — runs under the shard's
+    :class:`~repro.service.retry.RetryPolicy`: transport failures
+    (connection refusals and resets, timeouts, truncated or garbled
+    streams, blind 5xx answers) are retried up to ``retry.retries``
+    times with exponential backoff and deterministic jitter, while
+    deterministic typed failures (validation, enumeration limits)
+    propagate immediately.  A retried *stream* resumes: slots whose
+    frames already landed are never re-requested, so the coordinator
+    sees each slot at most once and merged output stays bit-identical.
+    """
 
     #: Remote claims cost an HTTP round trip each, so the steal loop may
     #: hand a remote shard up to ``ShardCoordinator.claim_batch`` ranges
     #: per trip; ``None`` defers to the coordinator's setting.
     batch_limit: "int | None" = None
 
-    def __init__(self, client: "ServiceClient | str") -> None:
+    def __init__(
+        self,
+        client: "ServiceClient | str",
+        *,
+        retry: "RetryPolicy | None" = None,
+    ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
         if isinstance(client, str):
-            client = ServiceClient(client)
+            client = ServiceClient(
+                client,
+                timeout=self.retry.read_timeout,
+                connect_timeout=self.retry.connect_timeout,
+                retry_after_cap=self.retry.retry_after_cap,
+            )
         self.client = client
         #: Tri-state: ``None`` until the first streamed claim answers,
         #: then whether the server speaks ``/v1/catalog:shard:stream``.
+        #: Only a 404 on the stream route latches ``False`` — transient
+        #: transport errors leave the tri-state untouched, so a flapping
+        #: network cannot lock a streaming-capable shard onto the
+        #: batched route forever.
         self._streaming: "bool | None" = None
+        #: Transport retries this shard has performed (all calls).
+        self.retries_used = 0
+        #: Optional coordinator hook, called once per retry.
+        self.on_retry: "Callable[[BaseException], None] | None" = None
+
+    # ------------------------------------------------------------------ #
+    def _note_retry(self, attempt: int, exc: BaseException) -> None:
+        """Account one retry and sleep its backoff (jitter included)."""
+        self.retries_used += 1
+        if self.on_retry is not None:
+            self.on_retry(exc)
+        delay = self.retry.delay(attempt, salt=self.client.base_url)
+        if delay > 0:
+            time.sleep(delay)
 
     def classify(self, task: ShardTask) -> list[tuple]:
-        return self.client.classify_shard(task)
+        attempt = 0
+        while True:
+            try:
+                return self.client.classify_shard(task)
+            except ReproError as exc:
+                if not is_retryable(exc) or attempt >= self.retry.retries:
+                    raise
+                attempt += 1
+                self._note_retry(attempt, exc)
 
     def classify_many(
         self, tasks: "Sequence[ShardTask]"
@@ -343,8 +398,17 @@ class RemoteShard:
         ``POST /v1/catalog:shard``; per-task failures come back as typed
         exception instances in their slot
         (:meth:`~repro.service.http.ServiceClient.classify_shard_many`).
+        Whole-call transport failures retry under the shard's policy.
         """
-        return self.client.classify_shard_many(tasks)
+        attempt = 0
+        while True:
+            try:
+                return self.client.classify_shard_many(list(tasks))
+            except ReproError as exc:
+                if not is_retryable(exc) or attempt >= self.retry.retries:
+                    raise
+                attempt += 1
+                self._note_retry(attempt, exc)
 
     def classify_stream(
         self, tasks: "Sequence[ShardTask]"
@@ -356,50 +420,101 @@ class RemoteShard:
         (:meth:`~repro.service.http.ServiceClient.classify_shard_stream`),
         so the coordinator lands early partials — and writes them back
         through the cache seam — while the shard is still classifying
-        its batch-mates.  A server that predates the stream route (the
-        POST answers 404) is remembered and every later claim falls back
-        to the one-shot batched form transparently; the yielded shape is
-        identical either way.
+        its batch-mates.
+
+        Fault behaviour: a stream that dies mid-flight (disconnect,
+        truncation — no ``{"done": true}`` frame — corrupt frame, or a
+        heartbeat-only stall past ``retry.stream_idle_timeout``) is
+        retried with backoff, re-requesting **only the slots that have
+        not answered yet**; already-yielded slots are never repeated.  A
+        server that predates the stream route (the POST answers 404) is
+        remembered and every later claim falls back to the one-shot
+        batched form transparently; the yielded shape is identical
+        either way.  Only the 404 latches that fallback.
         """
-        if self._streaming is not False:
-            stream = self.client.classify_shard_stream(list(tasks))
+        tasks = list(tasks)
+        answered: "set[int]" = set()
+        attempt = 0
+        while True:
+            remaining = [i for i in range(len(tasks)) if i not in answered]
+            if not remaining:
+                return
+            sub = [tasks[i] for i in remaining]
             try:
-                first = next(stream)
-            except StopIteration:
+                if self._streaming is False:
+                    for slot, item in enumerate(
+                        self.client.classify_shard_many(sub)
+                    ):
+                        index = remaining[slot]
+                        answered.add(index)
+                        if isinstance(item, BaseException):
+                            yield index, item, None
+                        else:
+                            yield index, item[0], item[1]
+                    return
+                stream = self.client.classify_shard_stream(
+                    sub, idle_timeout=self.retry.stream_idle_timeout
+                )
+                try:
+                    for slot, payload, cache in stream:
+                        if not (0 <= slot < len(sub)):
+                            raise ShardTransportError(
+                                f"shard stream answered invalid slot "
+                                f"{slot} for a {len(sub)}-task claim"
+                            )
+                        self._streaming = True
+                        index = remaining[slot]
+                        if index in answered:
+                            raise ShardTransportError(
+                                f"shard stream answered slot {slot} twice"
+                            )
+                        answered.add(index)
+                        yield index, payload, cache
+                except ReproError as exc:
+                    if getattr(exc, "http_status", None) == 404:
+                        # A pre-stream server: remember, fall back to the
+                        # batched route — no retry charged, nothing lost.
+                        self._streaming = False
+                        continue
+                    raise
                 self._streaming = True
+                if any(i not in answered for i in remaining):
+                    # A terminal frame before every slot answered is as
+                    # truncated as no terminal frame at all.
+                    raise ShardTransportError(
+                        "shard stream completed without answering "
+                        "every claimed slot"
+                    )
                 return
             except ReproError as exc:
-                if (
-                    self._streaming is None
-                    and getattr(exc, "http_status", None) == 404
-                ):
-                    self._streaming = False
-                else:
+                if not is_retryable(exc) or attempt >= self.retry.retries:
                     raise
-            else:
-                self._streaming = True
-                yield first
-                yield from stream
-                return
-        for slot, item in enumerate(self.classify_many(tasks)):
-            if isinstance(item, BaseException):
-                yield slot, item, None
-            else:
-                yield slot, item[0], item[1]
+                attempt += 1
+                self._note_retry(attempt, exc)
 
     def describe(self) -> str:
         return f"remote({self.client.base_url})"
 
+    def probe(self) -> bool:
+        """One ``GET /healthz`` round trip; ``True`` iff it answered
+        without draining (a draining shard refuses new work anyway)."""
+        try:
+            return not self.client.health().get("draining", False)
+        except ReproError:
+            return False
 
-def _as_shard(shard: Any) -> "LocalShard | RemoteShard":
+
+def _as_shard(
+    shard: Any, *, retry: "RetryPolicy | None" = None
+) -> "LocalShard | RemoteShard":
     if isinstance(shard, (LocalShard, RemoteShard)):
         return shard
     if isinstance(shard, SchedulerService):
         return LocalShard(shard)
     if isinstance(shard, ServiceClient):
-        return RemoteShard(shard)
+        return RemoteShard(shard, retry=retry)
     if isinstance(shard, str):
-        return RemoteShard(shard)
+        return RemoteShard(shard, retry=retry)
     raise ServiceError(
         f"cannot use {type(shard).__name__} as a shard; expected a "
         f"SchedulerService, ServiceClient, URL string, LocalShard or "
@@ -425,6 +540,18 @@ class CoordinatorStats:
     factor.  ``tasks_per_shard`` records how the dynamic loop actually
     spread the work; :meth:`steals` derives how many tasks ran on a
     shard beyond its even share — the work stealing at work.
+
+    The fault-tolerance counters account recovery, not work:
+    ``retries`` counts same-shard transport retries performed by
+    :class:`RemoteShard` handles (backoff included); ``failovers``
+    counts partitions re-enqueued onto the steal queue after their
+    shard failed or timed out — each is then claimed by whichever
+    healthy shard frees up first, and one partition can fail over more
+    than once; ``local_fallbacks`` counts partitions the completion
+    service classified in-process as a last resort because every remote
+    shard was unhealthy; ``breaker_probes`` counts half-open liveness
+    probes sent to ejected shards.  A fully healthy run keeps all four
+    at zero.
     """
 
     planned: int = 0
@@ -433,6 +560,10 @@ class CoordinatorStats:
     dispatched: int = 0
     claim_rounds: int = 0
     remote_partial_hits: int = 0
+    retries: int = 0
+    failovers: int = 0
+    local_fallbacks: int = 0
+    breaker_probes: int = 0
     tasks_per_shard: list[int] = field(default_factory=list)
 
     def steals(self) -> int:
@@ -450,6 +581,10 @@ class CoordinatorStats:
             "dispatched": self.dispatched,
             "claim_rounds": self.claim_rounds,
             "remote_partial_hits": self.remote_partial_hits,
+            "retries": self.retries,
+            "failovers": self.failovers,
+            "local_fallbacks": self.local_fallbacks,
+            "breaker_probes": self.breaker_probes,
             "tasks_per_shard": list(self.tasks_per_shard),
             "steals": self.steals(),
         }
@@ -486,6 +621,28 @@ class ShardCoordinator:
         policy's :class:`~repro.policy.PolicyDecision` for the graph's
         signature instead of the constructor defaults.  Fan-out knobs are
         pure strategy: any setting merges bit-identically.
+    retry:
+        The :class:`~repro.service.retry.RetryPolicy` governing every
+        recovery knob: per-attempt timeouts and same-shard retry budget
+        for :class:`RemoteShard` handles built from URLs/clients, plus
+        the per-shard circuit breakers' threshold and cool-down.
+        Defaults to ``RetryPolicy()``.  Pre-built shard handles keep
+        their own policies.
+    failover:
+        When ``True`` (the default) a partition whose shard fails or
+        times out — after that shard's own retry budget — is re-enqueued
+        on the steal queue and claimed by a healthy shard; each shard
+        carries a circuit breaker that ejects it from the loop after
+        ``retry.breaker_threshold`` consecutive failures (re-admitted
+        via half-open ``/healthz`` probes after ``retry.breaker_cooldown``);
+        and partitions nobody healthy will take are classified
+        in-process by the completion service as a last resort, so a
+        build degrades instead of failing while at least one executor
+        exists.  Deterministic failures (validation, enumeration
+        limits) never fail over — they propagate, lowest partition
+        first, exactly as without failover.  ``False`` restores the
+        fail-fast behaviour.  Failover is pure placement: results land
+        by partition index, so recovered runs stay bit-identical.
 
     Examples
     --------
@@ -502,6 +659,8 @@ class ShardCoordinator:
         service: SchedulerService | None = None,
         claim_batch: int = 2,
         policy: str | None = None,
+        retry: "RetryPolicy | None" = None,
+        failover: bool = True,
     ) -> None:
         if not shards:
             raise ServiceError("need at least one shard")
@@ -509,15 +668,51 @@ class ShardCoordinator:
             raise ServiceError(
                 f"claim_batch must be an int ≥ 1, got {claim_batch!r}"
             )
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise ServiceError(
+                f"retry must be a RetryPolicy, got {type(retry).__name__}"
+            )
         if policy is not None:
             get_policy(policy)  # fail fast on unknown names
-        self.shards: list[LocalShard | RemoteShard] = [_as_shard(s) for s in shards]
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.failover = bool(failover)
+        self.shards: list[LocalShard | RemoteShard] = [
+            _as_shard(s, retry=self.retry) for s in shards
+        ]
+        self._stats_lock = threading.Lock()
+        for shard in self.shards:
+            if isinstance(shard, RemoteShard):
+                shard.on_retry = self._note_shard_retry
+        #: One circuit breaker per shard, indexed like :attr:`shards`.
+        self.breakers: list[CircuitBreaker] = [
+            self.retry.breaker() for _ in self.shards
+        ]
         self._owns_service = service is None
         self._owned_shards: list[SchedulerService] = []
         self.service = service if service is not None else SchedulerService()
         self.claim_batch = claim_batch
         self.policy = policy
         self.stats = CoordinatorStats(tasks_per_shard=[0] * len(self.shards))
+        # Surface dispatch + breaker accounting through the completion
+        # service's describe()/``/v1/admin:stats``.
+        self.service.register_stats_source("coordinator", self._stats_payload)
+
+    def _note_shard_retry(self, exc: BaseException) -> None:
+        """RemoteShard ``on_retry`` hook: account one transport retry."""
+        with self._stats_lock:
+            self.stats.retries += 1
+
+    def _stats_payload(self) -> dict[str, Any]:
+        """The stats-source dict registered on the completion service."""
+        return {
+            "stats": self.stats.to_dict(),
+            "health": [
+                {"shard": s.describe(), **b.to_dict()}
+                for s, b in zip(self.shards, self.breakers)
+            ],
+            "retry": self.retry.to_dict(),
+            "failover": self.failover,
+        }
 
     @classmethod
     def local(
@@ -527,6 +722,8 @@ class ShardCoordinator:
         service: SchedulerService | None = None,
         claim_batch: int = 2,
         policy: str | None = None,
+        retry: "RetryPolicy | None" = None,
+        failover: bool = True,
         **service_kwargs: Any,
     ) -> "ShardCoordinator":
         """A coordinator over ``n`` fresh in-process shard services.
@@ -546,12 +743,13 @@ class ShardCoordinator:
             completion = SchedulerService(**service_kwargs)
             coord = cls(
                 owned, service=completion, claim_batch=claim_batch,
-                policy=policy,
+                policy=policy, retry=retry, failover=failover,
             )
             coord._owns_service = True
         else:
             coord = cls(
-                owned, service=service, claim_batch=claim_batch, policy=policy
+                owned, service=service, claim_batch=claim_batch, policy=policy,
+                retry=retry, failover=failover,
             )
         coord._owned_shards = owned
         return coord
@@ -560,6 +758,7 @@ class ShardCoordinator:
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
+        self.service.register_stats_source("coordinator", None)
         if self._owns_service:
             self.service.close()
         for shard_service in self._owned_shards:
@@ -577,6 +776,9 @@ class ShardCoordinator:
             "service": self.service.describe()["backend"],
             "policy": self.policy,
             "stats": self.stats.to_dict(),
+            "retry": self.retry.to_dict(),
+            "failover": self.failover,
+            "health": [b.to_dict() for b in self.breakers],
         }
 
     # ------------------------------------------------------------------ #
@@ -778,96 +980,213 @@ class ShardCoordinator:
         adaptive-span loop must see as itself to retry.  Within a batch,
         failures stay slot-local: the other claimed partitions' results
         are kept.
+
+        With ``failover`` on, *retryable* failures — transport deaths,
+        timeouts, truncated streams, backpressure — never enter the
+        failure list at all: the unanswered partitions are re-enqueued
+        (ascending, merged back into the queue) for a healthy shard to
+        claim, the failing shard's circuit breaker records the strike,
+        and a worker whose breaker opens leaves the loop (it re-enters
+        half-open via a ``/healthz`` probe after the cool-down).  Idle
+        workers wait while claims are in flight elsewhere instead of
+        exiting, so a requeued partition always finds a claimant.  A
+        partition that has been re-enqueued ``breaker_threshold × shards``
+        times hard-fails with its last transport error — the backstop
+        against a poison partition ping-ponging forever.  Partitions
+        still pending when every worker has left (every remote ejected)
+        are classified in-process by the completion service, ascending,
+        so the build succeeds degraded whenever at least one executor
+        exists.
         """
-        lock = threading.Lock()
+        cond = threading.Condition()
+        lock = cond  # pending/failures/stats share the condition's lock
         failures: list[tuple[int, BaseException]] = []
+        attempts: dict[int, int] = {}
+        inflight = 0
         coordinator_batch = (
             claim_batch if claim_batch is not None else self.claim_batch
         )
+        # A partition may be failed over at most once per failing round,
+        # and every shard's breaker opens after breaker_threshold
+        # consecutive failing rounds — so threshold × shards re-enqueues
+        # is the worst case of a fully dying fleet.  The +1 keeps such a
+        # partition alive through total ejection (it must reach the
+        # local fallback); only a genuinely poisonous partition that
+        # keeps killing re-admitted shards ever hits the cap.
+        attempt_cap = max(1, self.retry.breaker_threshold) * len(self.shards) + 1
+
+        def fail_floor_locked() -> "int | None":
+            return min(pair[0] for pair in failures) if failures else None
+
+        def requeue_locked(indices: "list[int]", exc: BaseException) -> None:
+            """Re-enqueue failed-over partitions (ascending merge); a
+            partition past the attempt cap hard-fails instead."""
+            survivors = []
+            for i in indices:
+                attempts[i] = attempts.get(i, 0) + 1
+                if attempts[i] >= attempt_cap:
+                    failures.append((i, exc))
+                else:
+                    survivors.append(i)
+            if survivors:
+                merged = sorted(set(survivors) | set(pending))
+                pending.clear()
+                pending.extend(merged)
+                self.stats.failovers += len(survivors)
+            cond.notify_all()
 
         def worker(shard_index: int) -> None:
+            nonlocal inflight
             shard = self.shards[shard_index]
+            breaker = self.breakers[shard_index]
             batch_limit = shard.batch_limit or coordinator_batch
             while True:
+                # Health gate: an open breaker ejects this shard from
+                # the steal loop; half-open admits exactly one /healthz
+                # probe that decides between re-admission and another
+                # cool-down.
+                state = breaker.state_now()
+                if state == CircuitBreaker.OPEN:
+                    return
+                if state == CircuitBreaker.HALF_OPEN:
+                    with lock:
+                        self.stats.breaker_probes += 1
+                    if shard.probe():
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
+                        return
                 with lock:
-                    if not pending:
-                        return
-                    fail_floor = (
-                        min(pair[0] for pair in failures) if failures else None
-                    )
-                    if fail_floor is not None and pending[0] > fail_floor:
-                        return
+                    while True:
+                        floor = fail_floor_locked()
+                        claimable = bool(pending) and (
+                            floor is None or pending[0] <= floor
+                        )
+                        if claimable:
+                            break
+                        # Nothing claimable right now.  While other
+                        # workers still hold claims, a failover may yet
+                        # re-queue work below the floor — wait instead
+                        # of leaving (failover off keeps the old exit).
+                        if inflight == 0 or not self.failover:
+                            return
+                        cond.wait()
                     claimed = []
                     while pending and len(claimed) < batch_limit:
-                        if fail_floor is not None and pending[0] > fail_floor:
+                        if floor is not None and pending[0] > floor:
                             break
                         claimed.append(pending.popleft())
+                    inflight += len(claimed)
                     self.stats.claim_rounds += 1
                     self.stats.dispatched += len(claimed)
                     self.stats.tasks_per_shard[shard_index] += len(claimed)
                 remote_hits = 0
                 failed_here = False
                 answered: set[int] = set()
+                stop = False
                 try:
-                    for slot, payload, cache in self._results_iter(
-                        shard, [tasks[i] for i in claimed]
-                    ):
-                        if not (0 <= slot < len(claimed)) or slot in answered:
-                            raise ServiceError(
-                                f"shard answered invalid or duplicate "
-                                f"slot {slot} for a {len(claimed)}-task claim"
+                    try:
+                        for slot, payload, cache in self._results_iter(
+                            shard, [tasks[i] for i in claimed]
+                        ):
+                            if (
+                                not (0 <= slot < len(claimed))
+                                or slot in answered
+                            ):
+                                raise ServiceError(
+                                    f"shard answered invalid or duplicate "
+                                    f"slot {slot} for a "
+                                    f"{len(claimed)}-task claim"
+                                )
+                            answered.add(slot)
+                            i = claimed[slot]
+                            if isinstance(payload, BaseException):
+                                if self.failover and is_retryable(payload):
+                                    # Slot-local transport/backpressure
+                                    # failure: fail the partition over,
+                                    # keep consuming the stream.
+                                    with lock:
+                                        requeue_locked([i], payload)
+                                else:
+                                    with lock:
+                                        failures.append((i, payload))
+                                    failed_here = True
+                                continue
+                            try:
+                                parts[i] = payload
+                                # The write-back happens per frame, while
+                                # the shard's remaining slots are still
+                                # classifying — and inside the try: a
+                                # failing cache store (disk full,
+                                # permissions) must surface as this
+                                # partition's failure, not silently kill
+                                # the worker and leave the merge a None
+                                # part.
+                                self.service.put_shard_partial(
+                                    keys[i], payload
+                                )
+                            except BaseException as exc:
+                                with lock:
+                                    failures.append((i, exc))
+                                failed_here = True
+                                continue
+                            if (
+                                isinstance(shard, RemoteShard)
+                                and cache == "shard"
+                            ):
+                                remote_hits += 1
+                        if len(answered) != len(claimed):
+                            raise ShardTransportError(
+                                f"shard answered {len(answered)} of "
+                                f"{len(claimed)} claimed tasks"
                             )
-                        answered.add(slot)
-                        i = claimed[slot]
-                        if isinstance(payload, BaseException):
-                            with lock:
-                                failures.append((i, payload))
-                            failed_here = True
-                            continue
-                        try:
-                            parts[i] = payload
-                            # The write-back happens per frame, while the
-                            # shard's remaining slots are still
-                            # classifying — and inside the try: a failing
-                            # cache store (disk full, permissions) must
-                            # surface as this partition's failure, not
-                            # silently kill the worker and leave the
-                            # merge a None part.
-                            self.service.put_shard_partial(keys[i], payload)
-                        except BaseException as exc:
-                            with lock:
-                                failures.append((i, exc))
-                            failed_here = True
-                            continue
-                        if isinstance(shard, RemoteShard) and cache == "shard":
-                            remote_hits += 1
-                    if len(answered) != len(claimed):
-                        raise ServiceError(
-                            f"shard answered {len(answered)} of "
-                            f"{len(claimed)} claimed tasks"
-                        )
-                except BaseException as exc:
-                    # A whole-call failure (transport death, malformed or
-                    # truncated stream) is attributed to the lowest
-                    # *unanswered* claimed index — already-landed frames
-                    # are kept — so the deterministic lowest-failure
-                    # re-raise still holds.
-                    unanswered = [
-                        claimed[s]
-                        for s in range(len(claimed))
-                        if s not in answered
-                    ]
+                    except BaseException as exc:
+                        # A whole-call failure (transport death,
+                        # malformed or truncated stream) concerns the
+                        # *unanswered* claimed indices — already-landed
+                        # frames are kept.  Retryable → fail them over
+                        # and let the breaker decide this shard's fate;
+                        # deterministic → the lowest unanswered index
+                        # carries the error, exactly as without
+                        # failover.
+                        unanswered = [
+                            claimed[s]
+                            for s in range(len(claimed))
+                            if s not in answered
+                        ]
+                        with lock:
+                            self.stats.remote_partial_hits += remote_hits
+                            if (
+                                self.failover
+                                and is_retryable(exc)
+                                and unanswered
+                            ):
+                                requeue_locked(unanswered, exc)
+                            else:
+                                failures.append(
+                                    (
+                                        min(unanswered)
+                                        if unanswered
+                                        else claimed[0],
+                                        exc,
+                                    )
+                                )
+                                stop = True
+                        if not stop:
+                            breaker.record_failure()
+                        continue
+                    breaker.record_success()
+                    if remote_hits:
+                        with lock:
+                            self.stats.remote_partial_hits += remote_hits
+                    if failed_here:
+                        stop = True
+                finally:
                     with lock:
-                        failures.append(
-                            (min(unanswered) if unanswered else claimed[0], exc)
-                        )
-                        self.stats.remote_partial_hits += remote_hits
-                    return
-                if remote_hits:
-                    with lock:
-                        self.stats.remote_partial_hits += remote_hits
-                if failed_here:
-                    return
+                        inflight -= len(claimed)
+                        cond.notify_all()
+                    if stop:
+                        return
 
         n_workers = min(len(self.shards), len(pending))
         if n_workers <= 1:
@@ -881,6 +1200,26 @@ class ShardCoordinator:
                 thread.start()
             for thread in threads:
                 thread.join()
+        if self.failover and pending:
+            # Every worker has left (breakers open, shards gone) with
+            # work still on the queue: classify the leftovers in-process
+            # on the completion service, ascending, stopping below any
+            # recorded failure — the job succeeds degraded as long as
+            # one executor exists, and the lowest-failure contract
+            # holds.
+            floor = fail_floor_locked()
+            while pending:
+                i = pending.popleft()
+                if floor is not None and i > floor:
+                    break
+                try:
+                    rows = self.service.classify_shard(tasks[i])
+                    parts[i] = rows
+                    self.service.put_shard_partial(keys[i], rows)
+                    self.stats.local_fallbacks += 1
+                except BaseException as exc:
+                    failures.append((i, exc))
+                    break
         if failures:
             raise min(failures, key=lambda pair: pair[0])[1]
 

@@ -520,7 +520,7 @@ class TestStreamedCoordinator:
                 s for s in coord.shards if isinstance(s, RemoteShard)
             )
 
-            def gone(tasks):
+            def gone(tasks, **kwargs):
                 exc = ServiceError("no route '/v1/catalog:shard:stream'")
                 exc.http_status = 404
                 raise exc
